@@ -1,0 +1,71 @@
+"""Fig. 5 (table): benchmark mesh inventory.
+
+Paper row: mesh family, #elements, #DOF (order-4 SEM), theoretical LTS
+speedup (Eq. (9)), number of levels.  We print both the paper-scale values
+and our bench-scale meshes; element/DOF counts differ by the documented
+scale factor, the speedups and level counts must match.
+"""
+
+from common import BENCH_MESHES, save_results
+from repro.core import assign_levels, theoretical_speedup
+from repro.mesh import benchmark_mesh, dof_count
+from repro.util import Table
+
+PAPER_FIG5 = {
+    "trench": (2.5e6, 170e6, 6.7, 4),
+    "trench_big": (26e6, 1.7e9, 21.7, 6),
+    "embedding": (1.2e6, 78e6, 7.9, 4),
+    "crust": (2.9e6, 190e6, 1.9, 2),
+}
+
+
+def _rows(meshes):
+    rows = []
+    for family, gen in meshes.items():
+        mesh = gen() if callable(gen) else gen
+        a = assign_levels(mesh)
+        rows.append(
+            {
+                "family": family,
+                "elements": mesh.n_elements,
+                "dof": dof_count(mesh, order=4),
+                "speedup": theoretical_speedup(a),
+                "levels": a.n_levels,
+            }
+        )
+    return rows
+
+
+def test_fig05_mesh_table(benchmark):
+    # Benchmark the expensive part: level assignment + DOF counting on the
+    # default (full-size) trench mesh.
+    def work():
+        mesh = benchmark_mesh("trench")
+        a = assign_levels(mesh)
+        return dof_count(mesh, order=4), theoretical_speedup(a)
+
+    dof, speedup = benchmark.pedantic(work, rounds=1, iterations=1)
+
+    rows = _rows(BENCH_MESHES)
+    t = Table(
+        ["mesh", "# elements", "# DOF", "theor. speedup (paper)", "# levels (paper)"],
+        title="Fig. 5 — benchmark meshes (bench scale)",
+    )
+    for r in rows:
+        p = PAPER_FIG5[r["family"]]
+        t.add_row(
+            [
+                r["family"],
+                r["elements"],
+                r["dof"],
+                f"{r['speedup']:.1f} ({p[2]})",
+                f"{r['levels']} ({p[3]})",
+            ]
+        )
+    t.print()
+    save_results("fig05", rows)
+
+    for r in rows:
+        paper = PAPER_FIG5[r["family"]]
+        assert r["levels"] == paper[3]
+        assert abs(r["speedup"] - paper[2]) / paper[2] < 0.10

@@ -1,0 +1,71 @@
+"""Fig. 7 (table): total work-load imbalance (Eq. (21)) per partitioner.
+
+Paper (2.5M trench): MeTiS 34/88/89%, PaToH 0.05 11/17/19%,
+PaToH 0.01 2/5/7%, SCOTCH-P 6/6/7% at K = 16/32/64.  The reproduction
+claim is the *ranking* — MeTiS (no strict per-level enforcement) degrades
+with K while PaToH's final_imbal and SCOTCH-P's by-construction balance
+stay tight.
+"""
+
+import numpy as np
+
+from common import save_results
+from repro.partition.metrics import load_imbalance, part_loads, per_level_imbalance
+from repro.util import Table
+
+PAPER_FIG7 = {
+    "MeTiS": {16: 34, 32: 88, 64: 89},
+    "PaToH 0.05": {16: 11, 32: 17, 64: 19},
+    "PaToH 0.01": {16: 2, 32: 5, 64: 7},
+    "SCOTCH-P": {16: 6, 32: 6, 64: 7},
+}
+STRATEGIES = ["MeTiS", "PaToH 0.05", "PaToH 0.01", "SCOTCH-P"]
+
+
+def test_fig07_load_imbalance(benchmark, trench_setup, trench_partitions):
+    mesh, a = trench_setup
+
+    def measure_all():
+        rows = []
+        for name in STRATEGIES:
+            for k in (16, 32, 64):
+                parts = trench_partitions[(name, k)]
+                rows.append(
+                    {
+                        "strategy": name,
+                        "k": k,
+                        "total_imbalance": load_imbalance(part_loads(a, parts, k)),
+                        "level_imbalance": list(per_level_imbalance(a, parts, k)),
+                        "paper": PAPER_FIG7[name][k],
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(measure_all, rounds=1, iterations=1)
+
+    t = Table(
+        ["# of parts"] + [f"{s} (paper)" for s in STRATEGIES],
+        title="Fig. 7 — total load imbalance %, trench mesh",
+    )
+    for k in (16, 32, 64):
+        line = [k]
+        for s in STRATEGIES:
+            r = next(x for x in rows if x["strategy"] == s and x["k"] == k)
+            line.append(f"{r['total_imbalance']:.0f}% ({r['paper']}%)")
+        t.add_row(line)
+    t.print()
+    save_results("fig07", rows)
+
+    # Reproduction claims: the multi-constraint graph partitioner without
+    # strict enforcement (MeTiS) is clearly the worst balanced at every K,
+    # while SCOTCH-P and PaToH 0.01 stay tight.  (The paper additionally
+    # sees MeTiS degrade 34% -> 89% with K; our stand-in is uniformly bad
+    # instead — see EXPERIMENTS.md.)
+    for k in (16, 32, 64):
+        get = lambda s: next(
+            x["total_imbalance"] for x in rows if x["strategy"] == s and x["k"] == k
+        )
+        assert get("MeTiS") > get("SCOTCH-P")
+        assert get("MeTiS") > get("PaToH 0.01")
+        assert get("MeTiS") > 25.0
+        assert get("PaToH 0.01") < 25.0

@@ -1,0 +1,68 @@
+"""Fig. 10: embedding-mesh CPU scaling (theor. 7.9x; paper: SCOTCH-P 93%,
+non-LTS 123% super-linear from cache effects, 95% LTS efficiency at the
+first point)."""
+
+from common import OUR_CPU_RANKS, PAPER_NODES, cpu_machine, mesh_and_levels, save_results, seed
+from repro.core import theoretical_speedup
+from repro.partition import PARTITIONERS
+from repro.runtime import ClusterSimulator
+from repro.util import Table
+
+STRATEGIES = ["SCOTCH-P", "PaToH 0.01", "PaToH 0.05"]
+
+
+def test_fig10_embedding_scaling(benchmark):
+    mesh, a = mesh_and_levels("embedding")
+    ts = theoretical_speedup(a)
+    cpu = cpu_machine("embedding", mesh)
+
+    def simulate():
+        rows = []
+        for i, k in enumerate(OUR_CPU_RANKS[:3]):  # 16-64-node span: k=128
+            # partitioning dominates suite runtime on 1 core; Fig. 9 keeps
+            # the full 8x span for the headline mesh.
+            row = {"ranks": k, "paper_nodes": PAPER_NODES[i]}
+            parts_sc = PARTITIONERS["SCOTCH"](mesh, a, k, seed=seed())
+            row["non_lts"] = (
+                ClusterSimulator(mesh, a, parts_sc, k, cpu).non_lts_cycle().performance
+            )
+            for name in STRATEGIES:
+                parts = PARTITIONERS[name](mesh, a, k, seed=seed())
+                row[name] = ClusterSimulator(mesh, a, parts, k, cpu).lts_cycle().performance
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(simulate, rounds=1, iterations=1)
+    ref = rows[0]["non_lts"]
+
+    t = Table(
+        ["paper nodes", "non-LTS CPU", "LTS ideal"] + STRATEGIES,
+        title=f"Fig. 10 — embedding CPU, normalized performance (theor. {ts:.1f}x)",
+    )
+    for row in rows:
+        scale = row["ranks"] / OUR_CPU_RANKS[0]
+        t.add_row(
+            [row["paper_nodes"], f"{row['non_lts'] / ref:.2f}", f"{ts * scale:.1f}"]
+            + [f"{row[s] / ref:.2f}" for s in STRATEGIES]
+        )
+    t.print()
+
+    span = rows[-1]["ranks"] / rows[0]["ranks"]
+    non_eff = rows[-1]["non_lts"] / (ref * span)
+    sp_eff = rows[-1]["SCOTCH-P"] / (ref * span * ts)
+    start_eff = rows[0]["SCOTCH-P"] / (ref * ts)
+    print(
+        f"non-LTS scaling eff: {non_eff:.0%} (paper 123%)\n"
+        f"SCOTCH-P eff vs LTS ideal: {sp_eff:.0%} (paper 93%)\n"
+        f"SCOTCH-P LTS efficiency at first point: {start_eff:.0%} (paper 95%)\n"
+    )
+    save_results(
+        "fig10",
+        {"rows": rows, "theoretical_speedup": ts,
+         "non_lts_eff": non_eff, "scotch_p_eff": sp_eff, "start_eff": start_eff},
+    )
+
+    assert start_eff > 0.80
+    assert 0.75 < non_eff < 1.35
+    for row in rows:
+        assert row["SCOTCH-P"] > row["non_lts"]

@@ -1,0 +1,83 @@
+"""Fig. 12: D1+D2 cache-hit metric, LTS vs non-LTS, trench mesh.
+
+Paper: the hit metric rises as partitions shrink (16 -> 128 nodes) and
+the LTS version sits consistently above the non-LTS version, because the
+small fine levels stay resident across their p substeps and the nodal
+data is grouped by p-level.  Our analytic cache model encodes exactly
+those two mechanisms; the bench reports the same monotone series.
+"""
+
+import numpy as np
+
+from common import OUR_CPU_RANKS, PAPER_NODES, cpu_machine, save_results
+from repro.runtime import cache_hit_metric
+from repro.util import Table
+
+#: Approximate series read off the paper's Fig. 12 (16-128 nodes).
+PAPER_NON_LTS = [22, 32, 43, 60]
+PAPER_LTS = [32, 43, 60, 115]
+
+
+def test_fig12_cache_hits(benchmark, trench_setup, trench_partitions, trench_partitions_128):
+    mesh, a = trench_setup
+    machine = cpu_machine("trench", mesh)
+    parts_all = dict(trench_partitions)
+    parts_all.update(trench_partitions_128)
+    steps = 2.0 ** np.arange(a.n_levels)
+
+    def measure():
+        rows = []
+        for i, k in enumerate(OUR_CPU_RANKS):
+            parts = parts_all[("SCOTCH-P", k)]
+            elems = np.zeros((k, a.n_levels))
+            np.add.at(elems, (parts, a.level - 1), 1.0)
+            lts_hits = float(
+                np.mean([cache_hit_metric(machine, elems[r], steps) for r in range(k)])
+            )
+            totals = elems.sum(axis=1, keepdims=True)
+            non_hits = float(
+                np.mean(
+                    [
+                        cache_hit_metric(
+                            machine, totals[r], np.array([float(a.p_max)])
+                        )
+                        for r in range(k)
+                    ]
+                )
+            )
+            rows.append(
+                {
+                    "paper_nodes": PAPER_NODES[i],
+                    "ranks": k,
+                    "non_lts_hits": non_hits,
+                    "lts_hits": lts_hits,
+                    "paper_non_lts": PAPER_NON_LTS[i],
+                    "paper_lts": PAPER_LTS[i],
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    t = Table(
+        ["paper nodes", "non-LTS hits (paper)", "LTS hits (paper)"],
+        title="Fig. 12 — D1+D2 cache-hit metric, trench mesh",
+    )
+    for r in rows:
+        t.add_row(
+            [
+                r["paper_nodes"],
+                f"{r['non_lts_hits']:.0f} ({r['paper_non_lts']})",
+                f"{r['lts_hits']:.0f} ({r['paper_lts']})",
+            ]
+        )
+    t.print()
+    save_results("fig12", rows)
+
+    # Shape: both series rise with node count; LTS is above non-LTS
+    # everywhere (the paper's two observations).
+    non = [r["non_lts_hits"] for r in rows]
+    lts = [r["lts_hits"] for r in rows]
+    assert all(non[i] < non[i + 1] for i in range(len(non) - 1))
+    assert all(lts[i] < lts[i + 1] for i in range(len(lts) - 1))
+    assert all(l > n for l, n in zip(lts, non))

@@ -1,0 +1,79 @@
+"""Fig. 13: large trench mesh (26M at paper scale), SCOTCH-P only.
+
+Paper (128 -> 1024 nodes, 1024 -> 8192 cores): LTS scaling efficiency
+starts near 100%, holds through 512 nodes, then drops to 67% at 1024
+nodes as the smallest p-levels run out of elements per rank; non-LTS
+stays at 93%.  We run the same 8x span at 1/8 the rank count on the
+6-level bench trench-big mesh.
+"""
+
+from common import cpu_machine, mesh_and_levels, save_results, seed
+from repro.core import theoretical_speedup
+from repro.partition import PARTITIONERS
+from repro.runtime import ClusterSimulator
+from repro.util import Table
+
+RANKS = [16, 32, 64, 128]
+PAPER_NODES = [128, 256, 512, 1024]
+
+
+def test_fig13_large_trench(benchmark):
+    mesh, a = mesh_and_levels("trench_big")
+    ts = theoretical_speedup(a)
+    cpu = cpu_machine("trench_big", mesh)
+
+    def simulate():
+        rows = []
+        for paper_nodes, k in zip(PAPER_NODES, RANKS):
+            parts = PARTITIONERS["SCOTCH-P"](mesh, a, k, seed=seed())
+            sim = ClusterSimulator(mesh, a, parts, k, cpu)
+            rows.append(
+                {
+                    "paper_nodes": paper_nodes,
+                    "ranks": k,
+                    "lts": sim.lts_cycle().performance,
+                    "non_lts": sim.non_lts_cycle().performance,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(simulate, rounds=1, iterations=1)
+    ref = rows[0]["non_lts"]
+
+    t = Table(
+        ["paper nodes", "non-LTS CPU", "LTS SCOTCH-P", "LTS ideal"],
+        title=f"Fig. 13 — large trench (6 levels, theor. {ts:.1f}x)",
+    )
+    for row in rows:
+        scale = row["ranks"] / RANKS[0]
+        t.add_row(
+            [
+                row["paper_nodes"],
+                f"{row['non_lts'] / ref:.2f}",
+                f"{row['lts'] / ref:.2f}",
+                f"{ts * scale:.1f}",
+            ]
+        )
+    t.print()
+
+    span = rows[-1]["ranks"] / rows[0]["ranks"]
+    lts_eff_end = rows[-1]["lts"] / (ref * span * ts)
+    lts_eff_start = rows[0]["lts"] / (ref * ts)
+    non_eff = rows[-1]["non_lts"] / (ref * span)
+    print(
+        f"LTS eff at first point: {lts_eff_start:.0%} (paper ~100%)\n"
+        f"LTS eff at last point: {lts_eff_end:.0%} (paper 67%)\n"
+        f"non-LTS scaling eff: {non_eff:.0%} (paper 93%)\n"
+    )
+    save_results(
+        "fig13",
+        {"rows": rows, "theoretical_speedup": ts,
+         "lts_eff_start": lts_eff_start, "lts_eff_end": lts_eff_end,
+         "non_lts_eff": non_eff},
+    )
+
+    # Shape: high initial LTS efficiency that degrades with strong scaling,
+    # while non-LTS holds.
+    assert lts_eff_start > 0.75
+    assert lts_eff_end < lts_eff_start
+    assert 0.75 < non_eff <= 1.25

@@ -1,0 +1,43 @@
+"""Session-scoped fixtures shared by the figure benchmarks.
+
+The trench partitions feed Figs. 7, 8, 9 and 12; computing them once per
+session keeps the whole suite tractable.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from common import mesh_and_levels, seed  # noqa: E402
+from repro.partition import PARTITIONERS  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def trench_setup():
+    return mesh_and_levels("trench")
+
+
+@pytest.fixture(scope="session")
+def trench_partitions(trench_setup):
+    """{(strategy, k): parts} for the strategies and k values of Figs. 7-9."""
+    mesh, a = trench_setup
+    out = {}
+    for k in (16, 32, 64):
+        for name in ("MeTiS", "PaToH 0.05", "PaToH 0.01", "SCOTCH-P", "SCOTCH"):
+            out[(name, k)] = PARTITIONERS[name](mesh, a, k, seed=seed())
+    return out
+
+
+@pytest.fixture(scope="session")
+def trench_partitions_128(trench_setup):
+    """k=128 extension used by the Fig. 9 scaling curves."""
+    mesh, a = trench_setup
+    out = {}
+    for name in ("PaToH 0.05", "PaToH 0.01", "SCOTCH-P", "SCOTCH"):
+        out[(name, 128)] = PARTITIONERS[name](mesh, a, 128, seed=seed())
+    return out

@@ -1,0 +1,61 @@
+"""Elastic P-SV wave propagation with LTS over a stiff intrusion.
+
+The paper's physics (Eqs. (1)-(2)): a 2D plane-strain elastic medium in
+which a stiff, fast intrusion (4x the background P speed) forces a
+locally small stable step.  LTS assigns the intrusion to a finer p-level
+and steps the rest of the domain coarsely; the example verifies the
+optimized scheme against the literal Algorithm-1 reference on the full
+elastic operator and reports the Eq.-9 speedup.
+
+Run:  python examples/elastic_basin.py
+"""
+
+import numpy as np
+
+from repro.core import assign_levels, theoretical_speedup
+from repro.core.lts_newmark import LTSNewmarkSolver, dof_levels_from_elements
+from repro.core.newmark import staggered_initial_velocity
+from repro.mesh import uniform_grid
+from repro.sem import ElasticSem2D
+
+
+def main() -> None:
+    mesh = uniform_grid((8, 8), (1.0, 1.0))
+    lam = np.full(mesh.n_elements, 2.0)
+    mu = np.full(mesh.n_elements, 1.0)
+    # Stiff intrusion: 16x the moduli -> 4x the P speed -> 4x smaller step.
+    for e in (27, 28, 35, 36):
+        lam[e] = 32.0
+        mu[e] = 16.0
+    sem = ElasticSem2D(mesh, order=4, lam=lam, mu=mu)
+    mesh.c = sem.p_velocity()  # levels follow the compressional speed (Eq. 7)
+    levels = assign_levels(mesh, c_cfl=0.35, order=4)
+    print(f"elastic model: {mesh.n_elements} elements, {sem.n_dof} DOFs "
+          f"(2 components), cp in [{mesh.c.min():.1f}, {mesh.c.max():.1f}]")
+    print(f"LTS levels: {levels.n_levels} {levels.counts()}, "
+          f"speedup model {theoretical_speedup(levels):.2f}x")
+
+    dof_level = dof_levels_from_elements(sem.element_dofs, levels.level, sem.n_dof)
+    u0 = sem.interpolate(
+        lambda x, y: np.exp(-60 * ((x - 0.25) ** 2 + (y - 0.5) ** 2)),
+        lambda x, y: 0 * x,
+    )
+    v0 = staggered_initial_velocity(sem.A, levels.dt, u0, np.zeros_like(u0))
+
+    n_cycles = 20
+    u_opt, _ = LTSNewmarkSolver(sem.A, dof_level, levels.dt, mode="optimized").run(
+        u0, v0, n_cycles
+    )
+    u_ref, _ = LTSNewmarkSolver(sem.A, dof_level, levels.dt, mode="reference").run(
+        u0, v0, n_cycles
+    )
+    diff = np.max(np.abs(u_opt - u_ref))
+    print(f"optimized vs reference (Algorithm 1): max diff {diff:.2e}")
+    print(f"displacement field bounded: max |u| = {np.max(np.abs(u_opt)):.3e}")
+    assert diff < 1e-11
+    assert np.all(np.isfinite(u_opt))
+    print("elastic LTS run verified.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""repro — Load-Balanced Local Time Stepping for Large-Scale Wave Propagation.
+
+A from-scratch reproduction of Rietmann, Peter, Schenk, Uçar, Grote
+(IPDPS 2015).  Subpackages:
+
+* :mod:`repro.mesh` — meshes and the paper's benchmark families;
+* :mod:`repro.core` — CFL, p-levels, speedup model, Newmark and
+  multi-level LTS-Newmark (the paper's contribution);
+* :mod:`repro.sem` — spectral-element substrate (GLL, diagonal mass);
+* :mod:`repro.partition` — multilevel graph/hypergraph partitioners and
+  the four strategies of Sec. III-B;
+* :mod:`repro.runtime` — mailbox-MPI distributed execution and the
+  calibrated cluster performance simulator behind Figs. 9-13;
+* :mod:`repro.util` — errors, validation, table reporting.
+
+See README.md for a tour and DESIGN.md for the experiment index.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,58 @@
+"""LTS-Newmark core: the paper's primary contribution.
+
+Contents:
+
+* CFL time-step computation (paper Eq. (7)) — :mod:`repro.core.cfl`;
+* p-level assignment with powers-of-two step ratios (Eq. (16)) —
+  :mod:`repro.core.levels`;
+* the LTS speedup model (Eq. (9)) and efficiency metrics —
+  :mod:`repro.core.speedup`;
+* the explicit Newmark scheme (Eqs. (5)-(6)) — :mod:`repro.core.newmark`;
+* two-level and recursive multi-level LTS-Newmark (Eq. (14), Algorithm 1)
+  with both a literal reference implementation and the optimized
+  active-set implementation — :mod:`repro.core.lts_newmark`;
+* the LTS cycle schedule consumed by the cluster simulator —
+  :mod:`repro.core.schedule`.
+"""
+
+from repro.core.cfl import (
+    cfl_timestep,
+    stable_timestep_per_element,
+    stable_timestep_from_operator,
+    gll_spacing_factor,
+)
+from repro.core.levels import LevelAssignment, assign_levels, enforce_level_grading
+from repro.core.speedup import (
+    theoretical_speedup,
+    two_level_speedup,
+    lts_cycle_cost,
+    serial_efficiency,
+)
+from repro.core.newmark import NewmarkSolver, newmark_run
+from repro.core.lts_newmark import (
+    LTSNewmarkSolver,
+    lts_newmark_run,
+    OperationCounter,
+)
+from repro.core.schedule import LTSSchedule, build_schedule
+
+__all__ = [
+    "cfl_timestep",
+    "stable_timestep_per_element",
+    "stable_timestep_from_operator",
+    "gll_spacing_factor",
+    "LevelAssignment",
+    "assign_levels",
+    "enforce_level_grading",
+    "theoretical_speedup",
+    "two_level_speedup",
+    "lts_cycle_cost",
+    "serial_efficiency",
+    "NewmarkSolver",
+    "newmark_run",
+    "LTSNewmarkSolver",
+    "lts_newmark_run",
+    "OperationCounter",
+    "LTSSchedule",
+    "build_schedule",
+]

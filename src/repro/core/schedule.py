@@ -1,0 +1,76 @@
+"""The LTS cycle schedule: which levels step at which substep.
+
+The paper defines an *LTS cycle* as "the work needed to take all steps at
+every level until the coarsest level takes a step of size dt" (Sec. III).
+Flattening the recursion of Algorithm 1 onto the finest-step grid gives
+``p_max = 2**(N-1)`` *stages* per cycle; level ``k`` begins one of its
+``p_k = 2**(k-1)`` steps at stage ``s`` iff ``s`` is a multiple of
+``p_max / p_k``.  Every stage ends with a neighbour synchronization
+(Fig. 1: each fine-level step requires synchronization between
+partitions), which is what makes per-level load balance — not just total
+balance — necessary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.levels import LevelAssignment
+from repro.util.errors import SolverError
+from repro.util.validation import require
+
+
+@dataclass(frozen=True)
+class LTSSchedule:
+    """Flattened per-cycle stage structure.
+
+    Attributes
+    ----------
+    n_levels:
+        Number of LTS levels ``N`` (level 1 coarsest).
+    stages:
+        ``stages[s]`` is the tuple of levels that perform a stiffness
+        application / step at stage ``s`` (``s = 0 .. p_max - 1``),
+        ordered coarsest-first.
+    """
+
+    n_levels: int
+    stages: tuple[tuple[int, ...], ...]
+
+    @property
+    def p_max(self) -> int:
+        return 2 ** (self.n_levels - 1)
+
+    @property
+    def n_stages(self) -> int:
+        return len(self.stages)
+
+    def steps_of_level(self, k: int) -> int:
+        """Number of steps level ``k`` takes per cycle (= ``2**(k-1)``)."""
+        require(1 <= k <= self.n_levels, f"level {k} out of range", SolverError)
+        return sum(1 for st in self.stages if k in st)
+
+    def stage_has_level_geq(self, s: int, k: int) -> bool:
+        """True if stage ``s`` applies any level ``>= k``."""
+        return any(lv >= k for lv in self.stages[s])
+
+
+def build_schedule(levels: int | LevelAssignment) -> LTSSchedule:
+    """Build the stage schedule for ``levels`` (an int or an assignment).
+
+    Every level is assumed populated; empty levels simply contribute zero
+    work in the simulator, so the schedule need not special-case them.
+    """
+    if isinstance(levels, LevelAssignment):
+        n_levels = levels.n_levels
+    else:
+        n_levels = int(levels)
+    require(n_levels >= 1, "need at least one level", SolverError)
+    p_max = 2 ** (n_levels - 1)
+    stages = []
+    for s in range(p_max):
+        active = tuple(
+            k for k in range(1, n_levels + 1) if s % (p_max // 2 ** (k - 1)) == 0
+        )
+        stages.append(active)
+    return LTSSchedule(n_levels=n_levels, stages=tuple(stages))

@@ -1,0 +1,70 @@
+"""The LTS speedup model (paper Eq. (9)) and efficiency metrics.
+
+Two-level form (Eq. (9))::
+
+    speedup = p * #elements / (p * #fine + #coarse)
+
+Multi-level generalization: one LTS cycle advances every element by the
+coarse step ``dt``; an element at level ``k`` performs ``p_k = 2**(k-1)``
+stiffness applications per cycle, so
+
+    cycle cost  = sum_k p_k * n_k          (elements-steps per dt)
+    non-LTS cost = p_max * N               (everything at the finest rate)
+    speedup      = non-LTS cost / cycle cost.
+
+As the coarse population dominates, the speedup approaches ``p_max``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.levels import LevelAssignment
+from repro.util.errors import SolverError
+from repro.util.validation import require
+
+
+def two_level_speedup(n_elements: int, n_fine: int, p: int) -> float:
+    """Literal Eq. (9): two-level speedup for ``n_fine`` fine elements."""
+    require(n_elements >= 1, "n_elements must be >= 1", SolverError)
+    require(0 <= n_fine <= n_elements, "need 0 <= n_fine <= n_elements", SolverError)
+    require(p >= 1, "p must be >= 1", SolverError)
+    n_coarse = n_elements - n_fine
+    return p * n_elements / (p * n_fine + n_coarse)
+
+
+def lts_cycle_cost(assignment: LevelAssignment, weights: np.ndarray | None = None) -> float:
+    """Element-steps per LTS cycle: ``sum_k p_k * n_k``.
+
+    ``weights`` optionally scales per-element cost (e.g. elastic vs
+    acoustic elements); default is unit cost.
+    """
+    p = assignment.p_per_element.astype(np.float64)
+    if weights is None:
+        return float(p.sum())
+    w = np.asarray(weights, dtype=np.float64)
+    require(w.shape == p.shape, "weights must have one entry per element", SolverError)
+    return float((p * w).sum())
+
+
+def theoretical_speedup(
+    assignment: LevelAssignment, weights: np.ndarray | None = None
+) -> float:
+    """Multi-level generalization of Eq. (9)."""
+    n = len(assignment.level)
+    if weights is None:
+        non_lts = float(assignment.p_max) * n
+    else:
+        non_lts = float(assignment.p_max) * float(np.sum(weights))
+    return non_lts / lts_cycle_cost(assignment, weights)
+
+
+def serial_efficiency(
+    measured_speedup: float, assignment: LevelAssignment
+) -> float:
+    """Achieved fraction of the model speedup (paper: >90% single-threaded).
+
+    ``measured_speedup`` is (non-LTS wall/op cost) / (LTS wall/op cost).
+    """
+    require(measured_speedup > 0, "measured_speedup must be > 0", SolverError)
+    return measured_speedup / theoretical_speedup(assignment)

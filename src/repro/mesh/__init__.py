@@ -1,0 +1,47 @@
+"""Finite-element mesh substrate.
+
+The paper's evaluation rests on four families of hexahedral meshes with
+localized refinement (trench, embedding, crust, trench-big).  This package
+provides:
+
+* :class:`repro.mesh.Mesh` — a dimension-generic conforming element mesh
+  (line / quad / hex) carrying per-element characteristic size ``h`` and
+  wave speed ``c``;
+* structured generators for the paper's benchmark families
+  (:mod:`repro.mesh.generators`);
+* the element dual graph (face adjacency) used by graph partitioners
+  (Sec. III-A-1 of the paper);
+* the node/element incidence used by the LTS hypergraph model
+  (Sec. III-A-2).
+"""
+
+from repro.mesh.mesh import Mesh, ElementIncidence
+from repro.mesh.generators import (
+    uniform_interval,
+    refined_interval,
+    uniform_grid,
+    trench_mesh,
+    embedding_mesh,
+    crust_mesh,
+    trench_big_mesh,
+    benchmark_mesh,
+    BENCHMARK_FAMILIES,
+)
+from repro.mesh.stats import MeshStats, mesh_stats, dof_count
+
+__all__ = [
+    "Mesh",
+    "ElementIncidence",
+    "uniform_interval",
+    "refined_interval",
+    "uniform_grid",
+    "trench_mesh",
+    "embedding_mesh",
+    "crust_mesh",
+    "trench_big_mesh",
+    "benchmark_mesh",
+    "BENCHMARK_FAMILIES",
+    "MeshStats",
+    "mesh_stats",
+    "dof_count",
+]

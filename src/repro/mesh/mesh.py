@@ -1,0 +1,237 @@
+"""Dimension-generic conforming element mesh.
+
+A :class:`Mesh` stores corner-node coordinates, element connectivity
+(2**dim corner nodes per element: segments, quadrilaterals, hexahedra),
+and the two per-element fields the LTS machinery needs:
+
+* ``h`` — characteristic element size (the paper's :math:`h_i`),
+* ``c`` — compressional wave speed (the paper's :math:`c_i`).
+
+The CFL-relevant quantity is the per-element stable step
+:math:`\\Delta t_i \\propto h_i / c_i` (paper Eq. (7)); everything the
+partitioners consume (dual graph, node incidence) derives from the
+connectivity alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.errors import MeshError
+from repro.util.validation import check_array, require
+
+# Corner-node index pairs forming each face of the reference element, per
+# dimension.  Faces are (dim-1)-dimensional: endpoints of a segment, edges
+# of a quad, quadrilateral faces of a hex.  Node ordering follows the
+# structured-grid convention used by the generators (x fastest, then y,
+# then z).
+_FACE_CORNERS = {
+    1: ((0,), (1,)),
+    2: ((0, 1), (1, 3), (3, 2), (2, 0)),
+    3: (
+        (0, 1, 3, 2),  # z = 0
+        (4, 5, 7, 6),  # z = 1
+        (0, 1, 5, 4),  # y = 0
+        (2, 3, 7, 6),  # y = 1
+        (0, 2, 6, 4),  # x = 0
+        (1, 3, 7, 5),  # x = 1
+    ),
+}
+
+
+@dataclass
+class ElementIncidence:
+    """CSR map from corner nodes to the elements containing them.
+
+    ``elements_of(n)`` is the paper's ``elmnts(n)`` — the vertex set of the
+    hyperedge associated with mesh node ``n`` (Sec. III-A-2).
+    """
+
+    xadj: np.ndarray  # (n_nodes + 1,) offsets
+    elems: np.ndarray  # (sum of incidences,) element ids
+
+    def elements_of(self, node: int) -> np.ndarray:
+        return self.elems[self.xadj[node] : self.xadj[node + 1]]
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.xadj) - 1
+
+
+@dataclass
+class Mesh:
+    """A conforming mesh of line/quad/hex elements.
+
+    Parameters
+    ----------
+    dim:
+        Spatial dimension (1, 2 or 3).
+    coords:
+        ``(n_nodes, dim)`` corner-node coordinates.
+    elements:
+        ``(n_elements, 2**dim)`` corner-node ids per element.
+    h:
+        ``(n_elements,)`` characteristic element sizes.
+    c:
+        ``(n_elements,)`` compressional wave speeds.
+    name:
+        Optional human-readable identifier (used in benchmark reports).
+    """
+
+    dim: int
+    coords: np.ndarray
+    elements: np.ndarray
+    h: np.ndarray
+    c: np.ndarray
+    name: str = "mesh"
+
+    _incidence: ElementIncidence | None = field(
+        default=None, repr=False, compare=False
+    )
+    _dual: tuple[np.ndarray, np.ndarray] | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        require(self.dim in (1, 2, 3), f"dim must be 1, 2 or 3, got {self.dim}", MeshError)
+        self.coords = check_array(self.coords, "coords", ndim=2, dtype=np.float64, exc=MeshError)
+        self.elements = check_array(self.elements, "elements", ndim=2, dtype=np.int64, exc=MeshError)
+        npe = 2 ** self.dim
+        require(
+            self.elements.shape[1] == npe,
+            f"elements must have {npe} corner nodes per element for dim={self.dim}, "
+            f"got {self.elements.shape[1]}",
+            MeshError,
+        )
+        require(
+            self.coords.shape[1] == self.dim,
+            f"coords must be (n_nodes, {self.dim}), got {self.coords.shape}",
+            MeshError,
+        )
+        n_elem = self.elements.shape[0]
+        require(n_elem > 0, "mesh must contain at least one element", MeshError)
+        self.h = check_array(self.h, "h", ndim=1, size=n_elem, dtype=np.float64, exc=MeshError)
+        self.c = check_array(self.c, "c", ndim=1, size=n_elem, dtype=np.float64, exc=MeshError)
+        require(bool(np.all(self.h > 0)), "element sizes h must be > 0", MeshError)
+        require(bool(np.all(self.c > 0)), "wave speeds c must be > 0", MeshError)
+        if self.elements.size:
+            lo = int(self.elements.min())
+            hi = int(self.elements.max())
+            require(
+                lo >= 0 and hi < self.coords.shape[0],
+                f"element connectivity references node {hi if hi >= self.coords.shape[0] else lo} "
+                f"outside [0, {self.coords.shape[0]})",
+                MeshError,
+            )
+
+    # ------------------------------------------------------------------
+    # Basic counts
+    # ------------------------------------------------------------------
+    @property
+    def n_elements(self) -> int:
+        return self.elements.shape[0]
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of corner nodes (not SEM/GLL nodes; see repro.mesh.stats)."""
+        return self.coords.shape[0]
+
+    # ------------------------------------------------------------------
+    # CFL helpers
+    # ------------------------------------------------------------------
+    @property
+    def dt_local(self) -> np.ndarray:
+        """Per-element stable-step proxy ``h_i / c_i`` (Eq. (7) without C_CFL)."""
+        return self.h / self.c
+
+    # ------------------------------------------------------------------
+    # Incidence structures
+    # ------------------------------------------------------------------
+    def node_incidence(self) -> ElementIncidence:
+        """Corner-node -> element CSR incidence (cached).
+
+        This is the raw material of the LTS hypergraph model: mesh node
+        ``n`` becomes a hyperedge whose pins are ``elements_of(n)``.
+        """
+        if self._incidence is None:
+            npe = self.elements.shape[1]
+            flat_nodes = self.elements.ravel()
+            flat_elems = np.repeat(np.arange(self.n_elements, dtype=np.int64), npe)
+            order = np.argsort(flat_nodes, kind="stable")
+            sorted_nodes = flat_nodes[order]
+            counts = np.bincount(sorted_nodes, minlength=self.n_nodes)
+            xadj = np.zeros(self.n_nodes + 1, dtype=np.int64)
+            np.cumsum(counts, out=xadj[1:])
+            self._incidence = ElementIncidence(xadj=xadj, elems=flat_elems[order])
+        return self._incidence
+
+    def faces_of_element(self, e: int) -> list[tuple[int, ...]]:
+        """Sorted corner-node tuples of every face of element ``e``."""
+        conn = self.elements[e]
+        return [tuple(sorted(conn[list(f)])) for f in _FACE_CORNERS[self.dim]]
+
+    def dual_graph(self) -> tuple[np.ndarray, np.ndarray]:
+        """Element face-adjacency graph in CSR form ``(xadj, adjncy)``.
+
+        Two elements are adjacent iff they share a complete face.  This is
+        the graph SCOTCH/MeTiS partition (Sec. III-A-1, Fig. 3 left).  The
+        result is cached; conforming meshes give a symmetric graph, and a
+        face shared by more than two elements is a topology error.
+        """
+        if self._dual is not None:
+            return self._dual
+
+        face_local = _FACE_CORNERS[self.dim]
+        n_elem = self.n_elements
+        # Build (face-key -> elements) via lexicographic sort of face rows.
+        all_faces = []
+        for f in face_local:
+            face_nodes = self.elements[:, list(f)]
+            all_faces.append(np.sort(face_nodes, axis=1))
+        faces = np.concatenate(all_faces, axis=0)  # (n_faces_total, npf)
+        owners = np.tile(np.arange(n_elem, dtype=np.int64), len(face_local))
+
+        order = np.lexsort(faces.T[::-1])
+        faces = faces[order]
+        owners = owners[order]
+
+        same_as_next = np.all(faces[:-1] == faces[1:], axis=1)
+        # A conforming mesh has each interior face exactly twice; detect
+        # any face appearing 3+ times (non-manifold input).
+        triple = same_as_next[:-1] & same_as_next[1:]
+        if np.any(triple):
+            raise MeshError("non-manifold mesh: a face is shared by 3+ elements")
+
+        idx = np.nonzero(same_as_next)[0]
+        a = owners[idx]
+        b = owners[idx + 1]
+        src = np.concatenate([a, b])
+        dst = np.concatenate([b, a])
+        order2 = np.argsort(src, kind="stable")
+        src = src[order2]
+        dst = dst[order2]
+        counts = np.bincount(src, minlength=n_elem)
+        xadj = np.zeros(n_elem + 1, dtype=np.int64)
+        np.cumsum(counts, out=xadj[1:])
+        self._dual = (xadj, dst.astype(np.int64))
+        return self._dual
+
+    def neighbors_of(self, e: int) -> np.ndarray:
+        """Face-adjacent elements of element ``e``."""
+        xadj, adjncy = self.dual_graph()
+        return adjncy[xadj[e] : xadj[e + 1]]
+
+    # ------------------------------------------------------------------
+    # Geometry helpers
+    # ------------------------------------------------------------------
+    def element_centroids(self) -> np.ndarray:
+        """``(n_elements, dim)`` centroid coordinates."""
+        return self.coords[self.elements].mean(axis=1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Mesh(name={self.name!r}, dim={self.dim}, "
+            f"elements={self.n_elements}, nodes={self.n_nodes})"
+        )

@@ -1,0 +1,182 @@
+"""Weighted undirected graph in CSR form, with multi-constraint weights.
+
+The partitioning input of Sec. III-A-1: vertices are mesh elements with a
+weight *vector* (one coordinate per LTS level, Eq. (19)); edges connect
+face-adjacent elements with a weight approximating the communication cost
+of cutting them (``max(p_u, p_v)``, Fig. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.errors import PartitionError
+from repro.util.validation import check_array, require
+
+
+@dataclass
+class Graph:
+    """Undirected graph: CSR adjacency + vertex weight matrix + edge weights.
+
+    Attributes
+    ----------
+    xadj, adjncy:
+        CSR adjacency; every undirected edge appears in both endpoint
+        lists, and ``eweights`` is aligned with ``adjncy``.
+    vweights:
+        ``(n_vertices, n_constraints)`` non-negative weights.
+    """
+
+    xadj: np.ndarray
+    adjncy: np.ndarray
+    vweights: np.ndarray
+    eweights: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.xadj = check_array(self.xadj, "xadj", ndim=1, dtype=np.int64, exc=PartitionError)
+        self.adjncy = check_array(self.adjncy, "adjncy", ndim=1, dtype=np.int64, exc=PartitionError)
+        self.eweights = check_array(
+            self.eweights, "eweights", ndim=1, dtype=np.float64, exc=PartitionError
+        )
+        vw = np.asarray(self.vweights, dtype=np.float64)
+        if vw.ndim == 1:
+            vw = vw[:, None]
+        require(vw.ndim == 2, "vweights must be (n, P)", PartitionError)
+        self.vweights = vw
+        n = len(self.xadj) - 1
+        require(n >= 1, "graph must have at least one vertex", PartitionError)
+        require(self.vweights.shape[0] == n, "vweights rows must match vertex count", PartitionError)
+        require(
+            len(self.adjncy) == len(self.eweights) == int(self.xadj[-1]),
+            "adjncy/eweights must match xadj[-1]",
+            PartitionError,
+        )
+        require(int(self.xadj[0]) == 0, "xadj must start at 0", PartitionError)
+        require(bool(np.all(np.diff(self.xadj) >= 0)), "xadj must be non-decreasing", PartitionError)
+        if len(self.adjncy):
+            require(
+                0 <= int(self.adjncy.min()) and int(self.adjncy.max()) < n,
+                "adjncy references vertex out of range",
+                PartitionError,
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_vertices(self) -> int:
+        return len(self.xadj) - 1
+
+    @property
+    def n_edges(self) -> int:
+        """Number of undirected edges."""
+        return len(self.adjncy) // 2
+
+    @property
+    def n_constraints(self) -> int:
+        return self.vweights.shape[1]
+
+    def neighbors(self, v: int) -> np.ndarray:
+        return self.adjncy[self.xadj[v] : self.xadj[v + 1]]
+
+    def edge_weights_of(self, v: int) -> np.ndarray:
+        return self.eweights[self.xadj[v] : self.xadj[v + 1]]
+
+    def degree(self, v: int) -> int:
+        return int(self.xadj[v + 1] - self.xadj[v])
+
+    def total_weight(self) -> np.ndarray:
+        """Per-constraint total vertex weight ``W[V, i]``."""
+        return self.vweights.sum(axis=0)
+
+    # ------------------------------------------------------------------
+    def validate_symmetry(self) -> None:
+        """Raise unless the adjacency is symmetric with matching weights."""
+        pairs: dict[tuple[int, int], float] = {}
+        for u in range(self.n_vertices):
+            for idx in range(int(self.xadj[u]), int(self.xadj[u + 1])):
+                v = int(self.adjncy[idx])
+                w = float(self.eweights[idx])
+                key = (min(u, v), max(u, v))
+                if key in pairs:
+                    if pairs[key] != w:
+                        raise PartitionError(f"asymmetric edge weight on {key}")
+                    pairs[key] = -pairs[key]  # mark seen twice
+                else:
+                    pairs[key] = w
+        for key, w in pairs.items():
+            if w > 0:
+                raise PartitionError(f"edge {key} present in one direction only")
+
+    def subgraph(self, vertices: np.ndarray) -> tuple["Graph", np.ndarray]:
+        """Induced subgraph; returns ``(sub, vertices)`` with old ids."""
+        vertices = np.asarray(vertices, dtype=np.int64)
+        require(len(vertices) >= 1, "subgraph needs at least one vertex", PartitionError)
+        remap = -np.ones(self.n_vertices, dtype=np.int64)
+        remap[vertices] = np.arange(len(vertices))
+        xadj = [0]
+        adjncy: list[int] = []
+        ew: list[float] = []
+        for v in vertices:
+            for idx in range(int(self.xadj[v]), int(self.xadj[v + 1])):
+                u = remap[self.adjncy[idx]]
+                if u >= 0:
+                    adjncy.append(int(u))
+                    ew.append(float(self.eweights[idx]))
+            xadj.append(len(adjncy))
+        return (
+            Graph(
+                xadj=np.asarray(xadj, dtype=np.int64),
+                adjncy=np.asarray(adjncy, dtype=np.int64),
+                vweights=self.vweights[vertices].copy(),
+                eweights=np.asarray(ew, dtype=np.float64),
+            ),
+            vertices,
+        )
+
+    def connected_components(self) -> np.ndarray:
+        """Component id per vertex (BFS)."""
+        comp = -np.ones(self.n_vertices, dtype=np.int64)
+        cid = 0
+        for s in range(self.n_vertices):
+            if comp[s] >= 0:
+                continue
+            stack = [s]
+            comp[s] = cid
+            while stack:
+                u = stack.pop()
+                for v in self.neighbors(u):
+                    if comp[v] < 0:
+                        comp[v] = cid
+                        stack.append(int(v))
+            cid += 1
+        return comp
+
+
+def graph_from_edges(
+    n_vertices: int,
+    edges: list[tuple[int, int, float]],
+    vweights: np.ndarray | None = None,
+) -> Graph:
+    """Build a :class:`Graph` from an undirected edge list (u, v, w)."""
+    require(n_vertices >= 1, "need at least one vertex", PartitionError)
+    deg = np.zeros(n_vertices, dtype=np.int64)
+    for u, v, _ in edges:
+        require(u != v, "self-loops are not allowed", PartitionError)
+        deg[u] += 1
+        deg[v] += 1
+    xadj = np.zeros(n_vertices + 1, dtype=np.int64)
+    np.cumsum(deg, out=xadj[1:])
+    adjncy = np.zeros(int(xadj[-1]), dtype=np.int64)
+    ew = np.zeros(int(xadj[-1]), dtype=np.float64)
+    fill = xadj[:-1].copy()
+    for u, v, w in edges:
+        adjncy[fill[u]] = v
+        ew[fill[u]] = w
+        fill[u] += 1
+        adjncy[fill[v]] = u
+        ew[fill[v]] = w
+        fill[v] += 1
+    if vweights is None:
+        vweights = np.ones((n_vertices, 1))
+    return Graph(xadj=xadj, adjncy=adjncy, vweights=vweights, eweights=ew)

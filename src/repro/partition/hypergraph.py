@@ -1,0 +1,102 @@
+"""Hypergraph in pin-CSR form, with net costs and multi-constraint weights.
+
+The LTS hypergraph model of Sec. III-A-2: vertices are mesh elements,
+each mesh (corner) node defines a hyperedge (net) connecting every element
+touching it, and the net cost is the sum of the p-levels of those elements
+— so the λ−1 cutsize (paper Eq. (20)) equals the MPI communication volume
+of one LTS cycle exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.errors import PartitionError
+from repro.util.validation import check_array, require
+
+
+@dataclass
+class Hypergraph:
+    """Hypergraph H = (V, N) with net costs and vertex weight vectors.
+
+    Attributes
+    ----------
+    xpins, pins:
+        Net -> vertex CSR (``pins[xpins[h]:xpins[h+1]]`` are the vertices
+        of net ``h``).
+    costs:
+        ``(n_nets,)`` net costs ``c[h]``.
+    vweights:
+        ``(n_vertices, P)`` vertex weight vectors.
+    """
+
+    n_vertices: int
+    xpins: np.ndarray
+    pins: np.ndarray
+    costs: np.ndarray
+    vweights: np.ndarray
+
+    _vnets: tuple[np.ndarray, np.ndarray] | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        require(self.n_vertices >= 1, "hypergraph needs vertices", PartitionError)
+        self.xpins = check_array(self.xpins, "xpins", ndim=1, dtype=np.int64, exc=PartitionError)
+        self.pins = check_array(self.pins, "pins", ndim=1, dtype=np.int64, exc=PartitionError)
+        self.costs = check_array(self.costs, "costs", ndim=1, dtype=np.float64, exc=PartitionError)
+        vw = np.asarray(self.vweights, dtype=np.float64)
+        if vw.ndim == 1:
+            vw = vw[:, None]
+        self.vweights = vw
+        require(self.vweights.shape[0] == self.n_vertices, "vweights rows mismatch", PartitionError)
+        require(len(self.costs) == self.n_nets, "costs must match net count", PartitionError)
+        require(int(self.xpins[0]) == 0 and int(self.xpins[-1]) == len(self.pins),
+                "xpins/pins inconsistent", PartitionError)
+        if len(self.pins):
+            require(
+                0 <= int(self.pins.min()) and int(self.pins.max()) < self.n_vertices,
+                "pin references vertex out of range",
+                PartitionError,
+            )
+
+    @property
+    def n_nets(self) -> int:
+        return len(self.xpins) - 1
+
+    @property
+    def n_pins(self) -> int:
+        return len(self.pins)
+
+    @property
+    def n_constraints(self) -> int:
+        return self.vweights.shape[1]
+
+    def net_pins(self, h: int) -> np.ndarray:
+        return self.pins[self.xpins[h] : self.xpins[h + 1]]
+
+    def net_size(self, h: int) -> int:
+        return int(self.xpins[h + 1] - self.xpins[h])
+
+    def total_weight(self) -> np.ndarray:
+        return self.vweights.sum(axis=0)
+
+    # ------------------------------------------------------------------
+    def vertex_nets(self) -> tuple[np.ndarray, np.ndarray]:
+        """Vertex -> net CSR (``(xnets, nets)``), cached."""
+        if self._vnets is None:
+            counts = np.bincount(self.pins, minlength=self.n_vertices)
+            xnets = np.zeros(self.n_vertices + 1, dtype=np.int64)
+            np.cumsum(counts, out=xnets[1:])
+            net_of_pin = np.repeat(
+                np.arange(self.n_nets, dtype=np.int64), np.diff(self.xpins)
+            )
+            order = np.argsort(self.pins, kind="stable")
+            self._vnets = (xnets, net_of_pin[order])
+        return self._vnets
+
+    def nets_of_vertex(self, v: int) -> np.ndarray:
+        xnets, nets = self.vertex_nets()
+        return nets[xnets[v] : xnets[v + 1]]

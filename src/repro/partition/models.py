@@ -1,0 +1,89 @@
+"""LTS-aware partitioning models (paper Sec. III-A).
+
+Builds the graph and hypergraph a partitioner consumes from a mesh plus a
+level assignment:
+
+* **graph model** — the element dual graph; vertex weight vector has a 1
+  in the coordinate of the element's level (multi-constraint, Eq. (19)),
+  or a single weight ``p`` for the SCOTCH baseline; the edge weight is
+  ``max(p_u, p_v)``, which only *approximates* the communication cost
+  (Figs. 2-3);
+* **hypergraph model** — one net per mesh corner node connecting all
+  touching elements, with cost ``sum of p over those elements``; its λ−1
+  cutsize equals the per-cycle MPI volume exactly (Sec. III-A-2, after
+  the paper's copy-merging simplification).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.levels import LevelAssignment
+from repro.mesh.mesh import Mesh
+from repro.partition.graph import Graph
+from repro.partition.hypergraph import Hypergraph
+from repro.util.errors import PartitionError
+from repro.util.validation import require
+
+
+def _check(mesh: Mesh, assignment: LevelAssignment) -> None:
+    require(
+        len(assignment.level) == mesh.n_elements,
+        "assignment does not match mesh",
+        PartitionError,
+    )
+
+
+def lts_dual_graph(
+    mesh: Mesh, assignment: LevelAssignment, multi_constraint: bool = True
+) -> Graph:
+    """Dual graph with LTS weights.
+
+    ``multi_constraint=True`` gives the weight-vector form (one coordinate
+    per level) used by the MeTiS-style partitioner; ``False`` gives the
+    single scalar weight ``p_v`` (work per LTS cycle) used by the SCOTCH
+    baseline.  Edge weights are ``max(p_u, p_v)`` in both cases.
+    """
+    _check(mesh, assignment)
+    xadj, adjncy = mesh.dual_graph()
+    p = assignment.p_per_element.astype(np.float64)
+    src = np.repeat(np.arange(mesh.n_elements, dtype=np.int64), np.diff(xadj))
+    eweights = np.maximum(p[src], p[adjncy])
+
+    n_levels = assignment.n_levels
+    if multi_constraint:
+        vweights = np.zeros((mesh.n_elements, n_levels))
+        vweights[np.arange(mesh.n_elements), assignment.level - 1] = 1.0
+    else:
+        vweights = p[:, None].copy()
+    return Graph(xadj=xadj.copy(), adjncy=adjncy.copy(), vweights=vweights, eweights=eweights)
+
+
+def lts_hypergraph(mesh: Mesh, assignment: LevelAssignment) -> Hypergraph:
+    """The exact-volume LTS hypergraph model (Sec. III-A-2).
+
+    One net per mesh corner node; pins are the touching elements; the
+    merged net cost is ``c[h'_n] = sum_{e in elmnts(n)} p_e``, so
+    ``cutsize (20) = sum_n c[h'_n] (lambda_n - 1)`` equals the total MPI
+    volume per LTS cycle.  Vertex weights are the multi-constraint level
+    indicators.
+    """
+    _check(mesh, assignment)
+    inc = mesh.node_incidence()
+    p = assignment.p_per_element.astype(np.float64)
+    costs = np.add.reduceat(
+        p[inc.elems], inc.xadj[:-1]
+    )  # per-node sum of touching-element p values
+    # Nets with a single pin can never be cut; keep them anyway so the
+    # model matches the paper's construction one-to-one (they cost 0 in
+    # any partition); tests rely on net ids == mesh node ids.
+    n_levels = assignment.n_levels
+    vweights = np.zeros((mesh.n_elements, n_levels))
+    vweights[np.arange(mesh.n_elements), assignment.level - 1] = 1.0
+    return Hypergraph(
+        n_vertices=mesh.n_elements,
+        xpins=inc.xadj.copy(),
+        pins=inc.elems.copy(),
+        costs=costs,
+        vweights=vweights,
+    )

@@ -1,0 +1,68 @@
+"""Multilevel K-way graph partitioning driver (SCOTCH/MeTiS engine).
+
+The classic V-cycle: coarsen by heavy-edge matching, partition the
+coarsest graph by recursive bisection, then project back up refining at
+every level.  Handles single- and multi-constraint vertex weights; the
+named strategies in :mod:`repro.partition.strategies` differ only in the
+model they feed in (weights, constraints, objective).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.partition.coarsen import coarsen_to_size
+from repro.partition.graph import Graph
+from repro.partition.initial import recursive_bisection
+from repro.partition.refine import kway_refine, repair_balance
+from repro.util.errors import PartitionError
+from repro.util.validation import require
+
+
+def multilevel_graph_partition(
+    graph: Graph,
+    k: int,
+    eps: float = 0.05,
+    seed: int = 0,
+    coarsen_target: int | None = None,
+    refine_passes: int = 8,
+    enforce_balance: bool = True,
+) -> np.ndarray:
+    """Partition ``graph`` into ``k`` parts.
+
+    Parameters
+    ----------
+    eps:
+        Allowed imbalance per constraint (Eq. (19)).
+    enforce_balance:
+        Run the final balance-repair phase.  The MeTiS-style strategy
+        turns this into a best-effort pass, the PaToH-style one into a
+        strict ``final_imbal`` enforcement.
+
+    Returns
+    -------
+    ``(n_vertices,)`` part ids in ``[0, k)``.
+    """
+    require(k >= 1, "k must be >= 1", PartitionError)
+    require(k <= graph.n_vertices, "more parts than vertices", PartitionError)
+    rng = np.random.default_rng(seed)
+    if k == 1:
+        return np.zeros(graph.n_vertices, dtype=np.int64)
+
+    if coarsen_target is None:
+        coarsen_target = max(100, 12 * k)
+    graphs, matches = coarsen_to_size(graph, coarsen_target, rng)
+
+    parts = recursive_bisection(graphs[-1], k, eps, rng)
+    parts = kway_refine(graphs[-1], parts, k, eps=eps, rng=rng, max_passes=refine_passes)
+
+    for level in range(len(matches) - 1, -1, -1):
+        parts = parts[matches[level]]
+        parts = kway_refine(
+            graphs[level], parts, k, eps=eps, rng=rng, max_passes=refine_passes
+        )
+    if enforce_balance:
+        parts = repair_balance(graphs[0], parts, k, eps, rng=rng)
+        parts = kway_refine(graphs[0], parts, k, eps=eps, rng=rng, max_passes=2)
+        parts = repair_balance(graphs[0], parts, k, eps, rng=rng)
+    return parts

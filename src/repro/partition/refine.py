@@ -1,0 +1,276 @@
+"""K-way boundary refinement and balance repair for graph partitions.
+
+A greedy variant of Fiduccia-Mattheyses: sweep boundary vertices, move
+each to the neighbouring part with the largest edge-cut gain subject to
+the multi-constraint balance bounds (Eq. (19)); repeat until a pass makes
+no move.  ``repair_balance`` then enforces the bounds directly, trading
+cut for balance — this is the mechanism behind PaToH's ``final_imbal``
+knob in the paper's comparison (tighter balance <-> more cut).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.partition.graph import Graph
+from repro.util.errors import PartitionError
+from repro.util.validation import require
+
+
+def part_weights(graph: Graph, parts: np.ndarray, k: int) -> np.ndarray:
+    """``(k, P)`` per-part, per-constraint weight totals."""
+    W = np.zeros((k, graph.n_constraints))
+    np.add.at(W, parts, graph.vweights)
+    return W
+
+
+def balance_bounds_from_weights(
+    vweights: np.ndarray, k: int, eps: float, target_fracs: np.ndarray | None = None
+) -> np.ndarray:
+    """Upper bounds ``Lmax[part, i]`` implementing Eq. (19) feasibly.
+
+    The theoretical bound ``(1+eps) W_i frac`` is widened to always admit
+    at least one maximal vertex above the average, otherwise constraints
+    with few heavy vertices (tiny fine levels) would make every move
+    illegal.  Constraints with zero total weight are inactive (+inf).
+    """
+    require(k >= 1, "k must be >= 1", PartitionError)
+    require(eps >= 0, "eps must be >= 0", PartitionError)
+    vweights = np.asarray(vweights, dtype=np.float64)
+    total = vweights.sum(axis=0)
+    if target_fracs is None:
+        target_fracs = np.full(k, 1.0 / k)
+    target_fracs = np.asarray(target_fracs, dtype=np.float64)
+    require(target_fracs.shape == (k,), "target_fracs must be (k,)", PartitionError)
+    maxv = vweights.max(axis=0)
+    Lmax = np.empty((k, vweights.shape[1]))
+    for part in range(k):
+        share = total * target_fracs[part]
+        Lmax[part] = np.maximum((1.0 + eps) * share, share + maxv)
+    Lmax[:, total <= 0] = np.inf
+    return Lmax
+
+
+def balance_bounds(
+    graph: Graph, k: int, eps: float, target_fracs: np.ndarray | None = None
+) -> np.ndarray:
+    """Graph wrapper around :func:`balance_bounds_from_weights`."""
+    return balance_bounds_from_weights(graph.vweights, k, eps, target_fracs)
+
+
+def _boundary_vertices(graph: Graph, parts: np.ndarray) -> np.ndarray:
+    src = np.repeat(np.arange(graph.n_vertices, dtype=np.int64), np.diff(graph.xadj))
+    cut = parts[src] != parts[graph.adjncy]
+    return np.unique(src[cut])
+
+
+def kway_refine(
+    graph: Graph,
+    parts: np.ndarray,
+    k: int,
+    eps: float = 0.05,
+    rng: np.random.Generator | None = None,
+    max_passes: int = 8,
+    target_fracs: np.ndarray | None = None,
+) -> np.ndarray:
+    """Greedy K-way cut refinement under multi-constraint bounds.
+
+    Mutates and returns ``parts``.  Zero-gain moves are taken only when
+    they strictly reduce the maximum normalized part load, which lets the
+    sweep walk along plateaus without cycling.
+    """
+    rng = np.random.default_rng(0) if rng is None else rng
+    parts = np.asarray(parts, dtype=np.int64)
+    W = part_weights(graph, parts, k)
+    Lmax = balance_bounds(graph, k, eps, target_fracs)
+    sizes = np.bincount(parts, minlength=k)
+    total = graph.total_weight()
+    norm = np.where(total > 0, total, 1.0)
+
+    xadj, adjncy, ew, vw = graph.xadj, graph.adjncy, graph.eweights, graph.vweights
+    for _ in range(max_passes):
+        boundary = _boundary_vertices(graph, parts)
+        if len(boundary) == 0:
+            break
+        rng.shuffle(boundary)
+        moved = 0
+        for v in boundary:
+            a = int(parts[v])
+            if sizes[a] <= 1:
+                continue
+            conn: dict[int, float] = {}
+            for idx in range(int(xadj[v]), int(xadj[v + 1])):
+                conn[int(parts[adjncy[idx]])] = (
+                    conn.get(int(parts[adjncy[idx]]), 0.0) + float(ew[idx])
+                )
+            internal = conn.get(a, 0.0)
+            best_b, best_gain, best_tie = -1, 0.0, 0.0
+            for b, c in conn.items():
+                if b == a:
+                    continue
+                if np.any(W[b] + vw[v] > Lmax[b]):
+                    continue
+                gain = c - internal
+                if gain < 0.0:
+                    continue
+                # Tie-break: improvement of the max normalized load of
+                # the two parts involved.
+                before = max(np.max(W[a] / norm), np.max(W[b] / norm))
+                after = max(np.max((W[a] - vw[v]) / norm), np.max((W[b] + vw[v]) / norm))
+                tie = before - after
+                if gain > best_gain or (gain == best_gain and tie > best_tie):
+                    best_b, best_gain, best_tie = b, gain, tie
+            if best_b >= 0 and (best_gain > 0.0 or best_tie > 1e-15):
+                W[a] -= vw[v]
+                W[best_b] += vw[v]
+                sizes[a] -= 1
+                sizes[best_b] += 1
+                parts[v] = best_b
+                moved += 1
+        if moved == 0:
+            break
+    return parts
+
+
+def lower_bounds_from_weights(
+    vweights: np.ndarray, k: int, eps: float, target_fracs: np.ndarray | None = None
+) -> np.ndarray:
+    """Lower bounds ``Lmin[part, i]`` complementing Eq. (19).
+
+    Eq. (19) only bounds parts from above, but ``(max-min)/max`` imbalance
+    (Eq. (21)) also punishes starved parts, so strict enforcement needs a
+    floor: ``(1-eps) W_i frac`` minus one maximal vertex of slack
+    (0 where the average share is below one vertex — granularity limit).
+    """
+    vweights = np.asarray(vweights, dtype=np.float64)
+    total = vweights.sum(axis=0)
+    if target_fracs is None:
+        target_fracs = np.full(k, 1.0 / k)
+    target_fracs = np.asarray(target_fracs, dtype=np.float64)
+    maxv = vweights.max(axis=0)
+    Lmin = np.empty((k, vweights.shape[1]))
+    for part in range(k):
+        share = total * target_fracs[part]
+        Lmin[part] = np.maximum(np.minimum((1.0 - eps) * share, share - maxv), 0.0)
+    return Lmin
+
+
+def repair_balance(
+    graph: Graph,
+    parts: np.ndarray,
+    k: int,
+    eps: float,
+    rng: np.random.Generator | None = None,
+    max_moves: int | None = None,
+    target_fracs: np.ndarray | None = None,
+) -> np.ndarray:
+    """Force every constraint inside its Eq.-(19) band, cheapest cut first.
+
+    Alternates two repairs until clean or the budget runs out: push a
+    vertex out of the worst *overloaded* ``(part, constraint)`` to the
+    part with the most headroom, and pull a vertex into the worst
+    *underloaded* one from the most loaded donor — always choosing the
+    move with the least edge-cut damage.  Mutates and returns ``parts``.
+    """
+    rng = np.random.default_rng(0) if rng is None else rng
+    parts = np.asarray(parts, dtype=np.int64)
+    W = part_weights(graph, parts, k)
+    Lmax = balance_bounds(graph, k, eps, target_fracs)
+    Lmin = lower_bounds_from_weights(graph.vweights, k, eps, target_fracs)
+    sizes = np.bincount(parts, minlength=k)
+    xadj, adjncy, ew, vw = graph.xadj, graph.adjncy, graph.eweights, graph.vweights
+    budget = max_moves if max_moves is not None else graph.n_vertices + 32 * k
+
+    def conn_of(v: int) -> dict[int, float]:
+        c: dict[int, float] = {}
+        for idx in range(int(xadj[v]), int(xadj[v + 1])):
+            b = int(parts[adjncy[idx]])
+            c[b] = c.get(b, 0.0) + float(ew[idx])
+        return c
+
+    # Stagnation guard: push/pull repairs can oscillate on granularity-
+    # limited constraints (a handful of heavy vertices per part); bail out
+    # when the total violation stops shrinking.
+    best_violation = np.inf
+    stale = 0
+
+    while budget > 0:
+        over = np.argwhere(W > Lmax)
+        under = np.argwhere(W < Lmin)
+        if len(over) == 0 and len(under) == 0:
+            break
+        violation = float(
+            np.maximum(W - Lmax, 0.0).sum() + np.maximum(Lmin - W, 0.0).sum()
+        )
+        if violation < best_violation - 1e-12:
+            best_violation = violation
+            stale = 0
+        else:
+            stale += 1
+            if stale > 16:
+                break
+        moved = False
+        if len(over):
+            excess = np.array([W[p, i] - Lmax[p, i] for p, i in over])
+            p_over, i_con = (int(x) for x in over[int(np.argmax(excess))])
+            cand = np.nonzero((parts == p_over) & (vw[:, i_con] > 0))[0]
+            if len(cand) and sizes[p_over] > 1:
+                if len(cand) > 256:
+                    cand = rng.choice(cand, size=256, replace=False)
+                best = None  # ((damage, dest_load), v, dest)
+                for v in cand:
+                    conn = conn_of(int(v))
+                    internal = conn.get(p_over, 0.0)
+                    for b in range(k):
+                        if b == p_over:
+                            continue
+                        newW = W[b] + vw[v]
+                        if np.any(newW > np.maximum(Lmax[b], W[b])):
+                            continue  # never worsen another violation
+                        damage = internal - conn.get(b, 0.0)
+                        key = (damage, W[b, i_con])
+                        if best is None or key < best[0]:
+                            best = (key, int(v), b)
+                if best is not None:
+                    _, v, b = best
+                    W[p_over] -= vw[v]
+                    W[b] += vw[v]
+                    sizes[p_over] -= 1
+                    sizes[b] += 1
+                    parts[v] = b
+                    budget -= 1
+                    moved = True
+        if not moved and len(under):
+            deficit = np.array([Lmin[p, i] - W[p, i] for p, i in under])
+            p_under, i_con = (int(x) for x in under[int(np.argmax(deficit))])
+            donors = np.argsort(-W[:, i_con])
+            best = None
+            for d in donors[: max(4, k // 4)]:
+                d = int(d)
+                if d == p_under or sizes[d] <= 1 or W[d, i_con] <= W[p_under, i_con]:
+                    continue
+                cand = np.nonzero((parts == d) & (vw[:, i_con] > 0))[0]
+                if len(cand) > 256:
+                    cand = rng.choice(cand, size=256, replace=False)
+                for v in cand:
+                    newW = W[p_under] + vw[v]
+                    if np.any(newW > Lmax[p_under]):
+                        continue
+                    conn = conn_of(int(v))
+                    damage = conn.get(int(parts[v]), 0.0) - conn.get(p_under, 0.0)
+                    key = (damage, -W[d, i_con])
+                    if best is None or key < best[0]:
+                        best = (key, int(v), d)
+            if best is None:
+                break
+            _, v, d = best
+            W[d] -= vw[v]
+            W[p_under] += vw[v]
+            sizes[d] -= 1
+            sizes[p_under] += 1
+            parts[v] = p_under
+            budget -= 1
+            moved = True
+        if not moved:
+            break
+    return parts

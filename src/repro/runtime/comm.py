@@ -1,0 +1,121 @@
+"""In-memory mailbox communicator with mpi4py-style semantics.
+
+mpi4py is unavailable offline, so the distributed executor runs all ranks
+in one process, interleaved in BSP supersteps; messages travel through a
+shared mailbox keyed ``(src, dst, tag)``.  The API mirrors the mpi4py
+buffer conventions (``Send``/``Recv``/``Allreduce`` with NumPy arrays) so
+the executor's communication pattern is exactly what an MPI port would
+issue — the halo-exchange code would transfer to ``mpi4py.MPI.COMM_WORLD``
+unchanged.
+
+Semantics: sends are non-blocking (buffered); receives pop in FIFO order
+per ``(src, dst, tag)`` channel and raise :class:`CommError` when empty —
+a deliberate departure from blocking MPI, because in a rank-serialized
+runtime a blocking receive would be a deadlock anyway, and failing fast
+surfaces schedule bugs (receiving before the peer's superstep ran).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.util.errors import CommError
+from repro.util.validation import require
+
+
+class MailboxWorld:
+    """Shared state for a set of :class:`RankComm` endpoints."""
+
+    def __init__(self, n_ranks: int):
+        require(n_ranks >= 1, "need at least one rank", CommError)
+        self.n_ranks = int(n_ranks)
+        self._boxes: dict[tuple[int, int, int], deque] = {}
+        self.sent_messages = 0
+        self.sent_volume = 0  # total array elements shipped
+
+    def comm(self, rank: int) -> "RankComm":
+        require(0 <= rank < self.n_ranks, f"rank {rank} out of range", CommError)
+        return RankComm(self, rank)
+
+    def comms(self) -> list["RankComm"]:
+        """One endpoint per rank."""
+        return [RankComm(self, r) for r in range(self.n_ranks)]
+
+    def pending(self) -> int:
+        """Number of undelivered messages (0 after a clean run)."""
+        return sum(len(q) for q in self._boxes.values())
+
+    # -- internals -----------------------------------------------------
+    def _push(self, src: int, dst: int, tag: int, payload: np.ndarray) -> None:
+        require(0 <= dst < self.n_ranks, f"dest rank {dst} out of range", CommError)
+        self._boxes.setdefault((src, dst, tag), deque()).append(payload)
+        self.sent_messages += 1
+        self.sent_volume += payload.size
+
+    def _pop(self, src: int, dst: int, tag: int) -> np.ndarray:
+        box = self._boxes.get((src, dst, tag))
+        if not box:
+            raise CommError(
+                f"rank {dst} receive from {src} tag {tag}: no message pending "
+                "(peer superstep not executed yet?)"
+            )
+        return box.popleft()
+
+
+class RankComm:
+    """Per-rank communicator endpoint (mpi4py-flavoured API subset)."""
+
+    def __init__(self, world: MailboxWorld, rank: int):
+        self.world = world
+        self.rank = int(rank)
+
+    @property
+    def size(self) -> int:
+        return self.world.n_ranks
+
+    def Get_rank(self) -> int:
+        return self.rank
+
+    def Get_size(self) -> int:
+        return self.world.n_ranks
+
+    # -- point to point -------------------------------------------------
+    def Send(self, buf: np.ndarray, dest: int, tag: int = 0) -> None:
+        """Buffered send of a copy of ``buf``."""
+        self.world._push(self.rank, int(dest), int(tag), np.array(buf, copy=True))
+
+    def Recv(self, buf: np.ndarray, source: int, tag: int = 0) -> None:
+        """Receive into ``buf`` (shape/dtype must match the message)."""
+        msg = self.world._pop(int(source), self.rank, int(tag))
+        if msg.shape != buf.shape:
+            raise CommError(
+                f"rank {self.rank} Recv from {source} tag {tag}: shape "
+                f"{msg.shape} != buffer {buf.shape}"
+            )
+        buf[...] = msg
+
+    def recv(self, source: int, tag: int = 0) -> np.ndarray:
+        """Allocating receive."""
+        return self.world._pop(int(source), self.rank, int(tag))
+
+    # -- collectives (valid only when issued by every rank in turn) -----
+    def sendrecv(self, buf: np.ndarray, peer: int, tag: int = 0) -> np.ndarray:
+        """Exchange arrays with ``peer`` (must be called symmetrically)."""
+        self.Send(buf, peer, tag)
+        return self.world._pop(int(peer), self.rank, int(tag))
+
+
+def allreduce_sum(comms: list[RankComm], values: list[np.ndarray]) -> list[np.ndarray]:
+    """SUM all-reduce over every rank's array (driver-side collective).
+
+    Because ranks are serialized, collectives are orchestrated by the
+    driver that holds all endpoints; this matches how the executor calls
+    them and keeps reduction order deterministic (rank ascending).
+    """
+    require(len(comms) == len(values), "one value per rank required", CommError)
+    total = np.array(values[0], copy=True)
+    for v in values[1:]:
+        total = total + v
+    return [total.copy() for _ in comms]

@@ -1,0 +1,197 @@
+"""Rank-local operators and halo-exchange structures from a partition.
+
+Parallel SEM works exactly as in SPECFEM3D (paper Sec. III): each rank
+owns a set of elements, assembles *partial* stiffness contributions for
+its local DOFs, and the DOFs shared with neighbouring ranks are summed by
+point-to-point exchange — the synchronization that happens at *every LTS
+substep* in Fig. 1.
+
+:func:`build_rank_layout` consumes any assembler exposing
+``element_dofs`` and ``element_system(e)`` (both SEM assemblers do) plus
+an element partition vector, and produces a :class:`RankLayout` the
+distributed solvers run on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.util.errors import PartitionError
+from repro.util.validation import require
+
+
+@dataclass
+class HaloExchange:
+    """One rank's exchange plan: for each neighbour, the local indices of
+    shared DOFs, ordered by global id so both sides agree."""
+
+    peers: list[int]
+    local_indices: list[np.ndarray]  # aligned with peers
+
+    def total_shared(self) -> int:
+        return int(sum(len(ix) for ix in self.local_indices))
+
+
+@dataclass
+class RankLayout:
+    """Everything the distributed solvers need, per rank.
+
+    Attributes
+    ----------
+    gdofs:
+        Per rank, the sorted global DOF ids present on that rank.
+    K_local:
+        Per rank, the partial stiffness assembled from *owned elements
+    only* on local numbering (so the cross-rank sum is exact).
+    M_local:
+        Per rank, the fully-summed diagonal mass restricted to local DOFs
+        (collected once at setup, as production codes do).
+    halo:
+        Per rank, the exchange plan.
+    owner:
+        Per rank, boolean mask of local DOFs this rank owns (lowest rank
+        among sharers) — used to gather a global vector without double
+        counting.
+    """
+
+    n_ranks: int
+    n_dof_global: int
+    gdofs: list[np.ndarray]
+    K_local: list[sp.csr_matrix]
+    M_local: list[np.ndarray]
+    halo: list[HaloExchange]
+    owner: list[np.ndarray]
+    dof_level_local: list[np.ndarray] = field(default_factory=list)
+
+    def scatter(self, u_global: np.ndarray) -> list[np.ndarray]:
+        """Restrict a global vector to every rank (replicating shares)."""
+        return [np.array(u_global[g], dtype=np.float64) for g in self.gdofs]
+
+    def gather(self, u_locals: list[np.ndarray]) -> np.ndarray:
+        """Assemble a global vector from owned local entries."""
+        out = np.zeros(self.n_dof_global)
+        for r in range(self.n_ranks):
+            own = self.owner[r]
+            out[self.gdofs[r][own]] = u_locals[r][own]
+        return out
+
+
+def build_rank_layout(
+    assembler,
+    parts: np.ndarray,
+    n_ranks: int,
+    dof_level: np.ndarray | None = None,
+) -> RankLayout:
+    """Build the per-rank decomposition of an assembled SEM system.
+
+    Parameters
+    ----------
+    assembler:
+        Object with ``element_dofs`` (``(n_elem, n_loc)``), ``n_dof``, and
+        ``element_system(e) -> (Ke, Me)``.
+    parts:
+        ``(n_elem,)`` rank id per element.
+    dof_level:
+        Optional per-DOF LTS level to carry onto ranks.
+    """
+    element_dofs = np.asarray(assembler.element_dofs)
+    n_elem, n_loc = element_dofs.shape
+    n_dof = int(assembler.n_dof)
+    parts = np.asarray(parts, dtype=np.int64)
+    require(parts.shape == (n_elem,), "parts must be (n_elements,)", PartitionError)
+    require(n_ranks >= 1, "n_ranks must be >= 1", PartitionError)
+    require(
+        parts.min() >= 0 and parts.max() < n_ranks,
+        "part ids out of range",
+        PartitionError,
+    )
+
+    # Local DOF sets (sorted global ids) and reverse maps.
+    gdofs: list[np.ndarray] = []
+    g2l: list[dict[int, int]] = []
+    for r in range(n_ranks):
+        owned = np.nonzero(parts == r)[0]
+        ids = np.unique(element_dofs[owned].ravel()) if len(owned) else np.empty(0, np.int64)
+        gdofs.append(ids)
+        g2l.append({int(g): i for i, g in enumerate(ids)})
+
+    # Which ranks touch each global DOF (for halos and ownership).
+    touching: dict[int, list[int]] = {}
+    for r in range(n_ranks):
+        for g in gdofs[r]:
+            touching.setdefault(int(g), []).append(r)
+
+    # Partial stiffness and mass per rank from owned elements only.
+    K_local: list[sp.csr_matrix] = []
+    M_partial: list[np.ndarray] = []
+    for r in range(n_ranks):
+        nl = len(gdofs[r])
+        rows, cols, vals = [], [], []
+        Mp = np.zeros(nl)
+        for e in np.nonzero(parts == r)[0]:
+            Ke, Me = assembler.element_system(int(e))
+            ld = np.array([g2l[r][int(g)] for g in element_dofs[e]], dtype=np.int64)
+            rows.append(np.repeat(ld, n_loc))
+            cols.append(np.tile(ld, n_loc))
+            vals.append(Ke.ravel())
+            Mp[ld] += Me
+        if rows:
+            K = sp.coo_matrix(
+                (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
+                shape=(nl, nl),
+            ).tocsr()
+            K.sum_duplicates()
+        else:
+            K = sp.csr_matrix((nl, nl))
+        K_local.append(K)
+        M_partial.append(Mp)
+
+    # Halo plans: shared DOFs per rank pair, ordered by global id.
+    halos: list[HaloExchange] = []
+    owner_masks: list[np.ndarray] = []
+    shared_by_pair: dict[tuple[int, int], list[int]] = {}
+    for g, ranks in touching.items():
+        if len(ranks) > 1:
+            for a in ranks:
+                for b in ranks:
+                    if a != b:
+                        shared_by_pair.setdefault((a, b), []).append(g)
+    for r in range(n_ranks):
+        peers = sorted({b for (a, b) in shared_by_pair if a == r})
+        local_indices = []
+        for peer in peers:
+            glist = sorted(shared_by_pair[(r, peer)])
+            local_indices.append(
+                np.array([g2l[r][g] for g in glist], dtype=np.int64)
+            )
+        halos.append(HaloExchange(peers=peers, local_indices=local_indices))
+        own = np.array(
+            [min(touching[int(g)]) == r for g in gdofs[r]], dtype=bool
+        )
+        owner_masks.append(own)
+
+    # Sum the partial masses across sharers (setup-time collective).
+    M_global = np.zeros(n_dof)
+    for r in range(n_ranks):
+        np.add.at(M_global, gdofs[r], M_partial[r])
+    M_local = [M_global[g].copy() for g in gdofs]
+
+    levels_local: list[np.ndarray] = []
+    if dof_level is not None:
+        dof_level = np.asarray(dof_level, dtype=np.int64)
+        require(dof_level.shape == (n_dof,), "dof_level must be (n_dof,)", PartitionError)
+        levels_local = [dof_level[g].copy() for g in gdofs]
+
+    return RankLayout(
+        n_ranks=n_ranks,
+        n_dof_global=n_dof,
+        gdofs=gdofs,
+        K_local=K_local,
+        M_local=M_local,
+        halo=halos,
+        owner=owner_masks,
+        dof_level_local=levels_local,
+    )

@@ -1,0 +1,39 @@
+"""Spectral-element method (SEM) substrate.
+
+The paper implements LTS-Newmark inside SPECFEM3D, whose defining
+properties are (i) nodal Lagrange basis on Gauss-Legendre-Lobatto (GLL)
+points, (ii) Gauss quadrature on the same points giving a *diagonal* mass
+matrix (so ``M^{-1}`` is trivial and explicit stepping works), and
+(iii) continuous elements that *share* nodes — which is what makes the
+LTS level coupling delicate (Sec. II-C).
+
+This package reproduces that algebraic structure in pure NumPy/SciPy:
+
+* :mod:`repro.sem.gll` — GLL points, weights, Lagrange derivative matrix;
+* :mod:`repro.sem.assembly1d` — 1D SEM on arbitrary interval meshes
+  (supports the geometrically refined meshes of the LTS tests);
+* :mod:`repro.sem.assembly2d` — 2D SEM on conforming quad meshes with a
+  per-element velocity field (velocity contrast creates LTS levels on
+  uniform grids: high-velocity inclusions force locally small steps);
+* :mod:`repro.sem.sources` — Ricker wavelets and point sources;
+* :mod:`repro.sem.energy` — discrete energy for conservation tests.
+"""
+
+from repro.sem.gll import gll_points_weights, lagrange_derivative_matrix, lagrange_basis
+from repro.sem.assembly1d import Sem1D
+from repro.sem.assembly2d import Sem2D
+from repro.sem.elastic2d import ElasticSem2D
+from repro.sem.sources import ricker, point_source
+from repro.sem.energy import discrete_energy
+
+__all__ = [
+    "gll_points_weights",
+    "lagrange_derivative_matrix",
+    "lagrange_basis",
+    "Sem1D",
+    "Sem2D",
+    "ElasticSem2D",
+    "ricker",
+    "point_source",
+    "discrete_energy",
+]

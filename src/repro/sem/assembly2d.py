@@ -1,0 +1,212 @@
+"""2D spectral-element assembly for the scalar (acoustic) wave equation.
+
+Solves ``u_tt = div(c^2 grad u)`` on a conforming mesh of axis-aligned
+rectangular elements with a per-element wave speed.  Continuous elements
+share GLL nodes across faces/edges/corners exactly as in SPECFEM3D, which
+is what makes LTS coupling non-trivial (paper Sec. II-C): a stiffness
+application on level-``k`` elements touches neighbouring coarse nodes (the
+"gray halo" of Fig. 2).
+
+Velocity contrast on a uniform grid produces multi-level LTS assignments
+without geometric refinement: with ``dt ~ h/c``, a *high*-velocity
+inclusion forces a small local step (equivalently, everything outside a
+slow basin may step coarsely).  This powers the 2D LTS integration tests
+and examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.mesh.mesh import Mesh
+from repro.sem.gll import gll_points_weights, lagrange_derivative_matrix
+from repro.util.errors import SolverError
+from repro.util.validation import require
+
+
+class Sem2D:
+    """Assembled order-``order`` SEM on a conforming 2D quad mesh.
+
+    DOF numbering is entity-based (corners, then edge interiors, then
+    element interiors), so any conforming mesh — not just structured grids
+    — assembles correctly, with shared edge nodes oriented consistently.
+    """
+
+    def __init__(self, mesh: Mesh, order: int = 4, dirichlet: bool = False):
+        require(mesh.dim == 2, "Sem2D requires a 2D mesh", SolverError)
+        require(order >= 1, "order must be >= 1", SolverError)
+        self.mesh = mesh
+        self.order = int(order)
+        self.dirichlet = bool(dirichlet)
+
+        N = self.order
+        n_loc1 = N + 1
+        xi, w = gll_points_weights(N)
+        D = lagrange_derivative_matrix(N)
+        KxX = (D.T * w) @ D  # 1D stiffness kernel on the reference element
+
+        conn = mesh.elements  # local corners: 0=(x0,y0) 1=(x0,y1) 2=(x1,y0) 3=(x1,y1)
+        coords = mesh.coords
+        n_elem = mesh.n_elements
+
+        # Validate axis-aligned rectangles (affine tensor mapping).
+        p00, p01, p10, p11 = (coords[conn[:, i]] for i in range(4))
+        ok = (
+            np.allclose(p00[:, 0], p01[:, 0])
+            and np.allclose(p10[:, 0], p11[:, 0])
+            and np.allclose(p00[:, 1], p10[:, 1])
+            and np.allclose(p01[:, 1], p11[:, 1])
+        )
+        require(ok, "Sem2D requires axis-aligned rectangular elements", SolverError)
+        hx = p10[:, 0] - p00[:, 0]
+        hy = p01[:, 1] - p00[:, 1]
+        require(bool(np.all(hx > 0) and np.all(hy > 0)), "degenerate elements", SolverError)
+
+        # ---------------- entity-based global numbering ----------------
+        # Edges keyed by sorted corner pair; canonical direction low->high.
+        edge_key_to_id: dict[tuple[int, int], int] = {}
+        edge_list = (
+            (0, 2),  # bottom (j=0), traversed along +x
+            (1, 3),  # top (j=N)
+            (0, 1),  # left (i=0), traversed along +y
+            (2, 3),  # right (i=N)
+        )
+        for e in range(n_elem):
+            for a, b in edge_list:
+                key = tuple(sorted((int(conn[e, a]), int(conn[e, b]))))
+                if key not in edge_key_to_id:
+                    edge_key_to_id[key] = len(edge_key_to_id)
+        n_corner = mesh.n_nodes
+        n_edges = len(edge_key_to_id)
+        n_int1 = N - 1
+        self.n_dof = n_corner + n_edges * n_int1 + n_elem * n_int1 * n_int1
+
+        def edge_dofs(ca: int, cb: int) -> np.ndarray:
+            """Edge-interior global DOFs in traversal order ca -> cb."""
+            key = tuple(sorted((ca, cb)))
+            base = n_corner + edge_key_to_id[key] * n_int1
+            ids = np.arange(base, base + n_int1)
+            return ids if ca < cb else ids[::-1]
+
+        element_dofs = np.empty((n_elem, n_loc1 * n_loc1), dtype=np.int64)
+        interior_base = n_corner + n_edges * n_int1
+
+        def loc(i: int, j: int) -> int:
+            # Local flat index, i (x) slow, j (y) fast == C-order of (i, j).
+            return i * n_loc1 + j
+
+        for e in range(n_elem):
+            c = conn[e]
+            dofs = element_dofs[e]
+            dofs[loc(0, 0)] = c[0]
+            dofs[loc(0, N)] = c[1]
+            dofs[loc(N, 0)] = c[2]
+            dofs[loc(N, N)] = c[3]
+            if n_int1:
+                dofs[[loc(i, 0) for i in range(1, N)]] = edge_dofs(int(c[0]), int(c[2]))
+                dofs[[loc(i, N) for i in range(1, N)]] = edge_dofs(int(c[1]), int(c[3]))
+                dofs[[loc(0, j) for j in range(1, N)]] = edge_dofs(int(c[0]), int(c[1]))
+                dofs[[loc(N, j) for j in range(1, N)]] = edge_dofs(int(c[2]), int(c[3]))
+                inner = interior_base + e * n_int1 * n_int1 + np.arange(n_int1 * n_int1)
+                k = 0
+                for i in range(1, N):
+                    for j in range(1, N):
+                        dofs[loc(i, j)] = inner[k]
+                        k += 1
+        self.element_dofs = element_dofs
+
+        # Node coordinates.
+        xy = np.zeros((self.n_dof, 2))
+        gx = (xi + 1.0) * 0.5
+        for e in range(n_elem):
+            ex = p00[e, 0] + gx * hx[e]
+            ey = p00[e, 1] + gx * hy[e]
+            XX, YY = np.meshgrid(ex, ey, indexing="ij")
+            d = element_dofs[e]
+            xy[d, 0] = XX.ravel(order="C")
+            xy[d, 1] = YY.ravel(order="C")
+        self.xy = xy
+
+        # ---------------- assembly ----------------
+        M = np.zeros(self.n_dof)
+        Wd = np.diag(w)
+        rows, cols, vals = [], [], []
+        for e in range(n_elem):
+            mu = float(mesh.c[e]) ** 2
+            Ke = mu * (
+                (hy[e] / hx[e]) * np.kron(KxX, Wd)
+                + (hx[e] / hy[e]) * np.kron(Wd, KxX)
+            )
+            Me = (hx[e] * hy[e] / 4.0) * np.kron(w, w)
+            d = element_dofs[e]
+            M[d] += Me
+            rows.append(np.repeat(d, len(d)))
+            cols.append(np.tile(d, len(d)))
+            vals.append(Ke.ravel())
+        self.M = M
+        K = sp.coo_matrix(
+            (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
+            shape=(self.n_dof, self.n_dof),
+        ).tocsr()
+        K.sum_duplicates()
+        self.K = K
+
+        A = sp.diags(1.0 / M) @ K
+        if dirichlet:
+            mask = np.ones(self.n_dof)
+            mask[self.boundary_dofs()] = 0.0
+            A = sp.diags(mask) @ A @ sp.diags(mask)
+        self.A = sp.csr_matrix(A)
+        self._edge_key_to_id = edge_key_to_id
+        self._n_corner = n_corner
+        self._n_int1 = n_int1
+
+    # ------------------------------------------------------------------
+    def element_system(self, e: int) -> tuple[np.ndarray, np.ndarray]:
+        """Element stiffness (dense) and mass (diagonal) of element ``e``.
+
+        Same contract as :meth:`repro.sem.assembly1d.Sem1D.element_system`;
+        consumed by the distributed runtime's rank-local assembly.
+        """
+        from repro.sem.gll import gll_points_weights, lagrange_derivative_matrix
+
+        N = self.order
+        xi, w = gll_points_weights(N)
+        D = lagrange_derivative_matrix(N)
+        KxX = (D.T * w) @ D
+        Wd = np.diag(w)
+        conn = self.mesh.elements
+        coords = self.mesh.coords
+        hx = coords[conn[e, 2], 0] - coords[conn[e, 0], 0]
+        hy = coords[conn[e, 1], 1] - coords[conn[e, 0], 1]
+        mu = float(self.mesh.c[e]) ** 2
+        Ke = mu * ((hy / hx) * np.kron(KxX, Wd) + (hx / hy) * np.kron(Wd, KxX))
+        Me = (hx * hy / 4.0) * np.kron(w, w)
+        return Ke, Me
+
+    def boundary_dofs(self) -> np.ndarray:
+        """Global DOFs on the domain boundary (edges used by one element)."""
+        N = self.order
+        counts: dict[tuple[int, int], int] = {}
+        conn = self.mesh.elements
+        for e in range(self.mesh.n_elements):
+            for a, b in ((0, 2), (1, 3), (0, 1), (2, 3)):
+                key = tuple(sorted((int(conn[e, a]), int(conn[e, b]))))
+                counts[key] = counts.get(key, 0) + 1
+        out: set[int] = set()
+        for key, cnt in counts.items():
+            if cnt == 1:
+                out.update(key)  # corner DOFs == corner node ids
+                base = self._n_corner + self._edge_key_to_id[key] * self._n_int1
+                out.update(range(base, base + self._n_int1))
+        return np.array(sorted(out), dtype=np.int64)
+
+    def interpolate(self, f) -> np.ndarray:
+        """Nodal interpolant of ``f(x, y)`` (vectorized callable)."""
+        return np.asarray(f(self.xy[:, 0], self.xy[:, 1]), dtype=np.float64)
+
+    def nearest_dof(self, x0: float, y0: float) -> int:
+        """Global DOF closest to ``(x0, y0)``."""
+        d2 = (self.xy[:, 0] - x0) ** 2 + (self.xy[:, 1] - y0) ** 2
+        return int(np.argmin(d2))

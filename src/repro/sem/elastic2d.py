@@ -1,0 +1,167 @@
+"""2D P-SV elastic spectral elements (the paper's Eqs. (1)-(2)).
+
+The paper's target physics is the elastic wave equation
+``rho u_tt = div T`` with Hooke's law ``T = C : grad u``; the acoustic
+assemblies in this package exercise the same algebraic structure, but
+this module provides the elastic operator itself for 2D plane strain:
+two displacement components per GLL node, isotropic stiffness
+``lambda, mu`` per element (P speed ``sqrt((lambda+2mu)/rho)``, S speed
+``sqrt(mu/rho)``), free-surface (natural) boundaries as in the paper.
+
+The mass matrix stays diagonal (GLL collocation), so ``A = M^{-1} K``
+plugs into every solver in :mod:`repro.core` and the distributed runtime
+unchanged — including multi-level LTS, whose levels now come from the
+per-element *P-wave* speed exactly as in Eq. (7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.mesh.mesh import Mesh
+from repro.sem.assembly2d import Sem2D
+from repro.sem.gll import gll_points_weights, lagrange_derivative_matrix
+from repro.util.errors import SolverError
+from repro.util.validation import check_array, require
+
+
+class ElasticSem2D:
+    """Order-``order`` P-SV elastic SEM on a conforming 2D quad mesh.
+
+    Parameters
+    ----------
+    mesh:
+        Axis-aligned rectangular quad mesh; ``mesh.c`` is *ignored* for
+        material properties (use ``lam``/``mu``/``rho``) but its P speed
+        should be kept consistent for level assignment — see
+        :meth:`p_velocity`.
+    lam, mu, rho:
+        Per-element Lamé parameters and density (scalars broadcast).
+
+    DOF layout: component-interleaved, ``2*node + comp`` with comp 0 = x,
+    1 = y; scalar node numbering (and therefore halo construction and
+    ``element_dofs`` shape conventions) is inherited from :class:`Sem2D`.
+    """
+
+    def __init__(self, mesh: Mesh, order: int = 4, lam=1.0, mu=1.0, rho=1.0):
+        require(mesh.dim == 2, "ElasticSem2D requires a 2D mesh", SolverError)
+        n_elem = mesh.n_elements
+        self.lam = np.broadcast_to(np.asarray(lam, dtype=np.float64), (n_elem,)).copy()
+        self.mu = np.broadcast_to(np.asarray(mu, dtype=np.float64), (n_elem,)).copy()
+        self.rho = np.broadcast_to(np.asarray(rho, dtype=np.float64), (n_elem,)).copy()
+        require(bool(np.all(self.mu > 0)), "mu must be > 0", SolverError)
+        require(bool(np.all(self.rho > 0)), "rho must be > 0", SolverError)
+        require(bool(np.all(self.lam + 2 * self.mu > 0)), "lambda + 2mu must be > 0", SolverError)
+        self.mesh = mesh
+        self.order = int(order)
+
+        # Scalar skeleton gives the node numbering, coordinates, geometry.
+        self._scalar = Sem2D(mesh, order=order)
+        self.n_scalar = self._scalar.n_dof
+        self.n_dof = 2 * self.n_scalar
+        self.xy = self._scalar.xy
+
+        n_loc1 = order + 1
+        n_loc = n_loc1 * n_loc1
+        self.element_dofs = np.empty((n_elem, 2 * n_loc), dtype=np.int64)
+        for e in range(n_elem):
+            sd = self._scalar.element_dofs[e]
+            self.element_dofs[e, 0::2] = 2 * sd
+            self.element_dofs[e, 1::2] = 2 * sd + 1
+
+        M = np.zeros(self.n_dof)
+        rows, cols, vals = [], [], []
+        for e in range(n_elem):
+            Ke, Me = self.element_system(e)
+            d = self.element_dofs[e]
+            M[d] += Me
+            rows.append(np.repeat(d, len(d)))
+            cols.append(np.tile(d, len(d)))
+            vals.append(Ke.ravel())
+        self.M = M
+        K = sp.coo_matrix(
+            (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
+            shape=(self.n_dof, self.n_dof),
+        ).tocsr()
+        K.sum_duplicates()
+        self.K = K
+        self.A = sp.csr_matrix(sp.diags(1.0 / M) @ K)
+
+    # ------------------------------------------------------------------
+    def element_system(self, e: int) -> tuple[np.ndarray, np.ndarray]:
+        """Dense elastic stiffness and diagonal mass of element ``e``.
+
+        Plane-strain B-matrix formulation at the GLL collocation points:
+        ``K_e = sum_q w_q |J| B_q^T D B_q`` with
+        ``D = [[l+2m, l, 0], [l, l+2m, 0], [0, 0, m]]``.
+        """
+        N = self.order
+        xi, w = gll_points_weights(N)
+        Dm = lagrange_derivative_matrix(N)
+        conn = self.mesh.elements
+        coords = self.mesh.coords
+        hx = coords[conn[e, 2], 0] - coords[conn[e, 0], 0]
+        hy = coords[conn[e, 1], 1] - coords[conn[e, 0], 1]
+        jac = hx * hy / 4.0
+        sx = 2.0 / hx  # d(xi)/dx
+        sy = 2.0 / hy
+
+        lam, mu = float(self.lam[e]), float(self.mu[e])
+        Dmat = np.array(
+            [[lam + 2 * mu, lam, 0.0], [lam, lam + 2 * mu, 0.0], [0.0, 0.0, mu]]
+        )
+        n1 = N + 1
+        n_loc = n1 * n1
+
+        # Derivative operators on the flattened scalar local basis
+        # (local index = i*n1 + j, i along x): d/dx = sx * (Dm (x) I),
+        # d/dy = sy * (I (x) Dm).
+        Gx = sx * np.kron(Dm, np.eye(n1))  # (n_loc, n_loc)
+        Gy = sy * np.kron(np.eye(n1), Dm)
+
+        Ke = np.zeros((2 * n_loc, 2 * n_loc))
+        wq = np.outer(w, w).ravel()  # quadrature weight at each GLL point
+        B = np.zeros((3, 2 * n_loc))
+        for q in range(n_loc):
+            B[:] = 0.0
+            B[0, 0::2] = Gx[q]  # eps_xx = dux/dx
+            B[1, 1::2] = Gy[q]  # eps_yy = duy/dy
+            B[2, 0::2] = Gy[q]  # gamma_xy = dux/dy + duy/dx
+            B[2, 1::2] = Gx[q]
+            Ke += (wq[q] * jac) * (B.T @ Dmat @ B)
+
+        Me = np.zeros(2 * n_loc)
+        Me[0::2] = float(self.rho[e]) * jac * wq
+        Me[1::2] = Me[0::2]
+        return Ke, Me
+
+    # ------------------------------------------------------------------
+    def p_velocity(self) -> np.ndarray:
+        """Per-element P-wave speed ``sqrt((lambda + 2 mu) / rho)``.
+
+        This is the ``c_i`` of the CFL condition (Eq. (7)); assign it to
+        ``mesh.c`` before :func:`repro.core.levels.assign_levels` so LTS
+        levels follow the compressional speed, as the paper prescribes.
+        """
+        return np.sqrt((self.lam + 2 * self.mu) / self.rho)
+
+    def s_velocity(self) -> np.ndarray:
+        """Per-element S-wave speed ``sqrt(mu / rho)``."""
+        return np.sqrt(self.mu / self.rho)
+
+    def component_dofs(self, comp: int) -> np.ndarray:
+        """All global DOFs of displacement component ``comp`` (0 = x)."""
+        require(comp in (0, 1), "comp must be 0 or 1", SolverError)
+        return np.arange(comp, self.n_dof, 2)
+
+    def interpolate(self, fx, fy) -> np.ndarray:
+        """Nodal interpolant of a vector field ``(fx(x,y), fy(x,y))``."""
+        out = np.zeros(self.n_dof)
+        out[0::2] = fx(self.xy[:, 0], self.xy[:, 1])
+        out[1::2] = fy(self.xy[:, 0], self.xy[:, 1])
+        return out
+
+    def nearest_dof(self, x0: float, y0: float, comp: int = 0) -> int:
+        """Global DOF of component ``comp`` nearest to ``(x0, y0)``."""
+        return 2 * self._scalar.nearest_dof(x0, y0) + int(comp)

@@ -1,0 +1,86 @@
+"""Gauss-Legendre-Lobatto quadrature and Lagrange basis utilities.
+
+The order-``N`` GLL rule has ``N+1`` points: the endpoints of ``[-1, 1]``
+and the roots of ``P_N'``; its weights are ``w_i = 2 / (N (N+1) P_N(x_i)^2)``.
+It integrates polynomials up to degree ``2N - 1`` exactly — one degree shy
+of what the mass matrix needs, which is precisely the "mass lumping" that
+makes the SEM mass matrix diagonal while retaining spectral accuracy.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+from numpy.polynomial import legendre as npleg
+
+from repro.util.errors import SolverError
+from repro.util.validation import require
+
+
+@lru_cache(maxsize=64)
+def _gll_cached(order: int) -> tuple[np.ndarray, np.ndarray]:
+    n = order
+    if n == 1:
+        pts = np.array([-1.0, 1.0])
+        wts = np.array([1.0, 1.0])
+        return pts, wts
+    # Interior points: roots of P_n'.
+    coeffs = np.zeros(n + 1)
+    coeffs[n] = 1.0
+    dcoeffs = npleg.legder(coeffs)
+    interior = npleg.legroots(dcoeffs)
+    pts = np.concatenate([[-1.0], np.sort(interior), [1.0]])
+    pn_at = npleg.legval(pts, coeffs)
+    wts = 2.0 / (n * (n + 1) * pn_at**2)
+    return pts, wts
+
+
+def gll_points_weights(order: int) -> tuple[np.ndarray, np.ndarray]:
+    """GLL points and weights on ``[-1, 1]`` for polynomial ``order >= 1``.
+
+    Returns copies so callers may mutate freely.
+    """
+    require(order >= 1, f"order must be >= 1, got {order}", SolverError)
+    pts, wts = _gll_cached(int(order))
+    return pts.copy(), wts.copy()
+
+
+def lagrange_basis(nodes: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Evaluate the Lagrange cardinal polynomials on ``nodes`` at ``x``.
+
+    Returns ``(len(x), len(nodes))``: column ``j`` is ``l_j`` evaluated at
+    every ``x``.  Used to interpolate SEM solutions at receivers.
+    """
+    nodes = np.asarray(nodes, dtype=np.float64)
+    x = np.atleast_1d(np.asarray(x, dtype=np.float64))
+    n = len(nodes)
+    out = np.ones((len(x), n))
+    for j in range(n):
+        for m in range(n):
+            if m != j:
+                out[:, j] *= (x - nodes[m]) / (nodes[j] - nodes[m])
+    return out
+
+
+def lagrange_derivative_matrix(order: int) -> np.ndarray:
+    """Derivative matrix ``D[i, j] = l_j'(x_i)`` on the GLL nodes.
+
+    Computed with the barycentric formula, which is numerically stable for
+    the orders used in seismology (SPECFEM3D uses order 4).
+    """
+    pts, _ = gll_points_weights(order)
+    n = len(pts)
+    # Barycentric weights.
+    bw = np.ones(n)
+    for j in range(n):
+        for m in range(n):
+            if m != j:
+                bw[j] /= pts[j] - pts[m]
+    D = np.zeros((n, n))
+    for i in range(n):
+        for j in range(n):
+            if i != j:
+                D[i, j] = (bw[j] / bw[i]) / (pts[i] - pts[j])
+        D[i, i] = -np.sum(D[i, np.arange(n) != i])
+    return D

@@ -1,0 +1,27 @@
+"""Shared utilities: validation helpers, deterministic RNG, table reporting.
+
+Nothing in here is physics- or partitioning-specific; the submodules are
+dependency-free so that every other subpackage may import them freely.
+"""
+
+from repro.util.errors import ReproError, MeshError, PartitionError, SolverError
+from repro.util.validation import (
+    check_array,
+    check_positive,
+    check_power_of_two,
+    require,
+)
+from repro.util.tables import Table, format_si
+
+__all__ = [
+    "ReproError",
+    "MeshError",
+    "PartitionError",
+    "SolverError",
+    "check_array",
+    "check_positive",
+    "check_power_of_two",
+    "require",
+    "Table",
+    "format_si",
+]

@@ -1,0 +1,26 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError`, so callers can catch library failures without
+swallowing genuine bugs (``TypeError``, ``IndexError``...).
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class MeshError(ReproError):
+    """Invalid mesh topology, geometry, or generator parameters."""
+
+
+class PartitionError(ReproError):
+    """Partitioning failed or produced an invalid partition vector."""
+
+
+class SolverError(ReproError):
+    """Time-stepping setup or stability violation (e.g. CFL breach)."""
+
+
+class CommError(ReproError):
+    """Simulated communicator misuse (mismatched sends, bad rank...)."""

@@ -1,0 +1,52 @@
+"""Small argument-validation helpers used across the library.
+
+These keep public entry points defensive without littering numerical code
+with ad-hoc ``if`` blocks. All raise :class:`repro.util.errors.ReproError`
+subclasses so user-facing failures are distinguishable from internal bugs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ReproError
+
+
+def require(condition: bool, message: str, exc: type = ReproError) -> None:
+    """Raise ``exc(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise exc(message)
+
+
+def check_positive(value: float, name: str, exc: type = ReproError) -> float:
+    """Validate that ``value`` is a finite, strictly positive scalar."""
+    v = float(value)
+    if not np.isfinite(v) or v <= 0.0:
+        raise exc(f"{name} must be finite and > 0, got {value!r}")
+    return v
+
+
+def check_power_of_two(value: int, name: str, exc: type = ReproError) -> int:
+    """Validate that ``value`` is a positive power of two (1, 2, 4, ...)."""
+    v = int(value)
+    if v < 1 or (v & (v - 1)) != 0:
+        raise exc(f"{name} must be a positive power of two, got {value!r}")
+    return v
+
+
+def check_array(
+    a,
+    name: str,
+    *,
+    ndim: int | None = None,
+    size: int | None = None,
+    dtype=None,
+    exc: type = ReproError,
+) -> np.ndarray:
+    """Coerce ``a`` to an ndarray and validate shape/dtype constraints."""
+    arr = np.asarray(a) if dtype is None else np.asarray(a, dtype=dtype)
+    if ndim is not None and arr.ndim != ndim:
+        raise exc(f"{name} must have ndim={ndim}, got ndim={arr.ndim}")
+    if size is not None and arr.size != size:
+        raise exc(f"{name} must have size={size}, got size={arr.size}")
+    return arr

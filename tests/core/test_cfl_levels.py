@@ -1,0 +1,136 @@
+"""Tests for CFL computation (Eq. (7)) and p-level assignment (Eq. (16))."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    assign_levels,
+    cfl_timestep,
+    enforce_level_grading,
+    gll_spacing_factor,
+    stable_timestep_from_operator,
+    stable_timestep_per_element,
+)
+from repro.mesh import refined_interval, uniform_grid, uniform_interval
+from repro.sem import Sem1D
+from repro.util.errors import SolverError
+
+
+class TestCfl:
+    def test_uniform_mesh_timestep(self):
+        m = uniform_interval(10, length=10.0, c=2.0)
+        assert cfl_timestep(m, c_cfl=0.5) == pytest.approx(0.25)
+
+    def test_min_over_elements(self):
+        m = refined_interval(4, 4, refinement=4, coarse_h=1.0)
+        assert cfl_timestep(m, c_cfl=1.0) == pytest.approx(0.25)
+
+    def test_order_shrinks_step(self):
+        m = uniform_interval(4)
+        assert cfl_timestep(m, order=4) < cfl_timestep(m, order=1)
+
+    def test_gll_spacing_factor_order1(self):
+        assert gll_spacing_factor(1) == 1.0
+
+    def test_gll_spacing_factor_order4(self):
+        # order-4 GLL min gap/2 ~ 0.1727
+        assert gll_spacing_factor(4) == pytest.approx(0.1727, abs=1e-3)
+
+    def test_rejects_bad_cfl_constant(self):
+        with pytest.raises(SolverError):
+            cfl_timestep(uniform_interval(2), c_cfl=-1.0)
+
+    def test_operator_bound_is_stable_and_sharp(self):
+        mesh = uniform_interval(20)
+        sem = Sem1D(mesh, order=4)
+        dt = stable_timestep_from_operator(sem.A, safety=1.0)
+        # Leap-frog with dt below the bound stays bounded; 5% above blows up.
+        from repro.core.newmark import NewmarkSolver
+
+        u0 = np.sin(np.pi * sem.x / sem.x.max())
+        stable, _ = NewmarkSolver(sem.A, 0.95 * dt).run(u0, np.zeros_like(u0), 400)
+        assert np.max(np.abs(stable)) < 10.0
+        unstable, _ = NewmarkSolver(sem.A, 1.05 * dt).run(u0, np.zeros_like(u0), 400)
+        assert np.max(np.abs(unstable)) > 10.0
+
+
+class TestAssignLevels:
+    def test_uniform_mesh_single_level(self):
+        a = assign_levels(uniform_interval(8))
+        assert a.n_levels == 1
+        assert np.all(a.level == 1)
+        assert a.dt == a.dt_min
+
+    def test_refinement_4_gives_3_levels_with_empty_middle(self):
+        m = refined_interval(8, 8, refinement=4)
+        a = assign_levels(m)
+        assert a.n_levels == 3
+        counts = a.counts()
+        assert counts[0] == 8 and counts[1] == 0 and counts[2] == 8
+
+    def test_level_convention_finest_is_max(self):
+        m = refined_interval(4, 4, refinement=2)
+        a = assign_levels(m)
+        fine_elems = np.nonzero(m.h < m.h.max())[0]
+        assert np.all(a.level[fine_elems] == a.n_levels)
+
+    def test_dt_relation(self):
+        m = refined_interval(4, 4, refinement=8)
+        a = assign_levels(m)
+        assert a.dt == pytest.approx(a.dt_min * a.p_max)
+        assert a.p_max == 2 ** (a.n_levels - 1)
+
+    def test_p_per_element_matches_level(self):
+        m = refined_interval(4, 4, refinement=4)
+        a = assign_levels(m)
+        assert np.array_equal(a.p_per_element, 2 ** (a.level - 1))
+
+    def test_max_levels_caps(self):
+        m = refined_interval(4, 4, refinement=16)
+        a = assign_levels(m, max_levels=3)
+        assert a.n_levels == 3
+
+    def test_per_element_stability_respected(self):
+        """Every element's own step dt/2^(level-1) obeys its local CFL."""
+        m = refined_interval(6, 6, refinement=4)
+        c_cfl = 0.5
+        a = assign_levels(m, c_cfl=c_cfl)
+        dt_elem = stable_timestep_per_element(m, c_cfl)
+        own_step = a.dt / 2.0 ** (a.level - 1)
+        assert np.all(own_step <= dt_elem * (1 + 1e-9))
+
+    def test_step_size_accessor(self):
+        m = refined_interval(4, 4, refinement=2)
+        a = assign_levels(m)
+        assert a.step_size(1) == pytest.approx(a.dt)
+        assert a.step_size(a.n_levels) == pytest.approx(a.dt_min)
+
+    def test_elements_of_level_partition(self):
+        m = refined_interval(5, 3, refinement=4)
+        a = assign_levels(m)
+        all_elems = np.concatenate(
+            [a.elements_of_level(k) for k in range(1, a.n_levels + 1)]
+        )
+        assert sorted(all_elems) == list(range(m.n_elements))
+
+
+class TestGrading:
+    def test_grading_only_refines(self):
+        m = refined_interval(16, 4, refinement=8)
+        a = assign_levels(m)
+        g = enforce_level_grading(m, a)
+        assert np.all(g.level >= a.level)
+
+    def test_graded_neighbours_within_one(self):
+        m = refined_interval(16, 4, refinement=8)
+        g = assign_levels(m, grade=True)
+        xadj, adjncy = m.dual_graph()
+        for e in range(m.n_elements):
+            for nb in adjncy[xadj[e]:xadj[e + 1]]:
+                assert abs(int(g.level[e]) - int(g.level[nb])) <= 1
+
+    def test_already_graded_unchanged(self):
+        m = refined_interval(8, 8, refinement=2)
+        a = assign_levels(m)
+        g = enforce_level_grading(m, a)
+        assert np.array_equal(a.level, g.level)

@@ -1,0 +1,253 @@
+"""Tests for multi-level LTS-Newmark (paper Sec. II, Algorithm 1).
+
+The load-bearing claims:
+
+* with one level the scheme *is* explicit Newmark;
+* the optimized active-set implementation equals the literal reference
+  implementation to machine precision (Sec. II-C's "great care" claim);
+* second-order convergence is preserved (the companion paper's theory);
+* energy stays bounded over long runs (conservation);
+* the operation counter realizes >90% of the Eq. (9) model speedup.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    OperationCounter,
+    assign_levels,
+    theoretical_speedup,
+)
+from repro.core.lts_newmark import (
+    LTSNewmarkSolver,
+    dof_levels_from_elements,
+    lts_newmark_run,
+    make_solver_for_assignment,
+    newmark_cycle_ops,
+)
+from repro.core.newmark import NewmarkSolver, staggered_initial_velocity
+from repro.mesh import refined_interval, uniform_grid, uniform_interval
+from repro.sem import Sem1D, Sem2D, discrete_energy
+from repro.util.errors import SolverError
+
+
+def _setup_1d(n_coarse=12, n_fine=8, refinement=4, order=4, dirichlet=True):
+    mesh = refined_interval(n_coarse, n_fine, refinement=refinement, coarse_h=0.125)
+    sem = Sem1D(mesh, order=order, dirichlet=dirichlet)
+    a = assign_levels(mesh, c_cfl=0.4, order=order)
+    dof_level = dof_levels_from_elements(sem.element_dofs, a.level, sem.n_dof)
+    return mesh, sem, a, dof_level
+
+
+class TestDofLevels:
+    def test_shared_node_takes_finest_level(self):
+        mesh, sem, a, dof_level = _setup_1d()
+        # The DOF shared by a coarse and a fine element must be fine.
+        for e in range(mesh.n_elements):
+            for d in sem.element_dofs[e]:
+                assert dof_level[d] >= a.level[e]
+
+    def test_every_dof_assigned(self):
+        _, sem, _, dof_level = _setup_1d()
+        assert np.all(dof_level >= 1)
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(SolverError):
+            dof_levels_from_elements(np.zeros((2, 3), dtype=int), np.ones(3, dtype=int), 5)
+
+    def test_unreferenced_dof_rejected(self):
+        with pytest.raises(SolverError):
+            dof_levels_from_elements(np.array([[0, 1]]), np.array([1]), 3)
+
+
+class TestDegenerateCases:
+    def test_single_level_equals_newmark(self):
+        mesh = uniform_interval(16)
+        sem = Sem1D(mesh, order=4, dirichlet=True)
+        dt = 1e-3
+        u0 = np.sin(np.pi * sem.x / sem.x.max())
+        v0 = staggered_initial_velocity(sem.A, dt, u0, np.zeros_like(u0))
+        un, vn = NewmarkSolver(sem.A, dt).run(u0, v0, 20)
+        ul, vl = lts_newmark_run(sem.A, np.ones(sem.n_dof, dtype=int), dt, u0, v0, 20)
+        assert np.allclose(un, ul, atol=1e-14)
+        assert np.allclose(vn, vl, atol=1e-14)
+
+    def test_all_coarse_two_level_setup_equals_newmark(self):
+        """If the level-2 set is empty the cycle degenerates to leapfrog."""
+        mesh = uniform_interval(10)
+        sem = Sem1D(mesh, order=3, dirichlet=True)
+        dt = 1e-3
+        u0 = np.sin(np.pi * sem.x / sem.x.max())
+        v0 = staggered_initial_velocity(sem.A, dt, u0, np.zeros_like(u0))
+        lv = np.ones(sem.n_dof, dtype=int)  # declared 1-level: same path
+        un, _ = NewmarkSolver(sem.A, dt).run(u0, v0, 10)
+        ul, _ = lts_newmark_run(sem.A, lv, dt, u0, v0, 10, mode="reference")
+        assert np.allclose(un, ul, atol=1e-14)
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(SolverError):
+            LTSNewmarkSolver(np.eye(2), np.ones(2, dtype=int), 0.1, mode="turbo")
+
+    def test_rejects_level_zero(self):
+        with pytest.raises(SolverError):
+            LTSNewmarkSolver(np.eye(2), np.zeros(2, dtype=int), 0.1)
+
+
+class TestModeEquivalence:
+    """Optimized active-set implementation == literal Algorithm 1."""
+
+    @pytest.mark.parametrize("refinement", [2, 4, 8])
+    def test_1d_refinements(self, refinement):
+        mesh, sem, a, dof_level = _setup_1d(refinement=refinement)
+        u0 = np.exp(-((sem.x - sem.x.mean()) ** 2) / 0.05)
+        v0 = staggered_initial_velocity(sem.A, a.dt, u0, np.zeros_like(u0))
+        u1, v1 = lts_newmark_run(sem.A, dof_level, a.dt, u0, v0, 6, mode="reference")
+        u2, v2 = lts_newmark_run(sem.A, dof_level, a.dt, u0, v0, 6, mode="optimized")
+        assert np.max(np.abs(u1 - u2)) < 1e-12 * max(1.0, np.max(np.abs(u1)))
+        assert np.max(np.abs(v1 - v2)) < 1e-10 * max(1.0, np.max(np.abs(v1)))
+
+    def test_2d_velocity_contrast(self):
+        mesh = uniform_grid((5, 5))
+        mesh.c = mesh.c.copy()
+        mesh.c[12] = 4.0
+        sem = Sem2D(mesh, order=3)
+        a = assign_levels(mesh, c_cfl=0.4, order=3)
+        assert a.n_levels >= 2
+        dof_level = dof_levels_from_elements(sem.element_dofs, a.level, sem.n_dof)
+        u0 = np.exp(-((sem.xy[:, 0] - 2.5) ** 2 + (sem.xy[:, 1] - 2.5) ** 2))
+        v0 = staggered_initial_velocity(sem.A, a.dt, u0, np.zeros_like(u0))
+        u1, _ = lts_newmark_run(sem.A, dof_level, a.dt, u0, v0, 5, mode="reference")
+        u2, _ = lts_newmark_run(sem.A, dof_level, a.dt, u0, v0, 5, mode="optimized")
+        assert np.max(np.abs(u1 - u2)) < 1e-12
+
+    def test_empty_intermediate_level_skipped(self):
+        mesh, sem, a, dof_level = _setup_1d(refinement=4)  # levels 1 and 3 only
+        assert a.counts()[1] == 0
+        solver = LTSNewmarkSolver(sem.A, dof_level, a.dt, mode="optimized")
+        assert solver.active_levels == [1, 3]
+
+
+class TestAccuracy:
+    def test_second_order_convergence(self):
+        mesh, sem, a, dof_level = _setup_1d(n_coarse=16, n_fine=16)
+        L = mesh.coords[:, 0].max()
+        k = np.pi / L
+        u_exact = lambda t: np.sin(k * sem.x) * np.cos(k * t)
+        T = 1.0
+        errs = []
+        base = int(np.ceil(T / a.dt))
+        for r in (1, 2, 4):
+            n = base * r
+            dt = T / n
+            u0 = np.sin(k * sem.x)
+            v0 = staggered_initial_velocity(sem.A, dt, u0, np.zeros_like(u0))
+            u, _ = lts_newmark_run(sem.A, dof_level, dt, u0, v0, n)
+            errs.append(np.max(np.abs(u - u_exact(T))))
+        orders = [np.log2(errs[i] / errs[i + 1]) for i in range(len(errs) - 1)]
+        assert all(o > 1.7 for o in orders), (errs, orders)
+
+    def test_energy_bounded_long_run(self):
+        mesh, sem, a, dof_level = _setup_1d()
+        L = mesh.coords[:, 0].max()
+        u = np.sin(np.pi * sem.x / L)
+        v = staggered_initial_velocity(sem.A, a.dt, u, np.zeros_like(u))
+        solver = LTSNewmarkSolver(sem.A, dof_level, a.dt)
+        energies = []
+        for _ in range(400):
+            u_prev = u.copy()
+            u, v = solver.step(u, v)
+            energies.append(discrete_energy(sem.M, sem.K, u_prev, u, v))
+        energies = np.asarray(energies)
+        assert np.ptp(energies) / abs(energies.mean()) < 1e-2
+        assert np.all(np.isfinite(energies))
+
+    def test_solution_tracks_newmark_at_dt_min(self):
+        mesh, sem, a, dof_level = _setup_1d(n_coarse=16, n_fine=16)
+        u0 = np.exp(-((sem.x - sem.x.mean()) ** 2) / 0.05)
+        n_cycles = 8
+        v0l = staggered_initial_velocity(sem.A, a.dt, u0, np.zeros_like(u0))
+        ul, _ = lts_newmark_run(sem.A, dof_level, a.dt, u0, v0l, n_cycles)
+        nsub = n_cycles * a.p_max
+        v0n = staggered_initial_velocity(sem.A, a.dt_min, u0, np.zeros_like(u0))
+        un, _ = NewmarkSolver(sem.A, a.dt_min).run(u0, v0n, nsub)
+        # Same simulated time, different step sizes: solutions agree to
+        # discretization accuracy (not machine precision).
+        assert np.max(np.abs(ul - un)) < 5e-3 * np.max(np.abs(un))
+
+
+class TestOperationCounts:
+    def test_stiffness_applications_per_level(self):
+        mesh, sem, a, dof_level = _setup_1d()
+        counter = OperationCounter()
+        solver = LTSNewmarkSolver(sem.A, dof_level, a.dt, counter=counter)
+        u0 = np.zeros(sem.n_dof)
+        solver.run(u0, u0, 1)
+        for k in solver.active_levels:
+            assert counter.applications_per_level[k] == 2 ** (k - 1)
+
+    def test_optimized_does_less_stiffness_work(self):
+        mesh, sem, a, dof_level = _setup_1d(n_coarse=24, n_fine=8)
+        u0 = np.zeros(sem.n_dof)
+        c_ref, c_opt = OperationCounter(), OperationCounter()
+        LTSNewmarkSolver(sem.A, dof_level, a.dt, mode="reference", counter=c_ref).run(u0, u0, 1)
+        LTSNewmarkSolver(sem.A, dof_level, a.dt, mode="optimized", counter=c_opt).run(u0, u0, 1)
+        assert c_opt.stiffness_ops < c_ref.stiffness_ops
+        assert c_opt.vector_ops < c_ref.vector_ops
+
+    def test_serial_efficiency_exceeds_90pct(self):
+        """The paper's Sec. II-C claim: >90% of the Eq.-(9) model speedup.
+
+        Measured in stiffness operations, the dominant cost of an SEM code
+        (a 3D order-4 element does ~125^2 multiply-adds per application
+        versus 125 for its vector updates; our 1D nnz proxy would
+        over-weight vector traffic by ~25x, so it is reported separately
+        with a looser bound).
+        """
+        mesh = refined_interval(n_coarse=96, n_fine=8, refinement=4, coarse_h=0.125)
+        sem = Sem1D(mesh, order=4, dirichlet=True)
+        a = assign_levels(mesh, c_cfl=0.4, order=4)
+        dof_level = dof_levels_from_elements(sem.element_dofs, a.level, sem.n_dof)
+        counter = OperationCounter()
+        solver = LTSNewmarkSolver(sem.A, dof_level, a.dt, counter=counter)
+        u0 = np.zeros(sem.n_dof)
+        solver.run(u0, u0, 1)
+        stiffness_speedup = (a.p_max * solver.A.nnz) / counter.stiffness_ops
+        eff = stiffness_speedup / theoretical_speedup(a)
+        assert eff > 0.9, eff
+        total_speedup = newmark_cycle_ops(solver.A, a.p_max) / counter.total_ops
+        assert total_speedup / theoretical_speedup(a) > 0.5
+
+    def test_counter_reset(self):
+        c = OperationCounter()
+        c.count_stiffness(1, 10)
+        c.count_vector(5)
+        c.reset()
+        assert c.total_ops == 0 and not c.applications_per_level
+
+
+class TestForce:
+    def test_coarse_source_matches_newmark_limit(self):
+        """With a source on coarse DOFs, LTS converges to the same solution."""
+        mesh, sem, a, dof_level = _setup_1d(n_coarse=16, n_fine=8)
+        from repro.sem import point_source, ricker
+
+        src_dof = sem.nearest_dof(0.2)  # in the coarse region
+        assert dof_level[src_dof] == 1
+        stf = ricker(f0=2.0)
+        force = point_source(sem.n_dof, src_dof, sem.M, stf)
+        T = 1.0
+        n = int(np.ceil(T / a.dt)) * 2
+        dt = T / n
+        u0 = np.zeros(sem.n_dof)
+        v0 = np.zeros(sem.n_dof)
+        ul, _ = lts_newmark_run(sem.A, dof_level, dt, u0, v0, n, force=force)
+        un, _ = NewmarkSolver(sem.A, dt / a.p_max, force=force).run(u0, v0, n * a.p_max)
+        assert np.max(np.abs(ul - un)) < 0.05 * np.max(np.abs(un))
+
+
+class TestFactory:
+    def test_make_solver_for_assignment(self):
+        mesh, sem, a, _ = _setup_1d()
+        solver = make_solver_for_assignment(sem.A, sem.element_dofs, a)
+        assert solver.dt == a.dt
+        assert solver.n_levels == a.n_levels

@@ -1,0 +1,46 @@
+"""Tests for the LTS cycle stage schedule."""
+
+import pytest
+
+from repro.core import assign_levels, build_schedule
+from repro.mesh import refined_interval
+from repro.util.errors import SolverError
+
+
+class TestBuildSchedule:
+    def test_single_level(self):
+        s = build_schedule(1)
+        assert s.n_stages == 1
+        assert s.stages == ((1,),)
+
+    def test_three_levels_stage_pattern(self):
+        s = build_schedule(3)
+        # p_max = 4 stages; level 3 steps every stage, level 2 every 2nd,
+        # level 1 only at stage 0.
+        assert s.n_stages == 4
+        assert s.stages[0] == (1, 2, 3)
+        assert s.stages[1] == (3,)
+        assert s.stages[2] == (2, 3)
+        assert s.stages[3] == (3,)
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5])
+    def test_steps_per_level_match_p(self, n):
+        s = build_schedule(n)
+        for k in range(1, n + 1):
+            assert s.steps_of_level(k) == 2 ** (k - 1)
+
+    def test_from_assignment(self):
+        a = assign_levels(refined_interval(4, 4, refinement=4))
+        s = build_schedule(a)
+        assert s.n_levels == a.n_levels
+        assert s.p_max == a.p_max
+
+    def test_rejects_zero_levels(self):
+        with pytest.raises(SolverError):
+            build_schedule(0)
+
+    def test_stage_has_level_geq(self):
+        s = build_schedule(3)
+        assert s.stage_has_level_geq(0, 1)
+        assert s.stage_has_level_geq(1, 3)
+        assert not s.stage_has_level_geq(1, 4)

@@ -1,0 +1,98 @@
+"""Tests for the speedup model (paper Eq. (9)) and its generalization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import assign_levels, theoretical_speedup, two_level_speedup, lts_cycle_cost
+from repro.core.levels import LevelAssignment
+from repro.core.speedup import serial_efficiency
+from repro.mesh import refined_interval, uniform_interval
+from repro.util.errors import SolverError
+
+
+class TestTwoLevelSpeedup:
+    def test_all_coarse_gives_p(self):
+        assert two_level_speedup(100, 0, 8) == pytest.approx(8.0)
+
+    def test_all_fine_gives_one(self):
+        assert two_level_speedup(100, 100, 8) == pytest.approx(1.0)
+
+    def test_paper_formula(self):
+        # Eq. (9) literally: p*N / (p*fine + coarse)
+        assert two_level_speedup(10, 2, 4) == pytest.approx(40 / (8 + 8))
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(SolverError):
+            two_level_speedup(10, 11, 2)
+
+    @given(
+        n=st.integers(1, 10_000),
+        fine=st.integers(0, 10_000),
+        p=st.integers(1, 64),
+    )
+    def test_bounds_property(self, n, fine, p):
+        """Speedup always lies in [1, p] (property from Eq. (9))."""
+        fine = min(fine, n)
+        s = two_level_speedup(n, fine, p)
+        assert 1.0 - 1e-12 <= s <= p + 1e-12
+
+    @given(n=st.integers(2, 1000), p=st.integers(2, 32))
+    def test_monotone_in_fine_count(self, n, p):
+        s_few = two_level_speedup(n, 1, p)
+        s_many = two_level_speedup(n, n - 1, p)
+        assert s_few >= s_many
+
+
+def _assignment(levels: np.ndarray, dt=1.0) -> LevelAssignment:
+    n = int(levels.max())
+    return LevelAssignment(level=levels, dt=dt, dt_min=dt / 2 ** (n - 1))
+
+
+class TestMultiLevel:
+    def test_matches_two_level_formula(self):
+        levels = np.array([1] * 90 + [4] * 10)  # p = 1 and 8
+        a = _assignment(levels)
+        assert theoretical_speedup(a) == pytest.approx(two_level_speedup(100, 10, 8))
+
+    def test_single_level_is_unity(self):
+        a = _assignment(np.ones(50, dtype=int))
+        assert theoretical_speedup(a) == pytest.approx(1.0)
+
+    def test_cycle_cost_sums_p(self):
+        a = _assignment(np.array([1, 2, 3, 3]))
+        assert lts_cycle_cost(a) == pytest.approx(1 + 2 + 4 + 4)
+
+    def test_weights_scale_cost(self):
+        a = _assignment(np.array([1, 2]))
+        assert lts_cycle_cost(a, weights=np.array([2.0, 1.0])) == pytest.approx(4.0)
+
+    def test_weight_shape_checked(self):
+        a = _assignment(np.array([1, 2]))
+        with pytest.raises(SolverError):
+            lts_cycle_cost(a, weights=np.ones(3))
+
+    @given(
+        counts=st.lists(st.integers(0, 500), min_size=1, max_size=6).filter(
+            lambda c: c[0] > 0 and c[-1] > 0 and sum(c) > 0
+        )
+    )
+    def test_speedup_bounded_by_pmax(self, counts):
+        levels = np.concatenate(
+            [np.full(c, k + 1, dtype=int) for k, c in enumerate(counts)]
+        )
+        a = _assignment(levels)
+        s = theoretical_speedup(a)
+        assert 1.0 - 1e-12 <= s <= a.p_max + 1e-12
+
+
+class TestSerialEfficiency:
+    def test_perfect_efficiency(self):
+        m = refined_interval(8, 8, refinement=4)
+        a = assign_levels(m)
+        assert serial_efficiency(theoretical_speedup(a), a) == pytest.approx(1.0)
+
+    def test_rejects_nonpositive(self):
+        a = _assignment(np.array([1, 2]))
+        with pytest.raises(SolverError):
+            serial_efficiency(0.0, a)

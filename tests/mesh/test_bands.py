@@ -1,0 +1,42 @@
+"""Tests for the distance-band refinement machinery."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.generators import _apply_bands, _index_centroids
+from repro.util import MeshError
+
+
+class TestApplyBands:
+    def test_band_sizes_halve(self):
+        dist = np.array([0.5, 1.5, 2.5, 9.0])
+        h = _apply_bands(1.0, dist, [1.0, 2.0, 3.0])
+        assert np.allclose(h, [1 / 8, 1 / 4, 1 / 2, 1.0])
+
+    def test_rejects_non_increasing_radii(self):
+        with pytest.raises(MeshError):
+            _apply_bands(1.0, np.zeros(3), [2.0, 1.0])
+
+    def test_no_bands_keeps_h0(self):
+        h = _apply_bands(2.0, np.arange(4, dtype=float), [])
+        assert np.allclose(h, 2.0)
+
+    def test_boundary_inclusive(self):
+        h = _apply_bands(1.0, np.array([1.0]), [1.0])
+        assert h[0] == pytest.approx(0.5)
+
+
+class TestIndexCentroids:
+    def test_unit_offsets(self):
+        c = _index_centroids((2, 3))
+        assert c.shape == (6, 2)
+        assert c[0].tolist() == [0.5, 0.5]
+        assert c[-1].tolist() == [1.5, 2.5]
+
+    def test_matches_mesh_centroids_on_unit_grid(self):
+        from repro.mesh import uniform_grid
+
+        m = uniform_grid((3, 2, 2))
+        c1 = _index_centroids((3, 2, 2))
+        c2 = m.element_centroids()
+        assert np.allclose(np.sort(c1, axis=0), np.sort(c2, axis=0))

@@ -1,0 +1,128 @@
+"""Tests for the benchmark mesh families, pinned to the paper's Fig. 5."""
+
+import numpy as np
+import pytest
+
+from repro.core import assign_levels, theoretical_speedup
+from repro.mesh import (
+    BENCHMARK_FAMILIES,
+    benchmark_mesh,
+    crust_mesh,
+    embedding_mesh,
+    refined_interval,
+    trench_big_mesh,
+    trench_mesh,
+    uniform_grid,
+)
+from repro.util import MeshError
+
+
+class TestRefinedInterval:
+    def test_sizes(self):
+        m = refined_interval(4, 3, refinement=4, coarse_h=1.0)
+        assert np.isclose(m.h.min(), 0.25) and np.isclose(m.h.max(), 1.0)
+        assert m.n_elements == 7
+
+    @pytest.mark.parametrize("pos", ["center", "left", "right"])
+    def test_positions_contiguous(self, pos):
+        m = refined_interval(4, 2, refinement=2, fine_position=pos)
+        x = m.coords[:, 0]
+        assert np.all(np.diff(np.sort(x)) > 0)
+
+    def test_bad_position_raises(self):
+        with pytest.raises(MeshError):
+            refined_interval(2, 2, fine_position="middle")
+
+    def test_total_length(self):
+        m = refined_interval(4, 4, refinement=4, coarse_h=1.0)
+        assert np.isclose(m.coords[:, 0].max(), 4 + 4 * 0.25)
+
+
+class TestUniformGrid:
+    def test_rejects_empty_axis(self):
+        with pytest.raises(MeshError):
+            uniform_grid((0, 3))
+
+    def test_lengths_control_spacing(self):
+        m = uniform_grid((4,), (2.0,))
+        assert np.allclose(m.h, 0.5)
+
+
+# Paper Fig. 5: family -> (theoretical speedup, n_levels)
+FIG5 = {
+    "trench": (6.7, 4),
+    "embedding": (7.9, 4),
+    "crust": (1.9, 2),
+    "trench_big": (21.7, 6),
+}
+
+
+class TestFig5Calibration:
+    """Default generator parameters must reproduce Fig. 5's speedups."""
+
+    @pytest.mark.parametrize("family", sorted(FIG5))
+    def test_level_count(self, family):
+        mesh = BENCHMARK_FAMILIES[family]()
+        a = assign_levels(mesh)
+        assert a.n_levels == FIG5[family][1]
+
+    @pytest.mark.parametrize("family", sorted(FIG5))
+    def test_theoretical_speedup_within_10pct(self, family):
+        mesh = BENCHMARK_FAMILIES[family]()
+        a = assign_levels(mesh)
+        s = theoretical_speedup(a)
+        target = FIG5[family][0]
+        assert abs(s - target) / target < 0.10, f"{family}: {s:.2f} vs {target}"
+
+    def test_every_level_populated(self):
+        for family in FIG5:
+            a = assign_levels(BENCHMARK_FAMILIES[family]())
+            assert np.all(a.counts() > 0), family
+
+
+class TestFamilyGeometry:
+    def test_trench_refinement_is_a_strip(self):
+        m = trench_mesh(nx=20, ny=16, nz=8)
+        fine = m.h < 0.9
+        cents = m.element_centroids()[fine]
+        # The strip spans the full x extent but is localized in y and z.
+        assert cents[:, 0].max() - cents[:, 0].min() > 18
+        assert cents[:, 1].max() - cents[:, 1].min() < 16
+        assert cents[:, 2].min() < 1.0  # hugs the surface
+
+    def test_embedding_refinement_is_interior(self):
+        m = embedding_mesh(nx=16, ny=16, nz=16)
+        fine = m.h < 0.9
+        cents = m.element_centroids()[fine]
+        centre = np.array([8.0, 8.0, 8.0])
+        assert np.all(np.linalg.norm(cents - centre, axis=1) < 8)
+
+    def test_crust_refines_entire_surface(self):
+        m = crust_mesh(nx=8, ny=8, nz=10)
+        fine = m.h < 0.9
+        cents = m.element_centroids()
+        surface = cents[:, 2] < 1.0
+        assert np.array_equal(fine, surface)
+
+    def test_crust_rejects_bad_layers(self):
+        with pytest.raises(MeshError):
+            crust_mesh(nz=4, surface_layers=4)
+
+    def test_trench_big_has_six_sizes(self):
+        m = trench_big_mesh()
+        assert len(np.unique(m.h)) == 6
+
+
+class TestBenchmarkMeshDispatch:
+    def test_unknown_family(self):
+        with pytest.raises(MeshError):
+            benchmark_mesh("volcano")
+
+    def test_scale_changes_resolution(self):
+        small = benchmark_mesh("trench", scale=0.5)
+        full = benchmark_mesh("trench")
+        assert small.n_elements < full.n_elements
+
+    def test_explicit_kwargs_win_over_scale(self):
+        m = benchmark_mesh("trench", scale=0.5, nx=10)
+        assert m.name == "trench"

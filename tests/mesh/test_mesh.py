@@ -1,0 +1,113 @@
+"""Unit tests for the Mesh data structure (connectivity, dual graph)."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import Mesh, uniform_grid, uniform_interval
+from repro.util import MeshError
+
+
+class TestMeshValidation:
+    def test_rejects_bad_dim(self):
+        with pytest.raises(MeshError):
+            Mesh(dim=4, coords=np.zeros((2, 4)), elements=np.zeros((1, 16), dtype=int),
+                 h=np.ones(1), c=np.ones(1))
+
+    def test_rejects_wrong_corner_count(self):
+        with pytest.raises(MeshError, match="corner nodes"):
+            Mesh(dim=2, coords=np.zeros((4, 2)), elements=np.zeros((1, 8), dtype=int),
+                 h=np.ones(1), c=np.ones(1))
+
+    def test_rejects_out_of_range_connectivity(self):
+        with pytest.raises(MeshError, match="outside"):
+            Mesh(dim=1, coords=np.zeros((2, 1)),
+                 elements=np.array([[0, 5]]), h=np.ones(1), c=np.ones(1))
+
+    def test_rejects_nonpositive_h(self):
+        with pytest.raises(MeshError, match="h must be"):
+            Mesh(dim=1, coords=np.array([[0.0], [1.0]]),
+                 elements=np.array([[0, 1]]), h=np.array([0.0]), c=np.ones(1))
+
+    def test_rejects_nonpositive_c(self):
+        with pytest.raises(MeshError, match="c must be"):
+            Mesh(dim=1, coords=np.array([[0.0], [1.0]]),
+                 elements=np.array([[0, 1]]), h=np.ones(1), c=np.array([-1.0]))
+
+
+class TestCounts:
+    @pytest.mark.parametrize("shape", [(5,), (3, 4), (2, 3, 4)])
+    def test_element_and_node_counts(self, shape):
+        m = uniform_grid(shape)
+        assert m.n_elements == int(np.prod(shape))
+        assert m.n_nodes == int(np.prod([n + 1 for n in shape]))
+
+    def test_dt_local_is_h_over_c(self):
+        m = uniform_interval(4, length=2.0, c=2.0)
+        assert np.allclose(m.dt_local, 0.25)
+
+
+class TestDualGraph:
+    def test_1d_chain_adjacency(self):
+        m = uniform_interval(5)
+        xadj, adjncy = m.dual_graph()
+        degrees = np.diff(xadj)
+        assert degrees[0] == 1 and degrees[-1] == 1
+        assert np.all(degrees[1:-1] == 2)
+
+    def test_2d_interior_degree_four(self):
+        m = uniform_grid((4, 4))
+        xadj, _ = m.dual_graph()
+        degrees = np.diff(xadj)
+        # corner elements have 2 neighbours, edges 3, interior 4
+        assert sorted(np.unique(degrees)) == [2, 3, 4]
+        assert degrees.sum() == 2 * (2 * 4 * 3)  # 2 * #faces_interior
+
+    def test_3d_interior_degree_six(self):
+        m = uniform_grid((3, 3, 3))
+        xadj, adjncy = m.dual_graph()
+        centre = 13  # middle element of 3x3x3 C-ordered grid
+        assert len(m.neighbors_of(centre)) == 6
+
+    def test_symmetry(self):
+        m = uniform_grid((3, 4))
+        xadj, adjncy = m.dual_graph()
+        pairs = set()
+        for u in range(m.n_elements):
+            for v in adjncy[xadj[u]:xadj[u + 1]]:
+                pairs.add((u, int(v)))
+        assert all((v, u) in pairs for (u, v) in pairs)
+
+    def test_neighbors_share_a_face(self):
+        m = uniform_grid((3, 3, 2))
+        for e in range(m.n_elements):
+            faces_e = set(m.faces_of_element(e))
+            for nb in m.neighbors_of(e):
+                assert faces_e & set(m.faces_of_element(int(nb)))
+
+
+class TestNodeIncidence:
+    def test_total_incidence_matches_elements(self):
+        m = uniform_grid((3, 3))
+        inc = m.node_incidence()
+        assert len(inc.elems) == m.n_elements * 4
+
+    def test_interior_corner_touches_four_quads(self):
+        m = uniform_grid((2, 2))
+        inc = m.node_incidence()
+        counts = np.diff(inc.xadj)
+        assert counts.max() == 4  # the central node, as in the paper's Fig. 3
+        assert np.count_nonzero(counts == 4) == 1
+
+    def test_elements_of_are_consistent(self):
+        m = uniform_grid((3, 2, 2))
+        inc = m.node_incidence()
+        for n in range(m.n_nodes):
+            for e in inc.elements_of(n):
+                assert n in m.elements[e]
+
+
+class TestCentroids:
+    def test_unit_grid_centroids(self):
+        m = uniform_grid((2, 2))
+        c = m.element_centroids()
+        assert np.allclose(sorted(c[:, 0]), [0.5, 0.5, 1.5, 1.5])

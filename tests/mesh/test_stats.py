@@ -1,0 +1,49 @@
+"""Tests for DOF counting (paper Fig. 5 bookkeeping)."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import dof_count, mesh_stats, uniform_grid, uniform_interval
+
+
+class TestDofCount:
+    @pytest.mark.parametrize("n,order", [(3, 4), (5, 2), (1, 1)])
+    def test_1d_formula(self, n, order):
+        m = uniform_interval(n)
+        assert dof_count(m, order) == n * order + 1
+
+    @pytest.mark.parametrize("shape,order", [((3, 4), 4), ((2, 2), 2), ((5, 1), 3)])
+    def test_2d_structured_formula(self, shape, order):
+        m = uniform_grid(shape)
+        expected = np.prod([order * s + 1 for s in shape])
+        assert dof_count(m, order) == expected
+
+    @pytest.mark.parametrize("shape,order", [((2, 3, 2), 4), ((2, 2, 2), 2)])
+    def test_3d_structured_formula(self, shape, order):
+        m = uniform_grid(shape)
+        expected = np.prod([order * s + 1 for s in shape])
+        assert dof_count(m, order) == expected
+
+    def test_order4_hex_has_125_nodes_per_element(self):
+        # Single hex: (4+1)^3 = 125, the paper's "125 nodes per element".
+        m = uniform_grid((1, 1, 1))
+        assert dof_count(m, 4) == 125
+
+
+class TestMeshStats:
+    def test_fields(self):
+        m = uniform_grid((2, 2, 2))
+        s = mesh_stats(m)
+        assert s.n_elements == 8
+        assert s.n_dof == dof_count(m, 4)
+        assert s.dt_ratio == pytest.approx(1.0)
+
+    def test_dt_ratio_reflects_refinement(self):
+        from repro.mesh import refined_interval
+
+        m = refined_interval(4, 4, refinement=8)
+        assert mesh_stats(m).dt_ratio == pytest.approx(8.0)
+
+    def test_row_is_renderable(self):
+        row = mesh_stats(uniform_grid((2, 2))).row()
+        assert all(isinstance(x, (str, int)) for x in row)

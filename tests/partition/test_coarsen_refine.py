@@ -1,0 +1,147 @@
+"""Tests for multilevel building blocks: matching, contraction, refinement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.partition.coarsen import coarsen_to_size, contract, heavy_edge_matching
+from repro.partition.graph import Graph, graph_from_edges
+from repro.partition.metrics import graph_cut
+from repro.partition.refine import (
+    balance_bounds_from_weights,
+    kway_refine,
+    lower_bounds_from_weights,
+    part_weights,
+    repair_balance,
+)
+
+
+def grid_graph(nx: int, ny: int, seed=0) -> Graph:
+    edges = []
+    for i in range(nx):
+        for j in range(ny):
+            v = i * ny + j
+            if i + 1 < nx:
+                edges.append((v, v + ny, 1.0))
+            if j + 1 < ny:
+                edges.append((v, v + 1, 1.0))
+    return graph_from_edges(nx * ny, edges)
+
+
+@st.composite
+def random_graphs(draw):
+    n = draw(st.integers(4, 40))
+    m = draw(st.integers(n - 1, 3 * n))
+    rng = np.random.default_rng(draw(st.integers(0, 2**32 - 1)))
+    edges = set()
+    # Spanning path ensures connectivity.
+    for i in range(n - 1):
+        edges.add((i, i + 1))
+    for _ in range(m):
+        a, b = rng.integers(0, n, 2)
+        if a != b:
+            edges.add((min(a, b), max(a, b)))
+    elist = [(a, b, float(rng.integers(1, 5))) for a, b in sorted(edges)]
+    return graph_from_edges(n, elist)
+
+
+class TestMatching:
+    def test_match_is_pairing(self, rng):
+        g = grid_graph(6, 6)
+        match, nc = heavy_edge_matching(g, rng)
+        counts = np.bincount(match, minlength=nc)
+        assert np.all(counts >= 1) and np.all(counts <= 2)
+        assert nc < g.n_vertices
+
+    def test_weight_cap_respected(self, rng):
+        g = graph_from_edges(
+            4, [(0, 1, 5.0), (2, 3, 5.0)], vweights=np.array([[10.0], [10.0], [1.0], [1.0]])
+        )
+        match, nc = heavy_edge_matching(g, rng, weight_cap=np.array([12.0]))
+        # vertices 0,1 must not merge (20 > 12); 2,3 may (2 <= 12).
+        assert match[0] != match[1]
+
+    @given(random_graphs())
+    @settings(max_examples=20, deadline=None)
+    def test_contract_preserves_total_weight(self, g):
+        rng = np.random.default_rng(0)
+        match, nc = heavy_edge_matching(g, rng)
+        coarse = contract(g, match, nc)
+        assert np.allclose(coarse.total_weight(), g.total_weight())
+
+    @given(random_graphs())
+    @settings(max_examples=20, deadline=None)
+    def test_contract_preserves_cut_of_lifted_partitions(self, g):
+        """Any coarse partition, lifted to the fine graph, has equal cut."""
+        rng = np.random.default_rng(1)
+        match, nc = heavy_edge_matching(g, rng)
+        coarse = contract(g, match, nc)
+        parts_c = rng.integers(0, 3, nc)
+        parts_f = parts_c[match]
+        assert graph_cut(coarse, parts_c, 3) == pytest.approx(
+            graph_cut(g, parts_f, 3)
+        )
+
+    def test_coarsen_to_size_terminates(self, rng):
+        g = grid_graph(12, 12)
+        graphs, matches = coarsen_to_size(g, 20, rng)
+        assert graphs[-1].n_vertices <= max(20, graphs[0].n_vertices)
+        assert len(graphs) == len(matches) + 1
+        for i, m in enumerate(matches):
+            assert len(m) == graphs[i].n_vertices
+
+
+class TestBounds:
+    def test_upper_bounds_admit_average(self):
+        vw = np.ones((10, 1))
+        Lmax = balance_bounds_from_weights(vw, 2, eps=0.0)
+        assert np.all(Lmax >= 5.0)
+
+    def test_zero_constraint_inactive(self):
+        vw = np.zeros((4, 1))
+        Lmax = balance_bounds_from_weights(vw, 2, eps=0.05)
+        assert np.all(np.isinf(Lmax))
+
+    def test_lower_bounds_floor_zero(self):
+        vw = np.ones((3, 1))
+        Lmin = lower_bounds_from_weights(vw, 8, eps=0.01)
+        assert np.all(Lmin >= 0.0)
+
+
+class TestRefine:
+    def test_refine_never_increases_cut(self, rng):
+        g = grid_graph(10, 10)
+        parts = rng.integers(0, 4, g.n_vertices)
+        before = graph_cut(g, parts.copy(), 4)
+        after_parts = kway_refine(g, parts.copy(), 4, eps=0.5, rng=rng)
+        assert graph_cut(g, after_parts, 4) <= before
+
+    def test_refine_keeps_partition_valid(self, rng):
+        g = grid_graph(8, 8)
+        parts = rng.integers(0, 4, g.n_vertices)
+        out = kway_refine(g, parts, 4, rng=rng)
+        assert out.min() >= 0 and out.max() < 4
+        assert len(np.unique(out)) == 4  # no part emptied
+
+    def test_repair_meets_bounds(self, rng):
+        g = grid_graph(8, 8)
+        parts = np.zeros(g.n_vertices, dtype=np.int64)  # everything on part 0
+        parts[:4] = 1
+        out = repair_balance(g, parts, 2, eps=0.10, rng=rng)
+        W = part_weights(g, out, 2)
+        Lmax = balance_bounds_from_weights(g.vweights, 2, 0.10)
+        assert np.all(W <= Lmax + 1e-9)
+
+    def test_repair_multi_constraint(self, rng):
+        # Two constraints: type A (vertices 0..31), type B (32..63).
+        g = grid_graph(8, 8)
+        vw = np.zeros((64, 2))
+        vw[:32, 0] = 1.0
+        vw[32:, 1] = 1.0
+        g = Graph(xadj=g.xadj, adjncy=g.adjncy, vweights=vw, eweights=g.eweights)
+        parts = np.zeros(64, dtype=np.int64)
+        parts[::7] = 1
+        out = repair_balance(g, parts, 2, eps=0.25, rng=rng)
+        W = part_weights(g, out, 2)
+        Lmax = balance_bounds_from_weights(vw, 2, 0.25)
+        assert np.all(W <= Lmax + 1e-9)

@@ -1,0 +1,114 @@
+"""Tests for the Graph and Hypergraph data structures."""
+
+import numpy as np
+import pytest
+
+from repro.partition import Graph, Hypergraph
+from repro.partition.graph import graph_from_edges
+from repro.util import PartitionError
+
+
+def path_graph(n: int) -> Graph:
+    return graph_from_edges(n, [(i, i + 1, 1.0) for i in range(n - 1)])
+
+
+class TestGraph:
+    def test_counts(self):
+        g = path_graph(5)
+        assert g.n_vertices == 5
+        assert g.n_edges == 4
+        assert g.n_constraints == 1
+
+    def test_neighbors(self):
+        g = path_graph(4)
+        assert sorted(g.neighbors(1)) == [0, 2]
+        assert g.degree(0) == 1
+
+    def test_total_weight(self):
+        g = graph_from_edges(3, [(0, 1, 1.0)], vweights=np.array([[1, 2], [3, 4], [5, 6]]))
+        assert np.allclose(g.total_weight(), [9, 12])
+
+    def test_validate_symmetry_ok(self):
+        path_graph(6).validate_symmetry()
+
+    def test_asymmetric_graph_detected(self):
+        g = path_graph(3)
+        bad = Graph(
+            xadj=np.array([0, 1, 1, 1]),
+            adjncy=np.array([1]),
+            vweights=np.ones((3, 1)),
+            eweights=np.array([1.0]),
+        )
+        with pytest.raises(PartitionError):
+            bad.validate_symmetry()
+
+    def test_rejects_self_loop_in_builder(self):
+        with pytest.raises(PartitionError):
+            graph_from_edges(2, [(0, 0, 1.0)])
+
+    def test_rejects_out_of_range_adjncy(self):
+        with pytest.raises(PartitionError):
+            Graph(
+                xadj=np.array([0, 1]),
+                adjncy=np.array([5]),
+                vweights=np.ones((1, 1)),
+                eweights=np.ones(1),
+            )
+
+    def test_subgraph_induces_edges(self):
+        g = path_graph(5)
+        sub, ids = g.subgraph(np.array([1, 2, 3]))
+        assert sub.n_vertices == 3
+        assert sub.n_edges == 2  # 1-2 and 2-3 survive
+        assert list(ids) == [1, 2, 3]
+
+    def test_connected_components(self):
+        g = graph_from_edges(5, [(0, 1, 1.0), (2, 3, 1.0)])
+        comp = g.connected_components()
+        assert comp[0] == comp[1]
+        assert comp[2] == comp[3]
+        assert len(np.unique(comp)) == 3
+
+
+class TestHypergraph:
+    def _h(self):
+        # Fig.-3-style: central net with 4 pins + two 2-pin nets.
+        return Hypergraph(
+            n_vertices=4,
+            xpins=np.array([0, 4, 6, 8]),
+            pins=np.array([0, 1, 2, 3, 0, 1, 2, 3]),
+            costs=np.array([2.0, 1.0, 1.0]),
+            vweights=np.ones((4, 1)),
+        )
+
+    def test_counts(self):
+        h = self._h()
+        assert h.n_nets == 3
+        assert h.n_pins == 8
+        assert h.net_size(0) == 4
+
+    def test_vertex_nets_inverse(self):
+        h = self._h()
+        for v in range(4):
+            for net in h.nets_of_vertex(v):
+                assert v in h.net_pins(int(net))
+
+    def test_rejects_inconsistent_xpins(self):
+        with pytest.raises(PartitionError):
+            Hypergraph(
+                n_vertices=2,
+                xpins=np.array([0, 3]),
+                pins=np.array([0, 1]),
+                costs=np.array([1.0]),
+                vweights=np.ones((2, 1)),
+            )
+
+    def test_rejects_pin_out_of_range(self):
+        with pytest.raises(PartitionError):
+            Hypergraph(
+                n_vertices=2,
+                xpins=np.array([0, 1]),
+                pins=np.array([7]),
+                costs=np.array([1.0]),
+                vweights=np.ones((2, 1)),
+            )

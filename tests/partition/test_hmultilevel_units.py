@@ -1,0 +1,125 @@
+"""Unit tests for the hypergraph multilevel building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.core import assign_levels
+from repro.mesh import trench_mesh, uniform_grid
+from repro.partition import Hypergraph, hypergraph_cutsize, lts_hypergraph
+from repro.partition.hmultilevel import (
+    _KWayState,
+    clique_expansion,
+    contract_hypergraph,
+    heavy_connectivity_matching,
+    hg_kway_refine,
+    hg_repair_balance,
+)
+
+
+@pytest.fixture(scope="module")
+def hg():
+    mesh = trench_mesh(nx=6, ny=6, nz=3)
+    a = assign_levels(mesh)
+    return lts_hypergraph(mesh, a)
+
+
+class TestMatching:
+    def test_pairing_valid(self, hg, rng):
+        match, nc = heavy_connectivity_matching(hg, rng)
+        counts = np.bincount(match, minlength=nc)
+        assert np.all(counts >= 1) and np.all(counts <= 2)
+        assert nc < hg.n_vertices
+
+
+class TestContraction:
+    def test_preserves_total_weight(self, hg, rng):
+        match, nc = heavy_connectivity_matching(hg, rng)
+        coarse = contract_hypergraph(hg, match, nc)
+        assert np.allclose(coarse.total_weight(), hg.total_weight())
+
+    def test_preserves_cutsize_of_lifted_partitions(self, hg, rng):
+        """Dropping single-pin nets and merging identical nets must not
+        change the cutsize of any partition lifted from the coarse level."""
+        match, nc = heavy_connectivity_matching(hg, rng)
+        coarse = contract_hypergraph(hg, match, nc)
+        for k in (2, 4):
+            parts_c = rng.integers(0, k, nc)
+            parts_f = parts_c[match]
+            assert hypergraph_cutsize(coarse, parts_c, k) == pytest.approx(
+                hypergraph_cutsize(hg, parts_f, k)
+            )
+
+    def test_drops_single_pin_nets(self):
+        h = Hypergraph(
+            n_vertices=3,
+            xpins=np.array([0, 2, 3]),
+            pins=np.array([0, 1, 2]),
+            costs=np.array([1.0, 5.0]),
+            vweights=np.ones((3, 1)),
+        )
+        coarse = contract_hypergraph(h, np.array([0, 1, 2]), 3)
+        assert coarse.n_nets == 1  # the single-pin net vanished
+
+
+class TestCliqueExpansion:
+    def test_edge_weights_sum_net_costs(self):
+        h = Hypergraph(
+            n_vertices=3,
+            xpins=np.array([0, 3]),
+            pins=np.array([0, 1, 2]),
+            costs=np.array([4.0]),
+            vweights=np.ones((3, 1)),
+        )
+        g = clique_expansion(h)
+        # 3 pins -> 3 edges of weight c/(|h|-1) = 2.
+        assert g.n_edges == 3
+        assert np.allclose(g.eweights, 2.0)
+
+
+class TestKWayState:
+    def test_gain_matches_recomputation(self, hg, rng):
+        k = 3
+        parts = rng.integers(0, k, hg.n_vertices)
+        state = _KWayState(hg, parts, k)
+        before = hypergraph_cutsize(hg, parts, k)
+        for v in rng.choice(hg.n_vertices, size=12, replace=False):
+            a = int(parts[v])
+            for b in range(k):
+                if b == a:
+                    continue
+                trial = parts.copy()
+                trial[v] = b
+                after = hypergraph_cutsize(hg, trial, k)
+                assert state.gain(int(v), a, b) == pytest.approx(before - after)
+
+    def test_apply_move_updates_counts(self, hg, rng):
+        k = 2
+        parts = rng.integers(0, k, hg.n_vertices)
+        state = _KWayState(hg, parts, k)
+        v = 0
+        a = int(parts[v])
+        state.apply_move(v, a, 1 - a)
+        parts[v] = 1 - a
+        fresh = _KWayState(hg, parts, k)
+        assert np.array_equal(state.counts, fresh.counts)
+
+
+class TestRefineRepair:
+    def test_refine_never_increases_cutsize(self, hg, rng):
+        k = 4
+        parts = rng.integers(0, k, hg.n_vertices)
+        before = hypergraph_cutsize(hg, parts.copy(), k)
+        out = hg_kway_refine(hg, parts.copy(), k, eps=0.5, rng=rng)
+        assert hypergraph_cutsize(hg, out, k) <= before
+
+    def test_repair_reaches_bounds(self, hg, rng):
+        from repro.partition.refine import balance_bounds_from_weights
+
+        k = 2
+        parts = np.zeros(hg.n_vertices, dtype=np.int64)
+        parts[:3] = 1
+        out = hg_repair_balance(hg, parts, k, eps=0.2, rng=rng)
+        W = np.zeros((k, hg.n_constraints))
+        np.add.at(W, out, hg.vweights)
+        Lmax = balance_bounds_from_weights(hg.vweights, k, 0.2)
+        assert np.all(W <= Lmax + 1e-9)

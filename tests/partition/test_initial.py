@@ -1,0 +1,89 @@
+"""Tests for initial partitioning: greedy growing and recursive bisection."""
+
+import numpy as np
+import pytest
+
+from repro.partition.graph import Graph, graph_from_edges
+from repro.partition.initial import (
+    grow_bisection,
+    pseudo_peripheral_vertex,
+    recursive_bisection,
+)
+from repro.partition.metrics import graph_cut
+from repro.util import PartitionError
+
+
+def path_graph(n):
+    return graph_from_edges(n, [(i, i + 1, 1.0) for i in range(n - 1)])
+
+
+def grid_graph(nx, ny):
+    edges = []
+    for i in range(nx):
+        for j in range(ny):
+            v = i * ny + j
+            if i + 1 < nx:
+                edges.append((v, v + ny, 1.0))
+            if j + 1 < ny:
+                edges.append((v, v + 1, 1.0))
+    return graph_from_edges(nx * ny, edges)
+
+
+class TestPseudoPeripheral:
+    def test_path_endpoint(self, rng):
+        g = path_graph(17)
+        v = pseudo_peripheral_vertex(g, rng)
+        assert v in (0, 16)
+
+    def test_grid_corner_ish(self, rng):
+        g = grid_graph(6, 6)
+        v = pseudo_peripheral_vertex(g, rng)
+        # must be on the boundary of the grid
+        i, j = divmod(v, 6)
+        assert i in (0, 5) or j in (0, 5)
+
+
+class TestGrowBisection:
+    def test_halves_a_path(self, rng):
+        g = path_graph(20)
+        side = grow_bisection(g, 0.5, rng)
+        assert sorted(np.unique(side)) == [0, 1]
+        # A path's optimal bisection cuts one edge.
+        assert graph_cut(g, side, 2) == pytest.approx(1.0)
+
+    def test_respects_target_fraction(self, rng):
+        g = grid_graph(8, 8)
+        side = grow_bisection(g, 0.25, rng)
+        n0 = int(np.sum(side == 0))
+        assert 8 <= n0 <= 28  # ~16 +- growth granularity
+
+    def test_rejects_bad_fraction(self, rng):
+        with pytest.raises(PartitionError):
+            grow_bisection(path_graph(4), 0.0, rng)
+
+
+class TestRecursiveBisection:
+    @pytest.mark.parametrize("k", [2, 3, 4, 7, 8])
+    def test_produces_k_nonempty_parts(self, rng, k):
+        g = grid_graph(8, 8)
+        parts = recursive_bisection(g, k, 0.05, rng)
+        assert len(np.unique(parts)) == k
+
+    def test_k1(self, rng):
+        g = grid_graph(3, 3)
+        assert np.all(recursive_bisection(g, 1, 0.05, rng) == 0)
+
+    def test_k_equals_n(self, rng):
+        g = path_graph(6)
+        parts = recursive_bisection(g, 6, 0.05, rng)
+        assert len(np.unique(parts)) == 6
+
+    def test_too_many_parts_rejected(self, rng):
+        with pytest.raises(PartitionError):
+            recursive_bisection(path_graph(3), 5, 0.05, rng)
+
+    def test_balanced_sizes_on_grid(self, rng):
+        g = grid_graph(8, 8)
+        parts = recursive_bisection(g, 4, 0.05, rng)
+        counts = np.bincount(parts, minlength=4)
+        assert counts.max() <= 2 * counts.min()

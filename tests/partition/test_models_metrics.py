@@ -1,0 +1,177 @@
+"""Tests for the LTS partitioning models and quality metrics.
+
+The central invariant (paper Sec. III-A-2): the λ−1 cutsize of the LTS
+hypergraph equals the per-cycle MPI volume counted directly on the mesh,
+for *any* partition — verified here against random partitions.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import assign_levels
+from repro.mesh import trench_mesh, uniform_grid
+from repro.partition import (
+    graph_cut,
+    hypergraph_cutsize,
+    load_imbalance,
+    lts_dual_graph,
+    lts_hypergraph,
+    mpi_volume,
+    per_level_imbalance,
+    partition_report,
+)
+from repro.partition.metrics import message_count, part_loads, per_level_halo_nodes
+from repro.util import PartitionError
+
+
+@pytest.fixture(scope="module")
+def mesh_and_levels():
+    mesh = trench_mesh(nx=8, ny=8, nz=4)
+    return mesh, assign_levels(mesh)
+
+
+class TestDualGraphModel:
+    def test_multi_constraint_weights_are_indicators(self, mesh_and_levels):
+        mesh, a = mesh_and_levels
+        g = lts_dual_graph(mesh, a, multi_constraint=True)
+        assert g.n_constraints == a.n_levels
+        assert np.allclose(g.vweights.sum(axis=1), 1.0)
+        rows = np.argmax(g.vweights, axis=1) + 1
+        assert np.array_equal(rows, a.level)
+
+    def test_single_weight_is_p(self, mesh_and_levels):
+        mesh, a = mesh_and_levels
+        g = lts_dual_graph(mesh, a, multi_constraint=False)
+        assert np.array_equal(g.vweights[:, 0], a.p_per_element)
+
+    def test_edge_weight_is_max_p(self, mesh_and_levels):
+        mesh, a = mesh_and_levels
+        g = lts_dual_graph(mesh, a)
+        p = a.p_per_element
+        for v in range(0, g.n_vertices, 97):
+            for idx in range(int(g.xadj[v]), int(g.xadj[v + 1])):
+                u = int(g.adjncy[idx])
+                assert g.eweights[idx] == max(p[v], p[u])
+
+    def test_mismatched_assignment_rejected(self, mesh_and_levels):
+        mesh, a = mesh_and_levels
+        other = assign_levels(uniform_grid((2, 2, 2)))
+        with pytest.raises(PartitionError):
+            lts_dual_graph(mesh, other)
+
+
+class TestHypergraphModel:
+    def test_one_net_per_mesh_node(self, mesh_and_levels):
+        mesh, a = mesh_and_levels
+        h = lts_hypergraph(mesh, a)
+        assert h.n_nets == mesh.n_nodes
+
+    def test_net_cost_is_sum_of_p(self, mesh_and_levels):
+        mesh, a = mesh_and_levels
+        h = lts_hypergraph(mesh, a)
+        inc = mesh.node_incidence()
+        p = a.p_per_element
+        for n in range(0, h.n_nets, 131):
+            elems = inc.elements_of(n)
+            assert h.costs[n] == pytest.approx(p[elems].sum())
+
+    def test_cutsize_equals_mpi_volume_random_partitions(self, mesh_and_levels):
+        """The paper's exactness claim, for arbitrary partitions."""
+        mesh, a = mesh_and_levels
+        h = lts_hypergraph(mesh, a)
+        rng = np.random.default_rng(7)
+        for k in (2, 5, 9):
+            parts = rng.integers(0, k, mesh.n_elements)
+            assert hypergraph_cutsize(h, parts, k) == pytest.approx(
+                mpi_volume(mesh, a, parts, k)
+            )
+
+    def test_single_part_zero_volume(self, mesh_and_levels):
+        mesh, a = mesh_and_levels
+        parts = np.zeros(mesh.n_elements, dtype=int)
+        assert mpi_volume(mesh, a, parts, 1) == 0.0
+        h = lts_hypergraph(mesh, a)
+        assert hypergraph_cutsize(h, parts, 1) == 0.0
+
+
+class TestImbalance:
+    def test_eq21_formula(self):
+        assert load_imbalance(np.array([100.0, 80.0])) == pytest.approx(20.0)
+
+    def test_zero_loads(self):
+        assert load_imbalance(np.zeros(4)) == 0.0
+
+    def test_perfect_balance(self):
+        assert load_imbalance(np.full(8, 3.0)) == 0.0
+
+    def test_part_loads_weighted_by_p(self, mesh_and_levels):
+        mesh, a = mesh_and_levels
+        parts = np.zeros(mesh.n_elements, dtype=int)
+        loads = part_loads(a, parts, 2)
+        assert loads[0] == pytest.approx(a.p_per_element.sum())
+        assert loads[1] == 0.0
+
+    def test_per_level_detects_hoarding(self, mesh_and_levels):
+        mesh, a = mesh_and_levels
+        # All finest elements on part 0: that level reads 100%.
+        parts = np.arange(mesh.n_elements) % 2
+        parts[a.level == a.n_levels] = 0
+        lvl = per_level_imbalance(a, parts, 2)
+        assert lvl[-1] == pytest.approx(100.0)
+
+    def test_rejects_bad_part_ids(self, mesh_and_levels):
+        mesh, a = mesh_and_levels
+        bad = np.full(mesh.n_elements, 5)
+        with pytest.raises(PartitionError):
+            part_loads(a, bad, 2)
+
+
+class TestCutMetrics:
+    def test_graph_cut_brute_force(self, mesh_and_levels):
+        mesh, a = mesh_and_levels
+        g = lts_dual_graph(mesh, a)
+        rng = np.random.default_rng(3)
+        parts = rng.integers(0, 3, mesh.n_elements)
+        brute = 0.0
+        seen = set()
+        for v in range(g.n_vertices):
+            for idx in range(int(g.xadj[v]), int(g.xadj[v + 1])):
+                u = int(g.adjncy[idx])
+                key = (min(u, v), max(u, v))
+                if key in seen:
+                    continue
+                seen.add(key)
+                if parts[u] != parts[v]:
+                    brute += g.eweights[idx]
+        assert graph_cut(g, parts, 3) == pytest.approx(brute)
+
+    def test_message_count_symmetric_pairs(self, mesh_and_levels):
+        mesh, _ = mesh_and_levels
+        parts = (mesh.element_centroids()[:, 0] > 4).astype(int)
+        assert message_count(mesh, parts, 2) == 2  # one pair, both directions
+
+    def test_per_level_halo_rowsum_positive_when_cut(self, mesh_and_levels):
+        mesh, a = mesh_and_levels
+        parts = (mesh.element_centroids()[:, 0] > 4).astype(int)
+        halo = per_level_halo_nodes(mesh, a, parts, 2)
+        assert halo.shape == (2, a.n_levels)
+        assert halo.sum() > 0
+
+
+class TestPartitionReport:
+    def test_report_fields(self, mesh_and_levels):
+        mesh, a = mesh_and_levels
+        parts = np.arange(mesh.n_elements) % 4
+        rep = partition_report(mesh, a, parts, 4)
+        assert rep.k == 4
+        assert rep.mpi_volume > 0
+        assert 0 <= rep.total_imbalance <= 100
+        assert len(rep.level_imbalance) == a.n_levels
+        assert rep.n_empty_parts == 0
+
+    def test_report_row_render(self, mesh_and_levels):
+        mesh, a = mesh_and_levels
+        parts = np.arange(mesh.n_elements) % 4
+        row = partition_report(mesh, a, parts, 4).row("X")
+        assert row[0] == "X" and row[1] == 4

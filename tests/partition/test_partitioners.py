@@ -1,0 +1,143 @@
+"""Tests for the multilevel engines and the paper's four strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core import assign_levels
+from repro.mesh import trench_mesh, uniform_grid
+from repro.partition import (
+    PARTITIONERS,
+    hypergraph_cutsize,
+    load_imbalance,
+    lts_dual_graph,
+    lts_hypergraph,
+    multilevel_graph_partition,
+    multilevel_hypergraph_partition,
+    partition_mesh,
+    partition_report,
+    partition_scotch_p,
+)
+from repro.partition.metrics import part_loads, per_level_imbalance
+from repro.util import PartitionError
+
+
+@pytest.fixture(scope="module")
+def tmesh():
+    mesh = trench_mesh(nx=10, ny=10, nz=5)
+    return mesh, assign_levels(mesh)
+
+
+class TestMultilevelGraphEngine:
+    def test_valid_partition(self, tmesh):
+        mesh, a = tmesh
+        g = lts_dual_graph(mesh, a, multi_constraint=False)
+        parts = multilevel_graph_partition(g, 6, seed=0)
+        assert parts.shape == (mesh.n_elements,)
+        assert parts.min() >= 0 and parts.max() < 6
+        assert len(np.unique(parts)) == 6
+
+    def test_k_equals_one(self, tmesh):
+        mesh, a = tmesh
+        g = lts_dual_graph(mesh, a, multi_constraint=False)
+        parts = multilevel_graph_partition(g, 1)
+        assert np.all(parts == 0)
+
+    def test_deterministic_for_seed(self, tmesh):
+        mesh, a = tmesh
+        g = lts_dual_graph(mesh, a, multi_constraint=False)
+        p1 = multilevel_graph_partition(g, 4, seed=42)
+        p2 = multilevel_graph_partition(g, 4, seed=42)
+        assert np.array_equal(p1, p2)
+
+    def test_more_parts_than_vertices_rejected(self):
+        mesh = uniform_grid((2, 2))
+        a = assign_levels(mesh)
+        g = lts_dual_graph(mesh, a, multi_constraint=False)
+        with pytest.raises(PartitionError):
+            multilevel_graph_partition(g, 5)
+
+    def test_balanced_within_tolerance(self, tmesh):
+        mesh, a = tmesh
+        g = lts_dual_graph(mesh, a, multi_constraint=False)
+        parts = multilevel_graph_partition(g, 4, eps=0.05, seed=0)
+        loads = part_loads(a, parts, 4)
+        assert load_imbalance(loads) < 25.0  # eq-21 metric, modest bound
+
+    def test_cut_beats_random(self, tmesh):
+        mesh, a = tmesh
+        from repro.partition.metrics import graph_cut
+
+        g = lts_dual_graph(mesh, a, multi_constraint=False)
+        rng = np.random.default_rng(0)
+        random_parts = rng.integers(0, 4, g.n_vertices)
+        ml_parts = multilevel_graph_partition(g, 4, seed=0)
+        assert graph_cut(g, ml_parts, 4) < 0.5 * graph_cut(g, random_parts, 4)
+
+
+class TestMultilevelHypergraphEngine:
+    def test_valid_partition(self, tmesh):
+        mesh, a = tmesh
+        h = lts_hypergraph(mesh, a)
+        parts = multilevel_hypergraph_partition(h, 5, seed=0)
+        assert parts.min() >= 0 and parts.max() < 5
+        assert len(np.unique(parts)) == 5
+
+    def test_cutsize_beats_random(self, tmesh):
+        mesh, a = tmesh
+        h = lts_hypergraph(mesh, a)
+        rng = np.random.default_rng(0)
+        random_parts = rng.integers(0, 4, h.n_vertices)
+        ml_parts = multilevel_hypergraph_partition(h, 4, seed=0)
+        assert hypergraph_cutsize(h, ml_parts, 4) < 0.5 * hypergraph_cutsize(
+            h, random_parts, 4
+        )
+
+    def test_k1_trivial(self, tmesh):
+        mesh, a = tmesh
+        h = lts_hypergraph(mesh, a)
+        assert np.all(multilevel_hypergraph_partition(h, 1) == 0)
+
+
+class TestStrategies:
+    @pytest.mark.parametrize("name", sorted(PARTITIONERS))
+    def test_all_strategies_valid(self, tmesh, name):
+        mesh, a = tmesh
+        parts = PARTITIONERS[name](mesh, a, 4, seed=0)
+        assert parts.shape == (mesh.n_elements,)
+        assert parts.min() >= 0 and parts.max() < 4
+        assert len(np.unique(parts)) == 4
+
+    def test_scotch_p_balances_every_level(self, tmesh):
+        """Per-level balance holds by construction (paper Sec. III-B)."""
+        mesh, a = tmesh
+        parts = partition_scotch_p(mesh, a, 4, seed=0)
+        lvl = per_level_imbalance(a, parts, 4)
+        counts = a.counts()
+        for i, imb in enumerate(lvl):
+            if counts[i] >= 8 * 4:  # granular enough to balance
+                assert imb < 40.0, (i, imb)
+
+    def test_scotch_baseline_ignores_levels(self, tmesh):
+        """The single-weight baseline leaves some level unbalanced —
+        the paper's Fig. 6 observation that motivates everything else."""
+        mesh, a = tmesh
+        rep_sc = partition_report(mesh, a, PARTITIONERS["SCOTCH"](mesh, a, 4), 4)
+        rep_sp = partition_report(mesh, a, PARTITIONERS["SCOTCH-P"](mesh, a, 4), 4)
+        assert rep_sc.worst_level_imbalance > rep_sp.worst_level_imbalance
+
+    def test_partition_mesh_dispatch(self, tmesh):
+        mesh, a = tmesh
+        parts = partition_mesh(mesh, a, 3, method="SCOTCH-P")
+        assert parts.max() < 3
+
+    def test_partition_mesh_unknown_method(self, tmesh):
+        mesh, a = tmesh
+        with pytest.raises(PartitionError):
+            partition_mesh(mesh, a, 3, method="ZOLTAN")
+
+    def test_patoh_tighter_imbal_not_worse_balance(self, tmesh):
+        """final_imbal=0.01 must not balance worse than 0.05 (Fig. 7)."""
+        mesh, a = tmesh
+        rep05 = partition_report(mesh, a, PARTITIONERS["PaToH 0.05"](mesh, a, 4), 4)
+        rep01 = partition_report(mesh, a, PARTITIONERS["PaToH 0.01"](mesh, a, 4), 4)
+        assert rep01.total_imbalance <= rep05.total_imbalance + 10.0

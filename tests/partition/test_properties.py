@@ -1,0 +1,84 @@
+"""Hypothesis property tests on the partitioning engines and strategies.
+
+Random meshes and random K: every engine must emit a *valid* partition
+(complete, in-range, K non-empty parts when feasible) and respect the
+structural invariants the paper's comparison relies on (per-level balance
+of SCOTCH-P; cutsize/volume identity of the hypergraph model).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import assign_levels
+from repro.mesh import uniform_grid
+from repro.partition import (
+    PARTITIONERS,
+    hypergraph_cutsize,
+    lts_dual_graph,
+    lts_hypergraph,
+    mpi_volume,
+    multilevel_graph_partition,
+    multilevel_hypergraph_partition,
+)
+
+
+@st.composite
+def level_meshes(draw):
+    """Small 2D/3D meshes with random velocity contrast -> random levels."""
+    dim = draw(st.sampled_from([2, 3]))
+    if dim == 2:
+        shape = (draw(st.integers(4, 8)), draw(st.integers(4, 8)))
+    else:
+        shape = (
+            draw(st.integers(3, 5)),
+            draw(st.integers(3, 5)),
+            draw(st.integers(2, 4)),
+        )
+    mesh = uniform_grid(shape)
+    rng = np.random.default_rng(draw(st.integers(0, 2**32 - 1)))
+    # A random subset of fast (fine) elements.
+    n_fast = draw(st.integers(0, mesh.n_elements // 3))
+    mesh.c = mesh.c.copy()
+    idx = rng.choice(mesh.n_elements, size=n_fast, replace=False)
+    mesh.c[idx] = draw(st.sampled_from([2.0, 4.0]))
+    return mesh
+
+
+class TestEngineValidity:
+    @given(mesh=level_meshes(), k=st.integers(2, 6))
+    @settings(max_examples=12, deadline=None)
+    def test_graph_engine_valid(self, mesh, k):
+        a = assign_levels(mesh)
+        g = lts_dual_graph(mesh, a, multi_constraint=True)
+        parts = multilevel_graph_partition(g, k, seed=3)
+        assert parts.shape == (mesh.n_elements,)
+        assert parts.min() >= 0 and parts.max() < k
+        assert len(np.unique(parts)) == k
+
+    @given(mesh=level_meshes(), k=st.integers(2, 5))
+    @settings(max_examples=8, deadline=None)
+    def test_hypergraph_engine_valid(self, mesh, k):
+        a = assign_levels(mesh)
+        h = lts_hypergraph(mesh, a)
+        parts = multilevel_hypergraph_partition(h, k, seed=3)
+        assert len(np.unique(parts)) == k
+        # The central identity of Sec. III-A-2 holds on the result.
+        assert hypergraph_cutsize(h, parts, k) == pytest.approx(
+            mpi_volume(mesh, a, parts, k)
+        )
+
+
+class TestStrategyValidity:
+    @given(
+        mesh=level_meshes(),
+        k=st.integers(2, 4),
+        name=st.sampled_from(sorted(PARTITIONERS)),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_every_strategy_always_valid(self, mesh, k, name):
+        a = assign_levels(mesh)
+        parts = PARTITIONERS[name](mesh, a, k, seed=1)
+        assert parts.shape == (mesh.n_elements,)
+        assert parts.min() >= 0 and parts.max() < k
+        assert len(np.unique(parts)) == k

@@ -1,0 +1,103 @@
+"""Tests for the mailbox communicator."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import MailboxWorld
+from repro.runtime.comm import allreduce_sum
+from repro.util.errors import CommError
+
+
+class TestMailbox:
+    def test_send_recv_roundtrip(self):
+        world = MailboxWorld(2)
+        c0, c1 = world.comms()
+        data = np.arange(5.0)
+        c0.Send(data, dest=1, tag=7)
+        out = c1.recv(source=0, tag=7)
+        assert np.array_equal(out, data)
+
+    def test_send_copies_buffer(self):
+        world = MailboxWorld(2)
+        c0, c1 = world.comms()
+        data = np.zeros(3)
+        c0.Send(data, dest=1)
+        data[:] = 99.0
+        assert np.array_equal(c1.recv(source=0), np.zeros(3))
+
+    def test_recv_into_buffer(self):
+        world = MailboxWorld(2)
+        c0, c1 = world.comms()
+        c0.Send(np.array([1.0, 2.0]), dest=1, tag=3)
+        buf = np.zeros(2)
+        c1.Recv(buf, source=0, tag=3)
+        assert np.array_equal(buf, [1.0, 2.0])
+
+    def test_recv_shape_mismatch_raises(self):
+        world = MailboxWorld(2)
+        c0, c1 = world.comms()
+        c0.Send(np.zeros(3), dest=1)
+        with pytest.raises(CommError, match="shape"):
+            c1.Recv(np.zeros(2), source=0)
+
+    def test_recv_empty_channel_raises(self):
+        world = MailboxWorld(2)
+        _, c1 = world.comms()
+        with pytest.raises(CommError, match="no message"):
+            c1.recv(source=0)
+
+    def test_fifo_per_channel(self):
+        world = MailboxWorld(2)
+        c0, c1 = world.comms()
+        c0.Send(np.array([1.0]), dest=1, tag=0)
+        c0.Send(np.array([2.0]), dest=1, tag=0)
+        assert c1.recv(0)[0] == 1.0
+        assert c1.recv(0)[0] == 2.0
+
+    def test_tags_are_independent_channels(self):
+        world = MailboxWorld(2)
+        c0, c1 = world.comms()
+        c0.Send(np.array([1.0]), dest=1, tag=1)
+        c0.Send(np.array([2.0]), dest=1, tag=2)
+        assert c1.recv(0, tag=2)[0] == 2.0
+        assert c1.recv(0, tag=1)[0] == 1.0
+
+    def test_stats_and_pending(self):
+        world = MailboxWorld(3)
+        comms = world.comms()
+        comms[0].Send(np.zeros(10), dest=2)
+        assert world.sent_messages == 1
+        assert world.sent_volume == 10
+        assert world.pending() == 1
+        comms[2].recv(0)
+        assert world.pending() == 0
+
+    def test_bad_rank_rejected(self):
+        world = MailboxWorld(2)
+        with pytest.raises(CommError):
+            world.comm(5)
+        with pytest.raises(CommError):
+            world.comm(0).Send(np.zeros(1), dest=9)
+
+    def test_sendrecv_symmetric(self):
+        world = MailboxWorld(2)
+        c0, c1 = world.comms()
+        c0.Send(np.array([10.0]), dest=1, tag=5)
+        c1.Send(np.array([20.0]), dest=0, tag=5)
+        assert c0.recv(1, tag=5)[0] == 20.0
+        assert c1.recv(0, tag=5)[0] == 10.0
+
+
+class TestAllreduce:
+    def test_sum(self):
+        world = MailboxWorld(3)
+        comms = world.comms()
+        vals = [np.full(2, float(r)) for r in range(3)]
+        out = allreduce_sum(comms, vals)
+        for o in out:
+            assert np.array_equal(o, [3.0, 3.0])
+
+    def test_length_mismatch(self):
+        world = MailboxWorld(2)
+        with pytest.raises(CommError):
+            allreduce_sum(world.comms(), [np.zeros(1)])

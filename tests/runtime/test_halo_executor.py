@@ -1,0 +1,159 @@
+"""Distributed-vs-serial equivalence: the parallelization correctness proof.
+
+The paper's parallel LTS must compute the same scheme as serial LTS for
+*any* partition — balanced or not, LTS-aware or not.  These tests pin
+that: the mailbox-MPI executor reproduces the serial solvers to float
+round-off on 1D and 2D systems, across rank counts and partitioners.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import assign_levels
+from repro.core.lts_newmark import LTSNewmarkSolver, dof_levels_from_elements
+from repro.core.newmark import NewmarkSolver, staggered_initial_velocity
+from repro.mesh import refined_interval, uniform_grid
+from repro.runtime import (
+    DistributedLTSSolver,
+    DistributedNewmarkSolver,
+    MailboxWorld,
+    build_rank_layout,
+)
+from repro.sem import Sem1D, Sem2D
+from repro.util.errors import PartitionError, SolverError
+
+
+@pytest.fixture(scope="module")
+def sys1d():
+    mesh = refined_interval(12, 8, refinement=4, coarse_h=0.125)
+    sem = Sem1D(mesh, order=4)
+    a = assign_levels(mesh, c_cfl=0.4, order=4)
+    dof_level = dof_levels_from_elements(sem.element_dofs, a.level, sem.n_dof)
+    u0 = np.exp(-((sem.x - sem.x.mean()) ** 2) / 0.05)
+    v0 = staggered_initial_velocity(sem.A, a.dt, u0, np.zeros_like(u0))
+    return mesh, sem, a, dof_level, u0, v0
+
+
+def block_partition(n_elem: int, k: int) -> np.ndarray:
+    return (np.arange(n_elem) * k // n_elem).astype(np.int64)
+
+
+class TestLayout:
+    def test_scatter_gather_roundtrip(self, sys1d):
+        mesh, sem, a, dof_level, u0, _ = sys1d
+        lay = build_rank_layout(sem, block_partition(mesh.n_elements, 3), 3)
+        assert np.array_equal(lay.gather(lay.scatter(u0)), u0)
+
+    def test_owner_masks_partition_dofs(self, sys1d):
+        mesh, sem, _, _, _, _ = sys1d
+        lay = build_rank_layout(sem, block_partition(mesh.n_elements, 4), 4)
+        owned = np.zeros(sem.n_dof, dtype=int)
+        for r in range(4):
+            np.add.at(owned, lay.gdofs[r][lay.owner[r]], 1)
+        assert np.all(owned == 1)
+
+    def test_halo_symmetry(self, sys1d):
+        mesh, sem, _, _, _, _ = sys1d
+        lay = build_rank_layout(sem, block_partition(mesh.n_elements, 3), 3)
+        for r in range(3):
+            h = lay.halo[r]
+            for peer, idx in zip(h.peers, h.local_indices):
+                back = lay.halo[peer]
+                assert r in back.peers
+                j = back.peers.index(r)
+                # Both sides exchange the same number of shared DOFs,
+                # referring to the same global ids in the same order.
+                assert len(back.local_indices[j]) == len(idx)
+                assert np.array_equal(
+                    lay.gdofs[r][idx], lay.gdofs[peer][back.local_indices[j]]
+                )
+
+    def test_mass_summed_across_ranks(self, sys1d):
+        mesh, sem, _, _, _, _ = sys1d
+        lay = build_rank_layout(sem, block_partition(mesh.n_elements, 2), 2)
+        for r in range(2):
+            assert np.allclose(lay.M_local[r], sem.M[lay.gdofs[r]])
+
+    def test_bad_parts_shape_rejected(self, sys1d):
+        _, sem, _, _, _, _ = sys1d
+        with pytest.raises(PartitionError):
+            build_rank_layout(sem, np.zeros(3, dtype=int), 2)
+
+
+class TestDistributedNewmark:
+    @pytest.mark.parametrize("k", [1, 2, 3, 5])
+    def test_matches_serial(self, sys1d, k):
+        mesh, sem, a, _, u0, v0 = sys1d
+        dt = a.dt_min
+        us, vs = NewmarkSolver(sem.A, dt).run(u0, v0, 12)
+        lay = build_rank_layout(sem, block_partition(mesh.n_elements, k), k)
+        ud, vd = DistributedNewmarkSolver(lay, dt).run(u0, v0, 12)
+        assert np.max(np.abs(us - ud)) < 1e-12
+        assert np.max(np.abs(vs - vd)) < 1e-12
+
+    def test_no_pending_messages_after_run(self, sys1d):
+        mesh, sem, a, _, u0, v0 = sys1d
+        world = MailboxWorld(3)
+        lay = build_rank_layout(sem, block_partition(mesh.n_elements, 3), 3)
+        DistributedNewmarkSolver(lay, a.dt_min, world=world).run(u0, v0, 4)
+        assert world.pending() == 0
+        assert world.sent_messages > 0
+
+
+class TestDistributedLTS:
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_matches_serial_reference(self, sys1d, k):
+        mesh, sem, a, dof_level, u0, v0 = sys1d
+        serial = LTSNewmarkSolver(sem.A, dof_level, a.dt, mode="reference")
+        us, vs = serial.run(u0, v0, 8)
+        lay = build_rank_layout(
+            sem, block_partition(mesh.n_elements, k), k, dof_level=dof_level
+        )
+        ud, vd = DistributedLTSSolver(lay, a.dt).run(u0, v0, 8)
+        assert np.max(np.abs(us - ud)) < 1e-11
+        assert np.max(np.abs(vs - vd)) < 1e-9
+
+    def test_matches_serial_for_lts_aware_partition(self, sys1d):
+        """Partition from the real partitioner, not just block splits."""
+        from repro.partition import partition_scotch_p
+
+        mesh, sem, a, dof_level, u0, v0 = sys1d
+        parts = partition_scotch_p(mesh, a, 3, seed=1)
+        lay = build_rank_layout(sem, parts, 3, dof_level=dof_level)
+        ud, _ = DistributedLTSSolver(lay, a.dt).run(u0, v0, 6)
+        us, _ = LTSNewmarkSolver(sem.A, dof_level, a.dt, mode="optimized").run(u0, v0, 6)
+        assert np.max(np.abs(us - ud)) < 1e-11
+
+    def test_2d_velocity_contrast(self):
+        mesh = uniform_grid((5, 5))
+        mesh.c = mesh.c.copy()
+        mesh.c[12] = 4.0
+        sem = Sem2D(mesh, order=3)
+        a = assign_levels(mesh, c_cfl=0.4, order=3)
+        dof_level = dof_levels_from_elements(sem.element_dofs, a.level, sem.n_dof)
+        u0 = np.exp(-((sem.xy[:, 0] - 2.5) ** 2 + (sem.xy[:, 1] - 2.5) ** 2))
+        v0 = staggered_initial_velocity(sem.A, a.dt, u0, np.zeros_like(u0))
+        us, _ = LTSNewmarkSolver(sem.A, dof_level, a.dt).run(u0, v0, 6)
+        parts = (np.arange(mesh.n_elements) % 4).astype(np.int64)
+        lay = build_rank_layout(sem, parts, 4, dof_level=dof_level)
+        ud, _ = DistributedLTSSolver(lay, a.dt).run(u0, v0, 6)
+        assert np.max(np.abs(us - ud)) < 1e-11
+
+    def test_requires_dof_levels(self, sys1d):
+        mesh, sem, a, _, _, _ = sys1d
+        lay = build_rank_layout(sem, block_partition(mesh.n_elements, 2), 2)
+        with pytest.raises(SolverError, match="dof level"):
+            DistributedLTSSolver(lay, a.dt)
+
+    def test_message_count_scales_with_levels(self, sys1d):
+        """Finer levels synchronize more often (the Fig. 2 cost model)."""
+        mesh, sem, a, dof_level, u0, v0 = sys1d
+        parts = block_partition(mesh.n_elements, 2)
+        world = MailboxWorld(2)
+        lay = build_rank_layout(sem, parts, 2, dof_level=dof_level)
+        solver = DistributedLTSSolver(lay, a.dt, world=world)
+        solver.run(u0, v0, 1)
+        # Applications per cycle: sum of 2^(k-1) over active levels;
+        # each application exchanges with 1 neighbour in both directions.
+        expected_applies = sum(2 ** (k - 1) for k in solver.active_levels)
+        assert world.sent_messages == 2 * expected_applies

@@ -1,0 +1,147 @@
+"""Tests for 1D/2D SEM assembly: mass lumping, stiffness, eigenstructure."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.mesh import refined_interval, uniform_grid, uniform_interval
+from repro.sem import Sem1D, Sem2D
+from repro.util.errors import SolverError
+
+
+class TestSem1D:
+    def test_dof_count(self):
+        sem = Sem1D(uniform_interval(5), order=4)
+        assert sem.n_dof == 21
+
+    def test_mass_is_positive_and_sums_to_length(self):
+        sem = Sem1D(uniform_interval(4, length=3.0), order=4)
+        assert np.all(sem.M > 0)
+        assert sem.M.sum() == pytest.approx(3.0)
+
+    def test_stiffness_symmetric_positive_semidefinite(self):
+        sem = Sem1D(uniform_interval(4), order=3)
+        K = sem.K.toarray()
+        assert np.allclose(K, K.T, atol=1e-12)
+        eig = np.linalg.eigvalsh(K)
+        assert eig.min() > -1e-10
+
+    def test_stiffness_kills_constants(self):
+        """Neumann stiffness annihilates the constant mode."""
+        sem = Sem1D(uniform_interval(6), order=4)
+        assert np.max(np.abs(sem.K @ np.ones(sem.n_dof))) < 1e-10
+
+    def test_eigenvalue_of_first_mode(self):
+        """Smallest nonzero eigenvalue of A ~ (pi*c/L)^2 for Neumann."""
+        L, c = 2.0, 3.0
+        sem = Sem1D(uniform_interval(16, length=L, c=c), order=4)
+        vals = np.sort(np.real(np.linalg.eigvals(sem.A.toarray())))
+        target = (np.pi * c / L) ** 2
+        nonzero = vals[vals > 1e-8]
+        assert nonzero[0] == pytest.approx(target, rel=1e-6)
+
+    def test_dirichlet_zeroes_boundary_rows(self):
+        sem = Sem1D(uniform_interval(4), order=3, dirichlet=True)
+        A = sem.A.toarray()
+        assert np.allclose(A[0], 0) and np.allclose(A[-1], 0)
+
+    def test_refined_mesh_coordinates_monotone(self):
+        sem = Sem1D(refined_interval(4, 4, refinement=4), order=4)
+        assert np.all(np.diff(sem.x) > 0)
+
+    def test_element_system_reassembles_global(self):
+        mesh = refined_interval(3, 3, refinement=2)
+        sem = Sem1D(mesh, order=3)
+        K = np.zeros((sem.n_dof, sem.n_dof))
+        M = np.zeros(sem.n_dof)
+        for e in range(mesh.n_elements):
+            Ke, Me = sem.element_system(e)
+            d = sem.element_dofs[e]
+            K[np.ix_(d, d)] += Ke
+            M[d] += Me
+        assert np.allclose(K, sem.K.toarray(), atol=1e-12)
+        assert np.allclose(M, sem.M, atol=1e-12)
+
+    def test_rejects_2d_mesh(self):
+        with pytest.raises(SolverError):
+            Sem1D(uniform_grid((2, 2)))
+
+    def test_nearest_dof(self):
+        sem = Sem1D(uniform_interval(10), order=2)
+        assert sem.x[sem.nearest_dof(0.5)] == pytest.approx(0.5)
+
+
+class TestSem2D:
+    def test_dof_count_structured(self):
+        sem = Sem2D(uniform_grid((3, 2)), order=4)
+        assert sem.n_dof == (4 * 3 + 1) * (4 * 2 + 1)
+
+    def test_mass_sums_to_area(self):
+        sem = Sem2D(uniform_grid((3, 3), (2.0, 2.0)), order=3)
+        assert sem.M.sum() == pytest.approx(4.0)
+
+    def test_stiffness_symmetric(self):
+        sem = Sem2D(uniform_grid((2, 3)), order=2)
+        K = sem.K.toarray()
+        assert np.allclose(K, K.T, atol=1e-12)
+
+    def test_stiffness_kills_constants(self):
+        sem = Sem2D(uniform_grid((3, 3)), order=3)
+        assert np.max(np.abs(sem.K @ np.ones(sem.n_dof))) < 1e-9
+
+    def test_first_neumann_eigenvalue(self):
+        """lambda_1 = (pi c / L)^2 for the (1,0) mode on a square."""
+        L = 1.0
+        sem = Sem2D(uniform_grid((4, 4), (L, L)), order=4)
+        vals = np.sort(np.real(np.linalg.eigvals(sem.A.toarray())))
+        nonzero = vals[vals > 1e-7]
+        assert nonzero[0] == pytest.approx(np.pi**2, rel=1e-4)
+
+    def test_shared_edge_nodes_consistent(self):
+        """Neighbouring elements must agree on shared GLL node ids/coords."""
+        sem = Sem2D(uniform_grid((2, 1)), order=4)
+        d0 = set(sem.element_dofs[0])
+        d1 = set(sem.element_dofs[1])
+        shared = d0 & d1
+        assert len(shared) == 5  # a full edge of order-4 nodes
+        for d in shared:
+            assert sem.xy[d, 0] == pytest.approx(1.0)
+
+    def test_global_coordinates_unique(self):
+        sem = Sem2D(uniform_grid((3, 3)), order=3)
+        xy = np.round(sem.xy, 12)
+        assert len(np.unique(xy, axis=0)) == sem.n_dof
+
+    def test_element_system_reassembles_global(self):
+        mesh = uniform_grid((2, 2))
+        mesh.c = mesh.c.copy()
+        mesh.c[0] = 2.0
+        sem = Sem2D(mesh, order=3)
+        K = np.zeros((sem.n_dof, sem.n_dof))
+        M = np.zeros(sem.n_dof)
+        for e in range(mesh.n_elements):
+            Ke, Me = sem.element_system(e)
+            d = sem.element_dofs[e]
+            K[np.ix_(d, d)] += Ke
+            M[d] += Me
+        assert np.allclose(K, sem.K.toarray(), atol=1e-10)
+        assert np.allclose(M, sem.M, atol=1e-12)
+
+    def test_boundary_dofs_on_boundary(self):
+        sem = Sem2D(uniform_grid((3, 3), (1.0, 1.0)), order=3)
+        b = sem.boundary_dofs()
+        xy = sem.xy[b]
+        on_edge = (
+            np.isclose(xy[:, 0], 0) | np.isclose(xy[:, 0], 1)
+            | np.isclose(xy[:, 1], 0) | np.isclose(xy[:, 1], 1)
+        )
+        assert np.all(on_edge)
+
+    def test_rejects_1d_mesh(self):
+        with pytest.raises(SolverError):
+            Sem2D(uniform_interval(3))
+
+    def test_mass_lumping_diagonal_invertible(self):
+        sem = Sem2D(uniform_grid((2, 2)), order=4)
+        assert np.all(sem.M > 0)
+        assert sp.issparse(sem.A)

@@ -1,0 +1,87 @@
+"""Tests for GLL quadrature and Lagrange basis utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sem import gll_points_weights, lagrange_basis, lagrange_derivative_matrix
+from repro.util.errors import SolverError
+
+
+class TestPointsWeights:
+    @pytest.mark.parametrize("order", [1, 2, 3, 4, 6, 8])
+    def test_endpoints_and_count(self, order):
+        pts, wts = gll_points_weights(order)
+        assert len(pts) == order + 1
+        assert pts[0] == -1.0 and pts[-1] == 1.0
+        assert np.all(np.diff(pts) > 0)
+
+    @pytest.mark.parametrize("order", [1, 2, 3, 4, 6])
+    def test_weights_sum_to_two(self, order):
+        _, wts = gll_points_weights(order)
+        assert wts.sum() == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("order", [2, 3, 4, 5])
+    def test_exact_for_degree_2n_minus_1(self, order):
+        """GLL integrates polynomials up to degree 2*order - 1 exactly."""
+        pts, wts = gll_points_weights(order)
+        for deg in range(2 * order):
+            quad = float(np.sum(wts * pts**deg))
+            exact = 0.0 if deg % 2 else 2.0 / (deg + 1)
+            assert quad == pytest.approx(exact, abs=1e-12), (order, deg)
+
+    def test_not_exact_for_degree_2n(self):
+        """Degree 2N fails: the mass-lumping inexactness of SEM."""
+        order = 4
+        pts, wts = gll_points_weights(order)
+        deg = 2 * order
+        quad = float(np.sum(wts * pts**deg))
+        assert abs(quad - 2.0 / (deg + 1)) > 1e-6
+
+    def test_symmetry(self):
+        pts, wts = gll_points_weights(5)
+        assert np.allclose(pts, -pts[::-1])
+        assert np.allclose(wts, wts[::-1])
+
+    def test_rejects_order_zero(self):
+        with pytest.raises(SolverError):
+            gll_points_weights(0)
+
+    def test_order4_known_values(self):
+        pts, _ = gll_points_weights(4)
+        assert pts[2] == pytest.approx(0.0, abs=1e-14)
+        assert pts[1] == pytest.approx(-np.sqrt(3.0 / 7.0))
+
+
+class TestDerivativeMatrix:
+    @pytest.mark.parametrize("order", [1, 2, 4, 6])
+    def test_kills_constants(self, order):
+        D = lagrange_derivative_matrix(order)
+        assert np.allclose(D @ np.ones(order + 1), 0.0, atol=1e-12)
+
+    @pytest.mark.parametrize("order", [2, 4, 6])
+    def test_differentiates_monomials_exactly(self, order):
+        pts, _ = gll_points_weights(order)
+        D = lagrange_derivative_matrix(order)
+        for deg in range(1, order + 1):
+            assert np.allclose(D @ pts**deg, deg * pts ** (deg - 1), atol=1e-10)
+
+
+class TestLagrangeBasis:
+    def test_cardinal_property(self):
+        pts, _ = gll_points_weights(4)
+        B = lagrange_basis(pts, pts)
+        assert np.allclose(B, np.eye(5), atol=1e-12)
+
+    def test_partition_of_unity(self):
+        pts, _ = gll_points_weights(3)
+        x = np.linspace(-1, 1, 17)
+        B = lagrange_basis(pts, x)
+        assert np.allclose(B.sum(axis=1), 1.0, atol=1e-12)
+
+    @given(st.floats(-1.0, 1.0))
+    def test_interpolates_cubic_exactly(self, x):
+        pts, _ = gll_points_weights(3)
+        f = lambda t: t**3 - 2 * t
+        B = lagrange_basis(pts, np.array([x]))
+        assert float((B @ f(pts))[0]) == pytest.approx(f(x), abs=1e-10)

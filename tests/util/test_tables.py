@@ -1,0 +1,37 @@
+"""Unit tests for the table renderer used by benchmark reports."""
+
+import pytest
+
+from repro.util import Table, format_si
+
+
+class TestFormatSi:
+    def test_zero(self):
+        assert format_si(0) == "0"
+
+    def test_magnitude(self):
+        assert format_si(1.4e6) == "1.40e+06"
+
+    def test_digits(self):
+        assert format_si(1.4e6, digits=1) == "1.4e+06"
+
+
+class TestTable:
+    def test_renders_headers_and_rows(self):
+        t = Table(["mesh", "#"], title="T")
+        t.add_row(["trench", 42])
+        out = t.render()
+        assert "T" in out
+        assert "mesh" in out and "trench" in out and "42" in out
+
+    def test_alignment_pads_columns(self):
+        t = Table(["a", "b"])
+        t.add_row(["xxxxxx", 1])
+        lines = t.render().splitlines()
+        header, sep, row = lines
+        assert len(header) == len(row)
+
+    def test_row_length_mismatch_raises(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])

@@ -1,0 +1,70 @@
+"""Unit tests for repro.util.validation and errors."""
+
+import numpy as np
+import pytest
+
+from repro.util import (
+    MeshError,
+    ReproError,
+    check_array,
+    check_positive,
+    check_power_of_two,
+    require,
+)
+
+
+class TestRequire:
+    def test_passes_on_true(self):
+        require(True, "never raised")
+
+    def test_raises_on_false(self):
+        with pytest.raises(ReproError, match="boom"):
+            require(False, "boom")
+
+    def test_custom_exception_class(self):
+        with pytest.raises(MeshError):
+            require(False, "mesh boom", MeshError)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(2.5, "x") == 2.5
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_rejects_nonpositive_and_nonfinite(self, bad):
+        with pytest.raises(ReproError):
+            check_positive(bad, "x")
+
+    def test_message_contains_name(self):
+        with pytest.raises(ReproError, match="myparam"):
+            check_positive(-3, "myparam")
+
+
+class TestCheckPowerOfTwo:
+    @pytest.mark.parametrize("good", [1, 2, 4, 8, 1024])
+    def test_accepts_powers(self, good):
+        assert check_power_of_two(good, "p") == good
+
+    @pytest.mark.parametrize("bad", [0, -2, 3, 6, 12])
+    def test_rejects_non_powers(self, bad):
+        with pytest.raises(ReproError):
+            check_power_of_two(bad, "p")
+
+
+class TestCheckArray:
+    def test_coerces_list(self):
+        out = check_array([1, 2, 3], "a", ndim=1)
+        assert isinstance(out, np.ndarray)
+        assert out.shape == (3,)
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ReproError, match="ndim"):
+            check_array([[1, 2]], "a", ndim=1)
+
+    def test_rejects_wrong_size(self):
+        with pytest.raises(ReproError, match="size"):
+            check_array([1, 2], "a", ndim=1, size=3)
+
+    def test_dtype_conversion(self):
+        out = check_array([1, 2], "a", dtype=np.float64)
+        assert out.dtype == np.float64
