@@ -17,7 +17,7 @@ import time
 
 import numpy as np
 
-from common import save_results
+from common import counted_cycles, save_results
 from repro.core import OperationCounter, assign_levels, theoretical_speedup
 from repro.core.lts_newmark import LTSNewmarkSolver, dof_levels_from_elements, newmark_cycle_ops
 from repro.core.newmark import NewmarkSolver
@@ -35,14 +35,19 @@ def test_eq9_serial_efficiency(benchmark):
     u0 = np.exp(-((sem.x - sem.x.mean()) ** 2) / 0.5)
     v0 = np.zeros_like(u0)
 
-    counter = OperationCounter()
-    opt = LTSNewmarkSolver(sem.A, dof_level, a.dt, mode="optimized", counter=counter)
-    opt.run(u0, v0, 1)
+    # Two repetitions with per-repetition reset: identical counts by
+    # construction (counted_cycles guards the double-reporting bug).
+    opt = LTSNewmarkSolver(
+        sem.A, dof_level, a.dt, mode="optimized", counter=OperationCounter()
+    )
+    counter = counted_cycles(opt, u0, v0, 1, rounds=2)[-1]
     op_speedup = (a.p_max * opt.A.nnz) / counter.stiffness_ops
     op_eff = op_speedup / ts
 
-    c_ref = OperationCounter()
-    LTSNewmarkSolver(sem.A, dof_level, a.dt, mode="reference", counter=c_ref).run(u0, v0, 1)
+    ref = LTSNewmarkSolver(
+        sem.A, dof_level, a.dt, mode="reference", counter=OperationCounter()
+    )
+    c_ref = counted_cycles(ref, u0, v0, 1, rounds=2)[-1]
     ref_total_speedup = newmark_cycle_ops(opt.A, a.p_max) / c_ref.total_ops
     opt_total_speedup = newmark_cycle_ops(opt.A, a.p_max) / counter.total_ops
 

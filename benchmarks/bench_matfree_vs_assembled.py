@@ -1,0 +1,182 @@
+"""Matrix-free tensor-product apply vs assembled CSR apply (Sec. II-C).
+
+The paper's SPECFEM-style implementation never assembles a global
+stiffness matrix: the action ``A u = M^{-1} K u`` is applied
+element-by-element with tensor-product contractions.  This bench pits
+the two interchangeable :class:`repro.core.operator.StiffnessOperator`
+backends against each other across polynomial orders on a 64x64-element
+mesh, for both the full apply and the LTS level-restricted apply
+(``A[:, cols] u[cols]`` on ~a quarter of the domain):
+
+* ``assembled`` — pruned CSR matvec (``Sem2D.A @ u``);
+* ``matfree`` — batched sum-factorization with the fused element
+  kernels of :mod:`repro.sem.fused` when a C compiler is available;
+* ``matfree-numpy`` — the portable batched ``tensordot`` path, for
+  reference (in 2D its flop count matches CSR's nnz count, so it lands
+  near parity; the fused kernels win by keeping the element workspace
+  in registers).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_matfree_vs_assembled.py [--quick]
+
+``--quick`` shrinks the mesh and order sweep to a seconds-long smoke
+run (used by CI); the full run records the numbers quoted in README.
+Emits a ``BENCH`` JSON line and persists to
+``benchmarks/results/matfree_vs_assembled.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from common import save_results  # noqa: E402
+
+from repro.mesh import uniform_grid  # noqa: E402
+from repro.sem import Sem2D, ElasticSem2D  # noqa: E402
+from repro.sem import fused  # noqa: E402
+from repro.util import Table  # noqa: E402
+
+
+def _best_ms(fn, reps: int) -> float:
+    fn()  # warm up (JIT-less, but touches caches and lazy buffers)
+    best = np.inf
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best * 1e3
+
+
+def _corner_cols(sem) -> np.ndarray:
+    """DOFs of the lower-left quarter of the domain (a fake LTS level)."""
+    xy = sem.xy
+    xmid = 0.5 * (xy[:, 0].min() + xy[:, 0].max())
+    ymid = 0.5 * (xy[:, 1].min() + xy[:, 1].max())
+    return np.nonzero((xy[:, 0] <= xmid) & (xy[:, 1] <= ymid))[0]
+
+
+def run(quick: bool = False) -> dict:
+    grid = (16, 16) if quick else (64, 64)
+    orders = (2, 4) if quick else (2, 3, 4, 5, 6, 7, 8)
+    reps = 5 if quick else 30
+    rng = np.random.default_rng(0)
+
+    rows = []
+    t = Table(
+        ["order", "n_dof", "nnz", "assembled ms", "matfree ms", "speedup",
+         "numpy ms", "restricted speedup", "max rel err"],
+        title=f"matrix-free vs assembled apply — {grid[0]}x{grid[1]} acoustic "
+        f"(fused kernels: {'yes' if fused.available() else 'NO — numpy fallback'})",
+    )
+    for order in orders:
+        sem = Sem2D(uniform_grid(grid), order=order)
+        assembled = sem.operator("assembled")
+        matfree = sem.operator("matfree")
+        mf_numpy = sem.operator("matfree", use_fused=False)
+        u = rng.standard_normal(sem.n_dof)
+
+        ref = assembled @ u
+        err = float(np.abs(matfree @ u - ref).max() / np.abs(ref).max())
+        err_np = float(np.abs(mf_numpy @ u - ref).max() / np.abs(ref).max())
+
+        cols = _corner_cols(sem)
+        r_asm = assembled.restrict(cols)
+        r_mf = matfree.restrict(cols)
+        err_r = float(
+            np.abs(r_mf.apply(u) - r_asm.apply(u)).max() / np.abs(ref).max()
+        )
+
+        t_asm = _best_ms(lambda: assembled @ u, reps)
+        t_mf = _best_ms(lambda: matfree @ u, reps)
+        t_np = _best_ms(lambda: mf_numpy @ u, reps)
+        t_rasm = _best_ms(lambda: r_asm.apply(u), reps)
+        t_rmf = _best_ms(lambda: r_mf.apply(u), reps)
+
+        row = {
+            "physics": "acoustic",
+            "order": order,
+            "n_dof": sem.n_dof,
+            "nnz": int(assembled.nnz),
+            "assembled_ms": t_asm,
+            "matfree_ms": t_mf,
+            "matfree_numpy_ms": t_np,
+            "speedup": t_asm / t_mf,
+            "restricted_assembled_ms": t_rasm,
+            "restricted_matfree_ms": t_rmf,
+            "restricted_speedup": t_rasm / t_rmf,
+            "max_rel_err": max(err, err_np, err_r),
+        }
+        rows.append(row)
+        t.add_row(
+            [order, sem.n_dof, assembled.nnz, f"{t_asm:.3f}", f"{t_mf:.3f}",
+             f"{t_asm / t_mf:.2f}x", f"{t_np:.3f}",
+             f"{t_rasm / t_rmf:.2f}x", f"{row['max_rel_err']:.1e}"]
+        )
+
+    # One elastic row for the vector-valued kernel.
+    el_order = 2 if quick else 5
+    el = ElasticSem2D(uniform_grid(grid), order=el_order, lam=2.0, mu=1.0)
+    asm_e = el.operator("assembled")
+    mf_e = el.operator("matfree")
+    u = rng.standard_normal(el.n_dof)
+    ref = asm_e @ u
+    err_e = float(np.abs(mf_e @ u - ref).max() / np.abs(ref).max())
+    te_asm = _best_ms(lambda: asm_e @ u, reps)
+    te_mf = _best_ms(lambda: mf_e @ u, reps)
+    rows.append(
+        {
+            "physics": "elastic",
+            "order": el_order,
+            "n_dof": el.n_dof,
+            "nnz": int(asm_e.nnz),
+            "assembled_ms": te_asm,
+            "matfree_ms": te_mf,
+            "speedup": te_asm / te_mf,
+            "max_rel_err": err_e,
+        }
+    )
+    t.add_row(
+        [f"{el_order} (elastic)", el.n_dof, asm_e.nnz, f"{te_asm:.3f}",
+         f"{te_mf:.3f}", f"{te_asm / te_mf:.2f}x", "-", "-", f"{err_e:.1e}"]
+    )
+    t.print()
+
+    payload = {
+        "grid": list(grid),
+        "quick": quick,
+        "fused_available": fused.available(),
+        "rows": rows,
+    }
+    save_results("matfree_vs_assembled", payload)
+    print("BENCH " + json.dumps(payload, default=float))
+
+    # Hard checks: backends must agree; the matrix-free backend must win
+    # decisively at high order on the full-size mesh (paper Sec. II-C).
+    for row in rows:
+        assert row["max_rel_err"] < 1e-12, row
+    if not quick and fused.available():
+        for row in rows:
+            if row["physics"] == "acoustic" and row["order"] >= 5:
+                assert row["speedup"] >= 2.0, row
+    return payload
+
+
+def test_matfree_vs_assembled():
+    """Pytest entry point (quick mode — equivalence + smoke timing)."""
+    run(quick=True)
+
+
+if __name__ == "__main__":
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true", help="seconds-long smoke run")
+    args = ap.parse_args()
+    run(quick=args.quick)

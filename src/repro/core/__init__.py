@@ -12,8 +12,17 @@ Contents:
   with both a literal reference implementation and the optimized
   active-set implementation — :mod:`repro.core.lts_newmark`;
 * the LTS cycle schedule consumed by the cluster simulator —
-  :mod:`repro.core.schedule`.
+  :mod:`repro.core.schedule`;
+* the stiffness-operator protocol shared by the assembled-CSR and
+  matrix-free backends — :mod:`repro.core.operator`.
 """
+
+from repro.core.operator import (
+    AssembledOperator,
+    Restriction,
+    StiffnessOperator,
+    as_operator,
+)
 
 from repro.core.cfl import (
     cfl_timestep,
@@ -37,6 +46,10 @@ from repro.core.lts_newmark import (
 from repro.core.schedule import LTSSchedule, build_schedule
 
 __all__ = [
+    "AssembledOperator",
+    "Restriction",
+    "StiffnessOperator",
+    "as_operator",
     "cfl_timestep",
     "stable_timestep_per_element",
     "stable_timestep_from_operator",

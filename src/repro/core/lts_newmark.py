@@ -19,15 +19,23 @@ Two implementations share one recursion:
   vector updates.  Simple, obviously correct, slow.
 * ``mode="optimized"`` — the high-performance variant the paper's Sec. II-C
   describes as requiring "great care".  Per level ``k`` it precomputes the
-  column block ``A[:, dofs(level k)]`` so a substep costs only the nonzeros
-  of the active columns, restricts vector updates to the *active set*
-  (DOFs of levels >= k plus their stiffness halo -- the paper's gray
-  nodes), skips empty levels by doubling the substep ratio, and handles
-  the frozen complement in closed form: under constant force a leap-frog
-  chain is exactly quadratic, ``u(T) = u(0) - T^2/2 * F``, so inactive
-  DOFs need one axpy per cycle.  The two modes agree to machine precision
-  (tested), which is the paper's implicit claim that the optimized
-  implementation computes *the same scheme* with the minimal op set.
+  restricted product ``A[:, dofs(level k)] u[dofs(level k)]`` so a substep
+  costs only the work of the active columns, restricts vector updates to
+  the *active set* (DOFs of levels >= k plus their stiffness halo -- the
+  paper's gray nodes), skips empty levels by doubling the substep ratio,
+  and handles the frozen complement in closed form: under constant force
+  a leap-frog chain is exactly quadratic, ``u(T) = u(0) - T^2/2 * F``, so
+  inactive DOFs need one axpy per cycle.  The two modes agree to machine
+  precision (tested), which is the paper's implicit claim that the
+  optimized implementation computes *the same scheme* with the minimal
+  op set.
+
+The solver is backend-agnostic: ``A`` may be a scipy sparse matrix (the
+assembled path), or any :class:`repro.core.operator.StiffnessOperator`
+— in particular the matrix-free sum-factorization operator of
+:mod:`repro.sem.matfree`, whose per-level restriction applies the
+stiffness only on the active level's elements plus their gray halo,
+exactly as the paper's SPECFEM implementation does.
 """
 
 from __future__ import annotations
@@ -36,9 +44,9 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
-import scipy.sparse as sp
 
 from repro.core.levels import LevelAssignment
+from repro.core.operator import AssembledOperator, as_operator
 from repro.util.errors import SolverError
 from repro.util.validation import check_positive, require
 
@@ -77,10 +85,15 @@ def dof_levels_from_elements(
 class OperationCounter:
     """Counts the arithmetic a careful native implementation would perform.
 
-    ``stiffness_ops`` counts multiply-adds in sparse products (= touched
-    nonzeros); ``vector_ops`` counts elements touched by axpy-style
-    updates.  The serial-efficiency benchmark (paper Eq. (9), Sec. II-C)
-    compares LTS cycles against non-LTS steps in these units.
+    ``stiffness_ops`` counts the work of stiffness applications in the
+    operator backend's unit — touched nonzeros (= multiply-adds) for
+    assembled sparse products, tensor-contraction flops for the
+    matrix-free backend (see :mod:`repro.core.operator`); both scale
+    identically between a full apply (``A.nnz``) and the per-level
+    restricted applies, so Eq. (9) speedup ratios are backend-consistent.
+    ``vector_ops`` counts elements touched by axpy-style updates.  The
+    serial-efficiency benchmark (paper Eq. (9), Sec. II-C) compares LTS
+    cycles against non-LTS steps in these units.
     """
 
     stiffness_ops: int = 0
@@ -103,9 +116,22 @@ class OperationCounter:
         self.vector_ops = 0
         self.applications_per_level.clear()
 
+    def snapshot(self) -> "OperationCounter":
+        """Detached copy of the current counts (safe to keep across
+        :meth:`reset` — used for per-repetition benchmark reporting)."""
+        return OperationCounter(
+            stiffness_ops=self.stiffness_ops,
+            vector_ops=self.vector_ops,
+            applications_per_level=dict(self.applications_per_level),
+        )
 
-def newmark_cycle_ops(A: sp.spmatrix, n_substeps: int) -> int:
-    """Op count for ``n_substeps`` plain Newmark steps (the non-LTS cost)."""
+
+def newmark_cycle_ops(A, n_substeps: int) -> int:
+    """Op count for ``n_substeps`` plain Newmark steps (the non-LTS cost).
+
+    ``A`` is any sparse matrix or :class:`~repro.core.operator
+    .StiffnessOperator` (``nnz`` = ops per full apply either way).
+    """
     n = A.shape[0]
     return n_substeps * (A.nnz + 2 * n)
 
@@ -119,7 +145,11 @@ class LTSNewmarkSolver:
     Parameters
     ----------
     A:
-        Sparse stiffness operator ``M^{-1} K`` (converted to CSR/CSC).
+        Stiffness operator ``M^{-1} K``: a scipy sparse matrix / dense
+        array (wrapped into an assembled-CSR backend), or any
+        :class:`repro.core.operator.StiffnessOperator` such as the
+        matrix-free backend from :meth:`repro.sem.assembly2d.Sem2D
+        .operator`.
     dof_level:
         ``(n,)`` int array of per-DOF levels, 1 = coarsest (from
         :func:`dof_levels_from_elements`).
@@ -152,9 +182,12 @@ class LTSNewmarkSolver:
         self.t = 0.0
         self.n_cycles_taken = 0
 
-        self.A = sp.csr_matrix(A)
-        n = self.A.shape[0]
-        require(self.A.shape == (n, n), "A must be square", SolverError)
+        self.op = as_operator(A)
+        n = self.op.shape[0]
+        require(self.op.shape == (n, n), "A must be square", SolverError)
+        #: Legacy attribute: the assembled CSR matrix when the backend is
+        #: assembled, else the operator itself (both expose shape/nnz/@).
+        self.A = self.op.A if isinstance(self.op, AssembledOperator) else self.op
         self.n_dof = n
         self.dof_level = np.asarray(dof_level, dtype=np.int64)
         require(self.dof_level.shape == (n,), "dof_level must be (n,)", SolverError)
@@ -173,27 +206,26 @@ class LTSNewmarkSolver:
             SolverError,
         )
 
+        # Per-level restricted products A[:, dofs(level k)] u[dofs(level k)]
+        # (column blocks for the assembled backend, element subsets for
+        # the matrix-free one).
         self._cols: dict[int, np.ndarray] = {}
-        self._A_cols: dict[int, sp.csr_matrix] = {}
-        A_csc = self.A.tocsc()
+        self._restr: dict[int, object] = {}
         for k in self.active_levels:
             cols = np.nonzero(self.dof_level == k)[0]
             self._cols[k] = cols
-            self._A_cols[k] = A_csc[:, cols].tocsr()
+            self._restr[k] = self.op.restrict(cols)
 
         # Active sets per recursion depth i (levels >= active_levels[i]):
         # rows reachable from the columns of those levels, plus the columns
         # themselves; and per-depth complements within the parent set.
+        # op.reach() is one vectorized structural query per depth.
         self._act: list[np.ndarray] = []
         self._act_mask: list[np.ndarray] = []
         for i in range(1, len(self.active_levels)):
             lv = self.active_levels[i]
             col_mask = self.dof_level >= lv
-            reach = np.zeros(n, dtype=bool)
-            cols_idx = np.nonzero(col_mask)[0]
-            for j in cols_idx:
-                reach[A_csc.indices[A_csc.indptr[j] : A_csc.indptr[j + 1]]] = True
-            reach |= col_mask
+            reach = self.op.reach(col_mask) | col_mask
             self._act.append(np.nonzero(reach)[0])
             self._act_mask.append(reach)
         # diff[i] = act[i] \ act[i+1]: DOFs the closed-form fix handles when
@@ -213,16 +245,17 @@ class LTSNewmarkSolver:
         transcription would.
         """
         if self.mode == "optimized":
-            z = self._A_cols[k] @ u[self._cols[k]]
+            restr = self._restr[k]
+            z = restr.apply(u)
             if self.counter is not None:
-                self.counter.count_stiffness(k, self._A_cols[k].nnz)
+                self.counter.count_stiffness(k, restr.ops)
             return z
         masked = np.zeros_like(u)
         cols = self._cols[k]
         masked[cols] = u[cols]
         if self.counter is not None:
-            self.counter.count_stiffness(k, self.A.nnz)
-        return self.A @ masked
+            self.counter.count_stiffness(k, self.op.nnz)
+        return self.op.apply(masked)
 
     def _count_vec(self, n: int) -> None:
         if self.counter is not None:
@@ -371,7 +404,7 @@ def make_solver_for_assignment(
     counter: OperationCounter | None = None,
 ) -> LTSNewmarkSolver:
     """Build an :class:`LTSNewmarkSolver` from an element-level assignment."""
-    n_dof = sp.csr_matrix(A).shape[0]
+    n_dof = A.shape[0]  # sparse matrices, arrays, and operators all have .shape
     dof_level = dof_levels_from_elements(element_dofs, assignment.level, n_dof)
     return LTSNewmarkSolver(
         A, dof_level, assignment.dt, mode=mode, force=force, counter=counter

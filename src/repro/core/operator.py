@@ -1,0 +1,142 @@
+"""Stiffness-operator abstraction: assembled and matrix-free backends.
+
+The paper's performance (Sec. II-C) rests on SPECFEM-style *unassembled*
+stiffness application: the action ``A u = M^{-1} K u`` is computed
+element-by-element with tensor-product contractions, never as a global
+sparse matrix, and LTS applies it only on the elements of the active
+level.  This module defines the small protocol both implementations
+share, so every solver in :mod:`repro.core` and the distributed runtime
+is backend-agnostic:
+
+* :class:`StiffnessOperator` — the protocol.  An operator looks enough
+  like a scipy sparse matrix (``shape``, ``nnz``, ``@``) that legacy
+  call sites keep working, and adds the two capabilities LTS needs:
+  :meth:`~AssembledOperator.restrict` (the level-restricted product
+  ``A[:, cols] u[cols]``) and :meth:`~AssembledOperator.reach` (the row
+  support of a column set — the "gray halo" of Fig. 2).
+* :class:`AssembledOperator` — wraps a precomputed sparse ``A``; the
+  seed's CSR path, unchanged semantics.
+* the matrix-free backend lives in :mod:`repro.sem.matfree` (it needs
+  element geometry the core layer does not know about).
+
+``nnz`` is defined as *operations per full apply* — literal stored
+nonzeros for the assembled backend, tensor-contraction flops for the
+matrix-free one — so :class:`repro.core.lts_newmark.OperationCounter`
+ratios (Eq. (9) serial efficiency) stay meaningful per backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol, runtime_checkable
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.util.errors import SolverError
+from repro.util.validation import require
+
+
+@dataclass
+class Restriction:
+    """The level-restricted action ``u -> A[:, cols] @ u[cols]``.
+
+    Produced by :meth:`StiffnessOperator.restrict`; ``ops`` is the cost
+    of one :meth:`apply` in the backend's operation unit (see module
+    docs), which :class:`~repro.core.lts_newmark.OperationCounter`
+    accumulates per level.
+    """
+
+    cols: np.ndarray
+    ops: int
+    _apply: Callable[[np.ndarray], np.ndarray]
+
+    def apply(self, u: np.ndarray) -> np.ndarray:
+        """Full-length ``A[:, cols] @ u[cols]`` (reads only ``u[cols]``)."""
+        return self._apply(u)
+
+
+@runtime_checkable
+class StiffnessOperator(Protocol):
+    """What every stiffness backend provides.
+
+    Implementations: :class:`AssembledOperator` (CSR) and
+    :class:`repro.sem.matfree.MatrixFreeOperator` (sum-factorization).
+    """
+
+    @property
+    def shape(self) -> tuple[int, int]: ...
+
+    @property
+    def nnz(self) -> int:
+        """Operations per full apply (see module docstring)."""
+        ...
+
+    def __matmul__(self, u: np.ndarray) -> np.ndarray: ...
+
+    def apply(self, u: np.ndarray) -> np.ndarray: ...
+
+    def restrict(self, cols: np.ndarray) -> Restriction: ...
+
+    def reach(self, col_mask: np.ndarray) -> np.ndarray:
+        """Boolean row mask of DOFs structurally touched by ``cols``."""
+        ...
+
+
+class AssembledOperator:
+    """Assembled sparse backend: wraps a precomputed ``A = M^{-1} K``.
+
+    Keeps the CSR for row-oriented products and a CSC twin for the
+    column slicing that level restriction and reachability need.
+    """
+
+    def __init__(self, A):
+        self.A = sp.csr_matrix(A)
+        n = self.A.shape[0]
+        require(self.A.shape == (n, n), "A must be square", SolverError)
+        self._A_csc = self.A.tocsc()
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.A.shape
+
+    @property
+    def nnz(self) -> int:
+        return self.A.nnz
+
+    def __matmul__(self, u: np.ndarray) -> np.ndarray:
+        return self.A @ u
+
+    def apply(self, u: np.ndarray) -> np.ndarray:
+        return self.A @ u
+
+    def apply_on(self, cols: np.ndarray, u: np.ndarray) -> np.ndarray:
+        """One-shot ``A[:, cols] @ u[cols]`` (uncached convenience)."""
+        return self.restrict(cols).apply(u)
+
+    def restrict(self, cols: np.ndarray) -> Restriction:
+        cols = np.asarray(cols, dtype=np.int64)
+        A_cols = self._A_csc[:, cols].tocsr()
+        return Restriction(cols=cols, ops=A_cols.nnz, _apply=lambda u: A_cols @ u[cols])
+
+    def reach(self, col_mask: np.ndarray) -> np.ndarray:
+        """Rows with a stored entry in any masked column.
+
+        One vectorized column slice — ``unique`` over the slice's row
+        indices — instead of the seed's per-column Python loop.
+        """
+        cols = np.nonzero(np.asarray(col_mask, dtype=bool))[0]
+        out = np.zeros(self.shape[0], dtype=bool)
+        out[np.unique(self._A_csc[:, cols].indices)] = True
+        return out
+
+
+def as_operator(A) -> StiffnessOperator:
+    """Coerce ``A`` to the operator protocol.
+
+    Objects already implementing the protocol pass through; sparse
+    matrices and dense arrays are wrapped in :class:`AssembledOperator`.
+    """
+    if hasattr(A, "restrict") and hasattr(A, "reach") and hasattr(A, "apply"):
+        return A
+    return AssembledOperator(A)

@@ -6,6 +6,15 @@ stiffness application performs the partial product and a halo exchange
 that sums shared-DOF contributions — one synchronization per substep,
 exactly the pattern whose load sensitivity Fig. 1 illustrates.
 
+The rank-local stiffness is consumed through the operator protocol
+(``K_local[r] @ u``), so both layout backends — assembled partial CSR
+and matrix-free tensor-product (``build_rank_layout(backend="matfree")``)
+— run unchanged.  With the matrix-free backend, the LTS solver's
+per-level application restricts the stiffness to the active level's
+elements plus their gray halo (:meth:`repro.sem.matfree
+.MatrixFreeStiffness.masked_subset`) instead of masking a full local
+product, as the paper's Sec. II-C implementation does.
+
 The distributed LTS recursion is the full-vector reference scheme applied
 to rank-local vectors, so the distributed solution equals the serial
 solver up to floating-point summation order (tested at ~1e-12): the
@@ -141,12 +150,27 @@ class DistributedLTSSolver(_DistributedBase):
             }
             for r in range(layout.n_ranks)
         ]
+        # Per-level restricted operators where the backend supports it
+        # (matrix-free): apply only the level's elements + gray halo.
+        self._K_level: list[dict[int, object] | None] = []
+        for r in range(layout.n_ranks):
+            K = layout.K_local[r]
+            if hasattr(K, "masked_subset"):
+                self._K_level.append(
+                    {k: K.masked_subset(self._masks[r][k]) for k in self.active_levels}
+                )
+            else:
+                self._K_level.append(None)
 
     # -- level-restricted stiffness application ---------------------------
     def _apply_level(self, k: int, u_locals: list[np.ndarray]) -> list[np.ndarray]:
         lay = self.layout
-        masked = [u_locals[r] * self._masks[r][k] for r in range(lay.n_ranks)]
-        z = [lay.K_local[r] @ masked[r] for r in range(lay.n_ranks)]
+        z = []
+        for r in range(lay.n_ranks):
+            if self._K_level[r] is not None:
+                z.append(self._K_level[r][k] @ u_locals[r])
+            else:
+                z.append(lay.K_local[r] @ (u_locals[r] * self._masks[r][k]))
         self._exchange_sum(z)
         for r in range(lay.n_ranks):
             z[r] /= lay.M_local[r]

@@ -7,9 +7,14 @@ point-to-point exchange — the synchronization that happens at *every LTS
 substep* in Fig. 1.
 
 :func:`build_rank_layout` consumes any assembler exposing
-``element_dofs`` and ``element_system(e)`` (both SEM assemblers do) plus
+``element_dofs`` and ``element_system(e)`` (all SEM assemblers do) plus
 an element partition vector, and produces a :class:`RankLayout` the
-distributed solvers run on.
+distributed solvers run on.  Rank-local stiffness comes in two
+backends: ``"assembled"`` (partial CSR per rank, vectorized scatter
+assembly via ``element_system_batch`` when available) and ``"matfree"``
+(an unassembled :class:`repro.sem.matfree.MatrixFreeStiffness` per rank
+— no rank ever forms a matrix).  Both duck-type ``K @ u``, so the
+executors are backend-agnostic.
 """
 
 from __future__ import annotations
@@ -44,8 +49,10 @@ class RankLayout:
     gdofs:
         Per rank, the sorted global DOF ids present on that rank.
     K_local:
-        Per rank, the partial stiffness assembled from *owned elements
-    only* on local numbering (so the cross-rank sum is exact).
+        Per rank, the partial stiffness from *owned elements only* on
+        local numbering (so the cross-rank sum is exact): a CSR matrix
+        or a matrix-free stiffness operator, either way applied as
+        ``K_local[r] @ u``.
     M_local:
         Per rank, the fully-summed diagonal mass restricted to local DOFs
         (collected once at setup, as production codes do).
@@ -79,13 +86,37 @@ class RankLayout:
         return out
 
 
+def _rank_stiffness_assembled(assembler, owned, local_dofs, n_local) -> sp.csr_matrix:
+    """Partial CSR from owned elements, batched scatter assembly."""
+    if len(owned) == 0:
+        return sp.csr_matrix((n_local, n_local))
+    if hasattr(assembler, "element_system_batch"):
+        Ke, _ = assembler.element_system_batch(owned)
+    else:  # 1D assembler: per-element fallback
+        Ke = np.stack([assembler.element_system(int(e))[0] for e in owned])
+    n_loc = local_dofs.shape[1]
+    K = sp.coo_matrix(
+        (
+            Ke.reshape(len(owned), -1).ravel(),
+            (
+                np.repeat(local_dofs, n_loc, axis=1).ravel(),
+                np.tile(local_dofs, (1, n_loc)).ravel(),
+            ),
+        ),
+        shape=(n_local, n_local),
+    ).tocsr()
+    K.sum_duplicates()
+    return K
+
+
 def build_rank_layout(
     assembler,
     parts: np.ndarray,
     n_ranks: int,
     dof_level: np.ndarray | None = None,
+    backend: str = "assembled",
 ) -> RankLayout:
-    """Build the per-rank decomposition of an assembled SEM system.
+    """Build the per-rank decomposition of a SEM system.
 
     Parameters
     ----------
@@ -96,7 +127,13 @@ def build_rank_layout(
         ``(n_elem,)`` rank id per element.
     dof_level:
         Optional per-DOF LTS level to carry onto ranks.
+    backend:
+        ``"assembled"`` (partial CSR per rank) or ``"matfree"``
+        (unassembled tensor-product stiffness per rank; requires a 2D
+        tensor assembler — :class:`~repro.sem.assembly2d.Sem2D` or
+        :class:`~repro.sem.elastic2d.ElasticSem2D`).
     """
+    require(backend in ("assembled", "matfree"), f"unknown backend {backend!r}", PartitionError)
     element_dofs = np.asarray(assembler.element_dofs)
     n_elem, n_loc = element_dofs.shape
     n_dof = int(assembler.n_dof)
@@ -109,74 +146,73 @@ def build_rank_layout(
         PartitionError,
     )
 
-    # Local DOF sets (sorted global ids) and reverse maps.
+    # Local DOF sets (sorted global ids), local element connectivity
+    # (searchsorted into the sorted gdofs replaces per-entry dict lookups),
+    # and rank-local stiffness in the requested backend.
     gdofs: list[np.ndarray] = []
-    g2l: list[dict[int, int]] = []
+    K_local: list = []
+    local_eldofs: list[np.ndarray] = []
+    owned_per_rank: list[np.ndarray] = []
     for r in range(n_ranks):
         owned = np.nonzero(parts == r)[0]
         ids = np.unique(element_dofs[owned].ravel()) if len(owned) else np.empty(0, np.int64)
+        ld = np.searchsorted(ids, element_dofs[owned])
         gdofs.append(ids)
-        g2l.append({int(g): i for i, g in enumerate(ids)})
+        owned_per_rank.append(owned)
+        local_eldofs.append(ld)
+        if backend == "matfree":
+            from repro.sem.matfree import local_stiffness
 
-    # Which ranks touch each global DOF (for halos and ownership).
+            require(
+                hasattr(assembler, "hx"),
+                "matfree layout backend requires a 2D tensor assembler",
+                PartitionError,
+            )
+            K_local.append(local_stiffness(assembler, owned, ld, len(ids)))
+        else:
+            K_local.append(_rank_stiffness_assembled(assembler, owned, ld, len(ids)))
+
+    # Ownership (lowest touching rank) and shared-DOF counts, vectorized.
+    owner_of = np.full(n_dof, n_ranks, dtype=np.int64)
+    counts = np.zeros(n_dof, dtype=np.int64)
+    for r in range(n_ranks - 1, -1, -1):
+        owner_of[gdofs[r]] = r  # reversed: lowest rank wins
+        counts[gdofs[r]] += 1
+
+    # Halo plans: shared DOFs per rank pair, ordered by global id.  Only
+    # boundary DOFs (counts > 1) enter the pair loop.
     touching: dict[int, list[int]] = {}
     for r in range(n_ranks):
-        for g in gdofs[r]:
+        sh = gdofs[r][counts[gdofs[r]] > 1]
+        for g in sh:
             touching.setdefault(int(g), []).append(r)
-
-    # Partial stiffness and mass per rank from owned elements only.
-    K_local: list[sp.csr_matrix] = []
-    M_partial: list[np.ndarray] = []
-    for r in range(n_ranks):
-        nl = len(gdofs[r])
-        rows, cols, vals = [], [], []
-        Mp = np.zeros(nl)
-        for e in np.nonzero(parts == r)[0]:
-            Ke, Me = assembler.element_system(int(e))
-            ld = np.array([g2l[r][int(g)] for g in element_dofs[e]], dtype=np.int64)
-            rows.append(np.repeat(ld, n_loc))
-            cols.append(np.tile(ld, n_loc))
-            vals.append(Ke.ravel())
-            Mp[ld] += Me
-        if rows:
-            K = sp.coo_matrix(
-                (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
-                shape=(nl, nl),
-            ).tocsr()
-            K.sum_duplicates()
-        else:
-            K = sp.csr_matrix((nl, nl))
-        K_local.append(K)
-        M_partial.append(Mp)
-
-    # Halo plans: shared DOFs per rank pair, ordered by global id.
-    halos: list[HaloExchange] = []
-    owner_masks: list[np.ndarray] = []
     shared_by_pair: dict[tuple[int, int], list[int]] = {}
     for g, ranks in touching.items():
-        if len(ranks) > 1:
-            for a in ranks:
-                for b in ranks:
-                    if a != b:
-                        shared_by_pair.setdefault((a, b), []).append(g)
+        for a in ranks:
+            for b in ranks:
+                if a != b:
+                    shared_by_pair.setdefault((a, b), []).append(g)
+    halos: list[HaloExchange] = []
+    owner_masks: list[np.ndarray] = []
     for r in range(n_ranks):
         peers = sorted({b for (a, b) in shared_by_pair if a == r})
         local_indices = []
         for peer in peers:
-            glist = sorted(shared_by_pair[(r, peer)])
-            local_indices.append(
-                np.array([g2l[r][g] for g in glist], dtype=np.int64)
-            )
+            glist = np.array(sorted(shared_by_pair[(r, peer)]), dtype=np.int64)
+            local_indices.append(np.searchsorted(gdofs[r], glist))
         halos.append(HaloExchange(peers=peers, local_indices=local_indices))
-        own = np.array(
-            [min(touching[int(g)]) == r for g in gdofs[r]], dtype=bool
-        )
-        owner_masks.append(own)
+        owner_masks.append(owner_of[gdofs[r]] == r)
 
-    # Sum the partial masses across sharers (setup-time collective).
-    M_global = np.zeros(n_dof)
-    for r in range(n_ranks):
-        np.add.at(M_global, gdofs[r], M_partial[r])
+    # Fully-summed diagonal mass restricted to each rank (production codes
+    # collect this once at setup; the assembler already holds the sum).
+    if hasattr(assembler, "M"):
+        M_global = np.asarray(assembler.M, dtype=np.float64)
+    else:
+        M_global = np.zeros(n_dof)
+        for r in range(n_ranks):
+            for e, ld in zip(owned_per_rank[r], local_eldofs[r]):
+                _, Me = assembler.element_system(int(e))
+                np.add.at(M_global, gdofs[r][ld], Me)
     M_local = [M_global[g].copy() for g in gdofs]
 
     levels_local: list[np.ndarray] = []

@@ -16,15 +16,26 @@ This package reproduces that algebraic structure in pure NumPy/SciPy:
   per-element velocity field (velocity contrast creates LTS levels on
   uniform grids: high-velocity inclusions force locally small steps);
 * :mod:`repro.sem.sources` — Ricker wavelets and point sources;
-* :mod:`repro.sem.energy` — discrete energy for conservation tests.
+* :mod:`repro.sem.energy` — discrete energy for conservation tests;
+* :mod:`repro.sem.matfree` — matrix-free (sum-factorization) stiffness
+  backend: batched gather -> tensor contraction -> scatter-add, with
+  per-level element-subset restriction for LTS;
+* :mod:`repro.sem.fused` — optional fused C element kernels behind the
+  matrix-free backend (auto-detected, NumPy fallback).
 """
 
 from repro.sem.gll import gll_points_weights, lagrange_derivative_matrix, lagrange_basis
 from repro.sem.assembly1d import Sem1D
 from repro.sem.assembly2d import Sem2D
 from repro.sem.elastic2d import ElasticSem2D
+from repro.sem.matfree import (
+    MatrixFreeOperator,
+    MatrixFreeStiffness,
+    matrix_free_operator,
+)
 from repro.sem.sources import ricker, point_source
 from repro.sem.energy import discrete_energy
+from repro.sem import fused
 
 __all__ = [
     "gll_points_weights",
@@ -33,7 +44,11 @@ __all__ = [
     "Sem1D",
     "Sem2D",
     "ElasticSem2D",
+    "MatrixFreeOperator",
+    "MatrixFreeStiffness",
+    "matrix_free_operator",
     "ricker",
     "point_source",
     "discrete_energy",
+    "fused",
 ]

@@ -12,6 +12,18 @@ The mass matrix stays diagonal (GLL collocation), so ``A = M^{-1} K``
 plugs into every solver in :mod:`repro.core` and the distributed runtime
 unchanged — including multi-level LTS, whose levels now come from the
 per-element *P-wave* speed exactly as in Eq. (7).
+
+On axis-aligned rectangles every elastic element matrix is a scalar
+combination of four *reference* kron kernels (see
+:func:`elastic_reference_kernels`)::
+
+    Kxx = (l+2m)(hy/hx) K1 + m (hx/hy) K2      K1 = KxX (x) Wd
+    Kyy = (l+2m)(hx/hy) K2 + m (hy/hx) K1      K2 = Wd (x) KxX
+    Kxy = l C + m C^T,   Kyx = Kxy^T           C  = (Dm^T w) (x) (w Dm)
+
+which both vectorizes assembly (no per-element B-matrix loop) and is
+exactly the tensor-contraction structure the matrix-free backend
+(:mod:`repro.sem.matfree`) applies without forming any matrix.
 """
 
 from __future__ import annotations
@@ -20,10 +32,27 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.mesh.mesh import Mesh
-from repro.sem.assembly2d import Sem2D
+from repro.sem.assembly2d import Sem2D, _CHUNK_ENTRIES
 from repro.sem.gll import gll_points_weights, lagrange_derivative_matrix
 from repro.util.errors import SolverError
-from repro.util.validation import check_array, require
+from repro.util.validation import require
+
+
+def elastic_reference_kernels(order: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The geometry-independent 1D kernels ``(KxX, Wd-diag w, C-factors)``.
+
+    Returns ``(K1, K2, C)`` on the *flattened scalar* local basis
+    (``n_loc x n_loc`` each): the x-stiffness, y-stiffness, and shear
+    coupling kernels of the module docstring.
+    """
+    _, w = gll_points_weights(order)
+    Dm = lagrange_derivative_matrix(order)
+    KxX = (Dm.T * w) @ Dm
+    Wd = np.diag(w)
+    K1 = np.kron(KxX, Wd)
+    K2 = np.kron(Wd, KxX)
+    C = np.kron(Dm.T * w, w[:, None] * Dm)  # Gx^T W Gy, geometry-free
+    return K1, K2, C
 
 
 class ElasticSem2D:
@@ -61,80 +90,94 @@ class ElasticSem2D:
         self.n_scalar = self._scalar.n_dof
         self.n_dof = 2 * self.n_scalar
         self.xy = self._scalar.xy
+        self.hx = self._scalar.hx
+        self.hy = self._scalar.hy
 
         n_loc1 = order + 1
         n_loc = n_loc1 * n_loc1
+        sd = self._scalar.element_dofs
         self.element_dofs = np.empty((n_elem, 2 * n_loc), dtype=np.int64)
-        for e in range(n_elem):
-            sd = self._scalar.element_dofs[e]
-            self.element_dofs[e, 0::2] = 2 * sd
-            self.element_dofs[e, 1::2] = 2 * sd + 1
+        self.element_dofs[:, 0::2] = 2 * sd
+        self.element_dofs[:, 1::2] = 2 * sd + 1
 
-        M = np.zeros(self.n_dof)
-        rows, cols, vals = [], [], []
-        for e in range(n_elem):
-            Ke, Me = self.element_system(e)
-            d = self.element_dofs[e]
-            M[d] += Me
-            rows.append(np.repeat(d, len(d)))
-            cols.append(np.tile(d, len(d)))
-            vals.append(Ke.ravel())
-        self.M = M
-        K = sp.coo_matrix(
-            (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
-            shape=(self.n_dof, self.n_dof),
-        ).tocsr()
+        # Diagonal mass: rho * |J| * (w (x) w) on both components.
+        _, w = gll_points_weights(order)
+        wq = np.kron(w, w)
+        jac = self.hx * self.hy / 4.0
+        Me = np.empty((n_elem, 2 * n_loc))
+        Me[:, 0::2] = (self.rho * jac)[:, None] * wq[None, :]
+        Me[:, 1::2] = Me[:, 0::2]
+        self.M = np.bincount(
+            self.element_dofs.ravel(), weights=Me.ravel(), minlength=self.n_dof
+        )
+
+        # Chunked vectorized assembly from the four reference kernels.
+        n2 = 2 * n_loc
+        K = sp.csr_matrix((self.n_dof, self.n_dof))
+        chunk = max(1, _CHUNK_ENTRIES // (n2 * n2))
+        for s in range(0, n_elem, chunk):
+            ids = np.arange(s, min(s + chunk, n_elem))
+            Ke, _ = self.element_system_batch(ids)
+            d = self.element_dofs[ids]
+            K = K + sp.coo_matrix(
+                (
+                    Ke.reshape(len(ids), -1).ravel(),
+                    (np.repeat(d, n2, axis=1).ravel(), np.tile(d, (1, n2)).ravel()),
+                ),
+                shape=(self.n_dof, self.n_dof),
+            ).tocsr()
         K.sum_duplicates()
+        K.eliminate_zeros()
         self.K = K
-        self.A = sp.csr_matrix(sp.diags(1.0 / M) @ K)
+        A = sp.csr_matrix(sp.diags(1.0 / self.M) @ K)
+        A.eliminate_zeros()
+        self.A = A
 
     # ------------------------------------------------------------------
-    def element_system(self, e: int) -> tuple[np.ndarray, np.ndarray]:
-        """Dense elastic stiffness and diagonal mass of element ``e``.
+    def operator(self, backend: str = "assembled", use_fused: bool | None = None):
+        """Stiffness operator ``A = M^{-1} K`` in the requested backend.
 
-        Plane-strain B-matrix formulation at the GLL collocation points:
-        ``K_e = sum_q w_q |J| B_q^T D B_q`` with
-        ``D = [[l+2m, l, 0], [l, l+2m, 0], [0, 0, m]]``.
+        See :meth:`repro.sem.assembly2d.Sem2D.operator`.
         """
-        N = self.order
-        xi, w = gll_points_weights(N)
-        Dm = lagrange_derivative_matrix(N)
-        conn = self.mesh.elements
-        coords = self.mesh.coords
-        hx = coords[conn[e, 2], 0] - coords[conn[e, 0], 0]
-        hy = coords[conn[e, 1], 1] - coords[conn[e, 0], 1]
-        jac = hx * hy / 4.0
-        sx = 2.0 / hx  # d(xi)/dx
-        sy = 2.0 / hy
+        from repro.sem.matfree import operator_for
 
-        lam, mu = float(self.lam[e]), float(self.mu[e])
-        Dmat = np.array(
-            [[lam + 2 * mu, lam, 0.0], [lam, lam + 2 * mu, 0.0], [0.0, 0.0, mu]]
+        return operator_for(self, backend, use_fused=use_fused)
+
+    # ------------------------------------------------------------------
+    def element_system_batch(
+        self, ids: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Dense elastic stiffness ``(m, 2 n_loc, 2 n_loc)`` and diagonal
+        mass ``(m, 2 n_loc)`` of elements ``ids`` (all when ``None``),
+        built from the four reference kernels (module docstring)."""
+        ids = np.arange(self.mesh.n_elements) if ids is None else np.asarray(ids)
+        K1, K2, C = elastic_reference_kernels(self.order)
+        n_loc = (self.order + 1) ** 2
+        lam, mu = self.lam[ids], self.mu[ids]
+        hx, hy = self.hx[ids], self.hy[ids]
+        cp = lam + 2 * mu
+        Ke = np.zeros((len(ids), 2 * n_loc, 2 * n_loc))
+        Ke[:, 0::2, 0::2] = (
+            (cp * hy / hx)[:, None, None] * K1 + (mu * hx / hy)[:, None, None] * K2
         )
-        n1 = N + 1
-        n_loc = n1 * n1
+        Ke[:, 1::2, 1::2] = (
+            (cp * hx / hy)[:, None, None] * K2 + (mu * hy / hx)[:, None, None] * K1
+        )
+        Kxy = lam[:, None, None] * C + mu[:, None, None] * C.T
+        Ke[:, 0::2, 1::2] = Kxy
+        Ke[:, 1::2, 0::2] = np.swapaxes(Kxy, 1, 2)
 
-        # Derivative operators on the flattened scalar local basis
-        # (local index = i*n1 + j, i along x): d/dx = sx * (Dm (x) I),
-        # d/dy = sy * (I (x) Dm).
-        Gx = sx * np.kron(Dm, np.eye(n1))  # (n_loc, n_loc)
-        Gy = sy * np.kron(np.eye(n1), Dm)
-
-        Ke = np.zeros((2 * n_loc, 2 * n_loc))
-        wq = np.outer(w, w).ravel()  # quadrature weight at each GLL point
-        B = np.zeros((3, 2 * n_loc))
-        for q in range(n_loc):
-            B[:] = 0.0
-            B[0, 0::2] = Gx[q]  # eps_xx = dux/dx
-            B[1, 1::2] = Gy[q]  # eps_yy = duy/dy
-            B[2, 0::2] = Gy[q]  # gamma_xy = dux/dy + duy/dx
-            B[2, 1::2] = Gx[q]
-            Ke += (wq[q] * jac) * (B.T @ Dmat @ B)
-
-        Me = np.zeros(2 * n_loc)
-        Me[0::2] = float(self.rho[e]) * jac * wq
-        Me[1::2] = Me[0::2]
+        _, w = gll_points_weights(self.order)
+        wq = np.kron(w, w)
+        Me = np.empty((len(ids), 2 * n_loc))
+        Me[:, 0::2] = (self.rho[ids] * hx * hy / 4.0)[:, None] * wq[None, :]
+        Me[:, 1::2] = Me[:, 0::2]
         return Ke, Me
+
+    def element_system(self, e: int) -> tuple[np.ndarray, np.ndarray]:
+        """Dense elastic stiffness and diagonal mass of element ``e``."""
+        Ke, Me = self.element_system_batch(np.array([e]))
+        return Ke[0], Me[0]
 
     # ------------------------------------------------------------------
     def p_velocity(self) -> np.ndarray:

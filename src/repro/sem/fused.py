@@ -1,0 +1,414 @@
+"""Optional fused C kernels for the matrix-free operator backend.
+
+The batched NumPy path in :mod:`repro.sem.matfree` streams every
+intermediate (gathered values, contraction results) through memory,
+which in 2D caps its advantage over a pruned CSR matvec near parity.
+SPECFEM-class codes fuse gather -> contract -> scatter per element so
+the element workspace lives in registers/L1; this module provides that
+tier: a small C source compiled on demand with the system compiler and
+loaded through :mod:`ctypes` (stdlib only — no new dependencies).
+
+The kernels are strictly optional.  If no C compiler is available, the
+compile fails, ``REPRO_FUSED=0`` is set, or the polynomial order exceeds
+``MAX_ORDER``, callers fall back to the NumPy path transparently — same
+results (up to last-bit summation order), just slower.  The compiled
+shared object is cached in the system temp directory keyed by a source
+hash, so the one-time ~0.5 s compile is paid once per machine, not per
+process.
+
+Design notes (mirrors the NumPy path in :mod:`repro.sem.matfree`):
+
+* elements are processed in SIMD blocks of ``VL = 8`` in
+  structure-of-arrays layout — the vector lane runs *across elements*,
+  so every contraction is a broadcast-FMA regardless of how short the
+  1D kernel axis is (the classic trick for low-order tensor kernels);
+* callers pad the element arrays to a multiple of ``VL`` with
+  zero-coefficient ghost elements (``ed`` rows pointing at DOF 0), so
+  the kernel needs no scalar remainder loop;
+* ``gmask`` (per-element-node 0/1) implements both Dirichlet input
+  masking and the LTS level restriction (``A[:, cols] u[cols]``);
+* ``Minv`` folds the diagonal mass inverse into the same pass when the
+  caller wants ``M^{-1} K u`` rather than ``K u``.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import platform
+import shutil
+import subprocess
+import tempfile
+
+import numpy as np
+
+#: SIMD block width (elements per vector lane group).
+VL = 8
+#: Highest polynomial order the fixed-size element workspace supports.
+MAX_ORDER = 15
+
+_SOURCE = r"""
+#include <stdint.h>
+#include <string.h>
+#define MAXNL 256
+#define VL 8
+typedef double v8 __attribute__((vector_size(64), aligned(64)));
+
+/* O[i][j] = sum_a A[i*n1+a] * U[a*n1+j]  (left 1D transform) */
+static inline void mul_left(const double *restrict A, const v8 *restrict U,
+                            v8 *restrict O, int n1)
+{
+    for (int i = 0; i < n1; ++i) {
+        const double *ai = A + i * n1;
+        for (int j = 0; j < n1; ++j) {
+            v8 acc = {0};
+            for (int a = 0; a < n1; ++a) acc += ai[a] * U[a * n1 + j];
+            O[i * n1 + j] = acc;
+        }
+    }
+}
+
+/* O[i][j] = sum_b U[i*n1+b] * A[j*n1+b]  (right transform by A^T) */
+static inline void mul_right(const double *restrict A, const v8 *restrict U,
+                             v8 *restrict O, int n1)
+{
+    for (int i = 0; i < n1; ++i) {
+        const v8 *ui = U + i * n1;
+        for (int j = 0; j < n1; ++j) {
+            const double *aj = A + j * n1;
+            v8 acc = {0};
+            for (int b = 0; b < n1; ++b) acc += aj[b] * ui[b];
+            O[i * n1 + j] = acc;
+        }
+    }
+}
+
+/* O[i][j] += coef * sum_a A[i*n1+a] * U[a*n1+j] */
+static inline void mul_left_acc(const double *restrict A, const v8 *restrict U,
+                                v8 *restrict O, v8 coef, int n1)
+{
+    for (int i = 0; i < n1; ++i) {
+        const double *ai = A + i * n1;
+        for (int j = 0; j < n1; ++j) {
+            v8 acc = {0};
+            for (int a = 0; a < n1; ++a) acc += ai[a] * U[a * n1 + j];
+            O[i * n1 + j] += coef * acc;
+        }
+    }
+}
+
+static inline void gather(const int64_t *restrict d, int stride, int nl,
+                          const double *restrict u,
+                          const double *restrict gm, v8 *restrict U, int lane)
+{
+    if (gm)
+        for (int k = 0; k < nl; ++k) U[k][lane] = u[d[k * stride]] * gm[k * stride];
+    else
+        for (int k = 0; k < nl; ++k) U[k][lane] = u[d[k * stride]];
+}
+
+/*
+ * Acoustic: z = (optional Minv *) sum_e scatter(ed_e, K_e gather(ed_e, u))
+ * with K_e = ax_e KxX (x) Wd + ay_e Wd (x) KxX.  ne must be a multiple
+ * of VL (callers pad with ax = ay = 0 ghost elements).
+ */
+void ac_apply(long ne, long n_dof, int n1,
+              const double *restrict KxX, const double *restrict w,
+              const double *restrict ax, const double *restrict ay,
+              const int64_t *restrict ed, const double *restrict u,
+              const double *restrict gmask, const double *restrict Minv,
+              double *restrict z)
+{
+    int nl = n1 * n1;
+    v8 Ue[MAXNL], T[MAXNL], Ui[MAXNL];
+    memset(z, 0, (size_t)n_dof * sizeof(double));
+    for (long e0 = 0; e0 + VL <= ne; e0 += VL) {
+        for (int l = 0; l < VL; ++l)
+            gather(ed + (e0 + l) * nl, 1, nl, u,
+                   gmask ? gmask + (e0 + l) * nl : 0, Ue, l);
+        v8 AXE, AYE;
+        for (int l = 0; l < VL; ++l) { AXE[l] = ax[e0 + l]; AYE[l] = ay[e0 + l]; }
+        for (int i = 0; i < n1; ++i) {
+            const double *ki = KxX + i * n1;
+            for (int a = 0; a < n1; ++a) Ui[a] = Ue[i * n1 + a];
+            v8 AYW = AYE * w[i];
+            for (int j = 0; j < n1; ++j) {
+                v8 acc1 = {0}, acc2 = {0};
+                for (int a = 0; a < n1; ++a) {
+                    acc1 += ki[a] * Ue[a * n1 + j];
+                    acc2 += KxX[a * n1 + j] * Ui[a];
+                }
+                T[i * n1 + j] = AXE * w[j] * acc1 + AYW * acc2;
+            }
+        }
+        for (int l = 0; l < VL; ++l) {
+            const int64_t *d = ed + (e0 + l) * nl;
+            for (int k = 0; k < nl; ++k) z[d[k]] += T[k][l];
+        }
+    }
+    if (Minv)
+        for (long i = 0; i < n_dof; ++i) z[i] *= Minv[i];
+}
+
+/*
+ * Elastic P-SV, component-interleaved ed of width 2*nl.  Element blocks:
+ *   fx = cp hy/hx K1 Ux + mu hx/hy K2 Ux + lam C Uy + mu C^T Uy
+ *   fy = mu hy/hx K1 Uy + cp hx/hy K2 Uy + mu C Ux + lam C^T Ux
+ * with C U = E (U F^T), C^T U = E^T (U F); E/ET/F/FT passed explicitly.
+ * ne must be a multiple of VL (pad with lam = mu = 0 ghosts).
+ */
+void el_apply(long ne, long n_dof, int n1,
+              const double *restrict KxX, const double *restrict w,
+              const double *restrict E, const double *restrict ET,
+              const double *restrict F, const double *restrict FT,
+              const double *restrict lam, const double *restrict mu,
+              const double *restrict hx, const double *restrict hy,
+              const int64_t *restrict ed, const double *restrict u,
+              const double *restrict gmask, const double *restrict Minv,
+              double *restrict z)
+{
+    int nl = n1 * n1;
+    v8 Ux[MAXNL], Uy[MAXNL], T1[MAXNL], T2[MAXNL], S[MAXNL], Fo[MAXNL];
+    memset(z, 0, (size_t)n_dof * sizeof(double));
+    for (long e0 = 0; e0 + VL <= ne; e0 += VL) {
+        for (int l = 0; l < VL; ++l) {
+            const int64_t *d = ed + (e0 + l) * 2 * nl;
+            const double *gm = gmask ? gmask + (e0 + l) * 2 * nl : 0;
+            gather(d, 2, nl, u, gm, Ux, l);
+            gather(d + 1, 2, nl, u, gm ? gm + 1 : 0, Uy, l);
+        }
+        v8 LAM, MU, C1, C2, C3, C4;
+        for (int l = 0; l < VL; ++l) {
+            double le = lam[e0 + l], me = mu[e0 + l];
+            double rx = hy[e0 + l], ry = hx[e0 + l];
+            double gx = (ry != 0.0) ? rx / ry : 0.0;  /* hy/hx; ghosts have h=0 */
+            double gy = (rx != 0.0) ? ry / rx : 0.0;
+            LAM[l] = le; MU[l] = me;
+            C1[l] = (le + 2 * me) * gx;  /* K1 coeff in fx */
+            C2[l] = me * gy;             /* K2 coeff in fx */
+            C3[l] = me * gx;             /* K1 coeff in fy */
+            C4[l] = (le + 2 * me) * gy;  /* K2 coeff in fy */
+        }
+        for (int comp = 0; comp < 2; ++comp) {
+            const v8 *U = comp ? Uy : Ux;
+            const v8 *V = comp ? Ux : Uy;  /* shear partner */
+            v8 K1C = comp ? C3 : C1, K2C = comp ? C4 : C2;
+            v8 CL = comp ? MU : LAM;   /* coeff of C V   */
+            v8 CT = comp ? LAM : MU;   /* coeff of C^T V */
+            mul_left(KxX, U, T1, n1);
+            mul_right(KxX, U, T2, n1);
+            for (int i = 0; i < n1; ++i) {
+                v8 K2W = K2C * w[i];
+                for (int j = 0; j < n1; ++j)
+                    Fo[i * n1 + j] = K1C * w[j] * T1[i * n1 + j] + K2W * T2[i * n1 + j];
+            }
+            mul_right(F, V, S, n1);       /* S = V F^T  */
+            mul_left_acc(E, S, Fo, CL, n1);
+            mul_right(FT, V, S, n1);      /* S = V F    */
+            mul_left_acc(ET, S, Fo, CT, n1);
+            for (int l = 0; l < VL; ++l) {
+                const int64_t *d = ed + (e0 + l) * 2 * nl + comp;
+                for (int k = 0; k < nl; ++k) z[d[2 * k]] += Fo[k][l];
+            }
+        }
+    }
+    if (Minv)
+        for (long i = 0; i < n_dof; ++i) z[i] *= Minv[i];
+}
+"""
+
+_CFLAGS = ["-O3", "-march=native", "-funroll-loops", "-shared", "-fPIC"]
+
+_lib: ctypes.CDLL | None = None
+_tried = False
+
+
+def _compiler() -> str | None:
+    for cand in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if cand and shutil.which(cand):
+            return cand
+    return None
+
+
+def _machine_tag() -> str:
+    """Identity of the CPU the ``-march=native`` build is valid for."""
+    ident = platform.machine()
+    try:
+        with open("/proc/cpuinfo") as f:
+            for line in f:
+                if line.startswith(("flags", "Features")):
+                    ident += line
+                    break
+    except OSError:
+        pass
+    return ident
+
+
+def _cache_dir() -> str:
+    """Private per-user cache directory (mode 0700).
+
+    Never a shared world-writable location: the path is predictable, and
+    ``load()`` executes whatever shared object it finds there.
+    """
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    path = os.path.join(base, "repro-fused")
+    os.makedirs(path, mode=0o700, exist_ok=True)
+    os.chmod(path, 0o700)
+    return path
+
+
+def load() -> ctypes.CDLL | None:
+    """Compile (once, cached) and load the fused kernels, or ``None``.
+
+    Returns ``None`` when disabled via ``REPRO_FUSED=0``, no compiler is
+    found, or compilation/loading fails for any reason — callers then
+    stay on the NumPy path.  The build is cached in a user-private
+    directory keyed by source *and* CPU identity (``-march=native``
+    objects must not survive a move to a different machine).
+    """
+    global _lib, _tried
+    if _tried:
+        return _lib
+    _tried = True
+    if os.environ.get("REPRO_FUSED", "1") == "0":
+        return None
+    cc = _compiler()
+    if cc is None:
+        return None
+    tag = hashlib.sha256(
+        (_SOURCE + " ".join(_CFLAGS) + _machine_tag()).encode()
+    ).hexdigest()[:16]
+    try:
+        so_path = os.path.join(_cache_dir(), f"fused_{tag}.so")
+        if not os.path.exists(so_path):
+            with tempfile.TemporaryDirectory() as td:
+                src = os.path.join(td, "fused.c")
+                out = os.path.join(td, "fused.so")
+                with open(src, "w") as f:
+                    f.write(_SOURCE)
+                subprocess.run(
+                    [cc, *_CFLAGS, "-o", out, src],
+                    check=True,
+                    capture_output=True,
+                    timeout=120,
+                )
+                os.replace(out, so_path)  # atomic vs concurrent builders
+        lib = ctypes.CDLL(so_path)
+        lib.ac_apply.restype = None
+        lib.el_apply.restype = None
+        _lib = lib
+    except Exception:
+        _lib = None
+    return _lib
+
+
+def available() -> bool:
+    return load() is not None
+
+
+_PD = ctypes.POINTER(ctypes.c_double)
+_PI = ctypes.POINTER(ctypes.c_int64)
+
+
+def _pd(a: np.ndarray | None):
+    return None if a is None else a.ctypes.data_as(_PD)
+
+
+def _pad(a: np.ndarray, ne_pad: int, fill=0.0) -> np.ndarray:
+    """Pad axis 0 to ``ne_pad`` rows/entries with ``fill``."""
+    if a.shape[0] == ne_pad:
+        return np.ascontiguousarray(a)
+    out = np.full((ne_pad, *a.shape[1:]), fill, dtype=a.dtype)
+    out[: a.shape[0]] = a
+    return out
+
+
+class AcousticPlan:
+    """Bound fused acoustic apply: ``u -> [Minv *] K u`` (+ gmask)."""
+
+    def __init__(self, kernel, element_dofs, n_dof, gmask=None, Minv=None):
+        lib = load()
+        assert lib is not None
+        self._lib = lib
+        self.n_dof = int(n_dof)
+        self.n1 = kernel.n1
+        ne = element_dofs.shape[0]
+        ne_pad = -(-ne // VL) * VL
+        self._ed = _pad(np.ascontiguousarray(element_dofs, dtype=np.int64), ne_pad)
+        self._ax = _pad(kernel.ax, ne_pad)  # ghost elements: zero coefficient
+        self._ay = _pad(kernel.ay, ne_pad)
+        self._KxX = np.ascontiguousarray(kernel.KxX)
+        _, w = _gll(kernel.order)
+        self._w = w
+        self._gmask = None if gmask is None else _pad(
+            np.ascontiguousarray(gmask, dtype=np.float64), ne_pad, fill=0.0
+        )
+        self._Minv = None if Minv is None else np.ascontiguousarray(Minv)
+        self._ne = ne_pad
+
+    def __call__(self, u: np.ndarray) -> np.ndarray:
+        z = np.empty(self.n_dof)
+        u = np.ascontiguousarray(u, dtype=np.float64)
+        self._lib.ac_apply(
+            ctypes.c_long(self._ne),
+            ctypes.c_long(self.n_dof),
+            ctypes.c_int(self.n1),
+            _pd(self._KxX), _pd(self._w), _pd(self._ax), _pd(self._ay),
+            self._ed.ctypes.data_as(_PI), _pd(u),
+            _pd(self._gmask), _pd(self._Minv), _pd(z),
+        )
+        return z
+
+
+class ElasticPlan:
+    """Bound fused elastic apply (component-interleaved DOFs)."""
+
+    def __init__(self, kernel, element_dofs, n_dof, gmask=None, Minv=None):
+        lib = load()
+        assert lib is not None
+        self._lib = lib
+        self.n_dof = int(n_dof)
+        self.n1 = kernel.n1
+        ne = element_dofs.shape[0]
+        ne_pad = -(-ne // VL) * VL
+        self._ed = _pad(np.ascontiguousarray(element_dofs, dtype=np.int64), ne_pad)
+        self._lam = _pad(kernel.lam, ne_pad)  # ghosts: lam = mu = 0
+        self._mu = _pad(kernel.mu, ne_pad)
+        self._hx = _pad(kernel.hx, ne_pad)
+        self._hy = _pad(kernel.hy, ne_pad)
+        self._KxX = np.ascontiguousarray(kernel.KxX)
+        self._E = np.ascontiguousarray(kernel.E)
+        self._ET = np.ascontiguousarray(kernel.E.T)
+        self._F = np.ascontiguousarray(kernel.F)
+        self._FT = np.ascontiguousarray(kernel.F.T)
+        _, w = _gll(kernel.order)
+        self._w = w
+        self._gmask = None if gmask is None else _pad(
+            np.ascontiguousarray(gmask, dtype=np.float64), ne_pad, fill=0.0
+        )
+        self._Minv = None if Minv is None else np.ascontiguousarray(Minv)
+        self._ne = ne_pad
+
+    def __call__(self, u: np.ndarray) -> np.ndarray:
+        z = np.empty(self.n_dof)
+        u = np.ascontiguousarray(u, dtype=np.float64)
+        self._lib.el_apply(
+            ctypes.c_long(self._ne),
+            ctypes.c_long(self.n_dof),
+            ctypes.c_int(self.n1),
+            _pd(self._KxX), _pd(self._w),
+            _pd(self._E), _pd(self._ET), _pd(self._F), _pd(self._FT),
+            _pd(self._lam), _pd(self._mu), _pd(self._hx), _pd(self._hy),
+            self._ed.ctypes.data_as(_PI), _pd(u),
+            _pd(self._gmask), _pd(self._Minv), _pd(z),
+        )
+        return z
+
+
+def _gll(order: int) -> tuple[np.ndarray, np.ndarray]:
+    from repro.sem.gll import gll_points_weights
+
+    return gll_points_weights(order)

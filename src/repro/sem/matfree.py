@@ -1,0 +1,464 @@
+"""Matrix-free tensor-product (sum-factorization) stiffness application.
+
+This is the SPECFEM-style *unassembled* operator the paper's Sec. II-C
+implementation is built on: the stiffness action is computed
+element-by-element — gather the element's GLL values, contract with the
+1D derivative/stiffness kernels, scatter-add back — and never as a
+global sparse matrix.  All elements are processed at once as batched
+tensor contractions (``tensordot`` → one BLAS GEMM per contraction), so
+the Python overhead is O(1) per apply instead of O(n_elem).
+
+Two physics kernels share the machinery:
+
+* acoustic (:class:`AcousticKernel`) — ``K_e = ax K1 + ay K2`` with the
+  1D GLL stiffness ``KxX`` along each axis (``K1 = KxX (x) Wd``);
+* elastic P-SV (:class:`ElasticKernel`) — the four-kernel form of
+  :mod:`repro.sem.elastic2d` (``K1``, ``K2`` and the geometry-free shear
+  coupling ``C = E (x) F``) applied per displacement component.
+
+Layered on top:
+
+* :class:`MatrixFreeStiffness` — the bare ``K u`` action (duck-types a
+  sparse matrix: ``shape``/``nnz``/``@``), which is what the distributed
+  runtime's rank-local partial products need;
+* :class:`MatrixFreeOperator` — the full ``A u = M^{-1} K u`` with
+  optional Dirichlet masking, implementing the
+  :class:`repro.core.operator.StiffnessOperator` protocol including the
+  element-subset level restriction LTS uses: ``restrict(cols)`` touches
+  only the elements adjacent to ``cols`` (the active level plus its gray
+  halo), never a column slice of a global matrix.
+
+``nnz`` reports tensor-contraction flops per apply so
+:class:`repro.core.lts_newmark.OperationCounter` ratios (Eq. (9)) stay
+meaningful — see :mod:`repro.core.operator`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.operator import Restriction
+from repro.sem import fused
+from repro.sem.gll import gll_points_weights, lagrange_derivative_matrix
+from repro.util.errors import SolverError
+from repro.util.validation import require
+
+
+def _fused_plan(kernel, element_dofs, n_dof, gmask=None, Minv=None, enabled=None):
+    """Fused-kernel apply plan, or ``None`` to use the NumPy path.
+
+    ``enabled=None`` auto-detects (compiler present, order supported);
+    ``False`` forces the NumPy path; ``True`` raises if unavailable.
+    """
+    if enabled is False:
+        return None
+    ok = fused.available() and kernel.order <= fused.MAX_ORDER
+    if not ok:
+        require(enabled is not True, "fused kernels unavailable", SolverError)
+        return None
+    plan_cls = (
+        fused.ElasticPlan if isinstance(kernel, ElasticKernel) else fused.AcousticPlan
+    )
+    return plan_cls(kernel, element_dofs, n_dof, gmask=gmask, Minv=Minv)
+
+
+# ----------------------------------------------------------------------
+# Physics kernels: batched element contraction
+# ----------------------------------------------------------------------
+class AcousticKernel:
+    """Batched acoustic element stiffness action.
+
+    ``(K_e u)_{ij} = ax_e w_j sum_a KxX[i,a] u_{aj}
+                   + ay_e w_i sum_b KxX[j,b] u_{ib}``
+
+    with ``ax = c^2 hy/hx``, ``ay = c^2 hx/hy`` (axis-aligned affine
+    elements).  Weights are folded into per-element scale planes so the
+    apply is two GEMM-shaped contractions plus elementwise combines.
+    """
+
+    def __init__(self, order: int, ax: np.ndarray, ay: np.ndarray):
+        self.order = int(order)
+        self.n1 = self.order + 1
+        _, w = gll_points_weights(self.order)
+        D = lagrange_derivative_matrix(self.order)
+        self.KxX = (D.T * w) @ D
+        self.ax = np.asarray(ax, dtype=np.float64)
+        self.ay = np.asarray(ay, dtype=np.float64)
+        # Scale planes: axw[e, j] multiplies the x-contraction, ayw[e, i]
+        # the y-contraction.
+        self._axw = np.multiply.outer(self.ax, w)
+        self._ayw = np.multiply.outer(self.ay, w)
+
+    @property
+    def flops_per_element(self) -> int:
+        """Multiply-adds of one element contraction (two rank-3 GEMMs
+        plus the weighted combine)."""
+        n1 = self.n1
+        return 4 * n1**3 + 6 * n1**2
+
+    def subset(self, ids: np.ndarray) -> "AcousticKernel":
+        return AcousticKernel(self.order, self.ax[ids], self.ay[ids])
+
+    def contract(self, Ue: np.ndarray) -> np.ndarray:
+        """Apply all element stiffnesses: ``(ne, n_loc) -> (ne, n_loc)``."""
+        n1 = self.n1
+        U = Ue.reshape(-1, n1, n1)
+        # tx[e, j, i] = sum_a KxX[i, a] U[e, a, j]
+        tx = np.tensordot(U, self.KxX, axes=([1], [1]))
+        # ty[e, i, j] = sum_b KxX[j, b] U[e, i, b]
+        ty = np.tensordot(U, self.KxX, axes=([2], [1]))
+        out = tx.transpose(0, 2, 1) * self._axw[:, None, :]
+        out += ty * self._ayw[:, :, None]
+        return out.reshape(Ue.shape)
+
+
+class ElasticKernel:
+    """Batched P-SV elastic element stiffness action (interleaved comps).
+
+    Uses the four-kernel decomposition of
+    :mod:`repro.sem.elastic2d`; the shear coupling
+    ``C = (Dm^T w) (x) (w Dm)`` is geometry-independent, so only the
+    diagonal blocks carry per-element scale planes.
+    """
+
+    def __init__(
+        self,
+        order: int,
+        lam: np.ndarray,
+        mu: np.ndarray,
+        hx: np.ndarray,
+        hy: np.ndarray,
+    ):
+        self.order = int(order)
+        self.n1 = self.order + 1
+        _, w = gll_points_weights(self.order)
+        D = lagrange_derivative_matrix(self.order)
+        self.KxX = (D.T * w) @ D
+        self.E = D.T * w  # E[i, a] = D[a, i] w[a]
+        self.F = w[:, None] * D
+        self.lam = np.asarray(lam, dtype=np.float64)
+        self.mu = np.asarray(mu, dtype=np.float64)
+        self.hx = np.asarray(hx, dtype=np.float64)
+        self.hy = np.asarray(hy, dtype=np.float64)
+        cp = self.lam + 2 * self.mu
+        self._xx = (
+            np.multiply.outer(cp * hy / hx, w),
+            np.multiply.outer(self.mu * hx / hy, w),
+        )
+        self._yy = (
+            np.multiply.outer(self.mu * hy / hx, w),
+            np.multiply.outer(cp * hx / hy, w),
+        )
+
+    @property
+    def flops_per_element(self) -> int:
+        n1 = self.n1
+        return 24 * n1**3 + 20 * n1**2
+
+    def subset(self, ids: np.ndarray) -> "ElasticKernel":
+        return ElasticKernel(
+            self.order, self.lam[ids], self.mu[ids], self.hx[ids], self.hy[ids]
+        )
+
+    def _axis_terms(self, U: np.ndarray, scales) -> np.ndarray:
+        """``sx K1 U + sy K2 U`` with weight-folded scale planes."""
+        sxw, syw = scales
+        tx = np.tensordot(U, self.KxX, axes=([1], [1]))  # (e, j, i)
+        ty = np.tensordot(U, self.KxX, axes=([2], [1]))  # (e, i, j)
+        out = tx.transpose(0, 2, 1) * sxw[:, None, :]
+        out += ty * syw[:, :, None]
+        return out
+
+    def _shear(self, U: np.ndarray, transpose: bool) -> np.ndarray:
+        """``C U`` (or ``C^T U``): contract F (or F^T) on j, E (or E^T) on i."""
+        E = self.E.T if transpose else self.E
+        F = self.F.T if transpose else self.F
+        t = np.tensordot(U, F, axes=([2], [1]))  # (e, i', j)
+        return np.tensordot(t, E, axes=([1], [1])).transpose(0, 2, 1)  # (e, i, j)
+
+    def contract(self, Ue: np.ndarray) -> np.ndarray:
+        n1 = self.n1
+        ne = Ue.shape[0]
+        Ux = Ue[:, 0::2].reshape(ne, n1, n1)
+        Uy = Ue[:, 1::2].reshape(ne, n1, n1)
+        lam = self.lam[:, None, None]
+        mu = self.mu[:, None, None]
+        fx = self._axis_terms(Ux, self._xx)
+        fx += lam * self._shear(Uy, transpose=False)
+        fx += mu * self._shear(Uy, transpose=True)
+        fy = self._axis_terms(Uy, self._yy)
+        fy += lam * self._shear(Ux, transpose=True)
+        fy += mu * self._shear(Ux, transpose=False)
+        out = np.empty_like(Ue)
+        out[:, 0::2] = fx.reshape(ne, -1)
+        out[:, 1::2] = fy.reshape(ne, -1)
+        return out
+
+
+# ----------------------------------------------------------------------
+# Gather / contract / scatter operators
+# ----------------------------------------------------------------------
+class MatrixFreeStiffness:
+    """The unassembled stiffness action: gather -> contract -> scatter-add.
+
+    Duck-types the minimal sparse-matrix surface (``shape``, ``nnz``,
+    ``@``) so rank-local partial products in the distributed runtime can
+    swap it in for a CSR block unchanged.  ``nnz`` is contraction flops
+    per apply.
+
+    Computes ``K (gmask * u)`` with an optional per-element-node 0/1
+    input mask, times the optional diagonal ``Minv`` — i.e. the bare
+    ``K u`` by default, the full ``M^{-1} K`` action when ``Minv`` is
+    given (both folded into the fused kernel pass when available).
+
+    ``use_fused=None`` auto-selects the fused C kernels when available
+    (:mod:`repro.sem.fused`); ``False`` pins the batched NumPy path.
+    """
+
+    def __init__(
+        self,
+        kernel,
+        element_dofs: np.ndarray,
+        n_dof: int,
+        use_fused: bool | None = None,
+        gmask: np.ndarray | None = None,
+        Minv: np.ndarray | None = None,
+    ):
+        self.kernel = kernel
+        self.element_dofs = np.ascontiguousarray(element_dofs, dtype=np.int64)
+        self.n_dof = int(n_dof)
+        require(
+            self.element_dofs.size == 0 or self.element_dofs.max() < self.n_dof,
+            "element dof out of range",
+            SolverError,
+        )
+        self.gmask = None if gmask is None else np.ascontiguousarray(gmask, dtype=np.float64)
+        self.Minv = None if Minv is None else np.ascontiguousarray(Minv, dtype=np.float64)
+        self._use_fused = use_fused
+        self._plan = (
+            _fused_plan(
+                kernel,
+                self.element_dofs,
+                self.n_dof,
+                gmask=self.gmask,
+                Minv=self.Minv,
+                enabled=use_fused,
+            )
+            if self.element_dofs.size
+            else None
+        )
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.n_dof, self.n_dof)
+
+    @property
+    def nnz(self) -> int:
+        return self.element_dofs.shape[0] * self.kernel.flops_per_element
+
+    def apply(self, u: np.ndarray) -> np.ndarray:
+        if self.element_dofs.shape[0] == 0:
+            return np.zeros(self.n_dof)
+        if self._plan is not None:
+            return self._plan(u)
+        Ue = u[self.element_dofs]
+        if self.gmask is not None:
+            Ue = Ue * self.gmask
+        ku = self.kernel.contract(Ue)
+        z = np.bincount(
+            self.element_dofs.ravel(), weights=ku.ravel(), minlength=self.n_dof
+        )
+        if self.Minv is not None:
+            z *= self.Minv
+        return z
+
+    def __matmul__(self, u: np.ndarray) -> np.ndarray:
+        return self.apply(u)
+
+    def masked_subset(self, col_mask: np.ndarray) -> "MatrixFreeStiffness":
+        """The restricted action ``u -> K (1_cols * u)`` on the elements
+        adjacent to the masked DOFs (active level + gray halo).
+
+        This is the paper's per-level stiffness application for the
+        distributed runtime: each rank applies only the elements of the
+        active level instead of masking a full local product.
+        """
+        col_mask = np.asarray(col_mask, dtype=bool)
+        ids = np.nonzero(col_mask[self.element_dofs].any(axis=1))[0]
+        gm = col_mask[self.element_dofs[ids]].astype(np.float64)
+        if self.gmask is not None:
+            gm *= self.gmask[ids]
+        return MatrixFreeStiffness(
+            self.kernel.subset(ids),
+            self.element_dofs[ids],
+            self.n_dof,
+            use_fused=self._use_fused,
+            gmask=gm,
+            Minv=self.Minv,
+        )
+
+
+class MatrixFreeOperator:
+    """Matrix-free ``A u = M^{-1} K u`` implementing the
+    :class:`repro.core.operator.StiffnessOperator` protocol.
+
+    ``restrict(cols)`` realizes the paper's per-level application: only
+    the elements adjacent to ``cols`` (active level + gray halo) are
+    gathered and contracted, with the gathered values masked to ``cols``
+    so the result equals ``A[:, cols] @ u[cols]`` of the assembled
+    backend to machine precision.
+    """
+
+    def __init__(
+        self,
+        kernel,
+        element_dofs: np.ndarray,
+        M: np.ndarray,
+        dirichlet_mask: np.ndarray | None = None,
+        use_fused: bool | None = None,
+    ):
+        self.kernel = kernel
+        self.element_dofs = np.ascontiguousarray(element_dofs, dtype=np.int64)
+        self.M = np.asarray(M, dtype=np.float64)
+        self.n_dof = len(self.M)
+        self._Minv = 1.0 / self.M
+        self.dirichlet_mask = (
+            None if dirichlet_mask is None else np.asarray(dirichlet_mask, dtype=np.float64)
+        )
+        self._use_fused = use_fused
+        # The full pipeline (input mask, contraction, scatter, M^{-1})
+        # lives in one MatrixFreeStiffness; restrictions are its masked
+        # subsets, so the level-restriction logic exists exactly once.
+        self._stiffness = MatrixFreeStiffness(
+            kernel,
+            self.element_dofs,
+            self.n_dof,
+            use_fused=use_fused,
+            gmask=(
+                None
+                if self.dirichlet_mask is None
+                else self.dirichlet_mask[self.element_dofs]
+            ),
+            Minv=self._Minv,
+        )
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.n_dof, self.n_dof)
+
+    @property
+    def nnz(self) -> int:
+        """Tensor-contraction flops of one full apply (see module docs)."""
+        return self._stiffness.nnz
+
+    def apply(self, u: np.ndarray) -> np.ndarray:
+        z = self._stiffness.apply(u)  # input mask and M^{-1} folded in
+        if self.dirichlet_mask is not None:
+            z *= self.dirichlet_mask
+        return z
+
+    def __matmul__(self, u: np.ndarray) -> np.ndarray:
+        return self.apply(u)
+
+    def apply_on(self, cols: np.ndarray, u: np.ndarray) -> np.ndarray:
+        """One-shot ``A[:, cols] @ u[cols]`` (uncached convenience)."""
+        return self.restrict(cols).apply(u)
+
+    def restrict(self, cols: np.ndarray) -> Restriction:
+        cols = np.asarray(cols, dtype=np.int64)
+        col_mask = np.zeros(self.n_dof, dtype=bool)
+        col_mask[cols] = True
+        sub = self._stiffness.masked_subset(col_mask)
+        dmask = self.dirichlet_mask
+
+        def _apply(u: np.ndarray) -> np.ndarray:
+            z = sub.apply(u)
+            if dmask is not None:
+                z *= dmask
+            return z
+
+        return Restriction(cols=cols, ops=sub.nnz, _apply=_apply)
+
+    def reach(self, col_mask: np.ndarray) -> np.ndarray:
+        """All DOFs of elements adjacent to the masked columns.
+
+        A structural superset of the assembled backend's reach (it keeps
+        same-element DOFs whose stiffness entry is exactly zero), which
+        is valid for LTS active sets: any superset of the true coupling
+        yields the identical scheme.
+        """
+        col_mask = np.asarray(col_mask, dtype=bool)
+        touch = col_mask[self.element_dofs].any(axis=1)
+        out = np.zeros(self.n_dof, dtype=bool)
+        out[self.element_dofs[touch].ravel()] = True
+        return out
+
+
+# ----------------------------------------------------------------------
+# Builders
+# ----------------------------------------------------------------------
+def _make_kernel(assembler, ids: np.ndarray | None = None):
+    """Physics kernel for a SEM assembler (acoustic or elastic)."""
+    sl = slice(None) if ids is None else ids
+    if hasattr(assembler, "lam"):  # ElasticSem2D
+        return ElasticKernel(
+            assembler.order,
+            assembler.lam[sl],
+            assembler.mu[sl],
+            assembler.hx[sl],
+            assembler.hy[sl],
+        )
+    require(hasattr(assembler, "hx"), "assembler lacks tensor geometry", SolverError)
+    c2 = np.asarray(assembler.mesh.c, dtype=np.float64) ** 2
+    hx, hy = assembler.hx, assembler.hy
+    return AcousticKernel(assembler.order, (c2 * hy / hx)[sl], (c2 * hx / hy)[sl])
+
+
+def operator_for(assembler, backend: str = "assembled", use_fused: bool | None = None):
+    """Backend dispatch behind ``Sem2D.operator`` / ``ElasticSem2D.operator``.
+
+    ``"assembled"`` wraps the precomputed CSR; ``"matfree"`` builds the
+    tensor-product operator.  One implementation, every assembler.
+    """
+    if backend == "assembled":
+        from repro.core.operator import AssembledOperator
+
+        return AssembledOperator(assembler.A)
+    if backend == "matfree":
+        return matrix_free_operator(assembler, use_fused=use_fused)
+    raise SolverError(f"unknown backend {backend!r}")
+
+
+def matrix_free_operator(assembler, use_fused: bool | None = None) -> MatrixFreeOperator:
+    """Matrix-free ``A = M^{-1} K`` for a :class:`~repro.sem.assembly2d.Sem2D`
+    or :class:`~repro.sem.elastic2d.ElasticSem2D` assembler, equivalent to
+    its assembled ``assembler.A`` (including Dirichlet masking)."""
+    return MatrixFreeOperator(
+        _make_kernel(assembler),
+        assembler.element_dofs,
+        assembler.M,
+        dirichlet_mask=getattr(assembler, "dirichlet_mask", None),
+        use_fused=use_fused,
+    )
+
+
+def local_stiffness(
+    assembler,
+    element_ids: np.ndarray,
+    local_dofs: np.ndarray,
+    n_local: int,
+    use_fused: bool | None = None,
+) -> MatrixFreeStiffness:
+    """Rank-local unassembled ``K`` for the distributed runtime.
+
+    ``local_dofs`` is ``assembler.element_dofs[element_ids]`` mapped to
+    rank-local numbering; the returned object drops into
+    :class:`repro.runtime.halo.RankLayout.K_local` (partial products are
+    summed across ranks by the usual halo exchange).
+    """
+    return MatrixFreeStiffness(
+        _make_kernel(assembler, np.asarray(element_ids)),
+        local_dofs,
+        n_local,
+        use_fused=use_fused,
+    )

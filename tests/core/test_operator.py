@@ -1,0 +1,83 @@
+"""Tests for the StiffnessOperator protocol and the assembled backend."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.operator import AssembledOperator, Restriction, StiffnessOperator, as_operator
+
+
+@pytest.fixture()
+def small_A():
+    rng = np.random.default_rng(3)
+    dense = rng.standard_normal((12, 12))
+    dense[np.abs(dense) < 1.0] = 0.0  # make it sparse-ish
+    return sp.csr_matrix(dense)
+
+
+class TestAssembledOperator:
+    def test_matmul_equals_matrix(self, small_A):
+        op = AssembledOperator(small_A)
+        u = np.arange(12, dtype=float)
+        assert np.array_equal(op @ u, small_A @ u)
+        assert np.array_equal(op.apply(u), small_A @ u)
+
+    def test_shape_and_nnz(self, small_A):
+        op = AssembledOperator(small_A)
+        assert op.shape == small_A.shape
+        assert op.nnz == small_A.nnz
+
+    def test_rejects_non_square(self):
+        from repro.util.errors import SolverError
+
+        with pytest.raises(SolverError):
+            AssembledOperator(sp.csr_matrix(np.ones((3, 4))))
+
+    def test_restrict_matches_column_block(self, small_A):
+        op = AssembledOperator(small_A)
+        cols = np.array([1, 4, 7, 8])
+        restr = op.restrict(cols)
+        u = np.random.default_rng(0).standard_normal(12)
+        expected = small_A.tocsc()[:, cols] @ u[cols]
+        assert np.allclose(restr.apply(u), expected, atol=1e-15)
+        assert isinstance(restr, Restriction)
+        assert restr.ops == small_A.tocsc()[:, cols].nnz
+
+    def test_apply_on_convenience(self, small_A):
+        op = AssembledOperator(small_A)
+        cols = np.array([0, 5])
+        u = np.random.default_rng(1).standard_normal(12)
+        assert np.array_equal(op.apply_on(cols, u), op.restrict(cols).apply(u))
+
+    def test_reach_matches_bruteforce(self, small_A):
+        op = AssembledOperator(small_A)
+        mask = np.zeros(12, dtype=bool)
+        mask[[2, 9]] = True
+        # brute force: rows with a stored entry in any masked column
+        csc = small_A.tocsc()
+        expected = np.zeros(12, dtype=bool)
+        for j in np.nonzero(mask)[0]:
+            expected[csc.indices[csc.indptr[j] : csc.indptr[j + 1]]] = True
+        assert np.array_equal(op.reach(mask), expected)
+
+    def test_reach_empty_mask(self, small_A):
+        op = AssembledOperator(small_A)
+        assert not op.reach(np.zeros(12, dtype=bool)).any()
+
+
+class TestAsOperator:
+    def test_wraps_sparse_and_dense(self, small_A):
+        assert isinstance(as_operator(small_A), AssembledOperator)
+        assert isinstance(as_operator(small_A.toarray()), AssembledOperator)
+
+    def test_passes_through_protocol_objects(self, small_A):
+        op = AssembledOperator(small_A)
+        assert as_operator(op) is op
+
+    def test_matfree_satisfies_protocol(self):
+        from repro.mesh import uniform_grid
+        from repro.sem import Sem2D
+
+        op = Sem2D(uniform_grid((2, 2)), order=2).operator("matfree")
+        assert isinstance(op, StiffnessOperator)
+        assert as_operator(op) is op

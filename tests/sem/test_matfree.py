@@ -1,0 +1,165 @@
+"""Matrix-free tensor-product operator: equivalence with the assembled CSR
+backend to machine precision (paper Sec. II-C: the unassembled
+implementation computes *the same* operator)."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import uniform_grid
+from repro.sem import ElasticSem2D, Sem2D, fused
+from repro.sem.matfree import (
+    MatrixFreeOperator,
+    MatrixFreeStiffness,
+    local_stiffness,
+    matrix_free_operator,
+)
+
+#: Both implementation tiers when the fused C kernels are available,
+#: otherwise just the portable NumPy path.
+FUSED_PARAMS = [False, None] if fused.available() else [False]
+
+
+def _mesh(shape=(5, 4)):
+    mesh = uniform_grid(shape, (1.0, 1.3))
+    mesh.c = mesh.c.copy()
+    mesh.c[mesh.n_elements // 2] = 3.0  # velocity contrast
+    return mesh
+
+
+def _rel_err(got, ref):
+    return np.abs(got - ref).max() / max(np.abs(ref).max(), 1e-30)
+
+
+class TestAcousticEquivalence:
+    @pytest.mark.parametrize("order", range(1, 9))
+    @pytest.mark.parametrize("dirichlet", [False, True])
+    def test_full_apply(self, order, dirichlet):
+        sem = Sem2D(_mesh(), order=order, dirichlet=dirichlet)
+        u = np.random.default_rng(order).standard_normal(sem.n_dof)
+        ref = sem.A @ u
+        for uf in FUSED_PARAMS:
+            op = sem.operator("matfree", use_fused=uf)
+            assert _rel_err(op @ u, ref) < 1e-12, (order, dirichlet, uf)
+
+    @pytest.mark.parametrize("order", [1, 3, 5, 8])
+    @pytest.mark.parametrize("dirichlet", [False, True])
+    def test_restricted_apply(self, order, dirichlet):
+        sem = Sem2D(_mesh(), order=order, dirichlet=dirichlet)
+        rng = np.random.default_rng(order)
+        u = rng.standard_normal(sem.n_dof)
+        cols = rng.choice(sem.n_dof, size=max(1, sem.n_dof // 3), replace=False)
+        ref = sem.operator("assembled").restrict(cols).apply(u)
+        for uf in FUSED_PARAMS:
+            restr = sem.operator("matfree", use_fused=uf).restrict(cols)
+            assert _rel_err(restr.apply(u), ref) < 1e-12, (order, dirichlet, uf)
+            assert restr.ops > 0
+
+    @pytest.mark.parametrize("order", [2, 4])
+    def test_reach_superset_of_assembled(self, order):
+        """Matrix-free reach = all same-element DOFs: a valid superset of
+        the assembled structural reach (supersets preserve the LTS
+        scheme; see lts_newmark module docs)."""
+        sem = Sem2D(_mesh(), order=order)
+        mask = np.zeros(sem.n_dof, dtype=bool)
+        mask[::7] = True
+        reach_a = sem.operator("assembled").reach(mask)
+        reach_m = sem.operator("matfree").reach(mask)
+        assert np.all(reach_m | ~reach_a)  # reach_a implies reach_m
+
+    def test_nnz_counts_contraction_flops(self):
+        sem = Sem2D(_mesh(), order=4)
+        op = sem.operator("matfree")
+        assert op.nnz == sem.mesh.n_elements * op.kernel.flops_per_element
+        # restriction ops scale with the touched element subset
+        cols = np.arange(10)
+        assert 0 < op.restrict(cols).ops < op.nnz
+
+
+class TestElasticEquivalence:
+    @pytest.mark.parametrize("order", range(1, 9))
+    def test_full_apply(self, order):
+        el = ElasticSem2D(_mesh((4, 3)), order=order, lam=2.3, mu=1.7, rho=1.1)
+        u = np.random.default_rng(order).standard_normal(el.n_dof)
+        ref = el.A @ u
+        for uf in FUSED_PARAMS:
+            op = el.operator("matfree", use_fused=uf)
+            assert _rel_err(op @ u, ref) < 1e-12, (order, uf)
+
+    @pytest.mark.parametrize("order", [2, 5])
+    def test_restricted_apply(self, order):
+        el = ElasticSem2D(_mesh((4, 3)), order=order, lam=2.3, mu=1.7, rho=1.1)
+        rng = np.random.default_rng(order)
+        u = rng.standard_normal(el.n_dof)
+        cols = rng.choice(el.n_dof, size=el.n_dof // 4, replace=False)
+        ref = el.operator("assembled").restrict(cols).apply(u)
+        for uf in FUSED_PARAMS:
+            restr = el.operator("matfree", use_fused=uf).restrict(cols)
+            assert _rel_err(restr.apply(u), ref) < 1e-12, (order, uf)
+
+    def test_rigid_motions_in_kernel(self):
+        el = ElasticSem2D(_mesh((4, 3)), order=3, lam=2.0, mu=1.0)
+        op = el.operator("matfree")
+        rot = el.interpolate(lambda x, y: y, lambda x, y: -x)
+        assert np.abs(op @ rot).max() < 1e-8
+        for comp in (0, 1):
+            u = np.zeros(el.n_dof)
+            u[comp::2] = 1.0
+            assert np.abs(op @ u).max() < 1e-9
+
+
+class TestStiffnessOnly:
+    """The K-only operators the distributed runtime consumes."""
+
+    def test_local_stiffness_matches_partial_assembly(self):
+        sem = Sem2D(_mesh(), order=3)
+        ids = np.array([0, 3, 7, 11])
+        gd = np.unique(sem.element_dofs[ids].ravel())
+        ld = np.searchsorted(gd, sem.element_dofs[ids])
+        for uf in FUSED_PARAMS:
+            K = local_stiffness(sem, ids, ld, len(gd), use_fused=uf)
+            u = np.random.default_rng(0).standard_normal(len(gd))
+            # brute force: sum of dense element systems
+            ref = np.zeros(len(gd))
+            Ke, _ = sem.element_system_batch(ids)
+            for m in range(len(ids)):
+                ref[ld[m]] += Ke[m] @ u[ld[m]]
+            assert _rel_err(K @ u, ref) < 1e-12
+
+    def test_masked_subset_restricts_input_support(self):
+        sem = Sem2D(_mesh(), order=3)
+        op = matrix_free_operator(sem)
+        K = MatrixFreeStiffness(op.kernel, sem.element_dofs, sem.n_dof)
+        mask = np.zeros(sem.n_dof, dtype=bool)
+        mask[sem.element_dofs[2]] = True
+        sub = K.masked_subset(mask)
+        u = np.random.default_rng(1).standard_normal(sem.n_dof)
+        masked_u = np.where(mask, u, 0.0)
+        assert _rel_err(sub @ u, K @ masked_u) < 1e-12
+        assert sub.nnz < K.nnz  # fewer elements touched
+
+    def test_empty_subset(self):
+        sem = Sem2D(_mesh(), order=2)
+        op = matrix_free_operator(sem)
+        K = MatrixFreeStiffness(op.kernel, sem.element_dofs, sem.n_dof)
+        sub = K.masked_subset(np.zeros(sem.n_dof, dtype=bool))
+        assert not (sub @ np.ones(sem.n_dof)).any()
+
+
+class TestFusedGating:
+    def test_forcing_numpy_path_works(self):
+        sem = Sem2D(_mesh(), order=2)
+        op = sem.operator("matfree", use_fused=False)
+        assert op._stiffness._plan is None  # numpy path pinned
+        assert np.isfinite(op @ np.ones(sem.n_dof)).all()
+
+    @pytest.mark.skipif(not fused.available(), reason="no C compiler")
+    def test_fused_plan_built_when_available(self):
+        sem = Sem2D(_mesh(), order=2)
+        assert sem.operator("matfree")._stiffness._plan is not None
+
+    def test_unknown_backend_rejected(self):
+        from repro.util.errors import SolverError
+
+        sem = Sem2D(_mesh(), order=2)
+        with pytest.raises(SolverError):
+            sem.operator("turbo")
