@@ -4,26 +4,33 @@ The paper's SPECFEM-style implementation never assembles a global
 stiffness matrix: the action ``A u = M^{-1} K u`` is applied
 element-by-element with tensor-product contractions.  This bench pits
 the two interchangeable :class:`repro.core.operator.StiffnessOperator`
-backends against each other across polynomial orders on a 64x64-element
-mesh, for both the full apply and the LTS level-restricted apply
-(``A[:, cols] u[cols]`` on ~a quarter of the domain):
+backends against each other across polynomial orders, for both the full
+apply and the LTS level-restricted apply (``A[:, cols] u[cols]`` on ~a
+corner of the domain):
 
-* ``assembled`` — pruned CSR matvec (``Sem2D.A @ u``);
+* ``assembled`` — pruned CSR matvec (``sem.A @ u``);
 * ``matfree`` — batched sum-factorization with the fused element
   kernels of :mod:`repro.sem.fused` when a C compiler is available;
-* ``matfree-numpy`` — the portable batched ``tensordot`` path, for
+* ``matfree-numpy`` — the portable batched contraction path, for
   reference (in 2D its flop count matches CSR's nnz count, so it lands
   near parity; the fused kernels win by keeping the element workspace
   in registers).
 
+``--dim 3`` runs the 3D hexahedral workload (the paper's actual mesh
+class) on :class:`repro.sem.assembly3d.Sem3D`; this is where
+sum-factorization pays off asymptotically and the fused matfree tier
+beats the CSR matvec outright at order >= 4.  ``--dim 2`` (default)
+keeps the original quad sweep plus one elastic row.
+
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_matfree_vs_assembled.py [--quick]
+    PYTHONPATH=src python benchmarks/bench_matfree_vs_assembled.py \
+        [--quick] [--dim {2,3}]
 
 ``--quick`` shrinks the mesh and order sweep to a seconds-long smoke
 run (used by CI); the full run records the numbers quoted in README.
 Emits a ``BENCH`` JSON line and persists to
-``benchmarks/results/matfree_vs_assembled.json``.
+``benchmarks/results/matfree_vs_assembled[_3d].json``.
 """
 
 from __future__ import annotations
@@ -41,7 +48,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 from common import save_results  # noqa: E402
 
 from repro.mesh import uniform_grid  # noqa: E402
-from repro.sem import Sem2D, ElasticSem2D  # noqa: E402
+from repro.sem import Sem2D, Sem3D, ElasticSem2D  # noqa: E402
 from repro.sem import fused  # noqa: E402
 from repro.util import Table  # noqa: E402
 
@@ -57,16 +64,23 @@ def _best_ms(fn, reps: int) -> float:
 
 
 def _corner_cols(sem) -> np.ndarray:
-    """DOFs of the lower-left quarter of the domain (a fake LTS level)."""
-    xy = sem.xy
-    xmid = 0.5 * (xy[:, 0].min() + xy[:, 0].max())
-    ymid = 0.5 * (xy[:, 1].min() + xy[:, 1].max())
-    return np.nonzero((xy[:, 0] <= xmid) & (xy[:, 1] <= ymid))[0]
+    """DOFs of the low corner (2^-dim of the domain — a fake LTS level)."""
+    xc = sem.node_coords
+    mid = 0.5 * (xc.min(axis=0) + xc.max(axis=0))
+    return np.nonzero(np.all(xc <= mid[None, :], axis=1))[0]
 
 
-def run(quick: bool = False) -> dict:
-    grid = (16, 16) if quick else (64, 64)
-    orders = (2, 4) if quick else (2, 3, 4, 5, 6, 7, 8)
+def run(quick: bool = False, dim: int = 2) -> dict:
+    if dim == 2:
+        grid = (16, 16) if quick else (64, 64)
+        orders = (2, 4) if quick else (2, 3, 4, 5, 6, 7, 8)
+        sem_cls = Sem2D
+    elif dim == 3:
+        grid = (3, 3, 3) if quick else (8, 8, 8)
+        orders = (2, 4) if quick else (2, 3, 4, 5, 6)
+        sem_cls = Sem3D
+    else:
+        raise SystemExit(f"--dim must be 2 or 3, got {dim}")
     reps = 5 if quick else 30
     rng = np.random.default_rng(0)
 
@@ -74,11 +88,12 @@ def run(quick: bool = False) -> dict:
     t = Table(
         ["order", "n_dof", "nnz", "assembled ms", "matfree ms", "speedup",
          "numpy ms", "restricted speedup", "max rel err"],
-        title=f"matrix-free vs assembled apply — {grid[0]}x{grid[1]} acoustic "
+        title=f"matrix-free vs assembled apply — {'x'.join(map(str, grid))} "
+        f"acoustic {dim}D "
         f"(fused kernels: {'yes' if fused.available() else 'NO — numpy fallback'})",
     )
     for order in orders:
-        sem = Sem2D(uniform_grid(grid), order=order)
+        sem = sem_cls(uniform_grid(grid), order=order)
         assembled = sem.operator("assembled")
         matfree = sem.operator("matfree")
         mf_numpy = sem.operator("matfree", use_fused=False)
@@ -103,6 +118,7 @@ def run(quick: bool = False) -> dict:
 
         row = {
             "physics": "acoustic",
+            "dim": dim,
             "order": order,
             "n_dof": sem.n_dof,
             "nnz": int(assembled.nnz),
@@ -122,41 +138,45 @@ def run(quick: bool = False) -> dict:
              f"{t_rasm / t_rmf:.2f}x", f"{row['max_rel_err']:.1e}"]
         )
 
-    # One elastic row for the vector-valued kernel.
-    el_order = 2 if quick else 5
-    el = ElasticSem2D(uniform_grid(grid), order=el_order, lam=2.0, mu=1.0)
-    asm_e = el.operator("assembled")
-    mf_e = el.operator("matfree")
-    u = rng.standard_normal(el.n_dof)
-    ref = asm_e @ u
-    err_e = float(np.abs(mf_e @ u - ref).max() / np.abs(ref).max())
-    te_asm = _best_ms(lambda: asm_e @ u, reps)
-    te_mf = _best_ms(lambda: mf_e @ u, reps)
-    rows.append(
-        {
-            "physics": "elastic",
-            "order": el_order,
-            "n_dof": el.n_dof,
-            "nnz": int(asm_e.nnz),
-            "assembled_ms": te_asm,
-            "matfree_ms": te_mf,
-            "speedup": te_asm / te_mf,
-            "max_rel_err": err_e,
-        }
-    )
-    t.add_row(
-        [f"{el_order} (elastic)", el.n_dof, asm_e.nnz, f"{te_asm:.3f}",
-         f"{te_mf:.3f}", f"{te_asm / te_mf:.2f}x", "-", "-", f"{err_e:.1e}"]
-    )
+    if dim == 2:
+        # One elastic row for the vector-valued kernel.
+        el_order = 2 if quick else 5
+        el = ElasticSem2D(uniform_grid(grid), order=el_order, lam=2.0, mu=1.0)
+        asm_e = el.operator("assembled")
+        mf_e = el.operator("matfree")
+        u = rng.standard_normal(el.n_dof)
+        ref = asm_e @ u
+        err_e = float(np.abs(mf_e @ u - ref).max() / np.abs(ref).max())
+        te_asm = _best_ms(lambda: asm_e @ u, reps)
+        te_mf = _best_ms(lambda: mf_e @ u, reps)
+        rows.append(
+            {
+                "physics": "elastic",
+                "dim": dim,
+                "order": el_order,
+                "n_dof": el.n_dof,
+                "nnz": int(asm_e.nnz),
+                "assembled_ms": te_asm,
+                "matfree_ms": te_mf,
+                "speedup": te_asm / te_mf,
+                "max_rel_err": err_e,
+            }
+        )
+        t.add_row(
+            [f"{el_order} (elastic)", el.n_dof, asm_e.nnz, f"{te_asm:.3f}",
+             f"{te_mf:.3f}", f"{te_asm / te_mf:.2f}x", "-", "-", f"{err_e:.1e}"]
+        )
     t.print()
 
     payload = {
         "grid": list(grid),
+        "dim": dim,
         "quick": quick,
         "fused_available": fused.available(),
         "rows": rows,
     }
-    save_results("matfree_vs_assembled", payload)
+    if not quick:  # quick/CI smokes must not clobber the recorded full runs
+        save_results("matfree_vs_assembled" + ("_3d" if dim == 3 else ""), payload)
     print("BENCH " + json.dumps(payload, default=float))
 
     # Hard checks: backends must agree; the matrix-free backend must win
@@ -165,18 +185,29 @@ def run(quick: bool = False) -> dict:
         assert row["max_rel_err"] < 1e-12, row
     if not quick and fused.available():
         for row in rows:
-            if row["physics"] == "acoustic" and row["order"] >= 5:
+            if row["physics"] != "acoustic":
+                continue
+            if dim == 2 and row["order"] >= 5:
                 assert row["speedup"] >= 2.0, row
+            if dim == 3 and row["order"] >= 4:
+                assert row["speedup"] >= 1.0, row
     return payload
 
 
 def test_matfree_vs_assembled():
     """Pytest entry point (quick mode — equivalence + smoke timing)."""
-    run(quick=True)
+    run(quick=True, dim=2)
+
+
+def test_matfree_vs_assembled_3d():
+    """Pytest entry point for the 3D hexahedral workload."""
+    run(quick=True, dim=3)
 
 
 if __name__ == "__main__":
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--quick", action="store_true", help="seconds-long smoke run")
+    ap.add_argument("--dim", type=int, default=2, choices=(2, 3),
+                    help="spatial dimension (3 = hexahedral Sem3D sweep)")
     args = ap.parse_args()
-    run(quick=args.quick)
+    run(quick=args.quick, dim=args.dim)

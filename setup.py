@@ -1,3 +1,4 @@
+"""Shim for legacy editable installs; all metadata is in pyproject.toml."""
 from setuptools import setup
 
 setup()

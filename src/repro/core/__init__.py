@@ -28,6 +28,7 @@ from repro.core.cfl import (
     cfl_timestep,
     stable_timestep_per_element,
     stable_timestep_from_operator,
+    operator_spectral_radius,
     gll_spacing_factor,
 )
 from repro.core.levels import LevelAssignment, assign_levels, enforce_level_grading
@@ -53,6 +54,7 @@ __all__ = [
     "cfl_timestep",
     "stable_timestep_per_element",
     "stable_timestep_from_operator",
+    "operator_spectral_radius",
     "gll_spacing_factor",
     "LevelAssignment",
     "assign_levels",

@@ -9,7 +9,10 @@ the smallest Gauss-Lobatto sub-spacing inside the element, which shrinks
 like ``O(h / order^2)`` toward element boundaries.  ``c_cfl`` absorbs the
 scheme constant; ``order`` folds in the GLL clustering so the same
 ``c_cfl`` works across polynomial orders.  For exact spectral bounds use
-:func:`stable_timestep_from_operator`.
+:func:`stable_timestep_from_operator`, which works on assembled sparse
+matrices *and* matrix-free operators: the power-iteration path needs
+nothing but the operator action ``A @ u``, dropping the last hard
+dependency on an assembled ``A`` for very large meshes.
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from repro.mesh.mesh import Mesh
+from repro.sem.gll import gll_points_weights
 from repro.util.errors import SolverError
 from repro.util.validation import check_positive, require
 
@@ -33,8 +37,6 @@ def gll_spacing_factor(order: int) -> float:
     require(order >= 1, f"order must be >= 1, got {order}", SolverError)
     if order == 1:
         return 1.0
-    from repro.sem.gll import gll_points_weights
-
     pts, _ = gll_points_weights(order)
     return float(np.min(np.diff(pts)) / 2.0)
 
@@ -55,20 +57,94 @@ def cfl_timestep(mesh: Mesh, c_cfl: float = 0.5, order: int = 1) -> float:
     return float(stable_timestep_per_element(mesh, c_cfl, order).min())
 
 
-def stable_timestep_from_operator(A, safety: float = 0.95) -> float:
+def operator_spectral_radius(
+    A, tol: float = 1e-12, maxiter: int = 20_000, seed: int = 0
+) -> float:
+    """Largest eigenvalue of ``A = M^{-1} K`` by power iteration.
+
+    Needs only the operator action ``A @ u``, so it runs on any
+    :class:`repro.core.operator.StiffnessOperator` — in particular the
+    matrix-free backend, where no matrix ever exists.  ``A`` is similar
+    to a symmetric positive-semidefinite matrix (``M^{1/2} A M^{-1/2}``
+    is symmetric), so its spectrum is real and power iteration converges
+    on the largest eigenvalue; a possibly degenerate top eigenvalue is
+    fine (the iterate converges inside the top eigenspace).  The
+    Rayleigh-type quotient ``x.(Ax)/x.x`` converges at the square of the
+    iterate rate, and iteration stops when its relative change falls
+    below ``tol``.  Raises when ``maxiter`` is exhausted first: an
+    unconverged estimate *under*-states ``lambda_max`` and would turn
+    into an unstable time step downstream.
+    """
+    n = A.shape[0]
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(n)
+    x /= np.linalg.norm(x)
+    lam_old = np.inf
+    for _ in range(maxiter):
+        y = A @ x
+        lam = float(x @ y)
+        ny = np.linalg.norm(y)
+        if ny == 0.0:  # A x = 0: x fell in the nullspace
+            return 0.0
+        x = y / ny
+        if abs(lam - lam_old) <= tol * max(abs(lam), 1e-300):
+            return lam
+        lam_old = lam
+    raise SolverError(
+        f"power iteration did not converge to rel tol {tol:g} in {maxiter} "
+        "iterations (clustered top eigenvalues?); raise maxiter or tol"
+    )
+
+
+def stable_timestep_from_operator(
+    A, safety: float = 0.95, method: str = "auto"
+) -> float:
     """Sharp leap-frog stability bound ``dt < 2 / sqrt(lambda_max(A))``.
 
-    Uses a few Lanczos iterations on the assembled operator; this is the
-    exact criterion the heuristic ``c_cfl`` approximates, and the tests
-    use it to pick provably stable steps on refined meshes.
+    This is the exact criterion the heuristic ``c_cfl`` approximates;
+    the tests use it to pick provably stable steps on refined meshes.
+
+    Parameters
+    ----------
+    A:
+        The stiffness operator ``M^{-1} K``: a scipy sparse matrix,
+        dense array, or any :class:`repro.core.operator
+        .StiffnessOperator` (assembled or matrix-free).
+    safety:
+        Fraction of the exact bound to return.
+    method:
+        ``"eigs"`` — dense/Lanczos eigensolver on the assembled matrix
+        (requires one); ``"power"`` — matrix-free power iteration on the
+        operator action (:func:`operator_spectral_radius`), no matrix
+        needed; ``"auto"`` — ``"eigs"`` when ``A`` is (or wraps) an
+        assembled matrix, else ``"power"``.
     """
     check_positive(safety, "safety", SolverError)
     require(safety <= 1.0, "safety must be <= 1", SolverError)
-    A = sp.csr_matrix(A)
-    n = A.shape[0]
-    if n <= 64:
-        lam = float(np.max(np.real(np.linalg.eigvals(A.toarray()))))
+    require(method in ("auto", "eigs", "power"), f"unknown method {method!r}", SolverError)
+    # Unwrap AssembledOperator and friends: anything exposing a sparse
+    # ``.A`` is an assembled backend.
+    mat = None
+    if sp.issparse(A) or isinstance(A, np.ndarray):
+        mat = A
+    elif sp.issparse(getattr(A, "A", None)):
+        mat = A.A
+    if method == "auto":
+        method = "eigs" if mat is not None else "power"
+
+    if method == "power":
+        lam = operator_spectral_radius(A)
     else:
-        lam = float(np.real(spla.eigs(A, k=1, which="LM", return_eigenvectors=False, maxiter=5000)[0]))
+        require(mat is not None, "method='eigs' needs an assembled matrix", SolverError)
+        mat = sp.csr_matrix(mat)
+        n = mat.shape[0]
+        if n <= 64:
+            lam = float(np.max(np.real(np.linalg.eigvals(mat.toarray()))))
+        else:
+            lam = float(
+                np.real(
+                    spla.eigs(mat, k=1, which="LM", return_eigenvectors=False, maxiter=5000)[0]
+                )
+            )
     require(lam > 0, "operator has no positive spectrum; is A = M^-1 K?", SolverError)
     return safety * 2.0 / np.sqrt(lam)

@@ -30,12 +30,14 @@ Two implementations share one recursion:
   optimized implementation computes *the same scheme* with the minimal
   op set.
 
-The solver is backend-agnostic: ``A`` may be a scipy sparse matrix (the
-assembled path), or any :class:`repro.core.operator.StiffnessOperator`
-— in particular the matrix-free sum-factorization operator of
-:mod:`repro.sem.matfree`, whose per-level restriction applies the
-stiffness only on the active level's elements plus their gray halo,
-exactly as the paper's SPECFEM implementation does.
+The solver is backend- and dimension-agnostic: ``A`` may be a scipy
+sparse matrix (the assembled path), or any
+:class:`repro.core.operator.StiffnessOperator` — in particular the
+matrix-free sum-factorization operator of :mod:`repro.sem.matfree` from
+any :class:`repro.sem.tensor.SemND` assembler (2D quads, 3D hexahedra),
+whose per-level restriction applies the stiffness only on the active
+level's elements plus their gray halo, exactly as the paper's SPECFEM
+implementation does.
 """
 
 from __future__ import annotations
@@ -148,8 +150,8 @@ class LTSNewmarkSolver:
         Stiffness operator ``M^{-1} K``: a scipy sparse matrix / dense
         array (wrapped into an assembled-CSR backend), or any
         :class:`repro.core.operator.StiffnessOperator` such as the
-        matrix-free backend from :meth:`repro.sem.assembly2d.Sem2D
-        .operator`.
+        matrix-free backend from :meth:`repro.sem.tensor.SemND.operator`
+        (2D quads and 3D hexahedra alike).
     dof_level:
         ``(n,)`` int array of per-DOF levels, 1 = coarsest (from
         :func:`dof_levels_from_elements`).

@@ -22,6 +22,8 @@ Fig. 5 at any grid resolution; tests pin this.
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
 from repro.mesh.mesh import Mesh
@@ -29,7 +31,7 @@ from repro.util.errors import MeshError
 from repro.util.validation import check_positive, require
 
 #: Registry of benchmark family names -> generator (filled at module end).
-BENCHMARK_FAMILIES: dict[str, "callable"] = {}
+BENCHMARK_FAMILIES: dict[str, Callable[..., Mesh]] = {}
 
 
 # ----------------------------------------------------------------------

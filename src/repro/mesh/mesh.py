@@ -22,21 +22,21 @@ import numpy as np
 from repro.util.errors import MeshError
 from repro.util.validation import check_array, require
 
-# Corner-node index pairs forming each face of the reference element, per
-# dimension.  Faces are (dim-1)-dimensional: endpoints of a segment, edges
-# of a quad, quadrilateral faces of a hex.  Node ordering follows the
-# structured-grid convention used by the generators (x fastest, then y,
-# then z).
+# Corner-node index tuples forming each face of the reference element,
+# per dimension.  Faces are (dim-1)-dimensional: endpoints of a segment,
+# edges of a quad, quadrilateral faces of a hex.  Local corner index
+# packs the per-axis offset bits with x *slowest* (2D: 2X+Y, 3D:
+# 4X+2Y+Z), matching the generators and repro.sem.tensor.
 _FACE_CORNERS = {
     1: ((0,), (1,)),
     2: ((0, 1), (1, 3), (3, 2), (2, 0)),
     3: (
-        (0, 1, 3, 2),  # z = 0
-        (4, 5, 7, 6),  # z = 1
+        (0, 1, 3, 2),  # x = 0
+        (4, 5, 7, 6),  # x = 1
         (0, 1, 5, 4),  # y = 0
         (2, 3, 7, 6),  # y = 1
-        (0, 2, 6, 4),  # x = 0
-        (1, 3, 7, 5),  # x = 1
+        (0, 2, 6, 4),  # z = 0
+        (1, 3, 7, 5),  # z = 1
     ),
 }
 

@@ -129,8 +129,10 @@ def build_rank_layout(
         Optional per-DOF LTS level to carry onto ranks.
     backend:
         ``"assembled"`` (partial CSR per rank) or ``"matfree"``
-        (unassembled tensor-product stiffness per rank; requires a 2D
-        tensor assembler — :class:`~repro.sem.assembly2d.Sem2D` or
+        (unassembled tensor-product stiffness per rank; requires a
+        tensor-product assembler — any :class:`~repro.sem.tensor.SemND`
+        subclass such as :class:`~repro.sem.assembly2d.Sem2D` /
+        :class:`~repro.sem.assembly3d.Sem3D`, or
         :class:`~repro.sem.elastic2d.ElasticSem2D`).
     """
     require(backend in ("assembled", "matfree"), f"unknown backend {backend!r}", PartitionError)
@@ -164,8 +166,8 @@ def build_rank_layout(
             from repro.sem.matfree import local_stiffness
 
             require(
-                hasattr(assembler, "hx"),
-                "matfree layout backend requires a 2D tensor assembler",
+                hasattr(assembler, "axis_scales") or hasattr(assembler, "hx"),
+                "matfree layout backend requires a tensor-product assembler",
                 PartitionError,
             )
             K_local.append(local_stiffness(assembler, owned, ld, len(ids)))

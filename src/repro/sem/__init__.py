@@ -12,9 +12,16 @@ This package reproduces that algebraic structure in pure NumPy/SciPy:
 * :mod:`repro.sem.gll` — GLL points, weights, Lagrange derivative matrix;
 * :mod:`repro.sem.assembly1d` — 1D SEM on arbitrary interval meshes
   (supports the geometrically refined meshes of the LTS tests);
+* :mod:`repro.sem.tensor` — the dimension-generic tensor-product core:
+  reference kernels, entity-based DOF numbering (with
+  orientation-consistent 3D faces), and the :class:`~repro.sem.tensor
+  .SemND` assembler base every quad/hex assembler derives from;
 * :mod:`repro.sem.assembly2d` — 2D SEM on conforming quad meshes with a
   per-element velocity field (velocity contrast creates LTS levels on
   uniform grids: high-velocity inclusions force locally small steps);
+* :mod:`repro.sem.assembly3d` — 3D SEM on conforming hexahedral meshes:
+  the paper's benchmark mesh families are hexahedral, and 3D is where
+  the matrix-free backend wins asymptotically (O(n^4) vs O(n^6));
 * :mod:`repro.sem.sources` — Ricker wavelets and point sources;
 * :mod:`repro.sem.energy` — discrete energy for conservation tests;
 * :mod:`repro.sem.matfree` — matrix-free (sum-factorization) stiffness
@@ -25,8 +32,10 @@ This package reproduces that algebraic structure in pure NumPy/SciPy:
 """
 
 from repro.sem.gll import gll_points_weights, lagrange_derivative_matrix, lagrange_basis
+from repro.sem.tensor import SemND
 from repro.sem.assembly1d import Sem1D
 from repro.sem.assembly2d import Sem2D
+from repro.sem.assembly3d import Sem3D
 from repro.sem.elastic2d import ElasticSem2D
 from repro.sem.matfree import (
     MatrixFreeOperator,
@@ -41,8 +50,10 @@ __all__ = [
     "gll_points_weights",
     "lagrange_derivative_matrix",
     "lagrange_basis",
+    "SemND",
     "Sem1D",
     "Sem2D",
+    "Sem3D",
     "ElasticSem2D",
     "MatrixFreeOperator",
     "MatrixFreeStiffness",

@@ -13,39 +13,27 @@ inclusion forces a small local step (equivalently, everything outside a
 slow basin may step coarsely).  This powers the 2D LTS integration tests
 and examples.
 
-Assembly is fully vectorized: edges are numbered with one ``np.unique``
-over sorted corner pairs, and element matrices are per-element scalar
-combinations of two reference kron kernels, scattered chunk-wise into
-CSR.  The assembled ``A`` is one of two interchangeable stiffness
-backends — see :meth:`Sem2D.operator` and :mod:`repro.sem.matfree`.
+All machinery — entity-based numbering via ``np.unique`` over sorted
+corner tuples, per-axis reference kernels, chunked vectorized CSR
+assembly, mass lumping, Dirichlet masking — lives in the
+dimension-generic :class:`repro.sem.tensor.SemND` base; this class only
+pins ``dim == 2`` and keeps the 2D-flavoured conveniences (``xy``,
+``interpolate(f(x, y))``).  The assembled ``A`` is one of two
+interchangeable stiffness backends — see :meth:`SemND.operator` and
+:mod:`repro.sem.matfree`.
 """
 
 from __future__ import annotations
 
 import numpy as np
-import scipy.sparse as sp
 
 from repro.mesh.mesh import Mesh
-from repro.sem.gll import gll_points_weights, lagrange_derivative_matrix
+from repro.sem.tensor import SemND, _CHUNK_ENTRIES  # noqa: F401  (re-export)
 from repro.util.errors import SolverError
 from repro.util.validation import require
 
-#: Cap on scattered COO entries per assembly chunk (~64 MB of values).
-_CHUNK_ENTRIES = 8_000_000
 
-#: Element-local edge slots: corner pair and the traversal axis.  The
-#: local flat index is ``i * (N+1) + j`` with i along x (slow) and j
-#: along y (fast); edges are traversed from the lower- to the
-#: higher-numbered corner so shared edges orient consistently.
-_EDGE_SLOTS = (
-    (0, 2),  # bottom (j=0), traversed along +x
-    (1, 3),  # top (j=N)
-    (0, 1),  # left (i=0), traversed along +y
-    (2, 3),  # right (i=N)
-)
-
-
-class Sem2D:
+class Sem2D(SemND):
     """Assembled order-``order`` SEM on a conforming 2D quad mesh.
 
     DOF numbering is entity-based (corners, then edge interiors, then
@@ -55,201 +43,9 @@ class Sem2D:
 
     def __init__(self, mesh: Mesh, order: int = 4, dirichlet: bool = False):
         require(mesh.dim == 2, "Sem2D requires a 2D mesh", SolverError)
-        require(order >= 1, "order must be >= 1", SolverError)
-        self.mesh = mesh
-        self.order = int(order)
-        self.dirichlet = bool(dirichlet)
+        super().__init__(mesh, order=order, dirichlet=dirichlet)
 
-        N = self.order
-        n_loc1 = N + 1
-        n_loc = n_loc1 * n_loc1
-        xi, w = gll_points_weights(N)
-        D = lagrange_derivative_matrix(N)
-        KxX = (D.T * w) @ D  # 1D stiffness kernel on the reference element
-
-        conn = mesh.elements  # local corners: 0=(x0,y0) 1=(x0,y1) 2=(x1,y0) 3=(x1,y1)
-        coords = mesh.coords
-        n_elem = mesh.n_elements
-
-        # Validate axis-aligned rectangles (affine tensor mapping).
-        p00, p01, p10, p11 = (coords[conn[:, i]] for i in range(4))
-        ok = (
-            np.allclose(p00[:, 0], p01[:, 0])
-            and np.allclose(p10[:, 0], p11[:, 0])
-            and np.allclose(p00[:, 1], p10[:, 1])
-            and np.allclose(p01[:, 1], p11[:, 1])
-        )
-        require(ok, "Sem2D requires axis-aligned rectangular elements", SolverError)
-        hx = p10[:, 0] - p00[:, 0]
-        hy = p01[:, 1] - p00[:, 1]
-        require(bool(np.all(hx > 0) and np.all(hy > 0)), "degenerate elements", SolverError)
-        self.hx = hx
-        self.hy = hy
-
-        # ---------------- entity-based global numbering ----------------
-        # Edges keyed by sorted corner pair; one np.unique over all
-        # element-edge pairs replaces the seed's insertion-order dict loop
-        # (ids are lexicographic in the corner pair instead — any
-        # consistent numbering is valid).
-        pairs = np.sort(
-            np.stack([conn[:, list(slot)] for slot in _EDGE_SLOTS], axis=1), axis=2
-        )  # (n_elem, 4, 2)
-        edge_keys, edge_inv = np.unique(
-            pairs.reshape(-1, 2), axis=0, return_inverse=True
-        )
-        edge_inv = edge_inv.reshape(n_elem, 4)
-        n_corner = mesh.n_nodes
-        n_edges = len(edge_keys)
-        n_int1 = N - 1
-        self.n_dof = n_corner + n_edges * n_int1 + n_elem * n_int1 * n_int1
-        self._edge_keys = edge_keys
-        self._edge_inv = edge_inv
-        self._n_corner = n_corner
-        self._n_int1 = n_int1
-
-        def loc(i: int, j: int) -> int:
-            # Local flat index, i (x) slow, j (y) fast == C-order of (i, j).
-            return i * n_loc1 + j
-
-        element_dofs = np.empty((n_elem, n_loc), dtype=np.int64)
-        element_dofs[:, loc(0, 0)] = conn[:, 0]
-        element_dofs[:, loc(0, N)] = conn[:, 1]
-        element_dofs[:, loc(N, 0)] = conn[:, 2]
-        element_dofs[:, loc(N, N)] = conn[:, 3]
-        if n_int1:
-            slot_positions = (
-                [loc(i, 0) for i in range(1, N)],
-                [loc(i, N) for i in range(1, N)],
-                [loc(0, j) for j in range(1, N)],
-                [loc(N, j) for j in range(1, N)],
-            )
-            for s, ((a, b), positions) in enumerate(zip(_EDGE_SLOTS, slot_positions)):
-                ids = (n_corner + edge_inv[:, s] * n_int1)[:, None] + np.arange(n_int1)
-                flip = conn[:, a] > conn[:, b]  # traverse low corner -> high
-                ids[flip] = ids[flip, ::-1]
-                element_dofs[:, positions] = ids
-            interior_base = n_corner + n_edges * n_int1
-            inner = (
-                interior_base
-                + (np.arange(n_elem) * n_int1 * n_int1)[:, None]
-                + np.arange(n_int1 * n_int1)
-            )
-            int_positions = [loc(i, j) for i in range(1, N) for j in range(1, N)]
-            element_dofs[:, int_positions] = inner
-        self.element_dofs = element_dofs
-
-        # Node coordinates (overlapping writes store identical values).
-        gx = (xi + 1.0) * 0.5
-        ex = p00[:, :1] + gx[None, :] * hx[:, None]  # (n_elem, N+1)
-        ey = p00[:, 1:] + gx[None, :] * hy[:, None]
-        xy = np.zeros((self.n_dof, 2))
-        xy[element_dofs.ravel(), 0] = np.repeat(ex, n_loc1, axis=1).ravel()
-        xy[element_dofs.ravel(), 1] = np.tile(ey, (1, n_loc1)).ravel()
-        self.xy = xy
-
-        # ---------------- assembly ----------------
-        # Every element matrix is a scalar combination of two reference
-        # kernels: Ke = ax * kron(KxX, Wd) + ay * kron(Wd, KxX) with
-        # ax = c^2 hy/hx, ay = c^2 hx/hy (axis-aligned affine map).
-        mu = np.asarray(mesh.c, dtype=np.float64) ** 2
-        ww = np.kron(w, w)
-        Me = (hx * hy / 4.0)[:, None] * ww[None, :]
-        M = np.bincount(element_dofs.ravel(), weights=Me.ravel(), minlength=self.n_dof)
-        self.M = M
-
-        K1 = np.kron(KxX, np.diag(w)).ravel()
-        K2 = np.kron(np.diag(w), KxX).ravel()
-        ax = mu * hy / hx
-        ay = mu * hx / hy
-        K = sp.csr_matrix((self.n_dof, self.n_dof))
-        chunk = max(1, _CHUNK_ENTRIES // (n_loc * n_loc))
-        for s in range(0, n_elem, chunk):
-            d = element_dofs[s : s + chunk]
-            vals = ax[s : s + chunk, None] * K1 + ay[s : s + chunk, None] * K2
-            K = K + sp.coo_matrix(
-                (
-                    vals.ravel(),
-                    (np.repeat(d, n_loc, axis=1).ravel(), np.tile(d, (1, n_loc)).ravel()),
-                ),
-                shape=(self.n_dof, self.n_dof),
-            ).tocsr()
-        K.sum_duplicates()
-        K.eliminate_zeros()  # kron kernels are exactly zero off the GLL lines
-        self.K = K
-
-        A = sp.diags(1.0 / M) @ K
-        self.dirichlet_mask: np.ndarray | None = None
-        if dirichlet:
-            mask = np.ones(self.n_dof)
-            mask[self.boundary_dofs()] = 0.0
-            A = sp.diags(mask) @ A @ sp.diags(mask)
-            self.dirichlet_mask = mask
-        A = sp.csr_matrix(A)
-        A.eliminate_zeros()
-        self.A = A
-
-    # ------------------------------------------------------------------
-    def operator(self, backend: str = "assembled", use_fused: bool | None = None):
-        """Stiffness operator ``A = M^{-1} K`` in the requested backend.
-
-        ``"assembled"`` wraps the precomputed CSR matrix; ``"matfree"``
-        builds the batched sum-factorization operator (no matrix) — see
-        :mod:`repro.sem.matfree` for when each wins.  ``use_fused``
-        selects the optional fused C kernels (``None`` = auto).
-        """
-        from repro.sem.matfree import operator_for
-
-        return operator_for(self, backend, use_fused=use_fused)
-
-    # ------------------------------------------------------------------
-    def element_system_batch(
-        self, ids: np.ndarray | None = None
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Dense stiffness ``(m, n_loc, n_loc)`` and diagonal mass
-        ``(m, n_loc)`` of elements ``ids`` (all elements when ``None``).
-
-        Consumed by the distributed runtime's vectorized rank-local
-        assembly (:func:`repro.runtime.halo.build_rank_layout`).
-        """
-        ids = np.arange(self.mesh.n_elements) if ids is None else np.asarray(ids)
-        N = self.order
-        _, w = gll_points_weights(N)
-        D = lagrange_derivative_matrix(N)
-        KxX = (D.T * w) @ D
-        n_loc = (N + 1) * (N + 1)
-        K1 = np.kron(KxX, np.diag(w))
-        K2 = np.kron(np.diag(w), KxX)
-        mu = np.asarray(self.mesh.c, dtype=np.float64)[ids] ** 2
-        hx, hy = self.hx[ids], self.hy[ids]
-        Ke = (mu * hy / hx)[:, None, None] * K1 + (mu * hx / hy)[:, None, None] * K2
-        Me = (hx * hy / 4.0)[:, None] * np.kron(w, w)[None, :]
-        return Ke.reshape(len(ids), n_loc, n_loc), Me
-
-    def element_system(self, e: int) -> tuple[np.ndarray, np.ndarray]:
-        """Element stiffness (dense) and mass (diagonal) of element ``e``.
-
-        Same contract as :meth:`repro.sem.assembly1d.Sem1D.element_system`;
-        consumed by the distributed runtime's rank-local assembly.
-        """
-        Ke, Me = self.element_system_batch(np.array([e]))
-        return Ke[0], Me[0]
-
-    def boundary_dofs(self) -> np.ndarray:
-        """Global DOFs on the domain boundary (edges used by one element)."""
-        n_edges = len(self._edge_keys)
-        counts = np.bincount(self._edge_inv.ravel(), minlength=n_edges)
-        bnd = np.nonzero(counts == 1)[0]
-        corner = self._edge_keys[bnd].ravel()
-        interior = (
-            (self._n_corner + bnd * self._n_int1)[:, None] + np.arange(self._n_int1)
-        ).ravel()
-        return np.unique(np.concatenate([corner, interior]).astype(np.int64))
-
-    def interpolate(self, f) -> np.ndarray:
-        """Nodal interpolant of ``f(x, y)`` (vectorized callable)."""
-        return np.asarray(f(self.xy[:, 0], self.xy[:, 1]), dtype=np.float64)
-
-    def nearest_dof(self, x0: float, y0: float) -> int:
-        """Global DOF closest to ``(x0, y0)``."""
-        d2 = (self.xy[:, 0] - x0) ** 2 + (self.xy[:, 1] - y0) ** 2
-        return int(np.argmin(d2))
+    @property
+    def xy(self) -> np.ndarray:
+        """Node coordinates ``(n_dof, 2)`` (alias of ``node_coords``)."""
+        return self.node_coords

@@ -7,6 +7,8 @@ SPECFEM-class codes fuse gather -> contract -> scatter per element so
 the element workspace lives in registers/L1; this module provides that
 tier: a small C source compiled on demand with the system compiler and
 loaded through :mod:`ctypes` (stdlib only — no new dependencies).
+Kernels: 2D acoustic (``ac_apply``), 3D hexahedral acoustic
+(``ac_apply3``, orders <= ``MAX_ORDER_3D``), 2D elastic (``el_apply``).
 
 The kernels are strictly optional.  If no C compiler is available, the
 compile fails, ``REPRO_FUSED=0`` is set, or the polynomial order exceeds
@@ -47,11 +49,14 @@ import numpy as np
 VL = 8
 #: Highest polynomial order the fixed-size element workspace supports.
 MAX_ORDER = 15
+#: Highest 3D order: the hex workspace is (order+1)^3 vector lanes wide.
+MAX_ORDER_3D = 7
 
 _SOURCE = r"""
 #include <stdint.h>
 #include <string.h>
 #define MAXNL 256
+#define MAXNL3 512
 #define VL 8
 typedef double v8 __attribute__((vector_size(64), aligned(64)));
 
@@ -140,6 +145,62 @@ void ac_apply(long ne, long n_dof, int n1,
                     acc2 += KxX[a * n1 + j] * Ui[a];
                 }
                 T[i * n1 + j] = AXE * w[j] * acc1 + AYW * acc2;
+            }
+        }
+        for (int l = 0; l < VL; ++l) {
+            const int64_t *d = ed + (e0 + l) * nl;
+            for (int k = 0; k < nl; ++k) z[d[k]] += T[k][l];
+        }
+    }
+    if (Minv)
+        for (long i = 0; i < n_dof; ++i) z[i] *= Minv[i];
+}
+
+/*
+ * 3D acoustic: K_e = ax KxX(x)Wd(x)Wd + ay Wd(x)KxX(x)Wd + az Wd(x)Wd(x)KxX
+ * on the local layout flat = (i*n1 + j)*n1 + k (x slowest).  All three
+ * per-axis 1D contractions are evaluated node-by-node inside the element
+ * workspace (3 n1^4 FMAs per element), so per element only the gather
+ * and scatter touch memory -- the O(n^4) sum-factorization tier that
+ * beats the O(n^4)-nonzero CSR matvec on bandwidth, not flops.
+ * ne must be a multiple of VL (callers pad with ax = ay = az = 0 ghosts).
+ */
+void ac_apply3(long ne, long n_dof, int n1,
+               const double *restrict KxX, const double *restrict w,
+               const double *restrict ax, const double *restrict ay,
+               const double *restrict az,
+               const int64_t *restrict ed, const double *restrict u,
+               const double *restrict gmask, const double *restrict Minv,
+               double *restrict z)
+{
+    int n2 = n1 * n1, nl = n2 * n1;
+    static _Thread_local v8 Ue[MAXNL3], T[MAXNL3];
+    memset(z, 0, (size_t)n_dof * sizeof(double));
+    for (long e0 = 0; e0 + VL <= ne; e0 += VL) {
+        for (int l = 0; l < VL; ++l)
+            gather(ed + (e0 + l) * nl, 1, nl, u,
+                   gmask ? gmask + (e0 + l) * nl : 0, Ue, l);
+        v8 AXE, AYE, AZE;
+        for (int l = 0; l < VL; ++l) {
+            AXE[l] = ax[e0 + l]; AYE[l] = ay[e0 + l]; AZE[l] = az[e0 + l];
+        }
+        for (int i = 0; i < n1; ++i) {
+            const double *ki = KxX + i * n1;
+            for (int j = 0; j < n1; ++j) {
+                const double *kj = KxX + j * n1;
+                const v8 *uij = Ue + (i * n1 + j) * n1;
+                for (int k = 0; k < n1; ++k) {
+                    const double *kk = KxX + k * n1;
+                    v8 a1 = {0}, a2 = {0}, a3 = {0};
+                    for (int a = 0; a < n1; ++a) {
+                        a1 += ki[a] * Ue[(a * n1 + j) * n1 + k];
+                        a2 += kj[a] * Ue[(i * n1 + a) * n1 + k];
+                        a3 += kk[a] * uij[a];
+                    }
+                    T[(i * n1 + j) * n1 + k] =
+                        AXE * (w[j] * w[k]) * a1 + AYE * (w[i] * w[k]) * a2
+                        + AZE * (w[i] * w[j]) * a3;
+                }
             }
         }
         for (int l = 0; l < VL; ++l) {
@@ -298,6 +359,7 @@ def load() -> ctypes.CDLL | None:
                 os.replace(out, so_path)  # atomic vs concurrent builders
         lib = ctypes.CDLL(so_path)
         lib.ac_apply.restype = None
+        lib.ac_apply3.restype = None
         lib.el_apply.restype = None
         _lib = lib
     except Exception:
@@ -357,6 +419,46 @@ class AcousticPlan:
             ctypes.c_long(self.n_dof),
             ctypes.c_int(self.n1),
             _pd(self._KxX), _pd(self._w), _pd(self._ax), _pd(self._ay),
+            self._ed.ctypes.data_as(_PI), _pd(u),
+            _pd(self._gmask), _pd(self._Minv), _pd(z),
+        )
+        return z
+
+
+class Acoustic3DPlan:
+    """Bound fused 3D acoustic apply: ``u -> [Minv *] K u`` (+ gmask)."""
+
+    def __init__(self, kernel, element_dofs, n_dof, gmask=None, Minv=None):
+        lib = load()
+        assert lib is not None
+        self._lib = lib
+        self.n_dof = int(n_dof)
+        self.n1 = kernel.n1
+        ne = element_dofs.shape[0]
+        ne_pad = -(-ne // VL) * VL
+        self._ed = _pad(np.ascontiguousarray(element_dofs, dtype=np.int64), ne_pad)
+        # Per-axis scales; ghost elements get zero coefficients.
+        self._ax = _pad(np.ascontiguousarray(kernel.scales[:, 0]), ne_pad)
+        self._ay = _pad(np.ascontiguousarray(kernel.scales[:, 1]), ne_pad)
+        self._az = _pad(np.ascontiguousarray(kernel.scales[:, 2]), ne_pad)
+        self._KxX = np.ascontiguousarray(kernel.KxX)
+        _, w = _gll(kernel.order)
+        self._w = w
+        self._gmask = None if gmask is None else _pad(
+            np.ascontiguousarray(gmask, dtype=np.float64), ne_pad, fill=0.0
+        )
+        self._Minv = None if Minv is None else np.ascontiguousarray(Minv)
+        self._ne = ne_pad
+
+    def __call__(self, u: np.ndarray) -> np.ndarray:
+        z = np.empty(self.n_dof)
+        u = np.ascontiguousarray(u, dtype=np.float64)
+        self._lib.ac_apply3(
+            ctypes.c_long(self._ne),
+            ctypes.c_long(self.n_dof),
+            ctypes.c_int(self.n1),
+            _pd(self._KxX), _pd(self._w),
+            _pd(self._ax), _pd(self._ay), _pd(self._az),
             self._ed.ctypes.data_as(_PI), _pd(u),
             _pd(self._gmask), _pd(self._Minv), _pd(z),
         )

@@ -8,10 +8,14 @@ global sparse matrix.  All elements are processed at once as batched
 tensor contractions (``tensordot`` → one BLAS GEMM per contraction), so
 the Python overhead is O(1) per apply instead of O(n_elem).
 
-Two physics kernels share the machinery:
+Three physics kernels share the machinery:
 
-* acoustic (:class:`AcousticKernel`) — ``K_e = ax K1 + ay K2`` with the
-  1D GLL stiffness ``KxX`` along each axis (``K1 = KxX (x) Wd``);
+* acoustic, any dimension (:class:`AcousticKernelND`) — ``K_e u`` is one
+  1D GLL stiffness contraction per axis, each scaled by a per-element
+  weight plane; :class:`AcousticKernel` (2D, fused-C capable) and
+  :class:`AcousticKernel3D` pin the dimension.  In 3D this is the
+  paper's asymptotic win: O(n^4) contraction work per element versus the
+  O(n^6) of a dense element matvec;
 * elastic P-SV (:class:`ElasticKernel`) — the four-kernel form of
   :mod:`repro.sem.elastic2d` (``K1``, ``K2`` and the geometry-free shear
   coupling ``C = E (x) F``) applied per displacement component.
@@ -47,68 +51,141 @@ from repro.util.validation import require
 def _fused_plan(kernel, element_dofs, n_dof, gmask=None, Minv=None, enabled=None):
     """Fused-kernel apply plan, or ``None`` to use the NumPy path.
 
-    ``enabled=None`` auto-detects (compiler present, order supported);
-    ``False`` forces the NumPy path; ``True`` raises if unavailable.
+    ``enabled=None`` auto-detects (compiler present, order and dimension
+    supported — acoustic kernels have fused tiers in 2D and 3D, elastic
+    in 2D; anything else falls back to NumPy); ``False`` forces the
+    NumPy path; ``True`` raises if unavailable.
     """
     if enabled is False:
         return None
-    ok = fused.available() and kernel.order <= fused.MAX_ORDER
+    dim = getattr(kernel, "dim", 2)
+    if isinstance(kernel, ElasticKernel):
+        plan_cls, max_order = fused.ElasticPlan, fused.MAX_ORDER
+    elif dim == 2:
+        plan_cls, max_order = fused.AcousticPlan, fused.MAX_ORDER
+    elif dim == 3:
+        plan_cls, max_order = fused.Acoustic3DPlan, fused.MAX_ORDER_3D
+    else:
+        plan_cls, max_order = None, -1
+    ok = fused.available() and plan_cls is not None and kernel.order <= max_order
     if not ok:
         require(enabled is not True, "fused kernels unavailable", SolverError)
         return None
-    plan_cls = (
-        fused.ElasticPlan if isinstance(kernel, ElasticKernel) else fused.AcousticPlan
-    )
     return plan_cls(kernel, element_dofs, n_dof, gmask=gmask, Minv=Minv)
 
 
 # ----------------------------------------------------------------------
 # Physics kernels: batched element contraction
 # ----------------------------------------------------------------------
-class AcousticKernel:
-    """Batched acoustic element stiffness action.
+class AcousticKernelND:
+    """Batched acoustic element stiffness action, generic over dimension.
 
-    ``(K_e u)_{ij} = ax_e w_j sum_a KxX[i,a] u_{aj}
-                   + ay_e w_i sum_b KxX[j,b] u_{ib}``
+    For axis ``a`` of an axis-aligned box element,
 
-    with ``ax = c^2 hy/hx``, ``ay = c^2 hx/hy`` (axis-aligned affine
-    elements).  Weights are folded into per-element scale planes so the
-    apply is two GEMM-shaped contractions plus elementwise combines.
+    ``(K_e u)_i = sum_a scale[e, a] * (prod_{b != a} w_{i_b})
+                  * sum_j KxX[i_a, j] u_{i with i_a -> j}``
+
+    with the per-axis scales of
+    :func:`repro.sem.tensor.acoustic_axis_scales` (``ax = c^2 hy/hx``
+    etc. in 2D).  Quadrature weights are folded into per-element scale
+    planes so the apply is one GEMM-shaped ``tensordot`` per axis plus
+    elementwise combines — O(n^{dim+1}) work per element.
     """
 
-    def __init__(self, order: int, ax: np.ndarray, ay: np.ndarray):
+    def __init__(self, order: int, scales: np.ndarray):
         self.order = int(order)
         self.n1 = self.order + 1
+        scales = np.atleast_2d(np.asarray(scales, dtype=np.float64))
+        self.scales = scales
+        self.dim = scales.shape[1]
         _, w = gll_points_weights(self.order)
         D = lagrange_derivative_matrix(self.order)
         self.KxX = (D.T * w) @ D
-        self.ax = np.asarray(ax, dtype=np.float64)
-        self.ay = np.asarray(ay, dtype=np.float64)
-        # Scale planes: axw[e, j] multiplies the x-contraction, ayw[e, i]
-        # the y-contraction.
-        self._axw = np.multiply.outer(self.ax, w)
-        self._ayw = np.multiply.outer(self.ay, w)
+        # Scale planes: plane ``a`` carries scale[e, a] times the tensor
+        # weights of every axis but ``a`` (broadcast size 1 along ``a``).
+        self._wplanes: list[np.ndarray] = []
+        for a in range(self.dim):
+            plane = np.ones((1,) * self.dim)
+            for b in range(self.dim):
+                axis_w = np.ones(1) if b == a else w
+                shape = [1] * self.dim
+                shape[b] = len(axis_w)
+                plane = plane * axis_w.reshape(shape)
+            self._wplanes.append(scales[:, a].reshape((-1,) + (1,) * self.dim) * plane[None])
 
     @property
     def flops_per_element(self) -> int:
-        """Multiply-adds of one element contraction (two rank-3 GEMMs
-        plus the weighted combine)."""
+        """Multiply-adds of one element contraction (``dim`` rank-``dim+1``
+        GEMMs plus the weighted combines)."""
         n1 = self.n1
-        return 4 * n1**3 + 6 * n1**2
+        return 2 * self.dim * n1 ** (self.dim + 1) + 3 * self.dim * n1**self.dim
 
-    def subset(self, ids: np.ndarray) -> "AcousticKernel":
-        return AcousticKernel(self.order, self.ax[ids], self.ay[ids])
+    @classmethod
+    def _from_scales(cls, order: int, scales: np.ndarray) -> "AcousticKernelND":
+        return cls(order, scales)
+
+    def subset(self, ids: np.ndarray) -> "AcousticKernelND":
+        return type(self)._from_scales(self.order, self.scales[ids])
 
     def contract(self, Ue: np.ndarray) -> np.ndarray:
         """Apply all element stiffnesses: ``(ne, n_loc) -> (ne, n_loc)``."""
+        n1, dim = self.n1, self.dim
+        U = Ue.reshape((-1,) + (n1,) * dim)
+        out = None
+        for a in range(dim):
+            # t[..., i_a -> :] = sum_j KxX[i_a, j] U[..., j, ...]
+            t = np.tensordot(U, self.KxX, axes=([a + 1], [1]))
+            t = np.moveaxis(t, -1, a + 1)
+            term = t * self._wplanes[a]
+            out = term if out is None else out + term
+        return out.reshape(Ue.shape)
+
+
+class AcousticKernel(AcousticKernelND):
+    """2D acoustic kernel: ``K_e = ax K1 + ay K2`` with ``ax = c^2 hy/hx``,
+    ``ay = c^2 hx/hy``.  Keeps the named per-axis coefficient arrays the
+    fused C tier (:class:`repro.sem.fused.AcousticPlan`) binds to.
+    """
+
+    def __init__(self, order: int, ax: np.ndarray, ay: np.ndarray):
+        ax = np.asarray(ax, dtype=np.float64)
+        ay = np.asarray(ay, dtype=np.float64)
+        super().__init__(order, np.stack([ax, ay], axis=1))
+        self.ax = ax
+        self.ay = ay
+
+    @classmethod
+    def _from_scales(cls, order: int, scales: np.ndarray) -> "AcousticKernel":
+        return cls(order, scales[:, 0], scales[:, 1])
+
+
+class AcousticKernel3D(AcousticKernelND):
+    """3D hexahedral acoustic kernel: three per-axis contractions per
+    apply (O(n^4) per element — the sum-factorization payoff of paper
+    Sec. II-C, against the O(n^6) dense element matvec).
+
+    The NumPy tier overrides the generic ``tensordot`` contraction with
+    copy-free batched ``matmul`` reshapes (``tensordot`` materializes a
+    transposed copy per axis, which dominates at hex sizes); the fused C
+    tier (:class:`repro.sem.fused.Acoustic3DPlan`) additionally keeps
+    the whole element workspace on registers/L1 so only gather/scatter
+    touch memory.
+    """
+
+    def __init__(self, order: int, scales: np.ndarray):
+        scales = np.atleast_2d(np.asarray(scales, dtype=np.float64))
+        require(scales.shape[1] == 3, "AcousticKernel3D needs 3 axis scales", SolverError)
+        super().__init__(order, scales)
+        self._KxT = np.ascontiguousarray(self.KxX.T)
+
+    def contract(self, Ue: np.ndarray) -> np.ndarray:
         n1 = self.n1
-        U = Ue.reshape(-1, n1, n1)
-        # tx[e, j, i] = sum_a KxX[i, a] U[e, a, j]
-        tx = np.tensordot(U, self.KxX, axes=([1], [1]))
-        # ty[e, i, j] = sum_b KxX[j, b] U[e, i, b]
-        ty = np.tensordot(U, self.KxX, axes=([2], [1]))
-        out = tx.transpose(0, 2, 1) * self._axw[:, None, :]
-        out += ty * self._ayw[:, :, None]
+        ne = Ue.shape[0]
+        U = Ue.reshape(ne, n1, n1, n1)
+        wx, wy, wz = self._wplanes
+        out = (self.KxX @ U.reshape(ne, n1, n1 * n1)).reshape(U.shape) * wx
+        out += (self.KxX @ U.reshape(ne * n1, n1, n1)).reshape(U.shape) * wy
+        out += (Ue.reshape(-1, n1) @ self._KxT).reshape(U.shape) * wz
         return out.reshape(Ue.shape)
 
 
@@ -408,6 +485,14 @@ def _make_kernel(assembler, ids: np.ndarray | None = None):
             assembler.hx[sl],
             assembler.hy[sl],
         )
+    if hasattr(assembler, "axis_scales"):  # SemND: any dimension
+        scales = np.asarray(assembler.axis_scales)[sl]
+        if scales.shape[1] == 2:
+            return AcousticKernel(assembler.order, scales[:, 0], scales[:, 1])
+        if scales.shape[1] == 3:
+            return AcousticKernel3D(assembler.order, scales)
+        return AcousticKernelND(assembler.order, scales)
+    # Legacy duck-typed 2D assemblers expose hx/hy only.
     require(hasattr(assembler, "hx"), "assembler lacks tensor geometry", SolverError)
     c2 = np.asarray(assembler.mesh.c, dtype=np.float64) ** 2
     hx, hy = assembler.hx, assembler.hy
@@ -430,9 +515,11 @@ def operator_for(assembler, backend: str = "assembled", use_fused: bool | None =
 
 
 def matrix_free_operator(assembler, use_fused: bool | None = None) -> MatrixFreeOperator:
-    """Matrix-free ``A = M^{-1} K`` for a :class:`~repro.sem.assembly2d.Sem2D`
-    or :class:`~repro.sem.elastic2d.ElasticSem2D` assembler, equivalent to
-    its assembled ``assembler.A`` (including Dirichlet masking)."""
+    """Matrix-free ``A = M^{-1} K`` for any :class:`~repro.sem.tensor.SemND`
+    assembler (:class:`~repro.sem.assembly2d.Sem2D`,
+    :class:`~repro.sem.assembly3d.Sem3D`) or
+    :class:`~repro.sem.elastic2d.ElasticSem2D`, equivalent to its
+    assembled ``assembler.A`` (including Dirichlet masking)."""
     return MatrixFreeOperator(
         _make_kernel(assembler),
         assembler.element_dofs,

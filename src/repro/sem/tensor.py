@@ -1,0 +1,544 @@
+"""Dimension-generic tensor-product SEM core (segments, quads, hexahedra).
+
+Everything that is *shared* between the 1D/2D/3D continuous spectral
+element discretizations lives here, parameterized by ``mesh.dim``:
+
+* the reference-element kernels — GLL weights, the 1D stiffness
+  ``KxX = D^T diag(w) D``, and their kron lifts along each axis;
+* entity-based global DOF numbering (corners, then edge interiors, then
+  face interiors in 3D, then element interiors), built with one
+  ``np.unique`` over sorted corner tuples per entity kind.  Shared edges
+  are traversed from the lower- to the higher-numbered corner; shared
+  hexahedral *faces* are mapped through a canonical frame anchored at the
+  face's smallest corner id (see :func:`_face_orientation_perms`), so any
+  conforming mesh — not just structured grids — numbers consistently;
+* geometry validation and per-axis element sizes for axis-aligned
+  box elements (the affine tensor mapping every kernel relies on);
+* the :class:`SemND` assembler base: diagonal (lumped) mass, chunked
+  vectorized CSR stiffness assembly from per-axis reference kernels,
+  Dirichlet masking, and the backend-pluggable :meth:`SemND.operator`.
+
+:class:`repro.sem.assembly2d.Sem2D` and
+:class:`repro.sem.assembly3d.Sem3D` are thin dimension-pinned
+subclasses; the matrix-free backend (:mod:`repro.sem.matfree`) consumes
+the same per-axis scale fields (``axis_scales``) without assembling
+anything.  In 3D this layering is where sum-factorization pays off
+asymptotically: O(n^4) contraction work per element against the O(n^6)
+of a dense element matvec (paper Sec. II-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.mesh.mesh import Mesh
+from repro.sem.gll import gll_points_weights, lagrange_derivative_matrix
+from repro.util.errors import SolverError
+from repro.util.validation import require
+
+#: Cap on scattered COO entries per assembly chunk (~64 MB of values).
+_CHUNK_ENTRIES = 8_000_000
+
+#: Element-local edge slots per dimension: corner pairs, ordered
+#: axis-by-axis (x-direction edges first).  Local corner index packs the
+#: per-axis offset bits with x slowest (``2D: 2X+Y``, ``3D: 4X+2Y+Z``),
+#: matching :func:`repro.mesh.generators._grid_elements`.  Every pair is
+#: (low corner, high corner) in the +axis direction; shared edges are
+#: traversed from the lower- to the higher-numbered *global* corner.
+_EDGE_SLOTS = {
+    2: ((0, 2), (1, 3), (0, 1), (2, 3)),
+    3: (
+        (0, 4), (1, 5), (2, 6), (3, 7),  # x-edges, fixed (Y, Z)
+        (0, 2), (1, 3), (4, 6), (5, 7),  # y-edges, fixed (X, Z)
+        (0, 1), (2, 3), (4, 5), (6, 7),  # z-edges, fixed (X, Y)
+    ),
+}
+
+#: Hexahedral face slots: corner quadruple in (s, t) layout
+#: ``(c00, c01, c10, c11)`` plus the two in-face axes (s slow, t fast),
+#: both in (x, y, z) order.
+_HEX_FACE_SLOTS = (
+    ((0, 1, 2, 3), 1, 2),  # x = 0 face, (s, t) = (y, z)
+    ((4, 5, 6, 7), 1, 2),  # x = 1
+    ((0, 1, 4, 5), 0, 2),  # y = 0, (s, t) = (x, z)
+    ((2, 3, 6, 7), 0, 2),  # y = 1
+    ((0, 2, 4, 6), 0, 1),  # z = 0, (s, t) = (x, y)
+    ((1, 3, 5, 7), 0, 1),  # z = 1
+)
+
+#: Edge-slot indices (into ``_EDGE_SLOTS[3]``) bounding each face slot.
+_HEX_FACE_EDGES = (
+    (4, 5, 8, 9),
+    (6, 7, 10, 11),
+    (0, 1, 8, 10),
+    (2, 3, 9, 11),
+    (0, 2, 4, 6),
+    (1, 3, 5, 7),
+)
+
+
+# ----------------------------------------------------------------------
+# Reference-element kernels
+# ----------------------------------------------------------------------
+def reference_stiffness_1d(order: int) -> np.ndarray:
+    """The 1D GLL stiffness kernel ``KxX = D^T diag(w) D``."""
+    _, w = gll_points_weights(order)
+    D = lagrange_derivative_matrix(order)
+    return (D.T * w) @ D
+
+
+def tensor_quadrature_weights(order: int, dim: int) -> np.ndarray:
+    """Flattened tensor-product GLL weights ``w (x) ... (x) w`` (dim times)."""
+    _, w = gll_points_weights(order)
+    wq = w
+    for _ in range(dim - 1):
+        wq = np.kron(wq, w)
+    return wq
+
+
+def axis_stiffness_kernels(order: int, dim: int) -> list[np.ndarray]:
+    """Per-axis reference stiffness kernels on the flattened local basis.
+
+    Kernel ``a`` is the kron chain with ``KxX`` at axis ``a`` and
+    ``diag(w)`` elsewhere (axes ordered x slowest), so the element
+    stiffness of an axis-aligned box is the per-element scalar
+    combination ``K_e = sum_a scale[e, a] * kernel_a`` — see
+    :func:`acoustic_axis_scales`.
+    """
+    _, w = gll_points_weights(order)
+    KxX = reference_stiffness_1d(order)
+    Wd = np.diag(w)
+    out = []
+    for a in range(dim):
+        k = KxX if a == 0 else Wd
+        for b in range(1, dim):
+            k = np.kron(k, KxX if b == a else Wd)
+        out.append(k)
+    return out
+
+
+def acoustic_axis_scales(c2: np.ndarray, h_axes: np.ndarray) -> np.ndarray:
+    """Per-element, per-axis stiffness scales for the acoustic operator.
+
+    On an axis-aligned box of sizes ``h_a`` the ``a``-derivative term of
+    ``c^2 grad u . grad v`` integrates to
+    ``c^2 (4 / h_a^2) (prod_b h_b / 2^dim)`` times the reference kernel,
+    i.e. ``c^2 prod(h) / (h_a^2 2^(dim-2))`` — ``c^2 hy/hx`` in 2D,
+    ``c^2 hy hz / (2 hx)`` in 3D.
+    """
+    h_axes = np.asarray(h_axes, dtype=np.float64)
+    dim = h_axes.shape[1]
+    vol = h_axes.prod(axis=1)
+    return (np.asarray(c2, dtype=np.float64) * vol / 2.0 ** (dim - 2))[:, None] / (
+        h_axes**2
+    )
+
+
+def element_axis_sizes(mesh: Mesh) -> np.ndarray:
+    """Validated per-axis sizes ``(n_elem, dim)`` of axis-aligned boxes.
+
+    Raises when any element is not an axis-aligned box with positive
+    per-axis extent (the affine tensor-product mapping assumption).
+    """
+    dim = mesh.dim
+    P = mesh.coords[mesh.elements]  # (n_elem, 2**dim, dim)
+    p0 = P[:, 0, :]
+    # bits[l, a] = offset bit of local corner l along axis a (x slowest).
+    locals_ = np.arange(2**dim)[:, None]
+    bits = (locals_ >> (dim - 1 - np.arange(dim))[None, :]) & 1
+    h = np.empty((mesh.n_elements, dim))
+    for a in range(dim):
+        h[:, a] = P[:, 1 << (dim - 1 - a), a] - p0[:, a]
+    expected = p0[:, None, :] + bits[None, :, :] * h[:, None, :]
+    require(
+        bool(np.allclose(P, expected)),
+        "tensor-product SEM requires axis-aligned box elements",
+        SolverError,
+    )
+    require(bool(np.all(h > 0)), "degenerate elements", SolverError)
+    return h
+
+
+# ----------------------------------------------------------------------
+# Entity-based DOF numbering
+# ----------------------------------------------------------------------
+def _local_strides(order: int, dim: int) -> np.ndarray:
+    """Strides of the local multi-index (x slowest, C-order flattening)."""
+    return (order + 1) ** np.arange(dim - 1, -1, -1)
+
+
+def _corner_bits(local: int, dim: int) -> list[int]:
+    return [(local >> (dim - 1 - a)) & 1 for a in range(dim)]
+
+
+def _edge_positions(a: int, b: int, order: int, dim: int) -> list[int]:
+    """Local flat indices of the interior nodes of edge ``(a, b)``,
+    traversed in the +axis direction (from corner ``a`` toward ``b``)."""
+    strides = _local_strides(order, dim)
+    abits = _corner_bits(a, dim)
+    bbits = _corner_bits(b, dim)
+    (axis,) = [ax for ax in range(dim) if abits[ax] != bbits[ax]]
+    idx = [bit * order for bit in abits]
+    pos = []
+    for t in range(1, order):
+        idx[axis] = t
+        pos.append(int(np.dot(idx, strides)))
+    return pos
+
+
+def _face_positions(f: int, order: int) -> list[int]:
+    """Local flat indices of face slot ``f``'s interior grid, (s, t)
+    order with s slow — matching the rows of the orientation perms."""
+    (c00, _, _, _), s_ax, t_ax = _HEX_FACE_SLOTS[f]
+    strides = _local_strides(order, 3)
+    base = [bit * order for bit in _corner_bits(c00, 3)]
+    pos = []
+    for s in range(1, order):
+        for t in range(1, order):
+            idx = list(base)
+            idx[s_ax] = s
+            idx[t_ax] = t
+            pos.append(int(np.dot(idx, strides)))
+    return pos
+
+
+def _interior_positions(order: int, dim: int) -> np.ndarray:
+    """Local flat indices with every component in ``1..order-1`` (C-order)."""
+    n1 = order + 1
+    idx = np.indices((n1,) * dim).reshape(dim, -1)
+    inner = np.all((idx >= 1) & (idx <= order - 1), axis=0)
+    return np.nonzero(inner)[0]
+
+
+def _face_orientation_perms(order: int) -> np.ndarray:
+    """The 8 face-grid permutations local (s, t) -> canonical (p, q).
+
+    A shared hex face is numbered in a *canonical frame*: origin at the
+    corner with the smallest global id, first axis toward the smaller of
+    its two in-face neighbours.  Both adjacent elements derive the same
+    frame from the (global) corner ids alone, so their face-interior
+    numbering agrees for any conforming orientation.  Row ``t_id = 2 *
+    origin_slot + axis1_is_s`` maps the local interior grid (s slow) to
+    canonical flat offsets.
+    """
+    N = order
+    n_int = N - 1
+    s, t = np.meshgrid(np.arange(1, N), np.arange(1, N), indexing="ij")
+    perms = np.empty((8, n_int * n_int), dtype=np.int64)
+    for o in range(4):
+        ss = (N - s) if (o >> 1) else s  # distance from origin along s
+        tt = (N - t) if (o & 1) else t
+        for ax1s in (0, 1):
+            p, q = (ss, tt) if ax1s else (tt, ss)
+            perms[2 * o + ax1s] = ((p - 1) * n_int + (q - 1)).ravel()
+    return perms
+
+
+@dataclass
+class TensorDofLayout:
+    """Entity-based global numbering of a tensor-product SEM space.
+
+    Numbering order: mesh corner nodes, edge interiors, face interiors
+    (3D), element interiors — each entity kind numbered by one
+    ``np.unique`` over its sorted corner tuples.
+    """
+
+    order: int
+    dim: int
+    element_dofs: np.ndarray  # (n_elem, (order+1)**dim)
+    n_dof: int
+    n_corner: int
+    edge_keys: np.ndarray | None = None  # (n_edges, 2) sorted corner pairs
+    edge_inv: np.ndarray | None = None  # (n_elem, edges/elem)
+    face_keys: np.ndarray | None = None  # (n_faces, 4) sorted corner quads
+    face_inv: np.ndarray | None = None  # (n_elem, 6)
+
+    def boundary_dofs(self) -> np.ndarray:
+        """Global DOFs on the domain boundary.
+
+        Boundary (dim-1)-entities are those used by exactly one element:
+        endpoint corners in 1D, edges in 2D, faces in 3D (whose bounding
+        edges and corners are boundary too).
+        """
+        n_int = self.order - 1
+        if self.dim == 1:
+            counts = np.bincount(
+                self.element_dofs[:, [0, -1]].ravel(), minlength=self.n_corner
+            )
+            return np.nonzero(counts == 1)[0].astype(np.int64)
+
+        edge_base = self.n_corner
+
+        if self.dim == 2:
+            edge_counts = np.bincount(
+                self.edge_inv.ravel(), minlength=len(self.edge_keys)
+            )
+            bnd = np.nonzero(edge_counts == 1)[0]
+            corner = self.edge_keys[bnd].ravel()
+            interior = (
+                (edge_base + bnd * n_int)[:, None] + np.arange(n_int)
+            ).ravel()
+            return np.unique(np.concatenate([corner, interior]).astype(np.int64))
+
+        # 3D: faces used once; collect their corners, edges, interiors.
+        face_counts = np.bincount(self.face_inv.ravel(), minlength=len(self.face_keys))
+        bnd_face_mask = face_counts == 1
+        bnd_faces = np.nonzero(bnd_face_mask)[0]
+        corner = self.face_keys[bnd_faces].ravel()
+        edge_ids = [
+            self.edge_inv[bnd_face_mask[self.face_inv[:, f]]][
+                :, list(_HEX_FACE_EDGES[f])
+            ].ravel()
+            for f in range(6)
+        ]
+        bnd_edges = np.unique(np.concatenate(edge_ids))
+        parts = [corner]
+        if n_int:
+            parts.append(
+                ((edge_base + bnd_edges * n_int)[:, None] + np.arange(n_int)).ravel()
+            )
+            face_base = edge_base + len(self.edge_keys) * n_int
+            n_int2 = n_int * n_int
+            parts.append(
+                ((face_base + bnd_faces * n_int2)[:, None] + np.arange(n_int2)).ravel()
+            )
+        return np.unique(np.concatenate(parts).astype(np.int64))
+
+
+def number_dofs(mesh: Mesh, order: int) -> TensorDofLayout:
+    """Entity-based global DOF numbering for any conforming line/quad/hex
+    mesh (see :class:`TensorDofLayout`)."""
+    dim = mesh.dim
+    N = int(order)
+    require(N >= 1, "order must be >= 1", SolverError)
+    n1 = N + 1
+    n_loc = n1**dim
+    n_int = N - 1
+    conn = mesh.elements
+    n_elem = mesh.n_elements
+    n_corner = mesh.n_nodes
+    strides = _local_strides(N, dim)
+
+    element_dofs = np.empty((n_elem, n_loc), dtype=np.int64)
+    for local in range(2**dim):
+        flat = int(np.dot([b * N for b in _corner_bits(local, dim)], strides))
+        element_dofs[:, flat] = conn[:, local]
+    nxt = n_corner
+
+    edge_keys = edge_inv = None
+    if dim >= 2:
+        slots = _EDGE_SLOTS[dim]
+        pairs = np.sort(
+            np.stack([conn[:, list(s)] for s in slots], axis=1), axis=2
+        )  # (n_elem, n_slots, 2)
+        edge_keys, inv = np.unique(pairs.reshape(-1, 2), axis=0, return_inverse=True)
+        edge_inv = inv.reshape(n_elem, len(slots))
+        if n_int:
+            for s, (a, b) in enumerate(slots):
+                ids = (nxt + edge_inv[:, s] * n_int)[:, None] + np.arange(n_int)
+                flip = conn[:, a] > conn[:, b]  # traverse low corner -> high
+                ids[flip] = ids[flip, ::-1]
+                element_dofs[:, _edge_positions(a, b, N, dim)] = ids
+            nxt += len(edge_keys) * n_int
+
+    face_keys = face_inv = None
+    if dim == 3:
+        quads = np.stack(
+            [np.sort(conn[:, list(c4)], axis=1) for (c4, _, _) in _HEX_FACE_SLOTS],
+            axis=1,
+        )  # (n_elem, 6, 4)
+        face_keys, finv = np.unique(quads.reshape(-1, 4), axis=0, return_inverse=True)
+        face_inv = finv.reshape(n_elem, 6)
+        if n_int:
+            n_int2 = n_int * n_int
+            perms = _face_orientation_perms(N)
+            ar = np.arange(n_elem)
+            for f, (c4, _, _) in enumerate(_HEX_FACE_SLOTS):
+                corners4 = conn[:, list(c4)]  # (n_elem, 4) in (s, t) layout
+                o = np.argmin(corners4, axis=1)
+                os_, ot = o >> 1, o & 1
+                s_adj = corners4[ar, 2 * (1 - os_) + ot]
+                t_adj = corners4[ar, 2 * os_ + (1 - ot)]
+                t_id = 2 * o + (s_adj < t_adj)
+                ids = (nxt + face_inv[:, f] * n_int2)[:, None] + perms[t_id]
+                element_dofs[:, _face_positions(f, N)] = ids
+            nxt += len(face_keys) * n_int2
+
+    if n_int:
+        n_inner = n_int**dim
+        inner = (
+            nxt
+            + (np.arange(n_elem) * n_inner)[:, None]
+            + np.arange(n_inner)
+        )
+        element_dofs[:, _interior_positions(N, dim)] = inner
+        nxt += n_elem * n_inner
+
+    return TensorDofLayout(
+        order=N,
+        dim=dim,
+        element_dofs=element_dofs,
+        n_dof=nxt,
+        n_corner=n_corner,
+        edge_keys=edge_keys,
+        edge_inv=edge_inv,
+        face_keys=face_keys,
+        face_inv=face_inv,
+    )
+
+
+# ----------------------------------------------------------------------
+# The dimension-generic assembler
+# ----------------------------------------------------------------------
+class SemND:
+    """Assembled order-``order`` acoustic SEM on a conforming mesh of
+    axis-aligned box elements, generic over ``mesh.dim`` in (1, 2, 3).
+
+    DOF numbering is entity-based (see :func:`number_dofs`), so any
+    conforming mesh — not just structured grids — assembles correctly,
+    with shared edge and face nodes oriented consistently.  Subclasses
+    :class:`repro.sem.assembly2d.Sem2D` and
+    :class:`repro.sem.assembly3d.Sem3D` pin the dimension and add
+    dimension-flavoured conveniences; all assembly, masking, and backend
+    dispatch lives here exactly once.
+    """
+
+    def __init__(self, mesh: Mesh, order: int = 4, dirichlet: bool = False):
+        require(mesh.dim in (1, 2, 3), "SemND requires dim in (1, 2, 3)", SolverError)
+        require(order >= 1, "order must be >= 1", SolverError)
+        self.mesh = mesh
+        self.dim = mesh.dim
+        self.order = int(order)
+        self.dirichlet = bool(dirichlet)
+
+        N = self.order
+        dim = self.dim
+        n1 = N + 1
+        n_loc = n1**dim
+        xi, _ = gll_points_weights(N)
+
+        # Geometry: per-axis sizes of the axis-aligned boxes.
+        self.h_axes = element_axis_sizes(mesh)
+        self.hx = self.h_axes[:, 0]
+        if dim >= 2:
+            self.hy = self.h_axes[:, 1]
+        if dim >= 3:
+            self.hz = self.h_axes[:, 2]
+
+        # Entity-based global numbering.
+        self._layout = number_dofs(mesh, N)
+        self.element_dofs = self._layout.element_dofs
+        self.n_dof = self._layout.n_dof
+
+        # Node coordinates (overlapping writes store identical values).
+        p0 = mesh.coords[mesh.elements[:, 0]]
+        gx = (xi + 1.0) * 0.5
+        flat = np.arange(n_loc)
+        coords = np.zeros((self.n_dof, dim))
+        for a in range(dim):
+            ia = (flat // n1 ** (dim - 1 - a)) % n1
+            vals = p0[:, a : a + 1] + gx[None, :] * self.h_axes[:, a : a + 1]
+            coords[self.element_dofs.ravel(), a] = vals[:, ia].ravel()
+        self.node_coords = coords
+
+        # Diagonal (lumped) mass: |J| * (w (x) ... (x) w).
+        wq = tensor_quadrature_weights(N, dim)
+        jac = self.h_axes.prod(axis=1) / (2.0**dim)
+        Me = jac[:, None] * wq[None, :]
+        self.M = np.bincount(
+            self.element_dofs.ravel(), weights=Me.ravel(), minlength=self.n_dof
+        )
+
+        # Stiffness: every element matrix is a per-element scalar
+        # combination of the dim per-axis reference kernels.
+        c2 = np.asarray(mesh.c, dtype=np.float64) ** 2
+        self.axis_scales = acoustic_axis_scales(c2, self.h_axes)
+        Kflats = [k.ravel() for k in axis_stiffness_kernels(N, dim)]
+        K = sp.csr_matrix((self.n_dof, self.n_dof))
+        chunk = max(1, _CHUNK_ENTRIES // (n_loc * n_loc))
+        for s in range(0, mesh.n_elements, chunk):
+            d = self.element_dofs[s : s + chunk]
+            vals = self.axis_scales[s : s + chunk, 0, None] * Kflats[0]
+            for a in range(1, dim):
+                vals = vals + self.axis_scales[s : s + chunk, a, None] * Kflats[a]
+            K = K + sp.coo_matrix(
+                (
+                    vals.ravel(),
+                    (
+                        np.repeat(d, n_loc, axis=1).ravel(),
+                        np.tile(d, (1, n_loc)).ravel(),
+                    ),
+                ),
+                shape=(self.n_dof, self.n_dof),
+            ).tocsr()
+        K.sum_duplicates()
+        K.eliminate_zeros()  # kron kernels are exactly zero off the GLL lines
+        self.K = K
+
+        A = sp.diags(1.0 / self.M) @ K
+        self.dirichlet_mask: np.ndarray | None = None
+        if dirichlet:
+            mask = np.ones(self.n_dof)
+            mask[self.boundary_dofs()] = 0.0
+            A = sp.diags(mask) @ A @ sp.diags(mask)
+            self.dirichlet_mask = mask
+        A = sp.csr_matrix(A)
+        A.eliminate_zeros()
+        self.A = A
+
+    # ------------------------------------------------------------------
+    def operator(self, backend: str = "assembled", use_fused: bool | None = None):
+        """Stiffness operator ``A = M^{-1} K`` in the requested backend.
+
+        ``"assembled"`` wraps the precomputed CSR matrix; ``"matfree"``
+        builds the batched sum-factorization operator (no matrix) — see
+        :mod:`repro.sem.matfree` for when each wins.  ``use_fused``
+        selects the optional fused C kernels (``None`` = auto; 2D only —
+        the 3D NumPy tier always wins over CSR at high order anyway).
+        """
+        from repro.sem.matfree import operator_for
+
+        return operator_for(self, backend, use_fused=use_fused)
+
+    # ------------------------------------------------------------------
+    def element_system_batch(
+        self, ids: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Dense stiffness ``(m, n_loc, n_loc)`` and diagonal mass
+        ``(m, n_loc)`` of elements ``ids`` (all elements when ``None``).
+
+        Consumed by the distributed runtime's vectorized rank-local
+        assembly (:func:`repro.runtime.halo.build_rank_layout`).
+        """
+        ids = np.arange(self.mesh.n_elements) if ids is None else np.asarray(ids)
+        kernels = axis_stiffness_kernels(self.order, self.dim)
+        Ke = self.axis_scales[ids, 0, None, None] * kernels[0]
+        for a in range(1, self.dim):
+            Ke = Ke + self.axis_scales[ids, a, None, None] * kernels[a]
+        wq = tensor_quadrature_weights(self.order, self.dim)
+        jac = self.h_axes[ids].prod(axis=1) / (2.0**self.dim)
+        return Ke, jac[:, None] * wq[None, :]
+
+    def element_system(self, e: int) -> tuple[np.ndarray, np.ndarray]:
+        """Element stiffness (dense) and mass (diagonal) of element ``e``."""
+        Ke, Me = self.element_system_batch(np.array([e]))
+        return Ke[0], Me[0]
+
+    def boundary_dofs(self) -> np.ndarray:
+        """Global DOFs on the domain boundary (see
+        :meth:`TensorDofLayout.boundary_dofs`)."""
+        return self._layout.boundary_dofs()
+
+    def interpolate(self, f) -> np.ndarray:
+        """Nodal interpolant of ``f(x[, y[, z]])`` (vectorized callable)."""
+        args = [self.node_coords[:, a] for a in range(self.dim)]
+        return np.asarray(f(*args), dtype=np.float64)
+
+    def nearest_dof(self, *point: float) -> int:
+        """Global DOF closest to ``point`` (one coordinate per axis)."""
+        require(len(point) == self.dim, "point must have one coordinate per axis", SolverError)
+        d2 = ((self.node_coords - np.asarray(point, dtype=np.float64)) ** 2).sum(axis=1)
+        return int(np.argmin(d2))

@@ -8,11 +8,12 @@ from repro.core import (
     cfl_timestep,
     enforce_level_grading,
     gll_spacing_factor,
+    operator_spectral_radius,
     stable_timestep_from_operator,
     stable_timestep_per_element,
 )
 from repro.mesh import refined_interval, uniform_grid, uniform_interval
-from repro.sem import Sem1D
+from repro.sem import Sem1D, Sem2D, Sem3D
 from repro.util.errors import SolverError
 
 
@@ -52,6 +53,56 @@ class TestCfl:
         assert np.max(np.abs(stable)) < 10.0
         unstable, _ = NewmarkSolver(sem.A, 1.05 * dt).run(u0, np.zeros_like(u0), 400)
         assert np.max(np.abs(unstable)) > 10.0
+
+
+class TestMatrixFreeCfl:
+    """Power iteration on the operator *action*: the matrix-free CFL path
+    (ROADMAP item) — no assembled matrix needed for very large meshes."""
+
+    @staticmethod
+    def _contrast(sem_cls, shape, order):
+        mesh = uniform_grid(shape)
+        mesh.c = mesh.c.copy()
+        mesh.c[mesh.n_elements // 2] = 3.0
+        return sem_cls(mesh, order=order)
+
+    @pytest.mark.parametrize(
+        "sem_cls,shape,order",
+        [(Sem2D, (5, 4), 4), (Sem2D, (6, 6), 3), (Sem3D, (3, 3, 2), 3)],
+    )
+    def test_power_iteration_matches_sparse_eigensolver(self, sem_cls, shape, order):
+        sem = self._contrast(sem_cls, shape, order)
+        dt_eigs = stable_timestep_from_operator(sem.A, method="eigs")
+        dt_pow = stable_timestep_from_operator(
+            sem.operator("matfree"), method="power"
+        )
+        assert abs(dt_pow - dt_eigs) / dt_eigs < 1e-6
+
+    def test_auto_selects_power_for_matrix_free_operator(self):
+        sem = self._contrast(Sem2D, (4, 4), 3)
+        op = sem.operator("matfree")
+        # auto on a matrix-free operator must not require any matrix
+        dt = stable_timestep_from_operator(op)
+        assert dt == pytest.approx(stable_timestep_from_operator(sem.A), rel=1e-6)
+
+    def test_auto_unwraps_assembled_operator(self):
+        sem = self._contrast(Sem2D, (4, 4), 3)
+        dt_wrapped = stable_timestep_from_operator(sem.operator("assembled"))
+        assert dt_wrapped == pytest.approx(
+            stable_timestep_from_operator(sem.A), rel=1e-12
+        )
+
+    def test_spectral_radius_on_plain_matrix(self):
+        rng = np.random.default_rng(0)
+        Q, _ = np.linalg.qr(rng.standard_normal((40, 40)))
+        lam = np.linspace(0.1, 7.0, 40)
+        A = (Q * lam) @ Q.T  # symmetric with known spectrum
+        assert operator_spectral_radius(A) == pytest.approx(7.0, rel=1e-9)
+
+    def test_eigs_method_rejects_matrix_free(self):
+        sem = self._contrast(Sem2D, (4, 4), 2)
+        with pytest.raises(SolverError):
+            stable_timestep_from_operator(sem.operator("matfree"), method="eigs")
 
 
 class TestAssignLevels:

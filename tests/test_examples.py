@@ -46,3 +46,8 @@ def test_convergence_study_reaches_second_order():
 def test_elastic_basin_verifies():
     out = _run("elastic_basin.py")
     assert "elastic LTS run verified" in out
+
+
+def test_hex_trench_3d_verifies_both_backends():
+    out = _run("hex_trench_3d.py")
+    assert "3D hex LTS run verified" in out
