@@ -19,6 +19,7 @@ Contents:
 
 from repro.core.operator import (
     AssembledOperator,
+    KernelSpec,
     Restriction,
     StiffnessOperator,
     as_operator,
@@ -48,6 +49,7 @@ from repro.core.schedule import LTSSchedule, build_schedule
 
 __all__ = [
     "AssembledOperator",
+    "KernelSpec",
     "Restriction",
     "StiffnessOperator",
     "as_operator",

@@ -42,19 +42,44 @@ def gll_spacing_factor(order: int) -> float:
 
 
 def stable_timestep_per_element(
-    mesh: Mesh, c_cfl: float = 0.5, order: int = 1
+    mesh: Mesh,
+    c_cfl: float = 0.5,
+    order: int = 1,
+    velocity: np.ndarray | None = None,
 ) -> np.ndarray:
-    """Per-element maximal stable step ``C_CFL * s(order) * h_i / c_i``."""
+    """Per-element maximal stable step ``C_CFL * s(order) * h_i / c_i``.
+
+    ``velocity`` overrides ``mesh.c`` as the per-element wave speed:
+    the paper's Eq. (7) drives LTS levels with the *P-wave* speed, so
+    elastic models pass ``ElasticSemND.p_velocity()`` here without
+    mutating the mesh.
+    """
     check_positive(c_cfl, "c_cfl", SolverError)
-    return c_cfl * gll_spacing_factor(order) * mesh.dt_local
+    if velocity is None:
+        dt_local = mesh.dt_local
+    else:
+        velocity = np.asarray(velocity, dtype=np.float64)
+        require(
+            velocity.shape == (mesh.n_elements,),
+            "velocity must be (n_elements,)",
+            SolverError,
+        )
+        require(bool(np.all(velocity > 0)), "velocity must be > 0", SolverError)
+        dt_local = mesh.h / velocity
+    return c_cfl * gll_spacing_factor(order) * dt_local
 
 
-def cfl_timestep(mesh: Mesh, c_cfl: float = 0.5, order: int = 1) -> float:
+def cfl_timestep(
+    mesh: Mesh,
+    c_cfl: float = 0.5,
+    order: int = 1,
+    velocity: np.ndarray | None = None,
+) -> float:
     """Global CFL step (Eq. (7)): ``C_CFL * s(order) * min_i(h_i / c_i)``.
 
     This is the step a non-LTS explicit scheme must take everywhere.
     """
-    return float(stable_timestep_per_element(mesh, c_cfl, order).min())
+    return float(stable_timestep_per_element(mesh, c_cfl, order, velocity=velocity).min())
 
 
 def operator_spectral_radius(

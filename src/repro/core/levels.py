@@ -81,6 +81,7 @@ def assign_levels(
     max_levels: int | None = None,
     grade: bool = False,
     order: int = 1,
+    velocity: np.ndarray | None = None,
 ) -> LevelAssignment:
     """Assign every element to an LTS p-level from its local stable step.
 
@@ -100,13 +101,18 @@ def assign_levels(
     order:
         SEM polynomial order; folds the GLL sub-spacing into the stable
         step (see :func:`repro.core.cfl.gll_spacing_factor`).
+    velocity:
+        Optional per-element wave speed overriding ``mesh.c``.  Eq. (7)
+        prescribes the *P-wave* speed, so elastic models pass
+        ``ElasticSemND.p_velocity()`` here — levels then follow the
+        compressional speed without mutating the mesh.
 
     Notes
     -----
     With a uniform mesh the result is a single level and LTS degenerates
     exactly to global Newmark (tested).
     """
-    dt_elem = stable_timestep_per_element(mesh, c_cfl, order=order)
+    dt_elem = stable_timestep_per_element(mesh, c_cfl, order=order, velocity=velocity)
     dt_min = float(dt_elem.min())
     # Tiny relative slack so elements sized at exact powers of two land on
     # the intended level despite float rounding.

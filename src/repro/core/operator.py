@@ -18,6 +18,12 @@ is backend-agnostic:
   seed's CSR path, unchanged semantics.
 * the matrix-free backend lives in :mod:`repro.sem.matfree` (it needs
   element geometry the core layer does not know about).
+* :class:`KernelSpec` — the explicit physics description every SEM
+  assembler exports (``kernel_spec()``).  Backend dispatch — which
+  element kernel applies the stiffness, which fused C tier binds to it
+  — keys off this declaration instead of duck-typed attribute sniffing
+  (``hasattr(assembler, "lam")`` and friends), so adding a physics is
+  adding a spec + kernel pair, never another ``hasattr`` chain.
 
 ``nnz`` is defined as *operations per full apply* — literal stored
 nonzeros for the assembled backend, tensor-contraction flops for the
@@ -35,6 +41,50 @@ import scipy.sparse as sp
 
 from repro.util.errors import SolverError
 from repro.util.validation import require
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Explicit element-kernel description of a SEM discretization.
+
+    Every assembler exposes ``kernel_spec(ids=None) -> KernelSpec``: the
+    physics name, polynomial order, spatial dimension, components per
+    GLL node, and the per-element parameter arrays the matching
+    matrix-free kernel needs (``ids`` selects an element subset — the
+    rank-local or LTS-level slice).  Known specs:
+
+    * ``"acoustic"`` — ``n_comp = 1``; params ``scales`` with the
+      per-axis stiffness scales of
+      :func:`repro.sem.tensor.acoustic_axis_scales`;
+    * ``"elastic"`` — ``n_comp = dim`` (component-interleaved DOFs);
+      params ``lam``, ``mu``, ``h_axes``.
+
+    The kernel registry lives in :mod:`repro.sem.matfree`
+    (:func:`~repro.sem.matfree.kernel_from_spec`).
+    """
+
+    physics: str
+    order: int
+    dim: int
+    n_comp: int
+    params: dict[str, np.ndarray]
+
+    def __post_init__(self) -> None:
+        require(self.order >= 1, "order must be >= 1", SolverError)
+        require(self.dim >= 1, "dim must be >= 1", SolverError)
+        require(self.n_comp >= 1, "n_comp must be >= 1", SolverError)
+
+    def subset(self, ids: np.ndarray) -> "KernelSpec":
+        """The spec restricted to elements ``ids`` (per-element params
+        sliced; everything else unchanged)."""
+        ids = np.asarray(ids)
+        return KernelSpec(
+            physics=self.physics,
+            order=self.order,
+            dim=self.dim,
+            n_comp=self.n_comp,
+            params={k: np.asarray(v)[ids] for k, v in self.params.items()},
+        )
 
 
 @dataclass

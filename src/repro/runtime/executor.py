@@ -10,7 +10,10 @@ The rank-local stiffness is consumed through the operator protocol
 (``K_local[r] @ u``), so both layout backends — assembled partial CSR
 and matrix-free tensor-product (``build_rank_layout(backend="matfree")``)
 — run unchanged, in any dimension the SEM layer discretizes (1D
-intervals through the 3D hexahedral meshes of the paper's benchmarks).  With the matrix-free backend, the LTS solver's
+intervals through the 3D hexahedral meshes of the paper's benchmarks)
+and for any physics it declares (scalar acoustic or multi-component
+elastic; the interleaved elastic DOFs exchange through the same halo
+plans).  With the matrix-free backend, the LTS solver's
 per-level application restricts the stiffness to the active level's
 elements plus their gray halo (:meth:`repro.sem.matfree
 .MatrixFreeStiffness.masked_subset`) instead of masking a full local

@@ -13,8 +13,12 @@ distributed solvers run on.  Rank-local stiffness comes in two
 backends: ``"assembled"`` (partial CSR per rank, vectorized scatter
 assembly via ``element_system_batch`` when available) and ``"matfree"``
 (an unassembled :class:`repro.sem.matfree.MatrixFreeStiffness` per rank
-— no rank ever forms a matrix).  Both duck-type ``K @ u``, so the
-executors are backend-agnostic.
+— no rank ever forms a matrix; requires the assembler to export its
+explicit :class:`repro.core.operator.KernelSpec`).  Both duck-type
+``K @ u``, so the executors are backend- and physics-agnostic: scalar
+acoustic and multi-component elastic layouts build identically — the
+component-interleaved DOF ids flow through local numbering, ownership
+and the halo exchange like any other DOFs.
 """
 
 from __future__ import annotations
@@ -129,11 +133,14 @@ def build_rank_layout(
         Optional per-DOF LTS level to carry onto ranks.
     backend:
         ``"assembled"`` (partial CSR per rank) or ``"matfree"``
-        (unassembled tensor-product stiffness per rank; requires a
-        tensor-product assembler — any :class:`~repro.sem.tensor.SemND`
-        subclass such as :class:`~repro.sem.assembly2d.Sem2D` /
-        :class:`~repro.sem.assembly3d.Sem3D`, or
-        :class:`~repro.sem.elastic2d.ElasticSem2D`).
+        (unassembled tensor-product stiffness per rank; requires an
+        assembler exporting ``kernel_spec()`` — any
+        :class:`~repro.sem.tensor.SemND` subclass, acoustic
+        (:class:`~repro.sem.assembly2d.Sem2D`,
+        :class:`~repro.sem.assembly3d.Sem3D`) or elastic
+        (:class:`~repro.sem.elastic2d.ElasticSem2D`,
+        :class:`~repro.sem.elastic3d.ElasticSem3D`), plus
+        :class:`~repro.sem.assembly1d.Sem1D`).
     """
     require(backend in ("assembled", "matfree"), f"unknown backend {backend!r}", PartitionError)
     element_dofs = np.asarray(assembler.element_dofs)
@@ -166,8 +173,9 @@ def build_rank_layout(
             from repro.sem.matfree import local_stiffness
 
             require(
-                hasattr(assembler, "axis_scales") or hasattr(assembler, "hx"),
-                "matfree layout backend requires a tensor-product assembler",
+                hasattr(assembler, "kernel_spec"),
+                "matfree layout backend requires an assembler exporting "
+                "kernel_spec() (see repro.core.operator.KernelSpec)",
                 PartitionError,
             )
             K_local.append(local_stiffness(assembler, owned, ld, len(ids)))

@@ -22,6 +22,11 @@ This package reproduces that algebraic structure in pure NumPy/SciPy:
 * :mod:`repro.sem.assembly3d` — 3D SEM on conforming hexahedral meshes:
   the paper's benchmark mesh families are hexahedral, and 3D is where
   the matrix-free backend wins asymptotically (O(n^4) vs O(n^6));
+* :mod:`repro.sem.elastic2d` / :mod:`repro.sem.elastic3d` — the paper's
+  actual physics (elastic wave equation, Eqs. (1)-(2)) on the shared
+  :class:`~repro.sem.tensor.ElasticSemND` core: ``dim`` displacement
+  components per node, per-element Lamé parameters, P/S speeds for
+  Eq.-(7) LTS level assignment;
 * :mod:`repro.sem.sources` — Ricker wavelets and point sources;
 * :mod:`repro.sem.energy` — discrete energy for conservation tests;
 * :mod:`repro.sem.matfree` — matrix-free (sum-factorization) stiffness
@@ -32,14 +37,16 @@ This package reproduces that algebraic structure in pure NumPy/SciPy:
 """
 
 from repro.sem.gll import gll_points_weights, lagrange_derivative_matrix, lagrange_basis
-from repro.sem.tensor import SemND
+from repro.sem.tensor import ElasticSemND, SemND
 from repro.sem.assembly1d import Sem1D
 from repro.sem.assembly2d import Sem2D
 from repro.sem.assembly3d import Sem3D
 from repro.sem.elastic2d import ElasticSem2D
+from repro.sem.elastic3d import ElasticSem3D
 from repro.sem.matfree import (
     MatrixFreeOperator,
     MatrixFreeStiffness,
+    kernel_from_spec,
     matrix_free_operator,
 )
 from repro.sem.sources import ricker, point_source
@@ -51,12 +58,15 @@ __all__ = [
     "lagrange_derivative_matrix",
     "lagrange_basis",
     "SemND",
+    "ElasticSemND",
     "Sem1D",
     "Sem2D",
     "Sem3D",
     "ElasticSem2D",
+    "ElasticSem3D",
     "MatrixFreeOperator",
     "MatrixFreeStiffness",
+    "kernel_from_spec",
     "matrix_free_operator",
     "ricker",
     "point_source",

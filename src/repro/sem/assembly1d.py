@@ -100,13 +100,40 @@ class Sem1D:
         ).tocsr()
         K.sum_duplicates()
         self.K = K
+        self.h_elem = right - left
 
         A = sp.diags(1.0 / M) @ K
+        self.dirichlet_mask: np.ndarray | None = None
         if dirichlet:
             mask = np.ones(self.n_dof)
             mask[0] = mask[-1] = 0.0
             A = sp.diags(mask) @ A @ sp.diags(mask)
+            self.dirichlet_mask = mask
         self.A = sp.csr_matrix(A)
+
+    # ------------------------------------------------------------------
+    def kernel_spec(self, ids=None):
+        """Explicit physics declaration (see
+        :class:`repro.core.operator.KernelSpec`): 1D acoustic with the
+        per-element scale ``2 c^2 / h`` (``mu / jac`` of the assembly
+        loop), which also opens the matrix-free backend to 1D meshes."""
+        from repro.core.operator import KernelSpec
+
+        sl = slice(None) if ids is None else np.asarray(ids)
+        scales = (2.0 * np.asarray(self.mesh.c, dtype=np.float64) ** 2 / self.h_elem)[
+            :, None
+        ]
+        return KernelSpec(
+            physics="acoustic", order=self.order, dim=1, n_comp=1,
+            params={"scales": scales[sl]},
+        )
+
+    def operator(self, backend: str = "assembled", use_fused: bool | None = None):
+        """Stiffness operator ``A = M^{-1} K`` in the requested backend
+        (see :meth:`repro.sem.tensor.SemND.operator`)."""
+        from repro.sem.matfree import operator_for
+
+        return operator_for(self, backend, use_fused=use_fused)
 
     # ------------------------------------------------------------------
     def element_system(self, e: int) -> tuple[np.ndarray, np.ndarray]:

@@ -1,210 +1,68 @@
 """2D P-SV elastic spectral elements (the paper's Eqs. (1)-(2)).
 
-The paper's target physics is the elastic wave equation
-``rho u_tt = div T`` with Hooke's law ``T = C : grad u``; the acoustic
-assemblies in this package exercise the same algebraic structure, but
-this module provides the elastic operator itself for 2D plane strain:
-two displacement components per GLL node, isotropic stiffness
-``lambda, mu`` per element (P speed ``sqrt((lambda+2mu)/rho)``, S speed
-``sqrt(mu/rho)``), free-surface (natural) boundaries as in the paper.
+All physics machinery — the component-interleaved DOF layout, the
+kron-form reference kernels (per-axis stiffness plus the shear coupling
+``C = (Dm^T w) (x) (w Dm)``), per-element Lamé scaling, P/S wave speeds
+— lives in the dimension-generic :class:`repro.sem.tensor.ElasticSemND`
+base; this class only pins ``dim == 2`` and keeps the 2D-flavoured
+conveniences (``xy``, ``nearest_dof(x0, y0, comp)``).
 
-The mass matrix stays diagonal (GLL collocation), so ``A = M^{-1} K``
-plugs into every solver in :mod:`repro.core` and the distributed runtime
-unchanged — including multi-level LTS, whose levels now come from the
-per-element *P-wave* speed exactly as in Eq. (7).
-
-On axis-aligned rectangles every elastic element matrix is a scalar
-combination of four *reference* kron kernels (see
-:func:`elastic_reference_kernels`)::
+On axis-aligned rectangles the element blocks reduce to the classic
+four-kernel form::
 
     Kxx = (l+2m)(hy/hx) K1 + m (hx/hy) K2      K1 = KxX (x) Wd
     Kyy = (l+2m)(hx/hy) K2 + m (hy/hx) K1      K2 = Wd (x) KxX
     Kxy = l C + m C^T,   Kyx = Kxy^T           C  = (Dm^T w) (x) (w Dm)
 
-which both vectorizes assembly (no per-element B-matrix loop) and is
-exactly the tensor-contraction structure the matrix-free backend
-(:mod:`repro.sem.matfree`) applies without forming any matrix.
+(the 2D specialization of the generic per-axis-pair blocks — the shear
+coupling is geometry-free only in 2D).  The mass matrix stays diagonal
+(GLL collocation), so ``A = M^{-1} K`` plugs into every solver in
+:mod:`repro.core` and the distributed runtime unchanged — including
+multi-level LTS, whose levels come from the per-element *P-wave* speed
+exactly as in Eq. (7).
 """
 
 from __future__ import annotations
 
 import numpy as np
-import scipy.sparse as sp
 
 from repro.mesh.mesh import Mesh
-from repro.sem.assembly2d import Sem2D, _CHUNK_ENTRIES
-from repro.sem.gll import gll_points_weights, lagrange_derivative_matrix
+from repro.sem.tensor import ElasticSemND
 from repro.util.errors import SolverError
 from repro.util.validation import require
 
 
-def elastic_reference_kernels(order: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """The geometry-independent 1D kernels ``(KxX, Wd-diag w, C-factors)``.
-
-    Returns ``(K1, K2, C)`` on the *flattened scalar* local basis
-    (``n_loc x n_loc`` each): the x-stiffness, y-stiffness, and shear
-    coupling kernels of the module docstring.
-    """
-    _, w = gll_points_weights(order)
-    Dm = lagrange_derivative_matrix(order)
-    KxX = (Dm.T * w) @ Dm
-    Wd = np.diag(w)
-    K1 = np.kron(KxX, Wd)
-    K2 = np.kron(Wd, KxX)
-    C = np.kron(Dm.T * w, w[:, None] * Dm)  # Gx^T W Gy, geometry-free
-    return K1, K2, C
-
-
-class ElasticSem2D:
+class ElasticSem2D(ElasticSemND):
     """Order-``order`` P-SV elastic SEM on a conforming 2D quad mesh.
 
     Parameters
     ----------
     mesh:
         Axis-aligned rectangular quad mesh; ``mesh.c`` is *ignored* for
-        material properties (use ``lam``/``mu``/``rho``) but its P speed
-        should be kept consistent for level assignment — see
-        :meth:`p_velocity`.
+        material properties (use ``lam``/``mu``/``rho``) — see
+        :meth:`ElasticSemND.p_velocity` for LTS level assignment.
     lam, mu, rho:
         Per-element Lamé parameters and density (scalars broadcast).
 
     DOF layout: component-interleaved, ``2*node + comp`` with comp 0 = x,
     1 = y; scalar node numbering (and therefore halo construction and
-    ``element_dofs`` shape conventions) is inherited from :class:`Sem2D`.
+    ``element_dofs`` shape conventions) is shared with :class:`Sem2D`.
     """
 
-    def __init__(self, mesh: Mesh, order: int = 4, lam=1.0, mu=1.0, rho=1.0):
+    def __init__(
+        self,
+        mesh: Mesh,
+        order: int = 4,
+        lam=1.0,
+        mu=1.0,
+        rho=1.0,
+        dirichlet: bool = False,
+    ):
         require(mesh.dim == 2, "ElasticSem2D requires a 2D mesh", SolverError)
-        n_elem = mesh.n_elements
-        self.lam = np.broadcast_to(np.asarray(lam, dtype=np.float64), (n_elem,)).copy()
-        self.mu = np.broadcast_to(np.asarray(mu, dtype=np.float64), (n_elem,)).copy()
-        self.rho = np.broadcast_to(np.asarray(rho, dtype=np.float64), (n_elem,)).copy()
-        require(bool(np.all(self.mu > 0)), "mu must be > 0", SolverError)
-        require(bool(np.all(self.rho > 0)), "rho must be > 0", SolverError)
-        require(bool(np.all(self.lam + 2 * self.mu > 0)), "lambda + 2mu must be > 0", SolverError)
-        self.mesh = mesh
-        self.order = int(order)
+        super().__init__(mesh, order=order, lam=lam, mu=mu, rho=rho, dirichlet=dirichlet)
 
-        # Scalar skeleton gives the node numbering, coordinates, geometry.
-        self._scalar = Sem2D(mesh, order=order)
-        self.n_scalar = self._scalar.n_dof
-        self.n_dof = 2 * self.n_scalar
-        self.xy = self._scalar.xy
-        self.hx = self._scalar.hx
-        self.hy = self._scalar.hy
-
-        n_loc1 = order + 1
-        n_loc = n_loc1 * n_loc1
-        sd = self._scalar.element_dofs
-        self.element_dofs = np.empty((n_elem, 2 * n_loc), dtype=np.int64)
-        self.element_dofs[:, 0::2] = 2 * sd
-        self.element_dofs[:, 1::2] = 2 * sd + 1
-
-        # Diagonal mass: rho * |J| * (w (x) w) on both components.
-        _, w = gll_points_weights(order)
-        wq = np.kron(w, w)
-        jac = self.hx * self.hy / 4.0
-        Me = np.empty((n_elem, 2 * n_loc))
-        Me[:, 0::2] = (self.rho * jac)[:, None] * wq[None, :]
-        Me[:, 1::2] = Me[:, 0::2]
-        self.M = np.bincount(
-            self.element_dofs.ravel(), weights=Me.ravel(), minlength=self.n_dof
-        )
-
-        # Chunked vectorized assembly from the four reference kernels.
-        n2 = 2 * n_loc
-        K = sp.csr_matrix((self.n_dof, self.n_dof))
-        chunk = max(1, _CHUNK_ENTRIES // (n2 * n2))
-        for s in range(0, n_elem, chunk):
-            ids = np.arange(s, min(s + chunk, n_elem))
-            Ke, _ = self.element_system_batch(ids)
-            d = self.element_dofs[ids]
-            K = K + sp.coo_matrix(
-                (
-                    Ke.reshape(len(ids), -1).ravel(),
-                    (np.repeat(d, n2, axis=1).ravel(), np.tile(d, (1, n2)).ravel()),
-                ),
-                shape=(self.n_dof, self.n_dof),
-            ).tocsr()
-        K.sum_duplicates()
-        K.eliminate_zeros()
-        self.K = K
-        A = sp.csr_matrix(sp.diags(1.0 / self.M) @ K)
-        A.eliminate_zeros()
-        self.A = A
-
-    # ------------------------------------------------------------------
-    def operator(self, backend: str = "assembled", use_fused: bool | None = None):
-        """Stiffness operator ``A = M^{-1} K`` in the requested backend.
-
-        See :meth:`repro.sem.assembly2d.Sem2D.operator`.
-        """
-        from repro.sem.matfree import operator_for
-
-        return operator_for(self, backend, use_fused=use_fused)
-
-    # ------------------------------------------------------------------
-    def element_system_batch(
-        self, ids: np.ndarray | None = None
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Dense elastic stiffness ``(m, 2 n_loc, 2 n_loc)`` and diagonal
-        mass ``(m, 2 n_loc)`` of elements ``ids`` (all when ``None``),
-        built from the four reference kernels (module docstring)."""
-        ids = np.arange(self.mesh.n_elements) if ids is None else np.asarray(ids)
-        K1, K2, C = elastic_reference_kernels(self.order)
-        n_loc = (self.order + 1) ** 2
-        lam, mu = self.lam[ids], self.mu[ids]
-        hx, hy = self.hx[ids], self.hy[ids]
-        cp = lam + 2 * mu
-        Ke = np.zeros((len(ids), 2 * n_loc, 2 * n_loc))
-        Ke[:, 0::2, 0::2] = (
-            (cp * hy / hx)[:, None, None] * K1 + (mu * hx / hy)[:, None, None] * K2
-        )
-        Ke[:, 1::2, 1::2] = (
-            (cp * hx / hy)[:, None, None] * K2 + (mu * hy / hx)[:, None, None] * K1
-        )
-        Kxy = lam[:, None, None] * C + mu[:, None, None] * C.T
-        Ke[:, 0::2, 1::2] = Kxy
-        Ke[:, 1::2, 0::2] = np.swapaxes(Kxy, 1, 2)
-
-        _, w = gll_points_weights(self.order)
-        wq = np.kron(w, w)
-        Me = np.empty((len(ids), 2 * n_loc))
-        Me[:, 0::2] = (self.rho[ids] * hx * hy / 4.0)[:, None] * wq[None, :]
-        Me[:, 1::2] = Me[:, 0::2]
-        return Ke, Me
-
-    def element_system(self, e: int) -> tuple[np.ndarray, np.ndarray]:
-        """Dense elastic stiffness and diagonal mass of element ``e``."""
-        Ke, Me = self.element_system_batch(np.array([e]))
-        return Ke[0], Me[0]
-
-    # ------------------------------------------------------------------
-    def p_velocity(self) -> np.ndarray:
-        """Per-element P-wave speed ``sqrt((lambda + 2 mu) / rho)``.
-
-        This is the ``c_i`` of the CFL condition (Eq. (7)); assign it to
-        ``mesh.c`` before :func:`repro.core.levels.assign_levels` so LTS
-        levels follow the compressional speed, as the paper prescribes.
-        """
-        return np.sqrt((self.lam + 2 * self.mu) / self.rho)
-
-    def s_velocity(self) -> np.ndarray:
-        """Per-element S-wave speed ``sqrt(mu / rho)``."""
-        return np.sqrt(self.mu / self.rho)
-
-    def component_dofs(self, comp: int) -> np.ndarray:
-        """All global DOFs of displacement component ``comp`` (0 = x)."""
-        require(comp in (0, 1), "comp must be 0 or 1", SolverError)
-        return np.arange(comp, self.n_dof, 2)
-
-    def interpolate(self, fx, fy) -> np.ndarray:
-        """Nodal interpolant of a vector field ``(fx(x,y), fy(x,y))``."""
-        out = np.zeros(self.n_dof)
-        out[0::2] = fx(self.xy[:, 0], self.xy[:, 1])
-        out[1::2] = fy(self.xy[:, 0], self.xy[:, 1])
-        return out
-
-    def nearest_dof(self, x0: float, y0: float, comp: int = 0) -> int:
-        """Global DOF of component ``comp`` nearest to ``(x0, y0)``."""
-        return 2 * self._scalar.nearest_dof(x0, y0) + int(comp)
+    @property
+    def xy(self) -> np.ndarray:
+        """Scalar-node coordinates ``(n_scalar, 2)`` (alias of
+        ``node_coords``)."""
+        return self.node_coords

@@ -8,7 +8,8 @@ the element workspace lives in registers/L1; this module provides that
 tier: a small C source compiled on demand with the system compiler and
 loaded through :mod:`ctypes` (stdlib only — no new dependencies).
 Kernels: 2D acoustic (``ac_apply``), 3D hexahedral acoustic
-(``ac_apply3``, orders <= ``MAX_ORDER_3D``), 2D elastic (``el_apply``).
+(``ac_apply3``), 2D elastic (``el_apply``), 3D hexahedral elastic
+(``el_apply3``); the 3D kernels cover orders <= ``MAX_ORDER_3D``.
 
 The kernels are strictly optional.  If no C compiler is available, the
 compile fails, ``REPRO_FUSED=0`` is set, or the polynomial order exceeds
@@ -277,6 +278,115 @@ void el_apply(long ne, long n_dof, int n1,
     if (Minv)
         for (long i = 0; i < n_dof; ++i) z[i] *= Minv[i];
 }
+
+/* O[...] = contraction of U along the axis of stride sa with A:
+ * O[i sa + j sb + k sc] = sum_t A[i*n1+t] U[t sa + j sb + k sc].
+ * Passing a cyclic permutation of the three axis strides selects the
+ * contracted axis; O and U must not alias. */
+static inline void axis3_mul(const double *restrict A, const v8 *restrict U,
+                             v8 *restrict O, int n1, int sa, int sb, int sc)
+{
+    for (int i = 0; i < n1; ++i) {
+        const double *ai = A + i * n1;
+        for (int j = 0; j < n1; ++j)
+            for (int k = 0; k < n1; ++k) {
+                const v8 *u = U + j * sb + k * sc;
+                v8 acc = {0};
+                for (int t = 0; t < n1; ++t) acc += ai[t] * u[t * sa];
+                O[i * sa + j * sb + k * sc] = acc;
+            }
+    }
+}
+
+/*
+ * 3D isotropic elastic, component-interleaved ed of width 3*nl.  Blocks
+ * (c, d in {x, y, z}), with R_cd = E(at c) (x) F(at d) (x) Wd(rest),
+ * E = D^T diag(w), F = diag(w) D = E^T:
+ *   f_c = sum_a ds[c][a] * (KxX contraction of U_c along axis a, w-plane)
+ *       + sum_{d != c} ( lamg[cd] [E@c, F@d] + mug[cd] [F@c, E@d] ) U_d
+ * coef carries 15 doubles per element: ds[3][3] row-major, then lamg and
+ * mug for the pairs (0,1), (0,2), (1,2) — all with the geometry factors
+ * folded in.  ne must be a multiple of VL (pad with all-zero coef
+ * ghosts).
+ */
+void el_apply3(long ne, long n_dof, int n1,
+               const double *restrict KxX, const double *restrict w,
+               const double *restrict E, const double *restrict F,
+               const double *restrict coef,
+               const int64_t *restrict ed, const double *restrict u,
+               const double *restrict gmask, const double *restrict Minv,
+               double *restrict z)
+{
+    int n2 = n1 * n1, nl = n2 * n1;
+    static _Thread_local v8 U[3][MAXNL3], Fo[MAXNL3], S[MAXNL3], T[MAXNL3];
+    const int str[3] = {n2, n1, 1};
+    memset(z, 0, (size_t)n_dof * sizeof(double));
+    for (long e0 = 0; e0 + VL <= ne; e0 += VL) {
+        for (int l = 0; l < VL; ++l) {
+            const int64_t *d = ed + (e0 + l) * 3 * nl;
+            const double *gm = gmask ? gmask + (e0 + l) * 3 * nl : 0;
+            for (int c = 0; c < 3; ++c)
+                gather(d + c, 3, nl, u, gm ? gm + c : 0, U[c], l);
+        }
+        v8 CF[15];
+        for (int m = 0; m < 15; ++m)
+            for (int l = 0; l < VL; ++l) CF[m][l] = coef[(e0 + l) * 15 + m];
+        for (int c = 0; c < 3; ++c) {
+            v8 DX = CF[3 * c], DY = CF[3 * c + 1], DZ = CF[3 * c + 2];
+            /* diagonal block: the ac_apply3 contraction, per-comp coefs */
+            for (int i = 0; i < n1; ++i) {
+                const double *ki = KxX + i * n1;
+                for (int j = 0; j < n1; ++j) {
+                    const double *kj = KxX + j * n1;
+                    const v8 *uij = U[c] + (i * n1 + j) * n1;
+                    for (int k = 0; k < n1; ++k) {
+                        const double *kk = KxX + k * n1;
+                        v8 a1 = {0}, a2 = {0}, a3 = {0};
+                        for (int a = 0; a < n1; ++a) {
+                            a1 += ki[a] * U[c][(a * n1 + j) * n1 + k];
+                            a2 += kj[a] * U[c][(i * n1 + a) * n1 + k];
+                            a3 += kk[a] * uij[a];
+                        }
+                        Fo[(i * n1 + j) * n1 + k] =
+                            DX * (w[j] * w[k]) * a1 + DY * (w[i] * w[k]) * a2
+                            + DZ * (w[i] * w[j]) * a3;
+                    }
+                }
+            }
+            /* off-diagonal blocks feeding component c */
+            for (int d = 0; d < 3; ++d) {
+                if (d == c) continue;
+                int lo = c < d ? c : d, hi = c < d ? d : c;
+                int p = lo + hi - 1;   /* (0,1)->0, (0,2)->1, (1,2)->2 */
+                int e = 3 - c - d;     /* the axis carrying a bare w    */
+                v8 LG = CF[9 + p], MG = CF[12 + p];
+                for (int term = 0; term < 2; ++term) {
+                    /* lam [E@c, F@d] U_d, then mu [F@c, E@d] U_d */
+                    const double *Ad = term ? E : F;
+                    const double *Ac = term ? F : E;
+                    v8 CO = term ? MG : LG;
+                    axis3_mul(Ad, U[d], S, n1,
+                              str[d], str[(d + 1) % 3], str[(d + 2) % 3]);
+                    axis3_mul(Ac, S, T, n1,
+                              str[c], str[(c + 1) % 3], str[(c + 2) % 3]);
+                    for (int i = 0; i < n1; ++i)
+                        for (int j = 0; j < n1; ++j)
+                            for (int k = 0; k < n1; ++k) {
+                                int idx3[3] = {i, j, k};
+                                int f = (i * n1 + j) * n1 + k;
+                                Fo[f] += CO * w[idx3[e]] * T[f];
+                            }
+                }
+            }
+            for (int l = 0; l < VL; ++l) {
+                const int64_t *dc = ed + (e0 + l) * 3 * nl + c;
+                for (int k = 0; k < nl; ++k) z[dc[3 * k]] += Fo[k][l];
+            }
+        }
+    }
+    if (Minv)
+        for (long i = 0; i < n_dof; ++i) z[i] *= Minv[i];
+}
 """
 
 _CFLAGS = ["-O3", "-march=native", "-funroll-loops", "-shared", "-fPIC"]
@@ -361,6 +471,7 @@ def load() -> ctypes.CDLL | None:
         lib.ac_apply.restype = None
         lib.ac_apply3.restype = None
         lib.el_apply.restype = None
+        lib.el_apply3.restype = None
         _lib = lib
     except Exception:
         _lib = None
@@ -504,6 +615,55 @@ class ElasticPlan:
             _pd(self._KxX), _pd(self._w),
             _pd(self._E), _pd(self._ET), _pd(self._F), _pd(self._FT),
             _pd(self._lam), _pd(self._mu), _pd(self._hx), _pd(self._hy),
+            self._ed.ctypes.data_as(_PI), _pd(u),
+            _pd(self._gmask), _pd(self._Minv), _pd(z),
+        )
+        return z
+
+
+class Elastic3DPlan:
+    """Bound fused 3D elastic apply (component-interleaved DOFs).
+
+    Packs the per-element block coefficients of
+    :class:`repro.sem.matfree.ElasticKernel3D` — nine diagonal-block
+    axis scales plus ``lam``/``mu`` pair coefficients with the geometry
+    factors folded in — into one 15-wide array for ``el_apply3``.
+    """
+
+    def __init__(self, kernel, element_dofs, n_dof, gmask=None, Minv=None):
+        lib = load()
+        assert lib is not None
+        self._lib = lib
+        self.n_dof = int(n_dof)
+        self.n1 = kernel.n1
+        ne = element_dofs.shape[0]
+        ne_pad = -(-ne // VL) * VL
+        self._ed = _pad(np.ascontiguousarray(element_dofs, dtype=np.int64), ne_pad)
+        coef = np.empty((ne, 15))
+        coef[:, :9] = kernel.diag_scales.reshape(ne, 9)
+        coef[:, 9:12] = kernel.lam_g
+        coef[:, 12:15] = kernel.mu_g
+        self._coef = _pad(coef, ne_pad)  # ghost elements: zero coefficients
+        self._KxX = np.ascontiguousarray(kernel.KxX)
+        self._E = np.ascontiguousarray(kernel.E)
+        self._F = np.ascontiguousarray(kernel.F)
+        _, w = _gll(kernel.order)
+        self._w = w
+        self._gmask = None if gmask is None else _pad(
+            np.ascontiguousarray(gmask, dtype=np.float64), ne_pad, fill=0.0
+        )
+        self._Minv = None if Minv is None else np.ascontiguousarray(Minv)
+        self._ne = ne_pad
+
+    def __call__(self, u: np.ndarray) -> np.ndarray:
+        z = np.empty(self.n_dof)
+        u = np.ascontiguousarray(u, dtype=np.float64)
+        self._lib.el_apply3(
+            ctypes.c_long(self._ne),
+            ctypes.c_long(self.n_dof),
+            ctypes.c_int(self.n1),
+            _pd(self._KxX), _pd(self._w), _pd(self._E), _pd(self._F),
+            _pd(self._coef),
             self._ed.ctypes.data_as(_PI), _pd(u),
             _pd(self._gmask), _pd(self._Minv), _pd(z),
         )

@@ -8,17 +8,28 @@ global sparse matrix.  All elements are processed at once as batched
 tensor contractions (``tensordot`` → one BLAS GEMM per contraction), so
 the Python overhead is O(1) per apply instead of O(n_elem).
 
-Three physics kernels share the machinery:
+Two physics families share the machinery, each generic over dimension:
 
-* acoustic, any dimension (:class:`AcousticKernelND`) — ``K_e u`` is one
-  1D GLL stiffness contraction per axis, each scaled by a per-element
-  weight plane; :class:`AcousticKernel` (2D, fused-C capable) and
+* acoustic (:class:`AcousticKernelND`) — ``K_e u`` is one 1D GLL
+  stiffness contraction per axis, each scaled by a per-element weight
+  plane; :class:`AcousticKernel` (2D, fused-C capable) and
   :class:`AcousticKernel3D` pin the dimension.  In 3D this is the
   paper's asymptotic win: O(n^4) contraction work per element versus the
   O(n^6) of a dense element matvec;
-* elastic P-SV (:class:`ElasticKernel`) — the four-kernel form of
-  :mod:`repro.sem.elastic2d` (``K1``, ``K2`` and the geometry-free shear
-  coupling ``C = E (x) F``) applied per displacement component.
+* isotropic elastic (:class:`ElasticKernelND`) — the per-axis-pair block
+  structure of :class:`repro.sem.tensor.ElasticSemND` (diagonal blocks
+  are acoustic-style per-axis contractions with material coefficients;
+  each off-diagonal block ``g_cd (lam R_cd + mu R_cd^T)`` is a two-stage
+  1D contraction), applied per displacement component on the interleaved
+  DOF layout.  :class:`ElasticKernel` (2D P-SV, fused-C capable) and
+  :class:`ElasticKernel3D` (nine blocks, copy-free batched matmul, fused
+  ``el_apply3`` tier) pin the dimension.
+
+Which kernel applies is decided by the assembler's *explicit* physics
+declaration — :meth:`repro.sem.tensor.SemND.kernel_spec` returning a
+:class:`repro.core.operator.KernelSpec` — through the
+:func:`kernel_from_spec` registry, never by duck-typed attribute
+sniffing.
 
 Layered on top:
 
@@ -41,7 +52,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.operator import Restriction
+from repro.core.operator import KernelSpec, Restriction
 from repro.sem import fused
 from repro.sem.gll import gll_points_weights, lagrange_derivative_matrix
 from repro.util.errors import SolverError
@@ -52,8 +63,8 @@ def _fused_plan(kernel, element_dofs, n_dof, gmask=None, Minv=None, enabled=None
     """Fused-kernel apply plan, or ``None`` to use the NumPy path.
 
     ``enabled=None`` auto-detects (compiler present, order and dimension
-    supported — acoustic kernels have fused tiers in 2D and 3D, elastic
-    in 2D; anything else falls back to NumPy); ``False`` forces the
+    supported — acoustic and elastic kernels both have fused tiers in 2D
+    and 3D; anything else falls back to NumPy); ``False`` forces the
     NumPy path; ``True`` raises if unavailable.
     """
     if enabled is False:
@@ -61,6 +72,10 @@ def _fused_plan(kernel, element_dofs, n_dof, gmask=None, Minv=None, enabled=None
     dim = getattr(kernel, "dim", 2)
     if isinstance(kernel, ElasticKernel):
         plan_cls, max_order = fused.ElasticPlan, fused.MAX_ORDER
+    elif isinstance(kernel, ElasticKernel3D):
+        plan_cls, max_order = fused.Elastic3DPlan, fused.MAX_ORDER_3D
+    elif isinstance(kernel, ElasticKernelND):
+        plan_cls, max_order = None, -1
     elif dim == 2:
         plan_cls, max_order = fused.AcousticPlan, fused.MAX_ORDER
     elif dim == 3:
@@ -189,87 +204,177 @@ class AcousticKernel3D(AcousticKernelND):
         return out.reshape(Ue.shape)
 
 
-class ElasticKernel:
-    """Batched P-SV elastic element stiffness action (interleaved comps).
+class ElasticKernelND:
+    """Batched isotropic elastic element stiffness action, generic over
+    dimension (component-interleaved DOFs).
 
-    Uses the four-kernel decomposition of
-    :mod:`repro.sem.elastic2d`; the shear coupling
-    ``C = (Dm^T w) (x) (w Dm)`` is geometry-independent, so only the
-    diagonal blocks carry per-element scale planes.
+    Applies the per-axis-pair block structure of
+    :class:`repro.sem.tensor.ElasticSemND` without forming any matrix:
+    the diagonal block of component ``c`` is an acoustic-style per-axis
+    contraction with material coefficients (``lam + 2 mu`` on axis
+    ``c``, ``mu`` elsewhere, times the geometry scales), and each of the
+    ``dim (dim - 1)`` off-diagonal blocks ``g_cd (lam R_cd + mu
+    R_cd^T)`` is a two-stage 1D contraction — ``E = D^T diag(w)`` at the
+    test axis, ``F = diag(w) D`` at the trial axis (``R_cd = E@c (x)
+    F@d (x) Wd@rest``; note ``E = F^T``), with the remaining axes'
+    quadrature weights as a broadcast plane.
     """
 
-    def __init__(
-        self,
-        order: int,
-        lam: np.ndarray,
-        mu: np.ndarray,
-        hx: np.ndarray,
-        hy: np.ndarray,
-    ):
+    def __init__(self, order: int, lam, mu, h_axes):
+        from repro.sem.tensor import elastic_axis_scales, elastic_pair_scales
+
         self.order = int(order)
         self.n1 = self.order + 1
+        self.lam = np.asarray(lam, dtype=np.float64)
+        self.mu = np.asarray(mu, dtype=np.float64)
+        self.h_axes = np.atleast_2d(np.asarray(h_axes, dtype=np.float64))
+        self.dim = self.h_axes.shape[1]
+        self.n_comp = self.dim
         _, w = gll_points_weights(self.order)
         D = lagrange_derivative_matrix(self.order)
+        self.w = w
         self.KxX = (D.T * w) @ D
         self.E = D.T * w  # E[i, a] = D[a, i] w[a]
         self.F = w[:, None] * D
-        self.lam = np.asarray(lam, dtype=np.float64)
-        self.mu = np.asarray(mu, dtype=np.float64)
-        self.hx = np.asarray(hx, dtype=np.float64)
-        self.hy = np.asarray(hy, dtype=np.float64)
-        cp = self.lam + 2 * self.mu
-        self._xx = (
-            np.multiply.outer(cp * hy / hx, w),
-            np.multiply.outer(self.mu * hx / hy, w),
-        )
-        self._yy = (
-            np.multiply.outer(self.mu * hy / hx, w),
-            np.multiply.outer(cp * hx / hy, w),
-        )
+
+        # Diagonal blocks: per-component acoustic contractions whose
+        # per-axis scales fold material and geometry together.
+        ne = self.lam.shape[0]
+        s = elastic_axis_scales(self.h_axes)
+        cp = self.lam + 2.0 * self.mu
+        ds = np.empty((ne, self.dim, self.dim))
+        for c in range(self.dim):
+            ds[:, c, :] = self.mu[:, None] * s
+            ds[:, c, c] = cp * s[:, c]
+        self.diag_scales = ds
+        acoustic_cls = AcousticKernel3D if self.dim == 3 else AcousticKernelND
+        self._diag = [acoustic_cls(self.order, ds[:, c, :]) for c in range(self.dim)]
+
+        # Off-diagonal pairs: material-times-geometry coefficients and
+        # the quadrature plane over the axes not in the pair.
+        self.pairs = [
+            (c, d) for c in range(self.dim) for d in range(c + 1, self.dim)
+        ]
+        g = elastic_pair_scales(self.h_axes)
+        n_pairs = len(self.pairs)
+        self.lam_g = np.empty((ne, n_pairs))
+        self.mu_g = np.empty((ne, n_pairs))
+        for p, (c, d) in enumerate(self.pairs):
+            self.lam_g[:, p] = self.lam * g[:, c, d]
+            self.mu_g[:, p] = self.mu * g[:, c, d]
+        bshape = (-1,) + (1,) * self.dim
+        self._lam_b = [self.lam_g[:, p].reshape(bshape) for p in range(n_pairs)]
+        self._mu_b = [self.mu_g[:, p].reshape(bshape) for p in range(n_pairs)]
+        self._wpair = []
+        for c, d in self.pairs:
+            plane = np.ones((1,) * self.dim)
+            for a in range(self.dim):
+                if a not in (c, d):
+                    shape = [1] * self.dim
+                    shape[a] = self.n1
+                    plane = plane * w.reshape(shape)
+            self._wpair.append(plane[None])
 
     @property
     def flops_per_element(self) -> int:
+        """Multiply-adds of one element contraction: ``dim`` diagonal
+        acoustic-style contractions plus four two-stage pair
+        contractions per unordered axis pair."""
         n1 = self.n1
-        return 24 * n1**3 + 20 * n1**2
+        diag = sum(k.flops_per_element for k in self._diag)
+        pair_terms = 4 * len(self.pairs)  # lam & mu terms, both directions
+        return diag + pair_terms * (4 * n1 ** (self.dim + 1) + 3 * n1**self.dim)
 
-    def subset(self, ids: np.ndarray) -> "ElasticKernel":
-        return ElasticKernel(
-            self.order, self.lam[ids], self.mu[ids], self.hx[ids], self.hy[ids]
+    @classmethod
+    def _from_params(cls, order: int, lam, mu, h_axes) -> "ElasticKernelND":
+        return cls(order, lam, mu, h_axes)
+
+    def subset(self, ids: np.ndarray) -> "ElasticKernelND":
+        return type(self)._from_params(
+            self.order, self.lam[ids], self.mu[ids], self.h_axes[ids]
         )
 
-    def _axis_terms(self, U: np.ndarray, scales) -> np.ndarray:
-        """``sx K1 U + sy K2 U`` with weight-folded scale planes."""
-        sxw, syw = scales
-        tx = np.tensordot(U, self.KxX, axes=([1], [1]))  # (e, j, i)
-        ty = np.tensordot(U, self.KxX, axes=([2], [1]))  # (e, i, j)
-        out = tx.transpose(0, 2, 1) * sxw[:, None, :]
-        out += ty * syw[:, :, None]
-        return out
+    def _axis_apply(self, U: np.ndarray, A: np.ndarray, axis: int) -> np.ndarray:
+        """Contract the batched tensor ``U`` along spatial ``axis`` with
+        the 1D matrix ``A``: ``out[..., i, ...] = sum_t A[i, t] U[..., t, ...]``."""
+        t = np.tensordot(U, A, axes=([axis + 1], [1]))
+        return np.moveaxis(t, -1, axis + 1)
 
-    def _shear(self, U: np.ndarray, transpose: bool) -> np.ndarray:
-        """``C U`` (or ``C^T U``): contract F (or F^T) on j, E (or E^T) on i."""
-        E = self.E.T if transpose else self.E
-        F = self.F.T if transpose else self.F
-        t = np.tensordot(U, F, axes=([2], [1]))  # (e, i', j)
-        return np.tensordot(t, E, axes=([1], [1])).transpose(0, 2, 1)  # (e, i, j)
+    def _pair(self, U, c: int, d: int, lg, mg, wp) -> np.ndarray:
+        """Off-diagonal block ``g_cd (lam R_cd + mu R_cd^T)`` applied to
+        one component tensor: ``E`` at the test axis ``c`` / ``F`` at
+        the trial axis ``d`` for the ``lam`` term, roles swapped
+        (``R^T``) for the ``mu`` term."""
+        t1 = self._axis_apply(self._axis_apply(U, self.F, d), self.E, c)
+        t2 = self._axis_apply(self._axis_apply(U, self.E, d), self.F, c)
+        return (lg * t1 + mg * t2) * wp
 
     def contract(self, Ue: np.ndarray) -> np.ndarray:
-        n1 = self.n1
+        n1, dim, nc = self.n1, self.dim, self.n_comp
         ne = Ue.shape[0]
-        Ux = Ue[:, 0::2].reshape(ne, n1, n1)
-        Uy = Ue[:, 1::2].reshape(ne, n1, n1)
-        lam = self.lam[:, None, None]
-        mu = self.mu[:, None, None]
-        fx = self._axis_terms(Ux, self._xx)
-        fx += lam * self._shear(Uy, transpose=False)
-        fx += mu * self._shear(Uy, transpose=True)
-        fy = self._axis_terms(Uy, self._yy)
-        fy += lam * self._shear(Ux, transpose=True)
-        fy += mu * self._shear(Ux, transpose=False)
-        out = np.empty_like(Ue)
-        out[:, 0::2] = fx.reshape(ne, -1)
-        out[:, 1::2] = fy.reshape(ne, -1)
-        return out
+        tshape = (ne,) + (n1,) * dim
+        comps = [Ue[:, c::nc] for c in range(nc)]
+        U = [comp.reshape(tshape) for comp in comps]
+        out = [self._diag[c].contract(comps[c]).reshape(tshape) for c in range(nc)]
+        for p, (c, d) in enumerate(self.pairs):
+            lg, mg, wp = self._lam_b[p], self._mu_b[p], self._wpair[p]
+            out[c] += self._pair(U[d], c, d, lg, mg, wp)
+            out[d] += self._pair(U[c], d, c, lg, mg, wp)
+        res = np.empty_like(Ue)
+        for c in range(nc):
+            res[:, c::nc] = out[c].reshape(ne, -1)
+        return res
+
+    # Named geometry views the fused plans bind to.
+    @property
+    def hx(self) -> np.ndarray:
+        return self.h_axes[:, 0]
+
+    @property
+    def hy(self) -> np.ndarray:
+        return self.h_axes[:, 1]
+
+
+class ElasticKernel(ElasticKernelND):
+    """2D P-SV elastic kernel — the four-kernel form of
+    :mod:`repro.sem.elastic2d` (in 2D the shear coupling ``C = E (x) F``
+    is geometry-free).  Keeps the named ``(lam, mu, hx, hy)`` constructor
+    the fused C tier (:class:`repro.sem.fused.ElasticPlan`) binds to.
+    """
+
+    def __init__(self, order: int, lam, mu, hx, hy):
+        hx = np.asarray(hx, dtype=np.float64)
+        hy = np.asarray(hy, dtype=np.float64)
+        super().__init__(order, lam, mu, np.stack([hx, hy], axis=1))
+
+    @classmethod
+    def _from_params(cls, order: int, lam, mu, h_axes) -> "ElasticKernel":
+        return cls(order, lam, mu, h_axes[:, 0], h_axes[:, 1])
+
+
+class ElasticKernel3D(ElasticKernelND):
+    """3D hexahedral elastic kernel: nine per-axis-pair blocks.
+
+    The NumPy tier overrides the generic ``tensordot`` axis contraction
+    with copy-free batched ``matmul`` reshapes (mirroring
+    :class:`AcousticKernel3D`); the fused C tier
+    (:class:`repro.sem.fused.Elastic3DPlan`, kernel ``el_apply3``)
+    additionally keeps the whole three-component element workspace on
+    registers/L1 so only gather/scatter touch memory.
+    """
+
+    def __init__(self, order: int, lam, mu, h_axes):
+        h_axes = np.atleast_2d(np.asarray(h_axes, dtype=np.float64))
+        require(h_axes.shape[1] == 3, "ElasticKernel3D needs (ne, 3) h_axes", SolverError)
+        super().__init__(order, lam, mu, h_axes)
+
+    def _axis_apply(self, U: np.ndarray, A: np.ndarray, axis: int) -> np.ndarray:
+        ne, n1 = U.shape[0], self.n1
+        if axis == 0:
+            return (A @ U.reshape(ne, n1, n1 * n1)).reshape(U.shape)
+        if axis == 1:
+            return (A @ U.reshape(ne * n1, n1, n1)).reshape(U.shape)
+        return (U.reshape(-1, n1) @ A.T).reshape(U.shape)
 
 
 # ----------------------------------------------------------------------
@@ -474,29 +579,43 @@ class MatrixFreeOperator:
 # ----------------------------------------------------------------------
 # Builders
 # ----------------------------------------------------------------------
+def kernel_from_spec(spec: KernelSpec):
+    """Element kernel for an explicit physics declaration.
+
+    This is the registry behind backend dispatch: a
+    :class:`repro.core.operator.KernelSpec` names the physics and
+    carries the per-element parameter arrays; the dimension picks the
+    specialized (fused-capable) kernel class.  Adding a physics means
+    adding a spec + kernel pair here — never another ``hasattr`` chain.
+    """
+    if spec.physics == "acoustic":
+        scales = np.asarray(spec.params["scales"], dtype=np.float64)
+        if spec.dim == 2:
+            return AcousticKernel(spec.order, scales[:, 0], scales[:, 1])
+        if spec.dim == 3:
+            return AcousticKernel3D(spec.order, scales)
+        return AcousticKernelND(spec.order, scales)
+    if spec.physics == "elastic":
+        lam, mu = spec.params["lam"], spec.params["mu"]
+        h = np.atleast_2d(np.asarray(spec.params["h_axes"], dtype=np.float64))
+        if spec.dim == 2:
+            return ElasticKernel(spec.order, lam, mu, h[:, 0], h[:, 1])
+        if spec.dim == 3:
+            return ElasticKernel3D(spec.order, lam, mu, h)
+        return ElasticKernelND(spec.order, lam, mu, h)
+    raise SolverError(f"no element kernel registered for physics {spec.physics!r}")
+
+
 def _make_kernel(assembler, ids: np.ndarray | None = None):
-    """Physics kernel for a SEM assembler (acoustic or elastic)."""
-    sl = slice(None) if ids is None else ids
-    if hasattr(assembler, "lam"):  # ElasticSem2D
-        return ElasticKernel(
-            assembler.order,
-            assembler.lam[sl],
-            assembler.mu[sl],
-            assembler.hx[sl],
-            assembler.hy[sl],
-        )
-    if hasattr(assembler, "axis_scales"):  # SemND: any dimension
-        scales = np.asarray(assembler.axis_scales)[sl]
-        if scales.shape[1] == 2:
-            return AcousticKernel(assembler.order, scales[:, 0], scales[:, 1])
-        if scales.shape[1] == 3:
-            return AcousticKernel3D(assembler.order, scales)
-        return AcousticKernelND(assembler.order, scales)
-    # Legacy duck-typed 2D assemblers expose hx/hy only.
-    require(hasattr(assembler, "hx"), "assembler lacks tensor geometry", SolverError)
-    c2 = np.asarray(assembler.mesh.c, dtype=np.float64) ** 2
-    hx, hy = assembler.hx, assembler.hy
-    return AcousticKernel(assembler.order, (c2 * hy / hx)[sl], (c2 * hx / hy)[sl])
+    """Physics kernel for a SEM assembler, via its explicit kernel spec."""
+    spec_fn = getattr(assembler, "kernel_spec", None)
+    require(
+        spec_fn is not None,
+        "assembler does not export kernel_spec() "
+        "(see repro.core.operator.KernelSpec)",
+        SolverError,
+    )
+    return kernel_from_spec(spec_fn(ids))
 
 
 def operator_for(assembler, backend: str = "assembled", use_fused: bool | None = None):

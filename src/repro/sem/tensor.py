@@ -1,10 +1,14 @@
-"""Dimension-generic tensor-product SEM core (segments, quads, hexahedra).
+"""Dimension- and physics-generic tensor-product SEM core.
 
 Everything that is *shared* between the 1D/2D/3D continuous spectral
-element discretizations lives here, parameterized by ``mesh.dim``:
+element discretizations — acoustic or elastic — lives here,
+parameterized by ``mesh.dim`` and the number of displacement components
+per GLL node:
 
 * the reference-element kernels — GLL weights, the 1D stiffness
-  ``KxX = D^T diag(w) D``, and their kron lifts along each axis;
+  ``KxX = D^T diag(w) D``, their kron lifts along each axis, and the
+  axis-pair *cross* kernels ``R_ab = G_a^T W G_b`` the vector-valued
+  physics couples components with;
 * entity-based global DOF numbering (corners, then edge interiors, then
   face interiors in 3D, then element interiors), built with one
   ``np.unique`` over sorted corner tuples per entity kind.  Shared edges
@@ -14,17 +18,25 @@ element discretizations lives here, parameterized by ``mesh.dim``:
   conforming mesh — not just structured grids — numbers consistently;
 * geometry validation and per-axis element sizes for axis-aligned
   box elements (the affine tensor mapping every kernel relies on);
-* the :class:`SemND` assembler base: diagonal (lumped) mass, chunked
-  vectorized CSR stiffness assembly from per-axis reference kernels,
-  Dirichlet masking, and the backend-pluggable :meth:`SemND.operator`.
+* the :class:`SemND` assembler base: the multi-component interleaved
+  DOF layout (``n_comp * node + comp``), diagonal (lumped) mass with a
+  per-element density hook, chunked vectorized CSR stiffness assembly
+  from :meth:`SemND.element_system_batch`, Dirichlet masking, the
+  explicit :meth:`SemND.kernel_spec` physics declaration, and the
+  backend-pluggable :meth:`SemND.operator`;
+* :class:`ElasticSemND`, the isotropic elastic (P-SV / P-S) assembler
+  generic over dimension: per-element Lamé parameters and density,
+  ``dim`` components per node, P/S wave speeds for CFL and LTS level
+  assignment (paper Eq. (7) drives levels with the *P* speed).
 
-:class:`repro.sem.assembly2d.Sem2D` and
-:class:`repro.sem.assembly3d.Sem3D` are thin dimension-pinned
+:class:`repro.sem.assembly2d.Sem2D`, :class:`repro.sem.assembly3d.Sem3D`,
+:class:`repro.sem.elastic2d.ElasticSem2D` and
+:class:`repro.sem.elastic3d.ElasticSem3D` are thin dimension-pinned
 subclasses; the matrix-free backend (:mod:`repro.sem.matfree`) consumes
-the same per-axis scale fields (``axis_scales``) without assembling
-anything.  In 3D this layering is where sum-factorization pays off
-asymptotically: O(n^4) contraction work per element against the O(n^6)
-of a dense element matvec (paper Sec. II-C).
+the :class:`repro.core.operator.KernelSpec` these assemblers export
+without assembling anything.  In 3D this layering is where
+sum-factorization pays off asymptotically: O(n^4) contraction work per
+element against the O(n^6) of a dense element matvec (paper Sec. II-C).
 """
 
 from __future__ import annotations
@@ -34,6 +46,7 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
+from repro.core.operator import KernelSpec
 from repro.mesh.mesh import Mesh
 from repro.sem.gll import gll_points_weights, lagrange_derivative_matrix
 from repro.util.errors import SolverError
@@ -135,6 +148,62 @@ def acoustic_axis_scales(c2: np.ndarray, h_axes: np.ndarray) -> np.ndarray:
     return (np.asarray(c2, dtype=np.float64) * vol / 2.0 ** (dim - 2))[:, None] / (
         h_axes**2
     )
+
+
+def axis_cross_kernels(order: int, dim: int) -> dict[tuple[int, int], np.ndarray]:
+    """Axis-pair cross kernels ``R_ab = G_a^T W G_b`` for ``a < b``.
+
+    ``R_ab`` is the kron chain with ``E = D^T diag(w)`` at axis ``a``,
+    ``F = diag(w) D`` at axis ``b`` and ``diag(w)`` elsewhere (axes
+    ordered x slowest).  These couple displacement components in the
+    vector-valued physics: the elastic block ``(c, d)`` of an
+    axis-aligned box is ``g_cd (lam R_cd + mu R_cd^T)`` for ``c != d``
+    (note ``R_ba = R_ab^T``), with the geometry factors of
+    :func:`elastic_pair_scales`.
+    """
+    _, w = gll_points_weights(order)
+    D = lagrange_derivative_matrix(order)
+    E = D.T * w
+    F = w[:, None] * D
+    Wd = np.diag(w)
+    out: dict[tuple[int, int], np.ndarray] = {}
+    for a in range(dim):
+        for b in range(a + 1, dim):
+            mats = [Wd] * dim
+            mats[a] = E
+            mats[b] = F
+            k = mats[0]
+            for m in mats[1:]:
+                k = np.kron(k, m)
+            out[(a, b)] = k
+    return out
+
+
+def elastic_axis_scales(h_axes: np.ndarray) -> np.ndarray:
+    """Per-element, per-axis geometry scales ``prod(h) / (2^(dim-2) h_a^2)``.
+
+    The material-free part of the elastic diagonal blocks: the ``a``-axis
+    reference kernel of component ``c`` enters with coefficient
+    ``(lam + 2 mu) s_a`` when ``a == c`` and ``mu s_a`` otherwise (i.e.
+    :func:`acoustic_axis_scales` with ``c^2 = 1``).
+    """
+    h_axes = np.asarray(h_axes, dtype=np.float64)
+    return acoustic_axis_scales(np.ones(h_axes.shape[0]), h_axes)
+
+
+def elastic_pair_scales(h_axes: np.ndarray) -> np.ndarray:
+    """Axis-pair geometry scales ``g[e, a, b] = prod(h) / (2^(dim-2) h_a h_b)``.
+
+    ``g[:, c, d]`` multiplies the cross kernel of the off-diagonal
+    elastic block ``(c, d)``; the diagonal recovers
+    :func:`elastic_axis_scales`.  In 2D ``g[:, 0, 1] = 1`` — the shear
+    coupling is geometry-free there, but *not* in 3D (``hz / 2`` for the
+    (x, y) pair, etc.).
+    """
+    h = np.asarray(h_axes, dtype=np.float64)
+    dim = h.shape[1]
+    vol = h.prod(axis=1)
+    return (vol / 2.0 ** (dim - 2))[:, None, None] / (h[:, :, None] * h[:, None, :])
 
 
 def element_axis_sizes(mesh: Mesh) -> np.ndarray:
@@ -394,17 +463,29 @@ def number_dofs(mesh: Mesh, order: int) -> TensorDofLayout:
 # The dimension-generic assembler
 # ----------------------------------------------------------------------
 class SemND:
-    """Assembled order-``order`` acoustic SEM on a conforming mesh of
-    axis-aligned box elements, generic over ``mesh.dim`` in (1, 2, 3).
+    """Assembled order-``order`` SEM on a conforming mesh of axis-aligned
+    box elements, generic over ``mesh.dim`` in (1, 2, 3) *and* over the
+    physics (components per GLL node).
+
+    The base class is the scalar acoustic discretization; vector-valued
+    physics subclass it and override the small hook set —
+    :meth:`_n_components`, :meth:`_setup_physics`, :meth:`_density`,
+    :meth:`element_system_batch`, :meth:`kernel_spec` — while the DOF
+    layout (component-interleaved ``n_comp * node + comp``), mass and
+    stiffness assembly, Dirichlet masking and backend dispatch live here
+    exactly once (see :class:`ElasticSemND`).
 
     DOF numbering is entity-based (see :func:`number_dofs`), so any
     conforming mesh — not just structured grids — assembles correctly,
     with shared edge and face nodes oriented consistently.  Subclasses
     :class:`repro.sem.assembly2d.Sem2D` and
     :class:`repro.sem.assembly3d.Sem3D` pin the dimension and add
-    dimension-flavoured conveniences; all assembly, masking, and backend
-    dispatch lives here exactly once.
+    dimension-flavoured conveniences.
     """
+
+    #: Physics name of :meth:`kernel_spec` (see
+    #: :class:`repro.core.operator.KernelSpec`).
+    physics = "acoustic"
 
     def __init__(self, mesh: Mesh, order: int = 4, dirichlet: bool = False):
         require(mesh.dim in (1, 2, 3), "SemND requires dim in (1, 2, 3)", SolverError)
@@ -413,9 +494,13 @@ class SemND:
         self.dim = mesh.dim
         self.order = int(order)
         self.dirichlet = bool(dirichlet)
+        self.n_comp = int(self._n_components())
+        self._ref_kernels: list[np.ndarray] | None = None
+        self._ref_cross: dict[tuple[int, int], np.ndarray] | None = None
 
         N = self.order
         dim = self.dim
+        nc = self.n_comp
         n1 = N + 1
         n_loc = n1**dim
         xi, _ = gll_points_weights(N)
@@ -428,48 +513,56 @@ class SemND:
         if dim >= 3:
             self.hz = self.h_axes[:, 2]
 
-        # Entity-based global numbering.
+        # Entity-based global numbering of the scalar (per-node) space;
+        # vector physics interleave components on top of it.
         self._layout = number_dofs(mesh, N)
-        self.element_dofs = self._layout.element_dofs
-        self.n_dof = self._layout.n_dof
+        self.scalar_dofs = self._layout.element_dofs
+        self.n_scalar = self._layout.n_dof
+        self.n_dof = nc * self.n_scalar
+        if nc == 1:
+            self.element_dofs = self.scalar_dofs
+        else:
+            self.element_dofs = (
+                nc * np.repeat(self.scalar_dofs, nc, axis=1)
+                + np.tile(np.arange(nc), n_loc)[None, :]
+            )
 
         # Node coordinates (overlapping writes store identical values).
         p0 = mesh.coords[mesh.elements[:, 0]]
         gx = (xi + 1.0) * 0.5
         flat = np.arange(n_loc)
-        coords = np.zeros((self.n_dof, dim))
+        coords = np.zeros((self.n_scalar, dim))
         for a in range(dim):
             ia = (flat // n1 ** (dim - 1 - a)) % n1
             vals = p0[:, a : a + 1] + gx[None, :] * self.h_axes[:, a : a + 1]
-            coords[self.element_dofs.ravel(), a] = vals[:, ia].ravel()
+            coords[self.scalar_dofs.ravel(), a] = vals[:, ia].ravel()
         self.node_coords = coords
 
-        # Diagonal (lumped) mass: |J| * (w (x) ... (x) w).
-        wq = tensor_quadrature_weights(N, dim)
-        jac = self.h_axes.prod(axis=1) / (2.0**dim)
-        Me = jac[:, None] * wq[None, :]
+        # Per-element physics parameters (acoustic: the per-axis scales).
+        self._setup_physics()
+
+        # Diagonal (lumped) mass: rho * |J| * (w (x) ... (x) w), same on
+        # every component of a node.
+        Me = self.element_mass_batch()
         self.M = np.bincount(
             self.element_dofs.ravel(), weights=Me.ravel(), minlength=self.n_dof
         )
 
-        # Stiffness: every element matrix is a per-element scalar
-        # combination of the dim per-axis reference kernels.
-        c2 = np.asarray(mesh.c, dtype=np.float64) ** 2
-        self.axis_scales = acoustic_axis_scales(c2, self.h_axes)
-        Kflats = [k.ravel() for k in axis_stiffness_kernels(N, dim)]
+        # Stiffness: chunked vectorized scatter of the dense element
+        # matrices from the physics hook.
+        n2 = nc * n_loc
         K = sp.csr_matrix((self.n_dof, self.n_dof))
-        chunk = max(1, _CHUNK_ENTRIES // (n_loc * n_loc))
+        chunk = max(1, _CHUNK_ENTRIES // (n2 * n2))
         for s in range(0, mesh.n_elements, chunk):
-            d = self.element_dofs[s : s + chunk]
-            vals = self.axis_scales[s : s + chunk, 0, None] * Kflats[0]
-            for a in range(1, dim):
-                vals = vals + self.axis_scales[s : s + chunk, a, None] * Kflats[a]
+            ids = np.arange(s, min(s + chunk, mesh.n_elements))
+            Ke, _ = self.element_system_batch(ids)
+            d = self.element_dofs[ids]
             K = K + sp.coo_matrix(
                 (
-                    vals.ravel(),
+                    Ke.reshape(len(ids), -1).ravel(),
                     (
-                        np.repeat(d, n_loc, axis=1).ravel(),
-                        np.tile(d, (1, n_loc)).ravel(),
+                        np.repeat(d, n2, axis=1).ravel(),
+                        np.tile(d, (1, n2)).ravel(),
                     ),
                 ),
                 shape=(self.n_dof, self.n_dof),
@@ -490,6 +583,40 @@ class SemND:
         self.A = A
 
     # ------------------------------------------------------------------
+    # Physics hooks (base class: scalar acoustic)
+    # ------------------------------------------------------------------
+    def _n_components(self) -> int:
+        """Displacement components per GLL node (1 = scalar physics)."""
+        return 1
+
+    def _setup_physics(self) -> None:
+        """Validate/derive the per-element physics parameter arrays.
+
+        Runs after geometry and numbering, before mass and stiffness
+        assembly.  The acoustic base derives the per-axis stiffness
+        scales from ``mesh.c``.
+        """
+        c2 = np.asarray(self.mesh.c, dtype=np.float64) ** 2
+        self.axis_scales = acoustic_axis_scales(c2, self.h_axes)
+
+    def _density(self) -> np.ndarray:
+        """Per-element mass density ``rho`` (acoustic: 1)."""
+        return np.ones(self.mesh.n_elements)
+
+    def kernel_spec(self, ids: np.ndarray | None = None) -> KernelSpec:
+        """The explicit physics declaration backend dispatch keys off
+        (see :class:`repro.core.operator.KernelSpec`); ``ids`` restricts
+        to an element subset."""
+        sl = slice(None) if ids is None else np.asarray(ids)
+        return KernelSpec(
+            physics="acoustic",
+            order=self.order,
+            dim=self.dim,
+            n_comp=1,
+            params={"scales": self.axis_scales[sl]},
+        )
+
+    # ------------------------------------------------------------------
     def operator(self, backend: str = "assembled", use_fused: bool | None = None):
         """Stiffness operator ``A = M^{-1} K`` in the requested backend.
 
@@ -504,23 +631,48 @@ class SemND:
         return operator_for(self, backend, use_fused=use_fused)
 
     # ------------------------------------------------------------------
+    def _axis_kernels(self) -> list[np.ndarray]:
+        """Per-axis reference stiffness kernels, memoized per instance —
+        the chunked assembly loop calls :meth:`element_system_batch`
+        once per chunk and must not rebuild the kron chains each time."""
+        if self._ref_kernels is None:
+            self._ref_kernels = axis_stiffness_kernels(self.order, self.dim)
+        return self._ref_kernels
+
+    def _cross_kernels(self) -> dict[tuple[int, int], np.ndarray]:
+        """Axis-pair cross kernels, memoized like :meth:`_axis_kernels`."""
+        if self._ref_cross is None:
+            self._ref_cross = axis_cross_kernels(self.order, self.dim)
+        return self._ref_cross
+
+    def element_mass_batch(self, ids: np.ndarray | None = None) -> np.ndarray:
+        """Diagonal element mass ``(m, n_comp * n_loc)`` of elements
+        ``ids`` (all when ``None``): ``rho |J|`` times the tensor GLL
+        weights, replicated onto every component of each node."""
+        ids = np.arange(self.mesh.n_elements) if ids is None else np.asarray(ids)
+        wq = tensor_quadrature_weights(self.order, self.dim)
+        jac = self.h_axes[ids].prod(axis=1) / (2.0**self.dim)
+        Me = (self._density()[ids] * jac)[:, None] * wq[None, :]
+        if self.n_comp == 1:
+            return Me
+        return np.repeat(Me, self.n_comp, axis=1)
+
     def element_system_batch(
         self, ids: np.ndarray | None = None
     ) -> tuple[np.ndarray, np.ndarray]:
         """Dense stiffness ``(m, n_loc, n_loc)`` and diagonal mass
         ``(m, n_loc)`` of elements ``ids`` (all elements when ``None``).
 
-        Consumed by the distributed runtime's vectorized rank-local
-        assembly (:func:`repro.runtime.halo.build_rank_layout`).
+        Consumed by the assembly loop and the distributed runtime's
+        vectorized rank-local assembly
+        (:func:`repro.runtime.halo.build_rank_layout`).
         """
         ids = np.arange(self.mesh.n_elements) if ids is None else np.asarray(ids)
-        kernels = axis_stiffness_kernels(self.order, self.dim)
+        kernels = self._axis_kernels()
         Ke = self.axis_scales[ids, 0, None, None] * kernels[0]
         for a in range(1, self.dim):
             Ke = Ke + self.axis_scales[ids, a, None, None] * kernels[a]
-        wq = tensor_quadrature_weights(self.order, self.dim)
-        jac = self.h_axes[ids].prod(axis=1) / (2.0**self.dim)
-        return Ke, jac[:, None] * wq[None, :]
+        return Ke, self.element_mass_batch(ids)
 
     def element_system(self, e: int) -> tuple[np.ndarray, np.ndarray]:
         """Element stiffness (dense) and mass (diagonal) of element ``e``."""
@@ -528,9 +680,12 @@ class SemND:
         return Ke[0], Me[0]
 
     def boundary_dofs(self) -> np.ndarray:
-        """Global DOFs on the domain boundary (see
-        :meth:`TensorDofLayout.boundary_dofs`)."""
-        return self._layout.boundary_dofs()
+        """Global DOFs on the domain boundary (all components of the
+        boundary nodes; see :meth:`TensorDofLayout.boundary_dofs`)."""
+        b = self._layout.boundary_dofs()
+        if self.n_comp == 1:
+            return b
+        return (self.n_comp * b[:, None] + np.arange(self.n_comp)).ravel()
 
     def interpolate(self, f) -> np.ndarray:
         """Nodal interpolant of ``f(x[, y[, z]])`` (vectorized callable)."""
@@ -542,3 +697,151 @@ class SemND:
         require(len(point) == self.dim, "point must have one coordinate per axis", SolverError)
         d2 = ((self.node_coords - np.asarray(point, dtype=np.float64)) ** 2).sum(axis=1)
         return int(np.argmin(d2))
+
+
+# ----------------------------------------------------------------------
+# Isotropic elastic physics, generic over dimension
+# ----------------------------------------------------------------------
+class ElasticSemND(SemND):
+    """Isotropic elastic SEM (the paper's Eqs. (1)-(2)) on a conforming
+    mesh of axis-aligned box elements, generic over ``mesh.dim``.
+
+    ``dim`` displacement components per GLL node, component-interleaved
+    (``dim * node + comp``); per-element Lamé parameters ``lam``, ``mu``
+    and density ``rho`` (scalars broadcast); free-surface (natural)
+    boundaries by default, optional homogeneous Dirichlet clamping.
+
+    On an axis-aligned box every elastic element matrix is a per-element
+    scalar combination of reference kernels: the diagonal block of
+    component ``c`` is ``sum_a coef_a s_a K_a`` with ``coef_a = lam +
+    2 mu`` when ``a == c`` and ``mu`` otherwise (``K_a`` the per-axis
+    stiffness kernels, ``s_a`` the scales of
+    :func:`elastic_axis_scales`); the off-diagonal block ``(c, d)`` is
+    ``g_cd (lam R_cd + mu R_cd^T)`` with the cross kernels of
+    :func:`axis_cross_kernels` and the pair scales of
+    :func:`elastic_pair_scales`.  This vectorizes assembly (no
+    per-element B-matrix loop) and is exactly the contraction structure
+    the matrix-free backend (:class:`repro.sem.matfree.ElasticKernelND`)
+    applies without forming any matrix.
+
+    ``mesh.c`` is *ignored* for material properties; LTS levels should
+    follow the per-element P-wave speed (Eq. (7)) — pass
+    ``velocity=self.p_velocity()`` to
+    :func:`repro.core.levels.assign_levels`.
+    """
+
+    physics = "elastic"
+
+    def __init__(
+        self,
+        mesh: Mesh,
+        order: int = 4,
+        lam=1.0,
+        mu=1.0,
+        rho=1.0,
+        dirichlet: bool = False,
+    ):
+        n_elem = mesh.n_elements
+        self.lam = np.broadcast_to(np.asarray(lam, dtype=np.float64), (n_elem,)).copy()
+        self.mu = np.broadcast_to(np.asarray(mu, dtype=np.float64), (n_elem,)).copy()
+        self.rho = np.broadcast_to(np.asarray(rho, dtype=np.float64), (n_elem,)).copy()
+        require(bool(np.all(self.mu > 0)), "mu must be > 0", SolverError)
+        require(bool(np.all(self.rho > 0)), "rho must be > 0", SolverError)
+        require(
+            bool(np.all(self.lam + 2 * self.mu > 0)),
+            "lambda + 2mu must be > 0",
+            SolverError,
+        )
+        super().__init__(mesh, order=order, dirichlet=dirichlet)
+
+    # -- hooks ----------------------------------------------------------
+    def _n_components(self) -> int:
+        return self.mesh.dim
+
+    def _setup_physics(self) -> None:
+        pass  # lam/mu/rho are validated before the base constructor runs
+
+    def _density(self) -> np.ndarray:
+        return self.rho
+
+    def kernel_spec(self, ids: np.ndarray | None = None) -> KernelSpec:
+        sl = slice(None) if ids is None else np.asarray(ids)
+        return KernelSpec(
+            physics="elastic",
+            order=self.order,
+            dim=self.dim,
+            n_comp=self.dim,
+            params={
+                "lam": self.lam[sl],
+                "mu": self.mu[sl],
+                "h_axes": self.h_axes[sl],
+            },
+        )
+
+    def element_system_batch(
+        self, ids: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Dense elastic stiffness ``(m, dim n_loc, dim n_loc)`` and
+        diagonal mass ``(m, dim n_loc)`` of elements ``ids`` (all when
+        ``None``), built from the reference kernels (class docstring)."""
+        ids = np.arange(self.mesh.n_elements) if ids is None else np.asarray(ids)
+        dim = self.dim
+        nc = self.n_comp
+        n_loc = (self.order + 1) ** dim
+        kernels = self._axis_kernels()
+        cross = self._cross_kernels()
+        lam, mu = self.lam[ids], self.mu[ids]
+        cp = lam + 2 * mu
+        s = elastic_axis_scales(self.h_axes[ids])
+        g = elastic_pair_scales(self.h_axes[ids])
+        Ke = np.zeros((len(ids), nc * n_loc, nc * n_loc))
+        for c in range(nc):
+            blk = (cp * s[:, c])[:, None, None] * kernels[c]
+            for a in range(dim):
+                if a != c:
+                    blk = blk + (mu * s[:, a])[:, None, None] * kernels[a]
+            Ke[:, c::nc, c::nc] = blk
+        for c in range(dim):
+            for d in range(c + 1, dim):
+                R = cross[(c, d)]
+                lam_g = (lam * g[:, c, d])[:, None, None]
+                mu_g = (mu * g[:, c, d])[:, None, None]
+                B = lam_g * R + mu_g * R.T
+                Ke[:, c::nc, d::nc] = B
+                Ke[:, d::nc, c::nc] = np.swapaxes(B, 1, 2)
+        return Ke, self.element_mass_batch(ids)
+
+    # -- wave speeds ----------------------------------------------------
+    def p_velocity(self) -> np.ndarray:
+        """Per-element P-wave speed ``sqrt((lambda + 2 mu) / rho)``.
+
+        This is the ``c_i`` of the CFL condition (Eq. (7)); pass it as
+        ``velocity=`` to :func:`repro.core.levels.assign_levels` so LTS
+        levels follow the compressional speed, as the paper prescribes.
+        """
+        return np.sqrt((self.lam + 2 * self.mu) / self.rho)
+
+    def s_velocity(self) -> np.ndarray:
+        """Per-element S-wave speed ``sqrt(mu / rho)``."""
+        return np.sqrt(self.mu / self.rho)
+
+    # -- vector-field conveniences --------------------------------------
+    def component_dofs(self, comp: int) -> np.ndarray:
+        """All global DOFs of displacement component ``comp`` (0 = x)."""
+        require(0 <= comp < self.n_comp, f"comp must be in 0..{self.n_comp - 1}", SolverError)
+        return np.arange(comp, self.n_dof, self.n_comp)
+
+    def interpolate(self, *fs) -> np.ndarray:
+        """Nodal interpolant of a vector field, one vectorized callable
+        per displacement component."""
+        require(len(fs) == self.n_comp, "one callable per component", SolverError)
+        args = [self.node_coords[:, a] for a in range(self.dim)]
+        out = np.zeros(self.n_dof)
+        for c, f in enumerate(fs):
+            out[c :: self.n_comp] = f(*args)
+        return out
+
+    def nearest_dof(self, *point: float, comp: int = 0) -> int:
+        """Global DOF of component ``comp`` nearest to ``point``."""
+        require(0 <= comp < self.n_comp, f"comp must be in 0..{self.n_comp - 1}", SolverError)
+        return self.n_comp * super().nearest_dof(*point) + int(comp)

@@ -145,6 +145,41 @@ class TestStiffnessOnly:
         assert not (sub @ np.ones(sem.n_dof)).any()
 
 
+class TestKernelSpecDispatch:
+    """Backend dispatch keys off the explicit kernel spec, 2D included."""
+
+    def test_acoustic_spec(self):
+        sem = Sem2D(_mesh(), order=3)
+        spec = sem.kernel_spec()
+        assert (spec.physics, spec.dim, spec.n_comp) == ("acoustic", 2, 1)
+        assert spec.params["scales"].shape == (sem.mesh.n_elements, 2)
+        sub = sem.kernel_spec(np.array([0, 2]))
+        assert sub.params["scales"].shape == (2, 2)
+
+    def test_elastic_spec(self):
+        el = ElasticSem2D(_mesh((4, 3)), order=3, lam=2.0, mu=1.0)
+        spec = el.kernel_spec()
+        assert (spec.physics, spec.dim, spec.n_comp) == ("elastic", 2, 2)
+        from repro.sem.matfree import ElasticKernel, kernel_from_spec
+
+        assert isinstance(kernel_from_spec(spec), ElasticKernel)
+
+    def test_sem1d_matfree_backend(self):
+        """kernel_spec opens the matrix-free backend to 1D meshes too."""
+        from repro.mesh import refined_interval
+        from repro.sem import Sem1D
+
+        mesh = refined_interval(n_coarse=4, n_fine=4, refinement=4)
+        for dirichlet in (False, True):
+            sem = Sem1D(mesh, order=4, dirichlet=dirichlet)
+            spec = sem.kernel_spec()
+            assert (spec.physics, spec.dim, spec.n_comp) == ("acoustic", 1, 1)
+            u = np.random.default_rng(0).standard_normal(sem.n_dof)
+            ref = sem.A @ u
+            op = sem.operator("matfree", use_fused=False)
+            assert _rel_err(op @ u, ref) < 1e-12
+
+
 class TestFusedGating:
     def test_forcing_numpy_path_works(self):
         sem = Sem2D(_mesh(), order=2)

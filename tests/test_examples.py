@@ -51,3 +51,8 @@ def test_elastic_basin_verifies():
 def test_hex_trench_3d_verifies_both_backends():
     out = _run("hex_trench_3d.py")
     assert "3D hex LTS run verified" in out
+
+
+def test_elastic_trench_3d_verifies_both_backends():
+    out = _run("elastic_trench_3d.py")
+    assert "3D elastic LTS run verified" in out
