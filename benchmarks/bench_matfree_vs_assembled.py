@@ -24,17 +24,22 @@ fused matfree tier beats the CSR matvec outright at order >= 4.
 :class:`repro.sem.elastic3d.ElasticSem3D`) — the elastic CSR carries
 ``dim^2`` coupled blocks per element pair, so the matrix-free win is
 larger and arrives earlier than in the acoustic sweeps.
+``--physics anisotropic`` sweeps the general-``C`` operator
+(:class:`repro.sem.anisotropic.AnisotropicElasticSemND`, a tilted-TI
+medium): there is no fused C tier, so this records the NumPy
+stress-form contraction against the (much denser) anisotropic CSR.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_matfree_vs_assembled.py \
-        [--quick] [--dim {2,3}] [--physics {acoustic,elastic}]
+        [--quick] [--dim {2,3}] [--physics {acoustic,elastic,anisotropic}]
 
 ``--quick`` shrinks the mesh and order sweep to a seconds-long smoke
 run (used by CI); the full run records the numbers quoted in README.
 Emits a ``BENCH`` JSON line and persists to
-``benchmarks/results/matfree_vs_assembled[_3d|_elastic|_elastic3d].json``
-(quick runs never overwrite the recorded full runs).
+``benchmarks/results/matfree_vs_assembled[_3d|_elastic|_elastic3d|
+_aniso|_aniso3d].json`` (quick runs never overwrite the recorded full
+runs).
 """
 
 from __future__ import annotations
@@ -52,7 +57,15 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 from common import save_results  # noqa: E402
 
 from repro.mesh import uniform_grid  # noqa: E402
-from repro.sem import Sem2D, Sem3D, ElasticSem2D, ElasticSem3D  # noqa: E402
+from repro.sem import (  # noqa: E402
+    AnisotropicElasticSemND,
+    ElasticSem2D,
+    ElasticSem3D,
+    Sem2D,
+    Sem3D,
+    hexagonal_stiffness,
+    isotropic_stiffness,
+)
 from repro.sem import fused  # noqa: E402
 from repro.util import Table  # noqa: E402
 
@@ -62,6 +75,8 @@ SEM_CLASSES = {
     ("acoustic", 3): Sem3D,
     ("elastic", 2): ElasticSem2D,
     ("elastic", 3): ElasticSem3D,
+    ("anisotropic", 2): AnisotropicElasticSemND,
+    ("anisotropic", 3): AnisotropicElasticSemND,
 }
 
 #: (physics, dim) -> results-file suffix.
@@ -70,18 +85,35 @@ RESULT_SUFFIX = {
     ("acoustic", 3): "_3d",
     ("elastic", 2): "_elastic",
     ("elastic", 3): "_elastic3d",
+    ("anisotropic", 2): "_aniso",
+    ("anisotropic", 3): "_aniso3d",
 }
 
 #: Grid shapes and order sweeps per (physics, dim, quick).  The elastic
 #: meshes are smaller: the assembled elastic CSR carries dim^2 coupled
 #: blocks per element pair, so matching DOF counts would be assembly-
-#: (not apply-) bound.
+#: (not apply-) bound.  The anisotropic CSR is denser still (no zero
+#: axis-pair entries survive), so those sweeps shrink once more.
 SWEEPS = {
     ("acoustic", 2): {False: ((64, 64), (2, 3, 4, 5, 6, 7, 8)), True: ((16, 16), (2, 4))},
     ("acoustic", 3): {False: ((8, 8, 8), (2, 3, 4, 5, 6)), True: ((3, 3, 3), (2, 4))},
     ("elastic", 2): {False: ((48, 48), (2, 3, 4, 5, 6)), True: ((8, 8), (2, 3))},
     ("elastic", 3): {False: ((5, 5, 5), (2, 3, 4)), True: ((2, 2, 2), (2, 3))},
+    ("anisotropic", 2): {False: ((32, 32), (2, 3, 4, 5)), True: ((6, 6), (2, 3))},
+    ("anisotropic", 3): {False: ((4, 4, 4), (2, 3, 4)), True: ((2, 2, 2), (2,))},
 }
+
+
+def _anisotropic_stiffness(dim: int) -> "np.ndarray":
+    """A mildly anisotropic benchmark medium: isotropic plus a TI
+    perturbation in 3D, a stiffened-normal perturbation in 2D (both
+    symmetric positive definite)."""
+    if dim == 3:
+        return hexagonal_stiffness(c11=5.2, c33=4.0, c13=1.8, c44=0.9, c66=1.3)
+    C = isotropic_stiffness(2.0, 1.0, 2)
+    C[0, 0] *= 1.6  # break isotropy: stiffer along x
+    C[2, 2] *= 1.2
+    return C
 
 
 def _best_ms(fn, reps: int) -> float:
@@ -110,6 +142,8 @@ def _make_sem(physics: str, dim: int, grid, order: int):
     mesh = uniform_grid(grid)
     if physics == "elastic":
         return cls(mesh, order=order, lam=2.0, mu=1.0)
+    if physics == "anisotropic":
+        return cls(mesh, order=order, C=_anisotropic_stiffness(dim))
     return cls(mesh, order=order)
 
 
@@ -220,6 +254,9 @@ def run(quick: bool = False, dim: int = 2, physics: str = "acoustic") -> dict:
 
     # Hard checks: backends must agree; the matrix-free backend must win
     # decisively at high order on the full-size mesh (paper Sec. II-C).
+    # The anisotropic sweep has no fused tier, so it asserts equivalence
+    # only — the recorded JSON documents where the NumPy stress-form
+    # contraction stands against the (dense) anisotropic CSR.
     tol = 1e-12 if physics == "acoustic" else 1e-11
     for row in rows:
         assert row["max_rel_err"] < tol, row
@@ -232,7 +269,7 @@ def run(quick: bool = False, dim: int = 2, physics: str = "acoustic") -> dict:
                     assert row["speedup"] >= 2.0, row
                 if dim == 3 and row["order"] >= 4:
                     assert row["speedup"] >= 1.0, row
-            else:
+            elif physics == "elastic":
                 # Elastic CSR carries dim^2 coupled blocks: the fused
                 # matfree tier must win from moderate order in either dim.
                 if row["order"] >= 3:
@@ -260,12 +297,23 @@ def test_matfree_vs_assembled_elastic3d():
     run(quick=True, dim=3, physics="elastic")
 
 
+def test_matfree_vs_assembled_anisotropic():
+    """Pytest entry point for the 2D anisotropic sweep."""
+    run(quick=True, dim=2, physics="anisotropic")
+
+
+def test_matfree_vs_assembled_anisotropic3d():
+    """Pytest entry point for the 3D anisotropic hexahedral workload."""
+    run(quick=True, dim=3, physics="anisotropic")
+
+
 if __name__ == "__main__":
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--quick", action="store_true", help="seconds-long smoke run")
     ap.add_argument("--dim", type=int, default=2, choices=(2, 3),
                     help="spatial dimension (3 = hexahedral sweep)")
-    ap.add_argument("--physics", default="acoustic", choices=("acoustic", "elastic"),
-                    help="operator physics (elastic = vector-valued sweep)")
+    ap.add_argument("--physics", default="acoustic",
+                    choices=("acoustic", "elastic", "anisotropic"),
+                    help="operator physics (elastic/anisotropic = vector-valued sweeps)")
     args = ap.parse_args()
     run(quick=args.quick, dim=args.dim, physics=args.physics)

@@ -28,10 +28,12 @@ def main() -> None:
         lam[e] = 32.0
         mu[e] = 16.0
     sem = ElasticSem2D(mesh, order=4, lam=lam, mu=mu)
-    mesh.c = sem.p_velocity()  # levels follow the compressional speed (Eq. 7)
-    levels = assign_levels(mesh, c_cfl=0.35, order=4)
+    # Levels follow the compressional speed (Eq. 7): assembler= pulls the
+    # material's maximal (P) speed and the order, without touching mesh.c.
+    levels = assign_levels(mesh, c_cfl=0.35, assembler=sem)
+    cp = sem.p_velocity()
     print(f"elastic model: {mesh.n_elements} elements, {sem.n_dof} DOFs "
-          f"(2 components), cp in [{mesh.c.min():.1f}, {mesh.c.max():.1f}]")
+          f"(2 components), cp in [{cp.min():.1f}, {cp.max():.1f}]")
     print(f"LTS levels: {levels.n_levels} {levels.counts()}, "
           f"speedup model {theoretical_speedup(levels):.2f}x")
 

@@ -9,7 +9,8 @@ by the per-element *P-wave* speed exactly as Eq. (7) prescribes:
    :class:`repro.sem.elastic3d.ElasticSem3D` (three displacement
    components per GLL node, a stiff intrusion raising the local P speed),
    and assign LTS levels from ``h_i / cp_i`` via
-   ``assign_levels(velocity=sem.p_velocity())``;
+   ``assign_levels(assembler=sem)`` — the material's maximal (P) speed
+   and the polynomial order are pulled automatically;
 2. verify the matrix-free CFL estimate (power iteration on the elastic
    operator action — no assembled matrix needed) against the sparse
    eigensolver;
@@ -44,7 +45,7 @@ def main() -> None:
     lam[stiff] = 32.0
     mu[stiff] = 16.0
     sem = ElasticSem3D(mesh, order=2, lam=lam, mu=mu, rho=1.0)
-    levels = assign_levels(mesh, c_cfl=0.35, order=2, velocity=sem.p_velocity())
+    levels = assign_levels(mesh, c_cfl=0.35, assembler=sem)
     print(
         f"3D elastic trench: {mesh.n_elements} hexahedra, {sem.n_dof} DOFs "
         f"(3 components), cp in [{sem.p_velocity().min():.1f}, "

@@ -41,20 +41,56 @@ def gll_spacing_factor(order: int) -> float:
     return float(np.min(np.diff(pts)) / 2.0)
 
 
+def resolve_material_velocity(
+    order: int | None,
+    velocity: np.ndarray | None,
+    assembler,
+) -> tuple[int, np.ndarray | None]:
+    """Resolve the ``(order, velocity)`` pair of the Eq.-(7) helpers.
+
+    ``assembler=`` is the material-aware convenience: any
+    :class:`repro.sem.tensor.SemND` assembler exposes
+    ``max_velocity()`` — the maximal wave speed of its material
+    (acoustic ``c``, elastic P speed, anisotropic Christoffel quasi-P
+    maximum) — and its polynomial ``order``, so callers never copy the
+    "pass ``velocity=...``" incantation.  Explicit ``velocity=`` and
+    ``order=`` remain available (``order`` overrides the assembler's).
+    """
+    if assembler is not None:
+        require(
+            velocity is None,
+            "pass either assembler= or velocity=, not both",
+            SolverError,
+        )
+        require(
+            hasattr(assembler, "max_velocity"),
+            "assembler must expose max_velocity() (any repro.sem assembler does)",
+            SolverError,
+        )
+        velocity = np.asarray(assembler.max_velocity(), dtype=np.float64)
+        if order is None:
+            order = int(assembler.order)
+    return (1 if order is None else int(order)), velocity
+
+
 def stable_timestep_per_element(
     mesh: Mesh,
     c_cfl: float = 0.5,
-    order: int = 1,
+    order: int | None = None,
     velocity: np.ndarray | None = None,
+    assembler=None,
 ) -> np.ndarray:
     """Per-element maximal stable step ``C_CFL * s(order) * h_i / c_i``.
 
-    ``velocity`` overrides ``mesh.c`` as the per-element wave speed:
-    the paper's Eq. (7) drives LTS levels with the *P-wave* speed, so
-    elastic models pass ``ElasticSemND.p_velocity()`` here without
-    mutating the mesh.
+    ``velocity`` overrides ``mesh.c`` as the per-element wave speed;
+    ``assembler=`` pulls it (and the polynomial order, unless ``order``
+    is given) from the assembler's material instead — the paper's
+    Eq. (7) drives LTS levels with the maximal material speed (P wave
+    for elastic media, Christoffel quasi-P for anisotropic ones).
+    ``order`` defaults to 1 when neither is given.
     """
     check_positive(c_cfl, "c_cfl", SolverError)
+    order, velocity = resolve_material_velocity(order, velocity, assembler)
     if velocity is None:
         dt_local = mesh.dt_local
     else:
@@ -72,14 +108,21 @@ def stable_timestep_per_element(
 def cfl_timestep(
     mesh: Mesh,
     c_cfl: float = 0.5,
-    order: int = 1,
+    order: int | None = None,
     velocity: np.ndarray | None = None,
+    assembler=None,
 ) -> float:
     """Global CFL step (Eq. (7)): ``C_CFL * s(order) * min_i(h_i / c_i)``.
 
     This is the step a non-LTS explicit scheme must take everywhere.
+    ``assembler=`` pulls the per-element wave speed (and order) from the
+    assembler's material — see :func:`stable_timestep_per_element`.
     """
-    return float(stable_timestep_per_element(mesh, c_cfl, order, velocity=velocity).min())
+    return float(
+        stable_timestep_per_element(
+            mesh, c_cfl, order, velocity=velocity, assembler=assembler
+        ).min()
+    )
 
 
 def operator_spectral_radius(
@@ -122,7 +165,11 @@ def operator_spectral_radius(
 
 
 def stable_timestep_from_operator(
-    A, safety: float = 0.95, method: str = "auto"
+    A,
+    safety: float = 0.95,
+    method: str = "auto",
+    tol: float = 1e-12,
+    maxiter: int = 20_000,
 ) -> float:
     """Sharp leap-frog stability bound ``dt < 2 / sqrt(lambda_max(A))``.
 
@@ -143,6 +190,13 @@ def stable_timestep_from_operator(
         operator action (:func:`operator_spectral_radius`), no matrix
         needed; ``"auto"`` — ``"eigs"`` when ``A`` is (or wraps) an
         assembled matrix, else ``"power"``.
+    tol, maxiter:
+        Power-iteration stopping parameters (ignored by ``"eigs"``).
+        Operators with a *small but nonzero* top-eigenvalue gap — e.g.
+        strongly anisotropic media — converge slowly; loosen ``tol``
+        (the estimate errs by about ``sqrt(tol / gap)`` relative) and
+        raise ``maxiter`` there, and keep ``safety`` below 1 to absorb
+        the residual under-estimate of ``lambda_max``.
     """
     check_positive(safety, "safety", SolverError)
     require(safety <= 1.0, "safety must be <= 1", SolverError)
@@ -158,7 +212,7 @@ def stable_timestep_from_operator(
         method = "eigs" if mat is not None else "power"
 
     if method == "power":
-        lam = operator_spectral_radius(A)
+        lam = operator_spectral_radius(A, tol=tol, maxiter=maxiter)
     else:
         require(mat is not None, "method='eigs' needs an assembled matrix", SolverError)
         mat = sp.csr_matrix(mat)

@@ -80,8 +80,9 @@ def assign_levels(
     c_cfl: float = 0.5,
     max_levels: int | None = None,
     grade: bool = False,
-    order: int = 1,
+    order: int | None = None,
     velocity: np.ndarray | None = None,
+    assembler=None,
 ) -> LevelAssignment:
     """Assign every element to an LTS p-level from its local stable step.
 
@@ -100,19 +101,28 @@ def assign_levels(
         face-adjacent elements differ by at most one level.
     order:
         SEM polynomial order; folds the GLL sub-spacing into the stable
-        step (see :func:`repro.core.cfl.gll_spacing_factor`).
+        step (see :func:`repro.core.cfl.gll_spacing_factor`).  Defaults
+        to the assembler's order when ``assembler=`` is given, else 1.
     velocity:
         Optional per-element wave speed overriding ``mesh.c``.  Eq. (7)
-        prescribes the *P-wave* speed, so elastic models pass
-        ``ElasticSemND.p_velocity()`` here — levels then follow the
-        compressional speed without mutating the mesh.
+        prescribes the maximal material speed (the *P-wave* speed for
+        elastic media) — levels then follow it without mutating the
+        mesh.
+    assembler:
+        Material-aware convenience: pull ``velocity`` (the material's
+        maximal wave speed — acoustic ``c``, elastic P, anisotropic
+        Christoffel quasi-P maximum) and ``order`` from a
+        :class:`repro.sem.tensor.SemND` assembler instead of passing
+        them by hand.  Mutually exclusive with ``velocity=``.
 
     Notes
     -----
     With a uniform mesh the result is a single level and LTS degenerates
     exactly to global Newmark (tested).
     """
-    dt_elem = stable_timestep_per_element(mesh, c_cfl, order=order, velocity=velocity)
+    dt_elem = stable_timestep_per_element(
+        mesh, c_cfl, order=order, velocity=velocity, assembler=assembler
+    )
     dt_min = float(dt_elem.min())
     # Tiny relative slack so elements sized at exact powers of two land on
     # the intended level despite float rounding.

@@ -55,9 +55,17 @@ class KernelSpec:
 
     * ``"acoustic"`` — ``n_comp = 1``; params ``scales`` with the
       per-axis stiffness scales of
-      :func:`repro.sem.tensor.acoustic_axis_scales`;
+      :func:`repro.sem.tensor.acoustic_axis_scales` (the modulus
+      ``rho c^2`` folds variable density in);
     * ``"elastic"`` — ``n_comp = dim`` (component-interleaved DOFs);
-      params ``lam``, ``mu``, ``h_axes``.
+      params ``lam``, ``mu``, ``h_axes``;
+    * ``"anisotropic_elastic"`` — ``n_comp = dim``; params ``C`` (the
+      per-element Voigt stiffness, ``(n_elem, 3, 3)`` in 2D /
+      ``(n_elem, 6, 6)`` in 3D) and ``h_axes``.
+
+    Constitutive parameters originate from the
+    :class:`repro.sem.materials.Material` hierarchy, which owns their
+    validation; the spec carries the already-validated arrays.
 
     The kernel registry lives in :mod:`repro.sem.matfree`
     (:func:`~repro.sem.matfree.kernel_from_spec`).

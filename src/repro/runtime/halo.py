@@ -16,9 +16,12 @@ assembly via ``element_system_batch`` when available) and ``"matfree"``
 — no rank ever forms a matrix; requires the assembler to export its
 explicit :class:`repro.core.operator.KernelSpec`).  Both duck-type
 ``K @ u``, so the executors are backend- and physics-agnostic: scalar
-acoustic and multi-component elastic layouts build identically — the
+acoustic (with variable density), multi-component isotropic elastic and
+general anisotropic elastic layouts build identically — the
 component-interleaved DOF ids flow through local numbering, ownership
-and the halo exchange like any other DOFs.
+and the halo exchange like any other DOFs, and the per-rank kernel
+parameters (including per-element Voigt stiffness tensors) ride along
+in the spec's element-subset slice.
 """
 
 from __future__ import annotations
@@ -137,9 +140,10 @@ def build_rank_layout(
         assembler exporting ``kernel_spec()`` — any
         :class:`~repro.sem.tensor.SemND` subclass, acoustic
         (:class:`~repro.sem.assembly2d.Sem2D`,
-        :class:`~repro.sem.assembly3d.Sem3D`) or elastic
+        :class:`~repro.sem.assembly3d.Sem3D`), elastic
         (:class:`~repro.sem.elastic2d.ElasticSem2D`,
-        :class:`~repro.sem.elastic3d.ElasticSem3D`), plus
+        :class:`~repro.sem.elastic3d.ElasticSem3D`), anisotropic
+        (:class:`~repro.sem.anisotropic.AnisotropicElasticSemND`), plus
         :class:`~repro.sem.assembly1d.Sem1D`).
     """
     require(backend in ("assembled", "matfree"), f"unknown backend {backend!r}", PartitionError)

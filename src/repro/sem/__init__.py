@@ -22,11 +22,21 @@ This package reproduces that algebraic structure in pure NumPy/SciPy:
 * :mod:`repro.sem.assembly3d` — 3D SEM on conforming hexahedral meshes:
   the paper's benchmark mesh families are hexahedral, and 3D is where
   the matrix-free backend wins asymptotically (O(n^4) vs O(n^6));
+* :mod:`repro.sem.materials` — the constitutive layer: the
+  :class:`~repro.sem.materials.Material` hierarchy
+  (:class:`~repro.sem.materials.IsotropicAcoustic` with variable
+  density, :class:`~repro.sem.materials.IsotropicElastic`,
+  :class:`~repro.sem.materials.AnisotropicElastic` with Voigt
+  stiffness validation and Christoffel wave speeds) every assembler
+  resolves its parameters through;
 * :mod:`repro.sem.elastic2d` / :mod:`repro.sem.elastic3d` — the paper's
   actual physics (elastic wave equation, Eqs. (1)-(2)) on the shared
   :class:`~repro.sem.tensor.ElasticSemND` core: ``dim`` displacement
   components per node, per-element Lamé parameters, P/S speeds for
   Eq.-(7) LTS level assignment;
+* :mod:`repro.sem.anisotropic` — general anisotropic elastic SEM
+  (arbitrary per-element Voigt ``C``) on the same core, with LTS levels
+  driven by the Christoffel maximal velocity;
 * :mod:`repro.sem.sources` — Ricker wavelets and point sources;
 * :mod:`repro.sem.energy` — discrete energy for conservation tests;
 * :mod:`repro.sem.matfree` — matrix-free (sum-factorization) stiffness
@@ -37,7 +47,16 @@ This package reproduces that algebraic structure in pure NumPy/SciPy:
 """
 
 from repro.sem.gll import gll_points_weights, lagrange_derivative_matrix, lagrange_basis
+from repro.sem.materials import (
+    AnisotropicElastic,
+    IsotropicAcoustic,
+    IsotropicElastic,
+    Material,
+    hexagonal_stiffness,
+    isotropic_stiffness,
+)
 from repro.sem.tensor import ElasticSemND, SemND
+from repro.sem.anisotropic import AnisotropicElasticSemND
 from repro.sem.assembly1d import Sem1D
 from repro.sem.assembly2d import Sem2D
 from repro.sem.assembly3d import Sem3D
@@ -51,14 +70,21 @@ from repro.sem.matfree import (
 )
 from repro.sem.sources import ricker, point_source
 from repro.sem.energy import discrete_energy
-from repro.sem import fused
+from repro.sem import fused, materials
 
 __all__ = [
     "gll_points_weights",
     "lagrange_derivative_matrix",
     "lagrange_basis",
+    "Material",
+    "IsotropicAcoustic",
+    "IsotropicElastic",
+    "AnisotropicElastic",
+    "isotropic_stiffness",
+    "hexagonal_stiffness",
     "SemND",
     "ElasticSemND",
+    "AnisotropicElasticSemND",
     "Sem1D",
     "Sem2D",
     "Sem3D",
@@ -72,4 +98,5 @@ __all__ = [
     "point_source",
     "discrete_energy",
     "fused",
+    "materials",
 ]

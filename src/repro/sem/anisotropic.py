@@ -1,0 +1,180 @@
+"""General anisotropic elastic spectral elements (arbitrary Voigt ``C``).
+
+Production SEM codes in the SPECFEM3D lineage treat general stiffness
+tensors as table stakes; this module brings the reproduction to parity:
+:class:`AnisotropicElasticSemND` discretizes ``rho u_tt = div(C : grad
+u)`` for a per-element Voigt stiffness ``C`` (3x3 in 2D plane strain,
+6x6 in 3D) on conforming meshes of axis-aligned box elements, generic
+over dimension.
+
+On an axis-aligned box every element block is still a per-element scalar
+combination of *geometry-free* reference kernels — the same machinery
+the isotropic physics uses, generalized to arbitrary pair coefficients:
+with the rank-4 tensor ``c_{cadb}`` of the material
+(:meth:`repro.sem.materials.AnisotropicElastic.stiffness_tensor`), the
+component block ``(c, d)`` is::
+
+    K_cd = sum_a c_cada s_a K_a
+         + sum_{a<b} g_ab (c_cadb R_ab + c_cbda R_ab^T)
+
+with the per-axis kernels ``K_a`` and scales ``s_a``
+(:func:`repro.sem.tensor.elastic_axis_scales`), the axis-pair cross
+kernels ``R_ab`` (:func:`repro.sem.tensor.axis_cross_kernels`) and pair
+scales ``g_ab`` (:func:`repro.sem.tensor.elastic_pair_scales`).  The
+isotropic tensor reduces this to exactly the
+:class:`~repro.sem.tensor.ElasticSemND` blocks (tested to 1e-14).
+
+The matrix-free backend applies the same operator in stress form
+(:class:`repro.sem.matfree.AnisotropicKernelND`: gradient contractions,
+a per-element Hooke combine, divergence contractions) through the
+``"anisotropic_elastic"`` :class:`repro.core.operator.KernelSpec` — so
+LTS level restriction, rank-local stiffness and the distributed
+executors work unchanged.  LTS levels follow the *Christoffel* maximal
+velocity: pass the assembler as ``assembler=`` to
+:func:`repro.core.levels.assign_levels` (Eq. (7) with the quasi-P
+speed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.operator import KernelSpec
+from repro.mesh.mesh import Mesh
+from repro.sem.materials import AnisotropicElastic
+from repro.sem.tensor import (
+    SemND,
+    VectorSemMixin,
+    elastic_axis_scales,
+    elastic_pair_scales,
+)
+from repro.util.errors import SolverError
+from repro.util.validation import require
+
+
+class AnisotropicElasticSemND(VectorSemMixin, SemND):
+    """Order-``order`` anisotropic elastic SEM on a conforming quad/hex
+    mesh of axis-aligned box elements.
+
+    Parameters
+    ----------
+    mesh:
+        2D quad or 3D hexahedral mesh; ``mesh.c`` is ignored for
+        material properties.
+    C:
+        Voigt stiffness, ``(nv, nv)`` or ``(n_elements, nv, nv)`` with
+        ``nv = 3`` (2D) / ``6`` (3D) — validated for symmetry and
+        positive definiteness.  Alternatively pass a full
+        :class:`repro.sem.materials.AnisotropicElastic` as ``material=``.
+    rho:
+        Per-element density (scalars broadcast).
+    dirichlet:
+        Clamp all components on the domain boundary; the default is the
+        free-surface (natural) condition.
+
+    DOF layout: component-interleaved ``dim * node + comp``, identical
+    to the isotropic elastic assemblers, so rank layouts, halo exchange
+    and LTS level restriction treat it like any other physics.
+    """
+
+    physics = "anisotropic_elastic"
+    material_cls = AnisotropicElastic
+
+    def __init__(
+        self,
+        mesh: Mesh,
+        order: int = 4,
+        C=None,
+        rho=None,
+        dirichlet: bool = False,
+        material: AnisotropicElastic | None = None,
+    ):
+        require(mesh.dim in (2, 3), "anisotropic SEM requires dim in (2, 3)", SolverError)
+        if material is None:
+            require(C is not None, "pass C= (Voigt stiffness) or material=", SolverError)
+            material = AnisotropicElastic(C, rho=1.0 if rho is None else rho)
+        else:
+            require(
+                C is None and rho is None,
+                "pass either material= or C=/rho=, not both",
+                SolverError,
+            )
+            require(
+                isinstance(material, self.material_cls),
+                f"{type(self).__name__} needs a {self.material_cls.__name__} material",
+                SolverError,
+            )
+        require(
+            material.dim == mesh.dim,
+            f"Voigt stiffness is {material.dim}D but the mesh is {mesh.dim}D",
+            SolverError,
+        )
+        self.material = material.expand(mesh.n_elements)
+        self.C = self.material.C
+        self.rho = self.material.rho
+        super().__init__(mesh, order=order, dirichlet=dirichlet)
+
+    # -- hooks ----------------------------------------------------------
+    def _n_components(self) -> int:
+        return self.mesh.dim
+
+    def _setup_physics(self) -> None:
+        # Rank-4 per-element stiffness c[e, c, a, d, b]: the pair
+        # coefficients of every component block (class docstring).
+        self._c4 = self.material.stiffness_tensor()
+
+    def _density(self) -> np.ndarray:
+        return self.rho
+
+    def kernel_spec(self, ids: np.ndarray | None = None) -> KernelSpec:
+        sl = slice(None) if ids is None else np.asarray(ids)
+        return KernelSpec(
+            physics="anisotropic_elastic",
+            order=self.order,
+            dim=self.dim,
+            n_comp=self.dim,
+            params={"C": self.C[sl], "h_axes": self.h_axes[sl]},
+        )
+
+    def element_system_batch(
+        self, ids: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Dense anisotropic stiffness ``(m, dim n_loc, dim n_loc)`` and
+        diagonal mass ``(m, dim n_loc)`` of elements ``ids`` (all when
+        ``None``), built from the reference kernels (class docstring).
+
+        Major symmetry ``c_cadb = c_dbca`` makes the assembled element
+        matrix symmetric block-by-block (``K_dc = K_cd^T``).
+        """
+        ids = np.arange(self.mesh.n_elements) if ids is None else np.asarray(ids)
+        dim = self.dim
+        nc = self.n_comp
+        n_loc = (self.order + 1) ** dim
+        kernels = self._axis_kernels()
+        cross = self._cross_kernels()
+        c4 = self._c4[ids]
+        s = elastic_axis_scales(self.h_axes[ids])
+        g = elastic_pair_scales(self.h_axes[ids])
+        Ke = np.zeros((len(ids), nc * n_loc, nc * n_loc))
+        for c in range(nc):
+            for d in range(nc):
+                blk = (c4[:, c, 0, d, 0] * s[:, 0])[:, None, None] * kernels[0]
+                for a in range(1, dim):
+                    blk = blk + (c4[:, c, a, d, a] * s[:, a])[:, None, None] * kernels[a]
+                for a in range(dim):
+                    for b in range(a + 1, dim):
+                        R = cross[(a, b)]
+                        blk = blk + (c4[:, c, a, d, b] * g[:, a, b])[:, None, None] * R
+                        blk = blk + (c4[:, c, b, d, a] * g[:, a, b])[:, None, None] * R.T
+                Ke[:, c::nc, d::nc] = blk
+        return Ke, self.element_mass_batch(ids)
+
+    # -- wave speeds ----------------------------------------------------
+    def wave_speeds(self, directions: np.ndarray | None = None) -> np.ndarray:
+        """Per-element Christoffel phase speeds along ``directions``
+        (see :meth:`repro.sem.materials.AnisotropicElastic.wave_speeds`)."""
+        return self.material.wave_speeds(directions)
+
+    # max_velocity (the Christoffel maximal quasi-P speed driving CFL
+    # and LTS levels) is inherited from SemND via the material; the
+    # vector-field conveniences come from VectorSemMixin.

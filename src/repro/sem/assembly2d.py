@@ -39,11 +39,26 @@ class Sem2D(SemND):
     DOF numbering is entity-based (corners, then edge interiors, then
     element interiors), so any conforming mesh — not just structured grids
     — assembles correctly, with shared edge nodes oriented consistently.
+
+    ``rho`` enables variable-density acoustics (per-element, scalars
+    broadcast): the operator becomes ``rho u_tt = div(rho c^2 grad u)``
+    with the wave speed still ``mesh.c`` — see
+    :class:`repro.sem.materials.IsotropicAcoustic`, which ``material=``
+    passes in full.
     """
 
-    def __init__(self, mesh: Mesh, order: int = 4, dirichlet: bool = False):
+    def __init__(
+        self,
+        mesh: Mesh,
+        order: int = 4,
+        dirichlet: bool = False,
+        rho=None,
+        material=None,
+    ):
         require(mesh.dim == 2, "Sem2D requires a 2D mesh", SolverError)
-        super().__init__(mesh, order=order, dirichlet=dirichlet)
+        super().__init__(
+            mesh, order=order, dirichlet=dirichlet, rho=rho, material=material
+        )
 
     @property
     def xy(self) -> np.ndarray:

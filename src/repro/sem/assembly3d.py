@@ -37,11 +37,26 @@ class Sem3D(SemND):
     face interiors, then element interiors); shared faces are numbered
     through a canonical corner-id frame so any conforming hex mesh — not
     just structured grids — assembles correctly.
+
+    ``rho`` enables variable-density acoustics (per-element, scalars
+    broadcast): the operator becomes ``rho u_tt = div(rho c^2 grad u)``
+    with the wave speed still ``mesh.c`` — see
+    :class:`repro.sem.materials.IsotropicAcoustic`, which ``material=``
+    passes in full.
     """
 
-    def __init__(self, mesh: Mesh, order: int = 4, dirichlet: bool = False):
+    def __init__(
+        self,
+        mesh: Mesh,
+        order: int = 4,
+        dirichlet: bool = False,
+        rho=None,
+        material=None,
+    ):
         require(mesh.dim == 3, "Sem3D requires a 3D mesh", SolverError)
-        super().__init__(mesh, order=order, dirichlet=dirichlet)
+        super().__init__(
+            mesh, order=order, dirichlet=dirichlet, rho=rho, material=material
+        )
 
     @property
     def xyz(self) -> np.ndarray:

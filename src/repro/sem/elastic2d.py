@@ -42,7 +42,10 @@ class ElasticSem2D(ElasticSemND):
         material properties (use ``lam``/``mu``/``rho``) — see
         :meth:`ElasticSemND.p_velocity` for LTS level assignment.
     lam, mu, rho:
-        Per-element Lamé parameters and density (scalars broadcast).
+        Per-element Lamé parameters and density (scalars broadcast) —
+        thin wrappers over ``material=``, a full
+        :class:`repro.sem.materials.IsotropicElastic` (mutually
+        exclusive with the kwargs).
 
     DOF layout: component-interleaved, ``2*node + comp`` with comp 0 = x,
     1 = y; scalar node numbering (and therefore halo construction and
@@ -53,13 +56,17 @@ class ElasticSem2D(ElasticSemND):
         self,
         mesh: Mesh,
         order: int = 4,
-        lam=1.0,
-        mu=1.0,
-        rho=1.0,
+        lam=None,
+        mu=None,
+        rho=None,
         dirichlet: bool = False,
+        material=None,
     ):
         require(mesh.dim == 2, "ElasticSem2D requires a 2D mesh", SolverError)
-        super().__init__(mesh, order=order, lam=lam, mu=mu, rho=rho, dirichlet=dirichlet)
+        super().__init__(
+            mesh, order=order, lam=lam, mu=mu, rho=rho,
+            dirichlet=dirichlet, material=material,
+        )
 
     @property
     def xy(self) -> np.ndarray:

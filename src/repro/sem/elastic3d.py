@@ -38,12 +38,15 @@ class ElasticSem3D(ElasticSemND):
     ----------
     mesh:
         Axis-aligned hexahedral mesh; ``mesh.c`` is *ignored* for
-        material properties (use ``lam``/``mu``/``rho``) — pass
-        ``velocity=self.p_velocity()`` to
+        material properties (use ``lam``/``mu``/``rho``) — pass the
+        assembler as ``assembler=`` to
         :func:`repro.core.levels.assign_levels` so LTS levels follow the
         compressional speed (Eq. (7)).
     lam, mu, rho:
-        Per-element Lamé parameters and density (scalars broadcast).
+        Per-element Lamé parameters and density (scalars broadcast) —
+        thin wrappers over ``material=``, a full
+        :class:`repro.sem.materials.IsotropicElastic` (mutually
+        exclusive with the kwargs).
     dirichlet:
         Clamp all components on the domain boundary; the default is the
         paper's free-surface (natural) condition.
@@ -57,13 +60,17 @@ class ElasticSem3D(ElasticSemND):
         self,
         mesh: Mesh,
         order: int = 4,
-        lam=1.0,
-        mu=1.0,
-        rho=1.0,
+        lam=None,
+        mu=None,
+        rho=None,
         dirichlet: bool = False,
+        material=None,
     ):
         require(mesh.dim == 3, "ElasticSem3D requires a 3D mesh", SolverError)
-        super().__init__(mesh, order=order, lam=lam, mu=mu, rho=rho, dirichlet=dirichlet)
+        super().__init__(
+            mesh, order=order, lam=lam, mu=mu, rho=rho,
+            dirichlet=dirichlet, material=material,
+        )
 
     @property
     def xyz(self) -> np.ndarray:

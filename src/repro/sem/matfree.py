@@ -8,7 +8,7 @@ global sparse matrix.  All elements are processed at once as batched
 tensor contractions (``tensordot`` → one BLAS GEMM per contraction), so
 the Python overhead is O(1) per apply instead of O(n_elem).
 
-Two physics families share the machinery, each generic over dimension:
+Three physics families share the machinery, each generic over dimension:
 
 * acoustic (:class:`AcousticKernelND`) — ``K_e u`` is one 1D GLL
   stiffness contraction per axis, each scaled by a per-element weight
@@ -23,7 +23,13 @@ Two physics families share the machinery, each generic over dimension:
   1D contraction), applied per displacement component on the interleaved
   DOF layout.  :class:`ElasticKernel` (2D P-SV, fused-C capable) and
   :class:`ElasticKernel3D` (nine blocks, copy-free batched matmul, fused
-  ``el_apply3`` tier) pin the dimension.
+  ``el_apply3`` tier) pin the dimension;
+* general anisotropic elastic (:class:`AnisotropicKernelND`) — the
+  stress-form pipeline (gradient contractions, per-element Hooke
+  combine with the rank-4 ``C``, divergence contractions) for an
+  arbitrary per-element Voigt stiffness
+  (:class:`repro.sem.anisotropic.AnisotropicElasticSemND`); NumPy tier
+  only — the fused dispatch falls back transparently.
 
 Which kernel applies is decided by the assembler's *explicit* physics
 declaration — :meth:`repro.sem.tensor.SemND.kernel_spec` returning a
@@ -69,18 +75,15 @@ def _fused_plan(kernel, element_dofs, n_dof, gmask=None, Minv=None, enabled=None
     """
     if enabled is False:
         return None
-    dim = getattr(kernel, "dim", 2)
     if isinstance(kernel, ElasticKernel):
         plan_cls, max_order = fused.ElasticPlan, fused.MAX_ORDER
     elif isinstance(kernel, ElasticKernel3D):
         plan_cls, max_order = fused.Elastic3DPlan, fused.MAX_ORDER_3D
-    elif isinstance(kernel, ElasticKernelND):
-        plan_cls, max_order = None, -1
-    elif dim == 2:
+    elif isinstance(kernel, AcousticKernel):
         plan_cls, max_order = fused.AcousticPlan, fused.MAX_ORDER
-    elif dim == 3:
+    elif isinstance(kernel, AcousticKernel3D):
         plan_cls, max_order = fused.Acoustic3DPlan, fused.MAX_ORDER_3D
-    else:
+    else:  # generic-ND and anisotropic kernels have no fused tier
         plan_cls, max_order = None, -1
     ok = fused.available() and plan_cls is not None and kernel.order <= max_order
     if not ok:
@@ -377,6 +380,110 @@ class ElasticKernel3D(ElasticKernelND):
         return (U.reshape(-1, n1) @ A.T).reshape(U.shape)
 
 
+class AnisotropicKernelND:
+    """Batched general-anisotropy elastic stiffness action, generic over
+    dimension (component-interleaved DOFs; NumPy tier only — no fused C
+    kernel, callers fall back transparently).
+
+    Applies the operator in *stress form*, the classic SEM structure for
+    arbitrary ``C``: with ``G_b`` the 1D derivative along axis ``b`` and
+    ``W`` the full tensor quadrature weights, every component block is
+    ``K_cd = sum_ab coef[e, c, a, d, b] G_a^T W G_b`` where ``coef`` is
+    the rank-4 material tensor times the pair geometry scales
+    (:func:`repro.sem.tensor.elastic_pair_scales`).  One apply is
+
+    1. gradient: ``DU[d, b] = G_b u_d`` (``dim^2`` contractions),
+    2. Hooke combine: ``S[c, a] = sum_db coef * DU[d, b]``, times ``W``
+       (one batched einsum — ``dim^4`` multiply-adds per node),
+    3. divergence: ``out_c = sum_a G_a^T S[c, a]`` (``dim^2``
+       contractions),
+
+    which reduces exactly to the assembled block structure of
+    :class:`repro.sem.anisotropic.AnisotropicElasticSemND` (note
+    ``G_a^T W G_a`` is the per-axis stiffness kernel and ``G_a^T W G_b``
+    the axis-pair cross kernel).
+    """
+
+    def __init__(self, order: int, C, h_axes):
+        from repro.sem.materials import VOIGT_SIZE, voigt_to_tensor
+        from repro.sem.tensor import elastic_pair_scales
+
+        self.order = int(order)
+        self.n1 = self.order + 1
+        self.h_axes = np.atleast_2d(np.asarray(h_axes, dtype=np.float64))
+        self.dim = self.h_axes.shape[1]
+        require(self.dim in (2, 3), "AnisotropicKernelND needs dim in (2, 3)", SolverError)
+        nv = VOIGT_SIZE[self.dim]
+        C = np.asarray(C, dtype=np.float64)
+        if C.ndim == 2:
+            C = C[None]
+        require(
+            C.shape == (self.h_axes.shape[0], nv, nv),
+            f"C must be (n_elements, {nv}, {nv}) for dim {self.dim}",
+            SolverError,
+        )
+        self.C = C
+        self.n_comp = self.dim
+        _, w = gll_points_weights(self.order)
+        self.D = lagrange_derivative_matrix(self.order)
+        self.Dt = np.ascontiguousarray(self.D.T)
+        # coef[e, c, a, d, b] = c_cadb * g_ab (material times geometry).
+        c4 = voigt_to_tensor(C, self.dim)
+        g = elastic_pair_scales(self.h_axes)
+        self.coef = c4 * g[:, None, :, None, :]
+        # Full tensor quadrature weights as a broadcast plane.
+        wq = w
+        for _ in range(self.dim - 1):
+            wq = np.kron(wq, w)
+        self._wfull = wq.reshape((1,) + (self.n1,) * self.dim)
+
+    @property
+    def flops_per_element(self) -> int:
+        """Multiply-adds of one element apply: ``2 dim^2`` axis
+        contractions plus the ``dim^4``-term Hooke combine."""
+        n1 = self.n1
+        return 4 * self.dim**2 * n1 ** (self.dim + 1) + (
+            2 * self.dim**4 + self.dim**2
+        ) * n1**self.dim
+
+    def subset(self, ids: np.ndarray) -> "AnisotropicKernelND":
+        return AnisotropicKernelND(self.order, self.C[ids], self.h_axes[ids])
+
+    def _axis_apply(self, U: np.ndarray, A: np.ndarray, axis: int) -> np.ndarray:
+        """Contract the batched tensor ``U`` along spatial ``axis`` with
+        the 1D matrix ``A`` — every axis as a copy-free batched matmul
+        (fold the leading axes into the batch dimension, the trailing
+        ones into columns)."""
+        n1 = self.n1
+        if axis == self.dim - 1:
+            return (U.reshape(-1, n1) @ A.T).reshape(U.shape)
+        lead = U.shape[0] * n1**axis
+        return (A @ U.reshape(lead, n1, -1)).reshape(U.shape)
+
+    def contract(self, Ue: np.ndarray) -> np.ndarray:
+        n1, dim, nc = self.n1, self.dim, self.n_comp
+        ne = Ue.shape[0]
+        tshape = (ne,) + (n1,) * dim
+        # 1. gradient of every component along every axis.
+        DU = np.empty((ne, dim, dim) + (n1,) * dim)
+        for d in range(nc):
+            U = Ue[:, d::nc].reshape(tshape)
+            for b in range(dim):
+                DU[:, d, b] = self._axis_apply(U, self.D, b)
+        # 2. Hooke combine with the per-element coefficients, then the
+        #    quadrature weights (one plane for all (c, a)).
+        S = np.einsum("ecadb,edb...->eca...", self.coef, DU, optimize=True)
+        S *= self._wfull[:, None, None]
+        # 3. weighted divergence back onto each component.
+        res = np.empty_like(Ue)
+        for c in range(nc):
+            out = self._axis_apply(S[:, c, 0], self.Dt, 0)
+            for a in range(1, dim):
+                out += self._axis_apply(S[:, c, a], self.Dt, a)
+            res[:, c::nc] = out.reshape(ne, -1)
+        return res
+
+
 # ----------------------------------------------------------------------
 # Gather / contract / scatter operators
 # ----------------------------------------------------------------------
@@ -579,6 +686,17 @@ class MatrixFreeOperator:
 # ----------------------------------------------------------------------
 # Builders
 # ----------------------------------------------------------------------
+def _param(spec: KernelSpec, name: str) -> np.ndarray:
+    """A required per-element parameter array of ``spec``, as float64 —
+    a missing key is a malformed spec, reported as a solver error."""
+    require(
+        name in spec.params,
+        f"kernel spec for physics {spec.physics!r} is missing param {name!r}",
+        SolverError,
+    )
+    return np.asarray(spec.params[name], dtype=np.float64)
+
+
 def kernel_from_spec(spec: KernelSpec):
     """Element kernel for an explicit physics declaration.
 
@@ -587,22 +705,43 @@ def kernel_from_spec(spec: KernelSpec):
     carries the per-element parameter arrays; the dimension picks the
     specialized (fused-capable) kernel class.  Adding a physics means
     adding a spec + kernel pair here — never another ``hasattr`` chain.
+    Unknown physics names and malformed parameter sets (missing keys,
+    wrong shapes) raise :class:`~repro.util.errors.SolverError`.
     """
     if spec.physics == "acoustic":
-        scales = np.asarray(spec.params["scales"], dtype=np.float64)
+        scales = np.atleast_2d(_param(spec, "scales"))
+        require(
+            scales.shape[1] == spec.dim,
+            f"acoustic scales must be (n_elements, {spec.dim})",
+            SolverError,
+        )
         if spec.dim == 2:
             return AcousticKernel(spec.order, scales[:, 0], scales[:, 1])
         if spec.dim == 3:
             return AcousticKernel3D(spec.order, scales)
         return AcousticKernelND(spec.order, scales)
     if spec.physics == "elastic":
-        lam, mu = spec.params["lam"], spec.params["mu"]
-        h = np.atleast_2d(np.asarray(spec.params["h_axes"], dtype=np.float64))
+        lam, mu = _param(spec, "lam"), _param(spec, "mu")
+        h = np.atleast_2d(_param(spec, "h_axes"))
+        require(
+            h.shape[1] == spec.dim,
+            f"elastic h_axes must be (n_elements, {spec.dim})",
+            SolverError,
+        )
         if spec.dim == 2:
             return ElasticKernel(spec.order, lam, mu, h[:, 0], h[:, 1])
         if spec.dim == 3:
             return ElasticKernel3D(spec.order, lam, mu, h)
         return ElasticKernelND(spec.order, lam, mu, h)
+    if spec.physics == "anisotropic_elastic":
+        C = _param(spec, "C")
+        h = np.atleast_2d(_param(spec, "h_axes"))
+        require(
+            h.shape[1] == spec.dim,
+            f"anisotropic h_axes must be (n_elements, {spec.dim})",
+            SolverError,
+        )
+        return AnisotropicKernelND(spec.order, C, h)
     raise SolverError(f"no element kernel registered for physics {spec.physics!r}")
 
 

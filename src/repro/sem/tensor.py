@@ -29,6 +29,14 @@ per GLL node:
   ``dim`` components per node, P/S wave speeds for CFL and LTS level
   assignment (paper Eq. (7) drives levels with the *P* speed).
 
+Constitutive parameters live in :mod:`repro.sem.materials`: every
+assembler resolves a :class:`~repro.sem.materials.Material` (the legacy
+``lam=``/``mu=``/``rho=`` kwargs are thin wrappers), which owns
+broadcasting, validation and the maximal wave speed the CFL/LTS layer
+pulls via :meth:`SemND.max_velocity`.  The general-anisotropy assembler
+(:class:`repro.sem.anisotropic.AnisotropicElasticSemND`) builds on the
+same hooks.
+
 :class:`repro.sem.assembly2d.Sem2D`, :class:`repro.sem.assembly3d.Sem3D`,
 :class:`repro.sem.elastic2d.ElasticSem2D` and
 :class:`repro.sem.elastic3d.ElasticSem3D` are thin dimension-pinned
@@ -49,6 +57,7 @@ import scipy.sparse as sp
 from repro.core.operator import KernelSpec
 from repro.mesh.mesh import Mesh
 from repro.sem.gll import gll_points_weights, lagrange_derivative_matrix
+from repro.sem.materials import IsotropicAcoustic, IsotropicElastic, Material
 from repro.util.errors import SolverError
 from repro.util.validation import require
 
@@ -487,9 +496,36 @@ class SemND:
     #: :class:`repro.core.operator.KernelSpec`).
     physics = "acoustic"
 
-    def __init__(self, mesh: Mesh, order: int = 4, dirichlet: bool = False):
+    #: Material class this assembler family consumes (subclasses narrow).
+    material_cls: type[Material] = IsotropicAcoustic
+
+    def __init__(
+        self,
+        mesh: Mesh,
+        order: int = 4,
+        dirichlet: bool = False,
+        material: Material | None = None,
+        rho=None,
+    ):
         require(mesh.dim in (1, 2, 3), "SemND requires dim in (1, 2, 3)", SolverError)
         require(order >= 1, "order must be >= 1", SolverError)
+        if not hasattr(self, "material"):
+            # Scalar acoustic base: the material defaults to the mesh's
+            # per-element wave speed with unit density; ``rho`` is the
+            # variable-density convenience, ``material`` the full form.
+            require(
+                material is None or rho is None,
+                "pass either material= or rho=, not both",
+                SolverError,
+            )
+            if material is None:
+                material = IsotropicAcoustic(mesh.c, rho=1.0 if rho is None else rho)
+            require(
+                isinstance(material, self.material_cls),
+                f"{type(self).__name__} needs a {self.material_cls.__name__} material",
+                SolverError,
+            )
+            self.material = material.expand(mesh.n_elements)
         self.mesh = mesh
         self.dim = mesh.dim
         self.order = int(order)
@@ -590,18 +626,30 @@ class SemND:
         return 1
 
     def _setup_physics(self) -> None:
-        """Validate/derive the per-element physics parameter arrays.
+        """Derive the per-element physics parameter arrays from the
+        resolved material.
 
         Runs after geometry and numbering, before mass and stiffness
         assembly.  The acoustic base derives the per-axis stiffness
-        scales from ``mesh.c``.
+        scales from the modulus ``kappa = rho c^2`` (with the default
+        unit density this is bit-identical to the classical ``c^2``
+        scaling), so the operator discretizes ``rho u_tt = div(kappa
+        grad u)`` and ``c`` stays the propagation speed under
+        heterogeneous density.
         """
-        c2 = np.asarray(self.mesh.c, dtype=np.float64) ** 2
-        self.axis_scales = acoustic_axis_scales(c2, self.h_axes)
+        self.axis_scales = acoustic_axis_scales(self.material.modulus(), self.h_axes)
 
     def _density(self) -> np.ndarray:
-        """Per-element mass density ``rho`` (acoustic: 1)."""
-        return np.ones(self.mesh.n_elements)
+        """Per-element mass density ``rho`` from the material."""
+        return self.material.density()
+
+    def max_velocity(self) -> np.ndarray:
+        """Per-element maximal wave speed of the material — the ``c_i``
+        of the CFL condition (Eq. (7)).  Pass the assembler itself to
+        :func:`repro.core.levels.assign_levels` /
+        :func:`repro.core.cfl.cfl_timestep` via ``assembler=`` and this
+        is pulled automatically."""
+        return self.material.max_velocity()
 
     def kernel_spec(self, ids: np.ndarray | None = None) -> KernelSpec:
         """The explicit physics declaration backend dispatch keys off
@@ -700,9 +748,38 @@ class SemND:
 
 
 # ----------------------------------------------------------------------
+# Vector-valued physics: shared conveniences
+# ----------------------------------------------------------------------
+class VectorSemMixin:
+    """Component-addressing conveniences shared by every vector-valued
+    assembler (isotropic and anisotropic elastic): the interleaved
+    layout ``n_comp * node + comp`` exposed as per-component views."""
+
+    def component_dofs(self, comp: int) -> np.ndarray:
+        """All global DOFs of displacement component ``comp`` (0 = x)."""
+        require(0 <= comp < self.n_comp, f"comp must be in 0..{self.n_comp - 1}", SolverError)
+        return np.arange(comp, self.n_dof, self.n_comp)
+
+    def interpolate(self, *fs) -> np.ndarray:
+        """Nodal interpolant of a vector field, one vectorized callable
+        per displacement component."""
+        require(len(fs) == self.n_comp, "one callable per component", SolverError)
+        args = [self.node_coords[:, a] for a in range(self.dim)]
+        out = np.zeros(self.n_dof)
+        for c, f in enumerate(fs):
+            out[c :: self.n_comp] = f(*args)
+        return out
+
+    def nearest_dof(self, *point: float, comp: int = 0) -> int:
+        """Global DOF of component ``comp`` nearest to ``point``."""
+        require(0 <= comp < self.n_comp, f"comp must be in 0..{self.n_comp - 1}", SolverError)
+        return self.n_comp * super().nearest_dof(*point) + int(comp)
+
+
+# ----------------------------------------------------------------------
 # Isotropic elastic physics, generic over dimension
 # ----------------------------------------------------------------------
-class ElasticSemND(SemND):
+class ElasticSemND(VectorSemMixin, SemND):
     """Isotropic elastic SEM (the paper's Eqs. (1)-(2)) on a conforming
     mesh of axis-aligned box elements, generic over ``mesh.dim``.
 
@@ -725,33 +802,54 @@ class ElasticSemND(SemND):
     applies without forming any matrix.
 
     ``mesh.c`` is *ignored* for material properties; LTS levels should
-    follow the per-element P-wave speed (Eq. (7)) — pass
-    ``velocity=self.p_velocity()`` to
-    :func:`repro.core.levels.assign_levels`.
+    follow the per-element P-wave speed (Eq. (7)) — pass the assembler
+    as ``assembler=`` to :func:`repro.core.levels.assign_levels` and the
+    maximal material speed (here: P) is pulled automatically.
+
+    Parameters come either as the legacy ``lam=``/``mu=``/``rho=``
+    kwargs or as a :class:`repro.sem.materials.IsotropicElastic`
+    ``material=`` (the two are bit-identical; the kwargs are thin
+    wrappers over the material).  ``mu = 0`` elements are fluid
+    (acoustic-limit) inclusions: their S speed is 0, so level
+    assignment and CFL must use the P speed — which ``max_velocity`` /
+    ``assembler=`` do.
     """
 
     physics = "elastic"
+    material_cls = IsotropicElastic
 
     def __init__(
         self,
         mesh: Mesh,
         order: int = 4,
-        lam=1.0,
-        mu=1.0,
-        rho=1.0,
+        lam=None,
+        mu=None,
+        rho=None,
         dirichlet: bool = False,
+        material: IsotropicElastic | None = None,
     ):
-        n_elem = mesh.n_elements
-        self.lam = np.broadcast_to(np.asarray(lam, dtype=np.float64), (n_elem,)).copy()
-        self.mu = np.broadcast_to(np.asarray(mu, dtype=np.float64), (n_elem,)).copy()
-        self.rho = np.broadcast_to(np.asarray(rho, dtype=np.float64), (n_elem,)).copy()
-        require(bool(np.all(self.mu > 0)), "mu must be > 0", SolverError)
-        require(bool(np.all(self.rho > 0)), "rho must be > 0", SolverError)
-        require(
-            bool(np.all(self.lam + 2 * self.mu > 0)),
-            "lambda + 2mu must be > 0",
-            SolverError,
-        )
+        if material is None:
+            material = IsotropicElastic(
+                lam=1.0 if lam is None else lam,
+                mu=1.0 if mu is None else mu,
+                rho=1.0 if rho is None else rho,
+            )
+        else:
+            require(
+                lam is None and mu is None and rho is None,
+                "pass either material= or lam=/mu=/rho=, not both",
+                SolverError,
+            )
+            require(
+                isinstance(material, self.material_cls),
+                f"{type(self).__name__} needs a {self.material_cls.__name__} material",
+                SolverError,
+            )
+        self.material = material.expand(mesh.n_elements)
+        # Back-compat per-element views (same arrays as the material's).
+        self.lam = self.material.lam
+        self.mu = self.material.mu
+        self.rho = self.material.rho
         super().__init__(mesh, order=order, dirichlet=dirichlet)
 
     # -- hooks ----------------------------------------------------------
@@ -759,7 +857,7 @@ class ElasticSemND(SemND):
         return self.mesh.dim
 
     def _setup_physics(self) -> None:
-        pass  # lam/mu/rho are validated before the base constructor runs
+        pass  # lam/mu/rho are validated by the material before super()
 
     def _density(self) -> np.ndarray:
         return self.rho
@@ -815,33 +913,19 @@ class ElasticSemND(SemND):
     def p_velocity(self) -> np.ndarray:
         """Per-element P-wave speed ``sqrt((lambda + 2 mu) / rho)``.
 
-        This is the ``c_i`` of the CFL condition (Eq. (7)); pass it as
-        ``velocity=`` to :func:`repro.core.levels.assign_levels` so LTS
-        levels follow the compressional speed, as the paper prescribes.
+        This is the ``c_i`` of the CFL condition (Eq. (7)) — what
+        ``assembler=`` pulls in :func:`repro.core.levels.assign_levels`
+        so LTS levels follow the compressional speed, as the paper
+        prescribes.
         """
-        return np.sqrt((self.lam + 2 * self.mu) / self.rho)
+        return self.material.p_velocity()
 
     def s_velocity(self) -> np.ndarray:
-        """Per-element S-wave speed ``sqrt(mu / rho)``."""
-        return np.sqrt(self.mu / self.rho)
+        """Per-element S-wave speed ``sqrt(mu / rho)`` — exactly 0 on
+        fluid (``mu = 0``) elements, so never feed it to CFL or level
+        assignment (those guard against non-positive speeds); use
+        :meth:`p_velocity` / :meth:`max_velocity`."""
+        return self.material.s_velocity()
 
-    # -- vector-field conveniences --------------------------------------
-    def component_dofs(self, comp: int) -> np.ndarray:
-        """All global DOFs of displacement component ``comp`` (0 = x)."""
-        require(0 <= comp < self.n_comp, f"comp must be in 0..{self.n_comp - 1}", SolverError)
-        return np.arange(comp, self.n_dof, self.n_comp)
-
-    def interpolate(self, *fs) -> np.ndarray:
-        """Nodal interpolant of a vector field, one vectorized callable
-        per displacement component."""
-        require(len(fs) == self.n_comp, "one callable per component", SolverError)
-        args = [self.node_coords[:, a] for a in range(self.dim)]
-        out = np.zeros(self.n_dof)
-        for c, f in enumerate(fs):
-            out[c :: self.n_comp] = f(*args)
-        return out
-
-    def nearest_dof(self, *point: float, comp: int = 0) -> int:
-        """Global DOF of component ``comp`` nearest to ``point``."""
-        require(0 <= comp < self.n_comp, f"comp must be in 0..{self.n_comp - 1}", SolverError)
-        return self.n_comp * super().nearest_dof(*point) + int(comp)
+    # Vector-field conveniences (component_dofs, vector interpolate,
+    # component-aware nearest_dof) come from VectorSemMixin.

@@ -185,3 +185,53 @@ class TestGrading:
         a = assign_levels(m)
         g = enforce_level_grading(m, a)
         assert np.array_equal(a.level, g.level)
+
+
+class TestAssemblerConvenience:
+    """assembler= pulls the material's maximal wave speed (and the
+    polynomial order) so callers stop copy-pasting velocity=..."""
+
+    def test_matches_explicit_velocity_and_order_elastic(self):
+        from repro.sem import ElasticSem2D
+
+        mesh = uniform_grid((4, 4), (1.0, 1.0))
+        lam = np.full(mesh.n_elements, 2.0)
+        lam[5] = 32.0
+        mu = np.full(mesh.n_elements, 1.0)
+        mu[5] = 16.0
+        sem = ElasticSem2D(mesh, order=3, lam=lam, mu=mu)
+        via_assembler = assign_levels(mesh, c_cfl=0.4, assembler=sem)
+        explicit = assign_levels(mesh, c_cfl=0.4, order=3, velocity=sem.p_velocity())
+        assert np.array_equal(via_assembler.level, explicit.level)
+        assert via_assembler.dt == explicit.dt
+        assert via_assembler.n_levels == 3  # the 4x-cp inclusion refines
+        assert cfl_timestep(mesh, assembler=sem) == cfl_timestep(
+            mesh, order=3, velocity=sem.p_velocity()
+        )
+
+    def test_acoustic_assembler_uses_material_speed(self):
+        mesh = uniform_grid((3, 3))
+        mesh.c = np.linspace(1.0, 2.0, mesh.n_elements)
+        sem = Sem2D(mesh, order=2)
+        assert cfl_timestep(mesh, assembler=sem) == cfl_timestep(
+            mesh, order=2, velocity=sem.max_velocity()
+        )
+
+    def test_explicit_order_overrides_assembler_order(self):
+        mesh = uniform_grid((3, 3))
+        sem = Sem2D(mesh, order=4)
+        assert cfl_timestep(mesh, assembler=sem, order=1) == cfl_timestep(
+            mesh, order=1, velocity=sem.max_velocity()
+        )
+
+    def test_velocity_and_assembler_mutually_exclusive(self):
+        mesh = uniform_grid((2, 2))
+        sem = Sem2D(mesh, order=2)
+        with pytest.raises(SolverError):
+            cfl_timestep(mesh, velocity=sem.max_velocity(), assembler=sem)
+        with pytest.raises(SolverError):
+            assign_levels(mesh, velocity=sem.max_velocity(), assembler=sem)
+
+    def test_assembler_without_max_velocity_rejected(self):
+        with pytest.raises(SolverError):
+            cfl_timestep(uniform_grid((2, 2)), assembler=object())

@@ -164,6 +164,44 @@ class TestKernelSpecDispatch:
 
         assert isinstance(kernel_from_spec(spec), ElasticKernel)
 
+    def test_unknown_physics_rejected(self):
+        from repro.core.operator import KernelSpec
+        from repro.sem.matfree import kernel_from_spec
+        from repro.util.errors import SolverError
+
+        spec = KernelSpec(physics="thermo", order=3, dim=2, n_comp=1, params={})
+        with pytest.raises(SolverError, match="no element kernel"):
+            kernel_from_spec(spec)
+
+    def test_malformed_params_rejected(self):
+        """Missing keys and wrong shapes are solver errors, not KeyErrors."""
+        from repro.core.operator import KernelSpec
+        from repro.sem.matfree import kernel_from_spec
+        from repro.util.errors import SolverError
+
+        h2 = np.ones((4, 2))
+        bad = [
+            # acoustic: missing / wrong-width scales
+            KernelSpec("acoustic", 3, 2, 1, {}),
+            KernelSpec("acoustic", 3, 2, 1, {"scales": np.ones((4, 3))}),
+            # elastic: missing mu, missing h_axes, wrong-width h_axes
+            KernelSpec("elastic", 3, 2, 2, {"lam": np.ones(4), "h_axes": h2}),
+            KernelSpec("elastic", 3, 2, 2, {"lam": np.ones(4), "mu": np.ones(4)}),
+            KernelSpec(
+                "elastic", 3, 3, 3,
+                {"lam": np.ones(4), "mu": np.ones(4), "h_axes": h2},
+            ),
+            # anisotropic: missing C, Voigt size not matching the dim
+            KernelSpec("anisotropic_elastic", 3, 2, 2, {"h_axes": h2}),
+            KernelSpec(
+                "anisotropic_elastic", 3, 2, 2,
+                {"C": np.ones((4, 6, 6)), "h_axes": h2},
+            ),
+        ]
+        for spec in bad:
+            with pytest.raises(SolverError):
+                kernel_from_spec(spec)
+
     def test_sem1d_matfree_backend(self):
         """kernel_spec opens the matrix-free backend to 1D meshes too."""
         from repro.mesh import refined_interval

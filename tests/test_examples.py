@@ -56,3 +56,14 @@ def test_hex_trench_3d_verifies_both_backends():
 def test_elastic_trench_3d_verifies_both_backends():
     out = _run("elastic_trench_3d.py")
     assert "3D elastic LTS run verified" in out
+
+
+def test_anisotropic_trench_3d_verifies_both_backends():
+    out = _run("anisotropic_trench_3d.py")
+    assert "3D anisotropic LTS run verified" in out
+
+
+def test_cluster_scaling_prints_both_tables():
+    out = _run("cluster_scaling.py")
+    assert "Trench CPU scaling" in out
+    assert "Trench GPU scaling" in out
