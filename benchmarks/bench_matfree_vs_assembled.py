@@ -61,6 +61,7 @@ from repro.sem import (  # noqa: E402
     AnisotropicElasticSemND,
     ElasticSem2D,
     ElasticSem3D,
+    IsotropicElastic,
     Sem2D,
     Sem3D,
     hexagonal_stiffness,
@@ -141,7 +142,7 @@ def _make_sem(physics: str, dim: int, grid, order: int):
     cls = SEM_CLASSES[(physics, dim)]
     mesh = uniform_grid(grid)
     if physics == "elastic":
-        return cls(mesh, order=order, lam=2.0, mu=1.0)
+        return cls(mesh, order=order, material=IsotropicElastic(lam=2.0, mu=1.0))
     if physics == "anisotropic":
         return cls(mesh, order=order, C=_anisotropic_stiffness(dim))
     return cls(mesh, order=order)
@@ -213,7 +214,10 @@ def run(quick: bool = False, dim: int = 2, physics: str = "acoustic") -> dict:
         # default sweep so the recorded 2D results stay comparable; the
         # full elastic sweeps live behind --physics elastic).
         el_order = 2 if quick else 5
-        el = ElasticSem2D(uniform_grid(grid), order=el_order, lam=2.0, mu=1.0)
+        el = ElasticSem2D(
+            uniform_grid(grid), order=el_order,
+            material=IsotropicElastic(lam=2.0, mu=1.0),
+        )
         asm_e = el.operator("assembled")
         mf_e = el.operator("matfree")
         u = rng.standard_normal(el.n_dof)

@@ -1,131 +1,132 @@
 """3D anisotropic trench: a tilted-TI layer through distributed LTS.
 
-General anisotropy end-to-end: a hexahedral trench mesh in which a
-*tilted transversely isotropic* (TTI) layer — a hexagonal stiffness
-tensor with its symmetry axis tilted 30 degrees in the (x, z) plane —
-sits on top of an isotropic background.  The layer's quasi-P speeds are
-about twice the background's, so LTS p-levels must follow the
-*Christoffel* maximal velocity (paper Eq. (7) with the anisotropic wave
-speeds), not the mesh geometry alone:
+General anisotropy end-to-end, declared as one :class:`repro.api
+.SimulationConfig`: a hexahedral trench mesh in which a *tilted
+transversely isotropic* (TTI) layer — a hexagonal stiffness tensor with
+its symmetry axis tilted 30 degrees in the (x, z) plane — sits on top
+of an isotropic background.  The layer is a declarative
+:class:`repro.api.RegionSpec` box override of the Voigt stiffness; its
+quasi-P speeds are about twice the background's, so LTS p-levels must
+follow the *Christoffel* maximal velocity (paper Eq. (7) with the
+anisotropic wave speeds), not the mesh geometry alone:
 
-1. build the trench mesh, assemble
-   :class:`repro.sem.anisotropic.AnisotropicElasticSemND` from a
-   per-element Voigt stiffness (symmetry/positive-definiteness
-   validated by :class:`repro.sem.materials.AnisotropicElastic`), and
-   assign LTS levels with ``assign_levels(assembler=sem)`` — the
-   Christoffel quasi-P maximum is pulled automatically;
-2. verify the matrix-free CFL estimate (power iteration on the
-   anisotropic operator action) against the sparse eigensolver;
-3. partition across 4 ranks and run the distributed LTS-Newmark solver
-   through the mailbox runtime, once per stiffness backend — assembled
-   partial-CSR and matrix-free stress-form contractions (no rank ever
-   forms a matrix);
-4. verify both backends agree to machine precision and match the serial
-   reference solver.
+1. the config resolves a per-element Voigt stiffness
+   (symmetry/positive-definiteness validated by
+   :class:`repro.sem.materials.AnisotropicElastic`) and assigns levels
+   from the Christoffel quasi-P maximum automatically;
+2. the matrix-free CFL estimate (power iteration on the anisotropic
+   operator action) is verified against the sparse eigensolver;
+3. :func:`repro.api.compare_backends` partitions across 4 ranks and
+   runs the distributed LTS-Newmark solver through the mailbox
+   runtime, once per stiffness backend — assembled partial-CSR and
+   matrix-free stress-form contractions (no rank ever forms a matrix);
+4. both backends must agree to machine precision and match the serial
+   reference solver (the same config on one rank).
 
 Run:  python examples/anisotropic_trench_3d.py
 """
 
 import numpy as np
 
-from repro.core import assign_levels, stable_timestep_from_operator
-from repro.core.lts_newmark import LTSNewmarkSolver, dof_levels_from_elements
-from repro.mesh import trench_mesh
-from repro.partition import partition_scotch_p
-from repro.runtime import DistributedLTSSolver, MailboxWorld, build_rank_layout
-from repro.sem import (
-    AnisotropicElastic,
-    AnisotropicElasticSemND,
-    hexagonal_stiffness,
-    isotropic_stiffness,
-    point_source,
-    ricker,
+from repro.api import (
+    Simulation,
+    SimulationConfig,
+    compare_backends,
+    relative_deviation,
 )
+from repro.core import stable_timestep_from_operator
+from repro.sem import AnisotropicElastic, hexagonal_stiffness, isotropic_stiffness
 from repro.sem.materials import rotation_about_y
 
 
 def main() -> None:
-    # Trench mesh (a refined band along x at the surface) with an
-    # isotropic background: lam = 2, mu = 1 -> vp = 2.
-    mesh = trench_mesh(nx=8, ny=6, nz=3, band_radii=(0.8, 1.8))
-    C = np.broadcast_to(isotropic_stiffness(2.0, 1.0, 3), (mesh.n_elements, 6, 6)).copy()
-
-    # Tilted-TI layer near the surface: hexagonal stiffness (vertical
-    # qP ~ sqrt(13), horizontal ~ sqrt(20) -- over 2x the background),
-    # symmetry axis tilted 30 degrees about y.
-    tti_voigt = AnisotropicElastic(
-        hexagonal_stiffness(c11=20.0, c33=13.0, c13=5.0, c44=4.0, c66=5.0)
-    ).rotate(rotation_about_y(np.deg2rad(30.0))).C
+    # Isotropic background: lam = 2, mu = 1 -> vp = 2.  Tilted-TI layer
+    # near the surface: hexagonal stiffness (vertical qP ~ sqrt(13),
+    # horizontal ~ sqrt(20) — over 2x the background), symmetry axis
+    # tilted 30 degrees about y.  Both tensors are plain data in the
+    # material spec; the TTI layer is a box region override covering
+    # the top element layer (centroid z <= 1.25).
+    tti_voigt = (
+        AnisotropicElastic(
+            hexagonal_stiffness(c11=20.0, c33=13.0, c13=5.0, c44=4.0, c66=5.0)
+        )
+        .rotate(rotation_about_y(np.deg2rad(30.0)))
+        .C
+    )
+    cfg = SimulationConfig.from_dict(
+        {
+            "name": "anisotropic-trench-3d",
+            "mesh": {
+                "family": "trench",
+                "params": {"nx": 8, "ny": 6, "nz": 3, "band_radii": [0.8, 1.8]},
+            },
+            "material": {
+                "model": "anisotropic_elastic",
+                "C": isotropic_stiffness(2.0, 1.0, 3),
+                "rho": 1.0,
+                "regions": [
+                    {
+                        "box": [[0.0, 8.0], [0.0, 6.0], [0.0, 1.25]],
+                        "values": {"C": tti_voigt},
+                    }
+                ],
+            },
+            "order": 2,
+            "time": {"n_cycles": 8, "c_cfl": 0.35},
+            "source": {"position": [2.0, 3.0, 1.0], "component": 2, "f0": 0.5},
+            "receivers": {
+                "positions": [[5.0, 3.0, 0.5], [7.0, 3.0, 0.5]],
+                "component": 2,
+            },
+            "partition": {"n_ranks": 4, "strategy": "SCOTCH-P", "seed": 0},
+        }
+    )
+    sim = Simulation(cfg)
+    mesh, levels = sim.mesh, sim.levels
+    vmax = sim.assembler.max_velocity()
     centroids = mesh.coords[mesh.elements].mean(axis=1)
-    z_top = centroids[:, 2].min()  # trench band sits at the z = 0 surface
-    tti = centroids[:, 2] <= z_top + 0.75
-    C[tti] = tti_voigt
-
-    sem = AnisotropicElasticSemND(mesh, order=2, C=C, rho=1.0)
-    vmax = sem.max_velocity()  # one Christoffel sweep, reused below
-    levels = assign_levels(mesh, c_cfl=0.35, order=2, velocity=vmax)
+    tti = centroids[:, 2] <= 1.25
     print(
         f"3D TTI trench: {mesh.n_elements} hexahedra ({int(tti.sum())} TTI), "
-        f"{sem.n_dof} DOFs (3 components), Christoffel max velocity in "
-        f"[{vmax.min():.2f}, {vmax.max():.2f}], "
+        f"{sim.assembler.n_dof} DOFs (3 components), Christoffel max velocity "
+        f"in [{vmax.min():.2f}, {vmax.max():.2f}], "
         f"{levels.n_levels} LTS levels {levels.counts()}"
     )
 
-    # Levels follow the Christoffel maximal velocity: identical to the
-    # assembler= convenience (which pulls the same sweep), and among the
+    # Levels follow the Christoffel maximal velocity: among the
     # unrefined bulk elements the fast TTI layer (velocity ratio > 2)
     # sits at least one level finer than the isotropic background of
     # the same size.
-    via_assembler = assign_levels(mesh, c_cfl=0.35, assembler=sem)
-    assert np.array_equal(levels.level, via_assembler.level)
-    assert levels.dt == via_assembler.dt
     bulk = mesh.h == mesh.h.max()
     assert levels.level[bulk & tti].min() > levels.level[bulk & ~tti].max()
 
     # Matrix-free CFL: power iteration needs only the operator action.
     # The TTI operator's top eigenvalues are clustered (rel gap ~1e-4),
     # so the iteration needs a looser tolerance and more headroom than
-    # the isotropic runs -- the 0.95 safety absorbs the ~1e-5 residual.
-    dt_eigs = stable_timestep_from_operator(sem.A, method="eigs")
+    # the isotropic runs — the 0.95 safety absorbs the ~1e-5 residual.
+    dt_eigs = stable_timestep_from_operator(sim.assembler.A, method="eigs")
     dt_power = stable_timestep_from_operator(
-        sem.operator("matfree"), method="power", tol=1e-10, maxiter=200_000
+        sim.assembler.operator("matfree"), method="power", tol=1e-10,
+        maxiter=200_000,
     )
     rel = abs(dt_eigs - dt_power) / dt_eigs
     print(f"stable dt: eigs {dt_eigs:.5f}, matfree power iteration {dt_power:.5f} "
           f"(rel diff {rel:.1e})")
     assert rel < 1e-3
 
-    dof_level = dof_levels_from_elements(sem.element_dofs, levels.level, sem.n_dof)
-    src = sem.nearest_dof(2.0, 3.0, 1.0, comp=2)  # vertical point force
-    force = point_source(sem.n_dof, src, sem.M, ricker(f0=0.5))
-    n_cycles = 8
-    u0 = np.zeros(sem.n_dof)
-    v0 = np.zeros(sem.n_dof)
-
-    # Serial reference.
-    serial = LTSNewmarkSolver(sem.A, dof_level, levels.dt, force=force)
-    us, _ = serial.run(u0, v0, n_cycles)
-
-    # Distributed, one run per stiffness backend.
-    parts = partition_scotch_p(mesh, levels, 4, seed=0)
-    sols = {}
-    for backend in ("assembled", "matfree"):
-        world = MailboxWorld(4)
-        layout = build_rank_layout(
-            sem, parts, 4, dof_level=dof_level, backend=backend
-        )
-        dist = DistributedLTSSolver(layout, levels.dt, world=world, force=force)
-        sols[backend], _ = dist.run(u0, v0, n_cycles)
+    # Serial reference (same config, one rank) + one distributed run
+    # per stiffness backend — all sharing sim's resolved pipeline.
+    results = compare_backends(sim, include_serial=True)
+    serial = results.pop("serial")
+    for backend, res in results.items():
         print(
-            f"{backend:>9} backend: {world.sent_messages} messages, "
-            f"{world.sent_volume} values exchanged over {n_cycles} cycles"
+            f"{backend:>9} backend: {res.metadata['messages']} messages, "
+            f"{res.metadata['comm_volume']} values exchanged over "
+            f"{res.n_cycles} cycles"
         )
 
-    scale = np.abs(us).max()
-    err_backends = np.abs(sols["matfree"] - sols["assembled"]).max() / scale
-    err_serial = max(
-        np.abs(sols[b] - us).max() / scale for b in ("assembled", "matfree")
-    )
+    err_backends = relative_deviation(results["assembled"], results["matfree"])
+    err_serial = max(relative_deviation(serial, r) for r in results.values())
     print(f"matfree vs assembled: {err_backends:.2e} (relative)")
     print(f"distributed vs serial: {err_serial:.2e} (relative)")
     assert err_backends < 1e-12

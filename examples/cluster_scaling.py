@@ -4,13 +4,15 @@ Partitions the trench mesh at growing rank counts, plays the LTS cycle
 schedule on the calibrated CPU and GPU machine models, and prints the
 normalized-performance curves the paper plots: non-LTS CPU, LTS with a
 naive vs LTS-aware partitioner, the LTS-ideal line, and the GPU runs with
-their kernel-launch strong-scaling limit.
+their kernel-launch strong-scaling limit.  The mesh and its Eq.-(7)
+level assignment come from a :class:`repro.api.SimulationConfig`; the
+façade's lazily-built stages feed the performance study directly.
 
 Run:  python examples/cluster_scaling.py
 """
 
-from repro.core import assign_levels, theoretical_speedup
-from repro.mesh import trench_mesh
+from repro.api import Simulation, SimulationConfig
+from repro.core import theoretical_speedup
 from repro.partition import partition_scotch, partition_scotch_p
 from repro.runtime import CPU_NODE, GPU_NODE, ClusterSimulator
 from repro.runtime.perfmodel import scaled
@@ -18,8 +20,21 @@ from repro.util import Table
 
 
 def main() -> None:
-    mesh = trench_mesh(nx=24, ny=20, nz=10, band_radii=(0.8, 1.8, 3.6))
-    levels = assign_levels(mesh)
+    sim = Simulation(
+        SimulationConfig.from_dict(
+            {
+                "name": "cluster-scaling",
+                "mesh": {
+                    "family": "trench",
+                    "params": {"nx": 24, "ny": 20, "nz": 10,
+                               "band_radii": [0.8, 1.8, 3.6]},
+                },
+                "order": 1,
+                "time": {"n_cycles": 1, "c_cfl": 0.5},
+            }
+        )
+    )
+    mesh, levels = sim.mesh, sim.levels
     ts = theoretical_speedup(levels)
     # Scale mapping: per-rank workload at the smallest config matches the
     # paper's 16-node runs (see DESIGN.md).

@@ -6,6 +6,16 @@ plain Newmark's order, and (ii) conserves the discrete energy over long
 runs — the two theoretical properties the paper cites from its companion
 work [15].
 
+This is the repository's **manual-wiring tutorial**: every other
+example drives the pipeline through the declarative
+:mod:`repro.api` façade, but studies like this one — interpolated
+initial conditions, sweeps over the cycle step, per-cycle energy
+probes — need the underlying layers directly.  The escape hatch is
+always available: build the mesh/assembler/levels by hand (below), or
+start from a config and pull the façade's resolved stages
+(``Simulation(cfg).assembler`` etc., as ``examples/elastic_basin.py``
+does).
+
 Run:  python examples/convergence_study.py
 """
 

@@ -2,70 +2,62 @@
 
 A 2D acoustic model with a fast inclusion (which forces locally small
 steps, creating LTS levels on a uniform grid), a Ricker point source and
-a line of receivers.  The simulation runs distributed over 4 ranks with
-per-substep halo exchange — then the whole run is repeated serially and
-the seismograms are compared to machine precision, demonstrating that
-the parallelization computes the same scheme (paper Sec. III).
+a line of receivers — declared as one :class:`repro.api
+.SimulationConfig`.  The fast inclusion is a declarative
+:class:`repro.api.RegionSpec` material override; the distributed run is
+the same config with ``partition.n_ranks = 4``.  The simulation runs
+distributed over 4 ranks with per-substep halo exchange — then the
+whole run is repeated serially and the seismograms are compared to
+machine precision, demonstrating that the parallelization computes the
+same scheme (paper Sec. III).
 
 Run:  python examples/distributed_wave.py
 """
 
 import numpy as np
 
-from repro.core import assign_levels
-from repro.core.lts_newmark import LTSNewmarkSolver, dof_levels_from_elements
-from repro.core.newmark import staggered_initial_velocity
-from repro.mesh import uniform_grid
-from repro.partition import partition_scotch_p
-from repro.runtime import DistributedLTSSolver, MailboxWorld, build_rank_layout
-from repro.sem import Sem2D, point_source, ricker
+from repro.api import PartitionSpec, Simulation, SimulationConfig
 
 
 def main() -> None:
     # 10x10 quad mesh with a fast inclusion in the middle.
-    mesh = uniform_grid((10, 10))
-    mesh.c = mesh.c.copy()
-    mesh.c[44:46] = 4.0
-    mesh.c[54:56] = 4.0
-    sem = Sem2D(mesh, order=4)
-    levels = assign_levels(mesh, c_cfl=0.35, order=4)
-    print(f"2D model: {mesh.n_elements} elements, {sem.n_dof} DOFs, "
-          f"{levels.n_levels} LTS levels {levels.counts()}")
-
-    dof_level = dof_levels_from_elements(sem.element_dofs, levels.level, sem.n_dof)
-    src = sem.nearest_dof(2.0, 5.0)
-    force = point_source(sem.n_dof, src, sem.M, ricker(f0=0.6))
-    receivers = [sem.nearest_dof(x, 5.0) for x in (4.0, 6.0, 8.0)]
-
-    n_cycles = 60
-    u0 = np.zeros(sem.n_dof)
-    v0 = np.zeros(sem.n_dof)
+    cfg = SimulationConfig.from_dict(
+        {
+            "name": "distributed-wave",
+            "mesh": {"family": "uniform_grid", "params": {"shape": [10, 10]}},
+            "material": {
+                "model": "acoustic",
+                "regions": [
+                    {"elements": [44, 45, 54, 55], "values": {"c": 4.0}}
+                ],
+            },
+            "order": 4,
+            "time": {"n_cycles": 60, "c_cfl": 0.35},
+            "source": {"position": [2.0, 5.0], "f0": 0.6},
+            "receivers": {"positions": [[4.0, 5.0], [6.0, 5.0], [8.0, 5.0]]},
+            "partition": {"n_ranks": 4, "strategy": "SCOTCH-P", "seed": 0},
+        }
+    )
+    sim = Simulation(cfg)
+    print(
+        f"2D model: {sim.mesh.n_elements} elements, {sim.assembler.n_dof} DOFs, "
+        f"{sim.levels.n_levels} LTS levels {sim.levels.counts()}"
+    )
 
     # Distributed run: 4 ranks, LTS-aware partition, mailbox MPI.
-    parts = partition_scotch_p(mesh, levels, 4, seed=0)
-    world = MailboxWorld(4)
-    layout = build_rank_layout(sem, parts, 4, dof_level=dof_level)
-    dist = DistributedLTSSolver(layout, levels.dt, world=world, force=force)
-    u_loc = layout.scatter(u0)
-    v_loc = layout.scatter(v0)
-    seis_dist = np.zeros((n_cycles, len(receivers)))
-    for n in range(n_cycles):
-        dist.step(u_loc, v_loc)
-        u = layout.gather(u_loc)
-        seis_dist[n] = u[receivers]
-    print(f"distributed run: {world.sent_messages} messages, "
-          f"{world.sent_volume} values exchanged over {n_cycles} cycles")
+    dist = sim.run()
+    print(
+        f"distributed run: {dist.metadata['messages']} messages, "
+        f"{dist.metadata['comm_volume']} values exchanged over "
+        f"{dist.n_cycles} cycles"
+    )
 
-    # Serial rerun for comparison.
-    serial = LTSNewmarkSolver(sem.A, dof_level, levels.dt, force=force)
-    u, v = u0.copy(), v0.copy()
-    seis_serial = np.zeros_like(seis_dist)
-    for n in range(n_cycles):
-        u, v = serial.step(u, v)
-        seis_serial[n] = u[receivers]
+    # Serial rerun for comparison: same config, one rank, sharing the
+    # already-resolved mesh/assembler/levels stages.
+    serial = sim.variant(partition=PartitionSpec(n_ranks=1)).run()
 
-    diff = np.max(np.abs(seis_dist - seis_serial))
-    peak = np.max(np.abs(seis_serial))
+    diff = np.max(np.abs(dist.traces - serial.traces))
+    peak = np.max(np.abs(serial.traces))
     print(f"seismogram peak amplitude: {peak:.3e}")
     print(f"max distributed-vs-serial difference: {diff:.3e} "
           f"({diff / peak:.1e} relative)")

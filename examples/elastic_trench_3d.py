@@ -1,97 +1,99 @@
 """3D elastic trench: distributed LTS on both operator backends.
 
-The paper's target physics in its native dimension: the elastic wave
-equation (Eqs. (1)-(2)) on a hexahedral trench mesh — the strip of
-pinched elements that creates multiple LTS p-levels — with levels driven
-by the per-element *P-wave* speed exactly as Eq. (7) prescribes:
+The paper's target physics in its native dimension — the elastic wave
+equation (Eqs. (1)-(2)) on a hexahedral trench mesh — declared as one
+:class:`repro.api.SimulationConfig`:
 
-1. build the trench mesh, discretize with
-   :class:`repro.sem.elastic3d.ElasticSem3D` (three displacement
-   components per GLL node, a stiff intrusion raising the local P speed),
-   and assign LTS levels from ``h_i / cp_i`` via
-   ``assign_levels(assembler=sem)`` — the material's maximal (P) speed
-   and the polynomial order are pulled automatically;
-2. verify the matrix-free CFL estimate (power iteration on the elastic
-   operator action — no assembled matrix needed) against the sparse
-   eigensolver;
-3. partition across 4 ranks and run the distributed LTS-Newmark solver
-   through the mailbox runtime, once per stiffness backend — assembled
-   partial-CSR and matrix-free sum-factorization (nine per-axis-pair
-   blocks, no rank ever forms a matrix);
-4. verify both backends agree to machine precision and match the serial
-   reference solver.
+1. the mesh spec builds the trench (the strip of pinched elements that
+   creates multiple LTS p-levels); the material spec sets an isotropic
+   elastic background with a stiff intrusion (a declarative
+   :class:`repro.api.RegionSpec`: 16x the moduli -> 4x the P speed) so
+   the level structure is genuinely P-velocity-driven — levels follow
+   ``h_i / cp_i`` exactly as Eq. (7) prescribes;
+2. the matrix-free CFL estimate (power iteration on the elastic
+   operator action — no assembled matrix needed) is verified against
+   the sparse eigensolver;
+3. :func:`repro.api.compare_backends` partitions across 4 ranks and
+   runs the distributed LTS-Newmark solver through the mailbox
+   runtime, once per stiffness backend — assembled partial-CSR and
+   matrix-free sum-factorization (no rank ever forms a matrix);
+4. both backends must agree to machine precision and match the serial
+   reference solver (the same config on one rank).
 
 Run:  python examples/elastic_trench_3d.py
 """
 
-import numpy as np
-
-from repro.core import assign_levels, stable_timestep_from_operator
-from repro.core.lts_newmark import LTSNewmarkSolver, dof_levels_from_elements
-from repro.mesh import trench_mesh
-from repro.partition import partition_scotch_p
-from repro.runtime import DistributedLTSSolver, MailboxWorld, build_rank_layout
-from repro.sem import ElasticSem3D, point_source, ricker
+from repro.api import (
+    Simulation,
+    SimulationConfig,
+    compare_backends,
+    relative_deviation,
+)
+from repro.core import stable_timestep_from_operator
 
 
 def main() -> None:
     # Small trench: a row of refined elements along x at the surface,
-    # plus a stiff intrusion (16x the moduli -> 4x the P speed) so the
-    # level structure is genuinely P-velocity-driven, not geometry-only.
-    mesh = trench_mesh(nx=8, ny=6, nz=3, band_radii=(0.8, 1.8))
-    lam = np.full(mesh.n_elements, 2.0)
-    mu = np.full(mesh.n_elements, 1.0)
-    stiff = mesh.n_elements // 2
-    lam[stiff] = 32.0
-    mu[stiff] = 16.0
-    sem = ElasticSem3D(mesh, order=2, lam=lam, mu=mu, rho=1.0)
-    levels = assign_levels(mesh, c_cfl=0.35, assembler=sem)
+    # plus a stiff intrusion (16x the moduli -> 4x the P speed).  The
+    # mesh has 8*6*3 = 144 hexahedra; element 72 is the intrusion.
+    cfg = SimulationConfig.from_dict(
+        {
+            "name": "elastic-trench-3d",
+            "mesh": {
+                "family": "trench",
+                "params": {"nx": 8, "ny": 6, "nz": 3, "band_radii": [0.8, 1.8]},
+            },
+            "material": {
+                "model": "elastic",
+                "lam": 2.0,
+                "mu": 1.0,
+                "rho": 1.0,
+                "regions": [
+                    {"elements": [72], "values": {"lam": 32.0, "mu": 16.0}}
+                ],
+            },
+            "order": 2,
+            "time": {"n_cycles": 8, "c_cfl": 0.35},
+            "source": {"position": [2.0, 3.0, 1.0], "component": 2, "f0": 0.5},
+            "receivers": {
+                "positions": [[5.0, 3.0, 0.5], [7.0, 3.0, 0.5]],
+                "component": 2,
+            },
+            "partition": {"n_ranks": 4, "strategy": "SCOTCH-P", "seed": 0},
+        }
+    )
+    sim = Simulation(cfg)
+    cp = sim.assembler.p_velocity()
     print(
-        f"3D elastic trench: {mesh.n_elements} hexahedra, {sem.n_dof} DOFs "
-        f"(3 components), cp in [{sem.p_velocity().min():.1f}, "
-        f"{sem.p_velocity().max():.1f}], "
-        f"{levels.n_levels} LTS levels {levels.counts()}"
+        f"3D elastic trench: {sim.mesh.n_elements} hexahedra, "
+        f"{sim.assembler.n_dof} DOFs (3 components), "
+        f"cp in [{cp.min():.1f}, {cp.max():.1f}], "
+        f"{sim.levels.n_levels} LTS levels {sim.levels.counts()}"
     )
 
     # Matrix-free CFL: power iteration needs only the operator action.
-    dt_eigs = stable_timestep_from_operator(sem.A, method="eigs")
-    dt_power = stable_timestep_from_operator(sem.operator("matfree"), method="power")
+    dt_eigs = stable_timestep_from_operator(sim.assembler.A, method="eigs")
+    dt_power = stable_timestep_from_operator(
+        sim.assembler.operator("matfree"), method="power"
+    )
     rel = abs(dt_eigs - dt_power) / dt_eigs
     print(f"stable dt: eigs {dt_eigs:.5f}, matfree power iteration {dt_power:.5f} "
           f"(rel diff {rel:.1e})")
     assert rel < 1e-6
 
-    dof_level = dof_levels_from_elements(sem.element_dofs, levels.level, sem.n_dof)
-    src = sem.nearest_dof(2.0, 3.0, 1.0, comp=2)  # vertical point force
-    force = point_source(sem.n_dof, src, sem.M, ricker(f0=0.5))
-    n_cycles = 8
-    u0 = np.zeros(sem.n_dof)
-    v0 = np.zeros(sem.n_dof)
-
-    # Serial reference.
-    serial = LTSNewmarkSolver(sem.A, dof_level, levels.dt, force=force)
-    us, _ = serial.run(u0, v0, n_cycles)
-
-    # Distributed, one run per stiffness backend.
-    parts = partition_scotch_p(mesh, levels, 4, seed=0)
-    sols = {}
-    for backend in ("assembled", "matfree"):
-        world = MailboxWorld(4)
-        layout = build_rank_layout(
-            sem, parts, 4, dof_level=dof_level, backend=backend
-        )
-        dist = DistributedLTSSolver(layout, levels.dt, world=world, force=force)
-        sols[backend], _ = dist.run(u0, v0, n_cycles)
+    # Serial reference (same config, one rank) + one distributed run
+    # per stiffness backend — all sharing sim's resolved pipeline.
+    results = compare_backends(sim, include_serial=True)
+    serial = results.pop("serial")
+    for backend, res in results.items():
         print(
-            f"{backend:>9} backend: {world.sent_messages} messages, "
-            f"{world.sent_volume} values exchanged over {n_cycles} cycles"
+            f"{backend:>9} backend: {res.metadata['messages']} messages, "
+            f"{res.metadata['comm_volume']} values exchanged over "
+            f"{res.n_cycles} cycles"
         )
 
-    scale = np.abs(us).max()
-    err_backends = np.abs(sols["matfree"] - sols["assembled"]).max() / scale
-    err_serial = max(
-        np.abs(sols[b] - us).max() / scale for b in ("assembled", "matfree")
-    )
+    err_backends = relative_deviation(results["assembled"], results["matfree"])
+    err_serial = max(relative_deviation(serial, r) for r in results.values())
     print(f"matfree vs assembled: {err_backends:.2e} (relative)")
     print(f"distributed vs serial: {err_serial:.2e} (relative)")
     assert err_backends < 1e-12

@@ -1,83 +1,70 @@
 """3D hexahedral trench: distributed LTS on both operator backends.
 
-The paper's benchmark meshes are hexahedral (Fig. 4); this demo runs the
-full pipeline on a small 3D trench — the strip of pinched elements that
-creates multiple LTS p-levels — exactly as the 2D examples do, but on
-:class:`repro.sem.assembly3d.Sem3D`:
+The paper's benchmark meshes are hexahedral (Fig. 4); this demo runs
+the full pipeline on a small 3D trench — the strip of pinched elements
+that creates multiple LTS p-levels — from the checked-in config
+``examples/configs/hex_trench_3d.json`` (also runnable as
+``python -m repro run examples/configs/hex_trench_3d.json``):
 
-1. build the trench mesh and assign LTS levels from ``h_i / c_i``;
-2. discretize with order-3 hexahedral spectral elements;
-3. partition across 4 ranks and run the distributed LTS-Newmark solver
-   through the mailbox runtime, once per stiffness backend — assembled
-   partial-CSR and matrix-free sum-factorization (no rank ever forms a
-   matrix);
-4. verify both backends agree to machine precision and match the serial
-   reference solver, and that the matrix-free CFL estimate (power
-   iteration on the operator action, no assembled matrix needed) matches
-   the sparse eigensolver.
+1. the config builds the trench mesh, assigns LTS levels from
+   ``h_i / c_i``, and discretizes with order-3 hexahedral spectral
+   elements (:class:`repro.sem.assembly3d.Sem3D`);
+2. :func:`repro.api.compare_backends` partitions across 4 ranks and
+   runs the distributed LTS-Newmark solver through the mailbox
+   runtime, once per stiffness backend — assembled partial-CSR and
+   matrix-free sum-factorization (no rank ever forms a matrix);
+3. both backends must agree to machine precision and match the serial
+   reference solver (the same config on one rank), and the matrix-free
+   CFL estimate (power iteration on the operator action, no assembled
+   matrix needed) must match the sparse eigensolver.
 
 Run:  python examples/hex_trench_3d.py
 """
 
-import numpy as np
+from pathlib import Path
 
-from repro.core import assign_levels, stable_timestep_from_operator
-from repro.core.lts_newmark import LTSNewmarkSolver, dof_levels_from_elements
-from repro.mesh import trench_mesh
-from repro.partition import partition_scotch_p
-from repro.runtime import DistributedLTSSolver, MailboxWorld, build_rank_layout
-from repro.sem import Sem3D, point_source, ricker
+from repro.api import (
+    Simulation,
+    SimulationConfig,
+    compare_backends,
+    relative_deviation,
+)
+from repro.core import stable_timestep_from_operator
+
+CONFIG = Path(__file__).with_name("configs") / "hex_trench_3d.json"
 
 
 def main() -> None:
-    # Small trench: a row of refined elements along x at the surface.
-    mesh = trench_mesh(nx=10, ny=8, nz=4)
-    levels = assign_levels(mesh, c_cfl=0.4, order=3)
-    sem = Sem3D(mesh, order=3)
+    cfg = SimulationConfig.from_file(CONFIG)
+    sim = Simulation(cfg)
     print(
-        f"3D trench: {mesh.n_elements} hexahedra, {sem.n_dof} DOFs, "
-        f"{levels.n_levels} LTS levels {levels.counts()}"
+        f"3D trench: {sim.mesh.n_elements} hexahedra, {sim.assembler.n_dof} "
+        f"DOFs, {sim.levels.n_levels} LTS levels {sim.levels.counts()}"
     )
 
     # Matrix-free CFL: power iteration needs only the operator action.
-    dt_eigs = stable_timestep_from_operator(sem.A, method="eigs")
-    dt_power = stable_timestep_from_operator(sem.operator("matfree"), method="power")
+    dt_eigs = stable_timestep_from_operator(sim.assembler.A, method="eigs")
+    dt_power = stable_timestep_from_operator(
+        sim.assembler.operator("matfree"), method="power"
+    )
     rel = abs(dt_eigs - dt_power) / dt_eigs
     print(f"stable dt: eigs {dt_eigs:.5f}, matfree power iteration {dt_power:.5f} "
           f"(rel diff {rel:.1e})")
     assert rel < 1e-6
 
-    dof_level = dof_levels_from_elements(sem.element_dofs, levels.level, sem.n_dof)
-    src = sem.nearest_dof(2.0, 4.0, 1.0)
-    force = point_source(sem.n_dof, src, sem.M, ricker(f0=0.5))
-    n_cycles = 8
-    u0 = np.zeros(sem.n_dof)
-    v0 = np.zeros(sem.n_dof)
-
-    # Serial reference.
-    serial = LTSNewmarkSolver(sem.A, dof_level, levels.dt, force=force)
-    us, _ = serial.run(u0, v0, n_cycles)
-
-    # Distributed, one run per stiffness backend.
-    parts = partition_scotch_p(mesh, levels, 4, seed=0)
-    sols = {}
-    for backend in ("assembled", "matfree"):
-        world = MailboxWorld(4)
-        layout = build_rank_layout(
-            sem, parts, 4, dof_level=dof_level, backend=backend
-        )
-        dist = DistributedLTSSolver(layout, levels.dt, world=world, force=force)
-        sols[backend], _ = dist.run(u0, v0, n_cycles)
+    # Serial reference (same config, one rank) + one distributed run
+    # per stiffness backend — all sharing sim's resolved pipeline.
+    results = compare_backends(sim, include_serial=True)
+    serial = results.pop("serial")
+    for backend, res in results.items():
         print(
-            f"{backend:>9} backend: {world.sent_messages} messages, "
-            f"{world.sent_volume} values exchanged over {n_cycles} cycles"
+            f"{backend:>9} backend: {res.metadata['messages']} messages, "
+            f"{res.metadata['comm_volume']} values exchanged over "
+            f"{res.n_cycles} cycles"
         )
 
-    scale = np.abs(us).max()
-    err_backends = np.abs(sols["matfree"] - sols["assembled"]).max() / scale
-    err_serial = max(
-        np.abs(sols[b] - us).max() / scale for b in ("assembled", "matfree")
-    )
+    err_backends = relative_deviation(results["assembled"], results["matfree"])
+    err_serial = max(relative_deviation(serial, r) for r in results.values())
     print(f"matfree vs assembled: {err_backends:.2e} (relative)")
     print(f"distributed vs serial: {err_serial:.2e} (relative)")
     assert err_backends < 1e-12

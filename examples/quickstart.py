@@ -1,66 +1,68 @@
-"""Quickstart: remove the CFL bottleneck of a refined mesh with LTS-Newmark.
+"""Quickstart: one declarative config from mesh to receiver traces.
 
-Builds the paper's Fig.-1 setting — a 1D wave problem whose centre block
-of elements is 4x smaller than the rest — and compares:
+The whole pipeline — the paper's Fig.-1 setting, a 1D wave problem
+whose centre block of elements is 8x smaller than the rest — described
+as a single :class:`repro.api.SimulationConfig` loaded from
+``examples/configs/quickstart.json`` (the same file
+``python -m repro run examples/configs/quickstart.json`` executes):
 
-* explicit Newmark at the global CFL step (the bottlenecked baseline);
-* multi-level LTS-Newmark, stepping each region at its own rate.
+* the pinched elements force an 8x smaller global step on the whole
+  mesh (paper Eq. (7)); multi-level LTS-Newmark steps each region at
+  its own rate;
+* ``dataclasses.replace`` swaps one spec field at a time: the non-LTS
+  Newmark baseline (``scheme="newmark"``) and the matrix-free
+  stiffness backend are the same config with one knob changed;
+* both stiffness backends reproduce the same receiver seismograms to
+  machine precision.
 
 Run:  python examples/quickstart.py
+      python -m repro run examples/configs/quickstart.json
 """
 
-import time
+from dataclasses import replace
+from pathlib import Path
 
 import numpy as np
 
-from repro.core import assign_levels, theoretical_speedup
-from repro.core.lts_newmark import LTSNewmarkSolver, dof_levels_from_elements
-from repro.core.newmark import NewmarkSolver, staggered_initial_velocity
-from repro.mesh import refined_interval
-from repro.sem import Sem1D
+from repro.api import BackendSpec, Simulation, SimulationConfig, run
+from repro.core import theoretical_speedup
+
+CONFIG = Path(__file__).with_name("configs") / "quickstart.json"
 
 
 def main() -> None:
-    # A mesh whose centre block is 8x refined: the pinched elements force
-    # an 8x smaller global step on the *whole* mesh (paper Eq. (7)).
-    mesh = refined_interval(n_coarse=960, n_fine=16, refinement=8, coarse_h=0.125)
-    sem = Sem1D(mesh, order=4, dirichlet=True)
-    levels = assign_levels(mesh, c_cfl=0.4, order=4)
-    print(f"mesh: {mesh.n_elements} elements, {sem.n_dof} DOFs")
-    print(f"LTS levels: {levels.n_levels} (elements per level: {levels.counts()})")
-    print(f"speedup model (paper Eq. 9): {theoretical_speedup(levels):.2f}x")
+    cfg = SimulationConfig.from_file(CONFIG)
+    sim = Simulation(cfg)
+    print(f"config: {CONFIG.name} ({cfg.mesh.family} mesh, "
+          f"material={cfg.material.model}, order={cfg.order})")
+    print(f"mesh: {sim.mesh.n_elements} elements, {sim.assembler.n_dof} DOFs")
+    print(f"LTS levels: {sim.levels.n_levels} "
+          f"(elements per level: {sim.levels.counts()})")
+    print(f"speedup model (paper Eq. 9): {theoretical_speedup(sim.levels):.2f}x")
 
-    # A standing wave with a known exact solution.
-    L = mesh.coords[:, 0].max()
-    k = np.pi / L
-    T = 0.5
-    u0 = np.sin(k * sem.x)
-    exact = u0 * np.cos(k * T)
-
-    # --- non-LTS baseline: everything at the smallest stable step -------
-    n_fine_steps = int(np.ceil(T / levels.dt_min))
-    dt_min = T / n_fine_steps
-    v0 = staggered_initial_velocity(sem.A, dt_min, u0, np.zeros_like(u0))
-    t0 = time.perf_counter()
-    u_nm, _ = NewmarkSolver(sem.A, dt_min).run(u0, v0, n_fine_steps)
-    t_nm = time.perf_counter() - t0
-
-    # --- LTS: coarse region steps 4x less often --------------------------
-    n_cycles = int(np.ceil(T / levels.dt))
-    dt = T / n_cycles
-    dof_level = dof_levels_from_elements(sem.element_dofs, levels.level, sem.n_dof)
-    v0 = staggered_initial_velocity(sem.A, dt, u0, np.zeros_like(u0))
-    t0 = time.perf_counter()
-    solver = LTSNewmarkSolver(sem.A, dof_level, dt, mode="optimized")
-    u_lts, _ = solver.run(u0, v0, n_cycles)
-    t_lts = time.perf_counter() - t0
-
-    err_nm = np.max(np.abs(u_nm - exact))
-    err_lts = np.max(np.abs(u_lts - exact))
-    print(f"\nnon-LTS Newmark: {n_fine_steps} steps, err={err_nm:.2e}, {t_nm:.3f}s")
-    print(f"LTS-Newmark:     {n_cycles} cycles, err={err_lts:.2e}, {t_lts:.3f}s")
+    # --- LTS vs the non-LTS baseline: one spec field changed ------------
+    lts = sim.run()
+    newmark = run(replace(cfg, time=replace(cfg.time, scheme="newmark")))
+    t_lts = lts.metadata["run_seconds"]
+    t_nm = newmark.metadata["run_seconds"]
+    print(f"\nnon-LTS Newmark: {newmark.n_cycles} steps, {t_nm:.3f}s")
+    print(f"LTS-Newmark:     {lts.n_cycles} cycles, {t_lts:.3f}s")
     print(f"wall-clock speedup: {t_nm / t_lts:.2f}x")
-    assert err_lts < 1e-3, "LTS solution should match the standing wave"
+    # Both schemes integrate the same problem to t_end: second-order
+    # agreement on the final field.
+    scheme_diff = np.abs(lts.u - newmark.u).max() / np.abs(newmark.u).max()
+    print(f"LTS vs Newmark final field: {scheme_diff:.2e} (relative)")
+    assert scheme_diff < 0.05
+
+    # --- backend parity: assembled CSR vs matrix-free -------------------
+    matfree = sim.variant(backend=BackendSpec(stiffness="matfree")).run()
+    peak = np.abs(lts.traces).max()
+    backend_diff = np.abs(lts.traces - matfree.traces).max() / peak
+    print(f"receiver peak |u| = {peak:.3e}")
+    print(f"matfree vs assembled traces: {backend_diff:.2e} (relative)")
+    assert backend_diff < 1e-12
+    assert np.all(np.isfinite(lts.u))
+    print("quickstart verified: both backends reproduce the same seismograms")
 
 
 if __name__ == "__main__":

@@ -1,11 +1,14 @@
 """Compare the paper's four partitioning strategies on the trench mesh.
 
-Reproduces the Sec. IV-B comparison (Figs. 6-8) at laptop scale: builds
-the trench benchmark mesh, partitions it with SCOTCH (baseline), MeTiS
+Reproduces the Sec. IV-B comparison (Figs. 6-8) at laptop scale: the
+trench benchmark mesh and its Eq.-(7) level assignment come from a
+:class:`repro.api.SimulationConfig` (the façade's lazily-built stages
+``sim.mesh`` / ``sim.levels`` feed the study without running a
+solve); the mesh is then partitioned with SCOTCH (baseline), MeTiS
 (multi-constraint graph), PaToH (multi-constraint hypergraph, two
 final_imbal settings) and SCOTCH-P (per-level + greedy coupling), and
-tabulates load imbalance (Eq. 21), per-level imbalance, weighted graph
-cut, and exact per-cycle MPI volume (Eq. 20).
+the script tabulates load imbalance (Eq. 21), per-level imbalance,
+weighted graph cut, and exact per-cycle MPI volume (Eq. 20).
 
 Run:  python examples/trench_partitioning.py [K]
 """
@@ -13,15 +16,27 @@ Run:  python examples/trench_partitioning.py [K]
 import sys
 import time
 
-from repro.core import assign_levels, theoretical_speedup
-from repro.mesh import trench_mesh
+from repro.api import Simulation, SimulationConfig
+from repro.core import theoretical_speedup
 from repro.partition import PARTITIONERS, partition_report
 from repro.util import Table, format_si
 
 
 def main(k: int = 8) -> None:
-    mesh = trench_mesh(nx=24, ny=20, nz=10, band_radii=(0.8, 1.8, 3.6))
-    levels = assign_levels(mesh)
+    cfg = SimulationConfig.from_dict(
+        {
+            "name": "trench-partitioning",
+            "mesh": {
+                "family": "trench",
+                "params": {"nx": 24, "ny": 20, "nz": 10,
+                           "band_radii": [0.8, 1.8, 3.6]},
+            },
+            "order": 1,
+            "time": {"n_cycles": 1, "c_cfl": 0.5},
+        }
+    )
+    sim = Simulation(cfg)
+    mesh, levels = sim.mesh, sim.levels
     print(
         f"trench mesh: {mesh.n_elements} elements, {levels.n_levels} LTS levels, "
         f"theoretical speedup {theoretical_speedup(levels):.1f}x, K={k}"

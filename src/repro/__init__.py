@@ -1,19 +1,122 @@
 """repro — Load-Balanced Local Time Stepping for Large-Scale Wave Propagation.
 
 A from-scratch reproduction of Rietmann, Peter, Schenk, Uçar, Grote
-(IPDPS 2015).  Subpackages:
+(IPDPS 2015), grown into a configurable simulation system.
 
+**Start here:** the declarative façade (:mod:`repro.api`) — one
+validated :class:`SimulationConfig` drives the full pipeline from mesh
+to receiver traces, serially or distributed, on either stiffness
+backend; ``python -m repro run <config.json>`` does the same from the
+command line.
+
+Subpackages:
+
+* :mod:`repro.api` — the declarative configuration + simulation façade;
 * :mod:`repro.mesh` — meshes and the paper's benchmark families;
 * :mod:`repro.core` — CFL, p-levels, speedup model, Newmark and
   multi-level LTS-Newmark (the paper's contribution);
-* :mod:`repro.sem` — spectral-element substrate (GLL, diagonal mass);
+* :mod:`repro.sem` — spectral-element substrate: dimension- and
+  physics-generic assemblers, material models, matrix-free kernels;
 * :mod:`repro.partition` — multilevel graph/hypergraph partitioners and
   the four strategies of Sec. III-B;
 * :mod:`repro.runtime` — mailbox-MPI distributed execution and the
   calibrated cluster performance simulator behind Figs. 9-13;
 * :mod:`repro.util` — errors, validation, table reporting.
 
-See README.md for a tour and DESIGN.md for the experiment index.
+See README.md for a tour; everything listed in ``__all__`` below is the
+supported public surface.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+from repro.api import (
+    BackendSpec,
+    MaterialSpec,
+    MeshSpec,
+    PartitionSpec,
+    ReceiverSpec,
+    RegionSpec,
+    Simulation,
+    SimulationConfig,
+    SimulationResult,
+    SourceSpec,
+    TimeSpec,
+    compare_backends,
+    relative_deviation,
+    run,
+)
+from repro.core import (
+    LevelAssignment,
+    LTSNewmarkSolver,
+    NewmarkSolver,
+    assign_levels,
+    cfl_timestep,
+    stable_timestep_from_operator,
+    theoretical_speedup,
+)
+from repro.mesh import Mesh, benchmark_mesh
+from repro.partition import PARTITIONERS, partition_mesh
+from repro.runtime import DistributedLTSSolver, MailboxWorld, build_rank_layout
+from repro.sem import (
+    AnisotropicElastic,
+    AnisotropicElasticSemND,
+    ElasticSem2D,
+    ElasticSem3D,
+    IsotropicAcoustic,
+    IsotropicElastic,
+    Material,
+    Sem1D,
+    Sem2D,
+    Sem3D,
+)
+from repro.util.errors import ConfigError, ReproError
+
+__all__ = [
+    # façade (repro.api)
+    "SimulationConfig",
+    "MeshSpec",
+    "MaterialSpec",
+    "RegionSpec",
+    "SourceSpec",
+    "ReceiverSpec",
+    "TimeSpec",
+    "PartitionSpec",
+    "BackendSpec",
+    "Simulation",
+    "SimulationResult",
+    "run",
+    "compare_backends",
+    "relative_deviation",
+    # meshes
+    "Mesh",
+    "benchmark_mesh",
+    # LTS core
+    "LevelAssignment",
+    "assign_levels",
+    "cfl_timestep",
+    "stable_timestep_from_operator",
+    "theoretical_speedup",
+    "NewmarkSolver",
+    "LTSNewmarkSolver",
+    # SEM substrate + materials
+    "Material",
+    "IsotropicAcoustic",
+    "IsotropicElastic",
+    "AnisotropicElastic",
+    "Sem1D",
+    "Sem2D",
+    "Sem3D",
+    "ElasticSem2D",
+    "ElasticSem3D",
+    "AnisotropicElasticSemND",
+    # partitioning
+    "PARTITIONERS",
+    "partition_mesh",
+    # distributed runtime
+    "MailboxWorld",
+    "build_rank_layout",
+    "DistributedLTSSolver",
+    # errors
+    "ReproError",
+    "ConfigError",
+]

@@ -1,0 +1,491 @@
+"""The :class:`Simulation` driver: one config object, resolved end-to-end.
+
+``Simulation`` consumes a :class:`repro.api.config.SimulationConfig`
+and walks the paper's whole pipeline:
+
+1. build the mesh from the registered generator family
+   (:class:`~repro.api.config.MeshSpec`);
+2. resolve the material and construct the matching assembler —
+   acoustic / elastic / anisotropic x 1D / 2D / 3D
+   (:class:`~repro.api.config.MaterialSpec`);
+3. assign LTS p-levels and the cycle step from the material's maximal
+   wave speed via ``assign_levels(assembler=...)`` (paper Eq. (7));
+   ``scheme="newmark"`` collapses everything to the finest stable step
+   (the non-LTS baseline);
+4. resolve the point source and receiver DOFs
+   (:class:`~repro.api.config.SourceSpec` /
+   :class:`~repro.api.config.ReceiverSpec`);
+5. run serially (:class:`repro.core.lts_newmark.LTSNewmarkSolver`) or
+   partition and run the distributed mailbox executors
+   (:class:`~repro.api.config.PartitionSpec`), on either stiffness
+   backend (:class:`~repro.api.config.BackendSpec`);
+6. return a :class:`SimulationResult` — receiver traces, final fields,
+   level/partition/timing metadata.
+
+Intermediate artifacts (``sim.mesh``, ``sim.assembler``,
+``sim.levels``, ``sim.dof_level``, ``sim.force`` ...) are lazily built
+cached properties, so the façade composes with the manual-wiring layer
+instead of hiding it: build a reference solver from ``sim.assembler``
+by hand, reuse ``sim.levels`` in a partition study, and so on.
+
+Module-level conveniences: :func:`run` (one-shot),
+:func:`compare_backends` (the assembled-vs-matfree cross-check every
+backend-parity example performs), :func:`relative_deviation` (result
+agreement metric) and :func:`run_distributed` (the shared
+partition -> layout -> executor block, also used by ``Simulation``
+itself).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from functools import cached_property
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.api.config import BackendSpec, PartitionSpec, SimulationConfig
+from repro.core.levels import LevelAssignment, assign_levels
+from repro.core.lts_newmark import LTSNewmarkSolver, dof_levels_from_elements
+from repro.partition.strategies import PARTITIONERS
+from repro.runtime.comm import MailboxWorld
+from repro.runtime.executor import DistributedLTSSolver
+from repro.runtime.halo import build_rank_layout
+from repro.sem.anisotropic import AnisotropicElasticSemND
+from repro.sem.assembly1d import Sem1D
+from repro.sem.assembly2d import Sem2D
+from repro.sem.assembly3d import Sem3D
+from repro.sem.elastic2d import ElasticSem2D
+from repro.sem.elastic3d import ElasticSem3D
+from repro.sem.sources import point_source, ricker
+from repro.util.errors import ConfigError
+
+
+@dataclass
+class SimulationResult:
+    """Everything a run produces.
+
+    Attributes
+    ----------
+    u, v:
+        Final displacement and (staggered) velocity fields, global
+        numbering.
+    times:
+        ``(n_cycles,)`` trace sample times (end of each LTS cycle).
+    traces:
+        ``(n_cycles, n_receivers)`` displacement seismograms, or
+        ``None`` when the config has no receivers.
+    receiver_dofs:
+        Global DOF ids the traces were recorded at.
+    levels:
+        The :class:`repro.core.levels.LevelAssignment` used.
+    dt:
+        The realized cycle step (after ``t_end`` rounding).
+    parts:
+        Element partition vector (``None`` for serial runs).
+    metadata:
+        Sizes, backend/scheme/rank info, build and run wall times, and
+        mailbox message statistics for distributed runs.
+    """
+
+    config: SimulationConfig
+    u: np.ndarray
+    v: np.ndarray
+    times: np.ndarray
+    traces: np.ndarray | None
+    receiver_dofs: np.ndarray | None
+    levels: LevelAssignment
+    dt: float
+    n_cycles: int
+    parts: np.ndarray | None
+    metadata: dict
+
+
+def run_distributed(
+    assembler,
+    parts: np.ndarray,
+    dof_level: np.ndarray,
+    dt: float,
+    n_cycles: int,
+    *,
+    n_ranks: int | None = None,
+    backend: str = "assembled",
+    use_fused: bool | None = None,
+    force: Callable[[float], np.ndarray] | None = None,
+    receiver_dofs: np.ndarray | None = None,
+    u0: np.ndarray | None = None,
+    v0: np.ndarray | None = None,
+    world: MailboxWorld | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None, MailboxWorld]:
+    """Partitioned LTS run: layout -> mailbox world -> executor -> gather.
+
+    The shared block every distributed example used to hand-roll (and
+    :meth:`Simulation.run` uses for multi-rank configs): builds the
+    rank layout in the requested stiffness backend, steps
+    :class:`repro.runtime.executor.DistributedLTSSolver` for
+    ``n_cycles``, records receiver traces once per cycle, and returns
+    ``(u, v, traces, world)`` with globally gathered fields.
+    """
+    parts = np.asarray(parts, dtype=np.int64)
+    if n_ranks is None:
+        n_ranks = int(parts.max()) + 1
+    if world is None:
+        world = MailboxWorld(n_ranks)
+    layout = build_rank_layout(
+        assembler, parts, n_ranks, dof_level=dof_level, backend=backend,
+        use_fused=use_fused,
+    )
+    solver = DistributedLTSSolver(layout, dt, world=world, force=force)
+    n_dof = int(assembler.n_dof)
+    u0 = np.zeros(n_dof) if u0 is None else u0
+    v0 = np.zeros(n_dof) if v0 is None else v0
+    u_locals = layout.scatter(u0)
+    v_locals = layout.scatter(v0)
+    traces = None
+    locations: list[tuple[int, int]] = []
+    if receiver_dofs is not None:
+        traces = np.zeros((n_cycles, len(receiver_dofs)))
+        # Locate each receiver once (owning rank, local index) so trace
+        # recording reads scalars instead of gathering the global field
+        # every cycle.  Every DOF has exactly one owning rank.
+        for g in receiver_dofs:
+            for r in range(layout.n_ranks):
+                i = int(np.searchsorted(layout.gdofs[r], g))
+                if (
+                    i < len(layout.gdofs[r])
+                    and layout.gdofs[r][i] == g
+                    and layout.owner[r][i]
+                ):
+                    locations.append((r, i))
+                    break
+    for n in range(n_cycles):
+        solver.step(u_locals, v_locals)
+        if traces is not None:
+            traces[n] = [u_locals[r][i] for r, i in locations]
+    return layout.gather(u_locals), layout.gather(v_locals), traces, world
+
+
+class Simulation:
+    """Resolve a :class:`~repro.api.config.SimulationConfig` end-to-end.
+
+    Construction is cheap; every pipeline stage is a cached property
+    built on first access, and :meth:`run` produces the
+    :class:`SimulationResult`.
+    """
+
+    def __init__(self, config: SimulationConfig | Mapping):
+        if isinstance(config, Mapping):
+            config = SimulationConfig.from_dict(config)
+        if not isinstance(config, SimulationConfig):
+            raise ConfigError(
+                f"Simulation expects a SimulationConfig (or a mapping), "
+                f"got {type(config).__name__}"
+            )
+        self.config = config
+
+    # -- pipeline stages ------------------------------------------------
+    @cached_property
+    def mesh(self):
+        """The built :class:`repro.mesh.Mesh`."""
+        return self.config.mesh.build()
+
+    @cached_property
+    def material(self):
+        """The resolved per-element :class:`repro.sem.materials.Material`."""
+        return self.config.material.build(self.mesh)
+
+    @cached_property
+    def assembler(self):
+        """The SEM assembler matching (material model, mesh dimension)."""
+        cfg = self.config
+        mesh = self.mesh
+        model = cfg.material.model
+        material = self.material
+        if model == "acoustic":
+            if mesh.dim == 1:
+                if not bool(np.all(material.rho == 1.0)):
+                    raise ConfigError(
+                        "1D acoustic assemblers have unit density; drop "
+                        "MaterialSpec.rho (or use a 2D/3D mesh)"
+                    )
+                # Sem1D reads the wave speed off the mesh; the resolved
+                # material (spec c override + regions) is authoritative.
+                mesh.c = np.array(material.c, dtype=np.float64)
+                return Sem1D(mesh, order=cfg.order, dirichlet=cfg.dirichlet)
+            cls = {2: Sem2D, 3: Sem3D}[mesh.dim]
+        elif model == "elastic":
+            if mesh.dim == 1:
+                raise ConfigError(
+                    "elastic materials need a 2D or 3D mesh, got dim=1"
+                )
+            cls = {2: ElasticSem2D, 3: ElasticSem3D}[mesh.dim]
+        else:
+            cls = AnisotropicElasticSemND
+        return cls(
+            mesh, order=cfg.order, dirichlet=cfg.dirichlet, material=material
+        )
+
+    @cached_property
+    def levels(self) -> LevelAssignment:
+        """LTS p-levels from the material's maximal wave speed (Eq. (7))."""
+        t = self.config.time
+        return assign_levels(
+            self.mesh,
+            c_cfl=t.c_cfl,
+            max_levels=t.max_levels,
+            assembler=self.assembler,
+        )
+
+    @cached_property
+    def dof_level(self) -> np.ndarray:
+        """Per-DOF levels (all 1 under the non-LTS ``newmark`` scheme)."""
+        sem = self.assembler
+        if self.config.time.scheme == "newmark":
+            return np.ones(sem.n_dof, dtype=np.int64)
+        return dof_levels_from_elements(
+            sem.element_dofs, self.levels.level, sem.n_dof
+        )
+
+    @cached_property
+    def _stepping(self) -> tuple[float, int]:
+        """The realized ``(dt, n_cycles)`` pair.
+
+        The stable step is the coarse cycle step for LTS and the finest
+        step for the ``newmark`` baseline.  ``n_cycles`` always counts
+        *coarse-cycle spans*, so the newmark baseline takes
+        ``n_cycles * p_max`` fine steps and both schemes cover the same
+        physical duration — the comparison the baseline exists for.  In
+        ``t_end`` mode the step is shrunk so ``n * dt == t_end``
+        exactly.
+        """
+        t = self.config.time
+        if t.scheme == "lts":
+            dt, per_cycle = self.levels.dt, 1
+        else:
+            dt, per_cycle = self.levels.dt_min, self.levels.p_max
+        if t.n_cycles is not None:
+            return dt, t.n_cycles * per_cycle
+        n = max(1, int(np.ceil(t.t_end / dt)))
+        return t.t_end / n, n
+
+    @property
+    def dt(self) -> float:
+        return self._stepping[0]
+
+    @property
+    def n_cycles(self) -> int:
+        return self._stepping[1]
+
+    # -- source / receivers ---------------------------------------------
+    def _locate_dof(self, position, component: int, what: str) -> int:
+        sem = self.assembler
+        if len(position) != self.mesh.dim:
+            raise ConfigError(
+                f"{what} position {position} has {len(position)} "
+                f"coordinates but the mesh is {self.mesh.dim}D"
+            )
+        n_comp = int(getattr(sem, "n_comp", 1))
+        if component >= n_comp:
+            kind = type(sem).__name__
+            if n_comp == 1:
+                raise ConfigError(
+                    f"{what} component={component}, but {kind} is scalar "
+                    f"physics (component must be 0)"
+                )
+            raise ConfigError(
+                f"{what} component={component} out of range: {kind} has "
+                f"{n_comp} components (0..{n_comp - 1})"
+            )
+        if n_comp == 1:
+            return int(sem.nearest_dof(*position))
+        return int(sem.nearest_dof(*position, comp=component))
+
+    @cached_property
+    def force(self) -> Callable[[float], np.ndarray] | None:
+        """The mass-scaled point force, or ``None`` without a source."""
+        src = self.config.source
+        if src is None:
+            return None
+        dof = self._locate_dof(src.position, src.component, "source")
+        stf = ricker(src.f0, t0=src.t0, amplitude=src.amplitude)
+        return point_source(self.assembler.n_dof, dof, self.assembler.M, stf)
+
+    @cached_property
+    def receiver_dofs(self) -> np.ndarray | None:
+        """Global DOF ids of the receivers, or ``None`` without any."""
+        rec = self.config.receivers
+        if rec is None:
+            return None
+        return np.array(
+            [
+                self._locate_dof(p, rec.component, f"receiver #{i}")
+                for i, p in enumerate(rec.positions)
+            ],
+            dtype=np.int64,
+        )
+
+    @cached_property
+    def parts(self) -> np.ndarray | None:
+        """Element partition vector (``None`` for serial configs)."""
+        p = self.config.partition
+        if p.n_ranks == 1:
+            return None
+        return PARTITIONERS[p.strategy](self.mesh, self.levels, p.n_ranks, seed=p.seed)
+
+    def operator(self):
+        """The serial stiffness operator in the configured backend."""
+        b = self.config.backend
+        if b.stiffness == "assembled":
+            return self.assembler.A
+        return self.assembler.operator("matfree", use_fused=b.fused)
+
+    #: Cached stages independent of the stiffness backend *and* the
+    #: partition spec — safe to share across those config variants.
+    _SHARED_STAGES = (
+        "mesh", "material", "assembler", "levels", "dof_level",
+        "_stepping", "force", "receiver_dofs",
+    )
+
+    def variant(
+        self,
+        backend: BackendSpec | None = None,
+        partition: PartitionSpec | None = None,
+    ) -> "Simulation":
+        """A Simulation for the same config with the backend and/or
+        partition spec swapped, *sharing* every already-resolved
+        pipeline stage that stays valid (mesh, material, assembler,
+        levels, source, receivers — none depend on either spec; the
+        partition itself is re-derived only when ``partition`` changes).
+
+        This is how backend-parity and serial-reference runs avoid
+        paying mesh construction and stiffness assembly once per
+        variant; :func:`compare_backends` is built on it.
+        """
+        cfg = self.config
+        if backend is not None:
+            cfg = replace(cfg, backend=backend)
+        if partition is not None:
+            cfg = replace(cfg, partition=partition)
+        sim = Simulation(cfg)
+        shared = self._SHARED_STAGES if partition is not None else (
+            self._SHARED_STAGES + ("parts",)
+        )
+        for name in shared:
+            if name in self.__dict__:
+                sim.__dict__[name] = self.__dict__[name]
+        return sim
+
+    # -- the run ---------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Execute the configured simulation and collect the result."""
+        cfg = self.config
+        t0 = time.perf_counter()
+        sem = self.assembler
+        dt, n_cycles = self._stepping
+        dof_level = self.dof_level
+        force = self.force
+        rec = self.receiver_dofs
+        parts = self.parts
+        build_seconds = time.perf_counter() - t0
+
+        u0 = np.zeros(sem.n_dof)
+        v0 = np.zeros(sem.n_dof)
+        t1 = time.perf_counter()
+        world = None
+        if parts is None:
+            solver = LTSNewmarkSolver(self.operator(), dof_level, dt, force=force)
+            traces = None if rec is None else np.zeros((n_cycles, len(rec)))
+            u, v = u0, v0
+            for n in range(n_cycles):
+                u, v = solver.step(u, v)
+                if traces is not None:
+                    traces[n] = u[rec]
+        else:
+            u, v, traces, world = run_distributed(
+                sem,
+                parts,
+                dof_level,
+                dt,
+                n_cycles,
+                n_ranks=cfg.partition.n_ranks,
+                backend=cfg.backend.stiffness,
+                use_fused=cfg.backend.fused,
+                force=force,
+                receiver_dofs=rec,
+                u0=u0,
+                v0=v0,
+            )
+        run_seconds = time.perf_counter() - t1
+
+        metadata = {
+            "name": cfg.name,
+            "n_elements": int(self.mesh.n_elements),
+            "n_dof": int(sem.n_dof),
+            "n_levels": int(self.levels.n_levels),
+            "scheme": cfg.time.scheme,
+            "backend": cfg.backend.stiffness,
+            "n_ranks": int(cfg.partition.n_ranks),
+            "build_seconds": build_seconds,
+            "run_seconds": run_seconds,
+        }
+        if world is not None:
+            metadata["messages"] = int(world.sent_messages)
+            metadata["comm_volume"] = int(world.sent_volume)
+        return SimulationResult(
+            config=cfg,
+            u=u,
+            v=v,
+            times=np.arange(1, n_cycles + 1) * dt,
+            traces=traces,
+            receiver_dofs=rec,
+            levels=self.levels,
+            dt=dt,
+            n_cycles=n_cycles,
+            parts=parts,
+            metadata=metadata,
+        )
+
+
+def run(config: SimulationConfig | Mapping) -> SimulationResult:
+    """One-shot convenience: ``Simulation(config).run()``."""
+    return Simulation(config).run()
+
+
+def compare_backends(
+    config: SimulationConfig | Simulation,
+    backends: tuple[str, ...] = ("assembled", "matfree"),
+    include_serial: bool = False,
+) -> dict[str, SimulationResult]:
+    """Run the same config once per stiffness backend.
+
+    The backend-parity check of every example: results should agree to
+    machine precision (:func:`relative_deviation`).  Pass an existing
+    :class:`Simulation` to reuse its already-resolved stages; either
+    way the mesh/material/assembler/levels pipeline is resolved exactly
+    once and shared across all runs (:meth:`Simulation.variant`).
+    ``include_serial`` adds a ``"serial"`` entry — the same config on
+    one rank — as the distributed examples' reference.
+    """
+    base = config if isinstance(config, Simulation) else Simulation(config)
+    # Resolve the shared stages once, on the base, before cloning.
+    for name in base._SHARED_STAGES + ("parts",):
+        getattr(base, name)
+    results = {}
+    if include_serial:
+        results["serial"] = base.variant(partition=PartitionSpec(n_ranks=1)).run()
+    for b in backends:
+        # Keep the config's fused-tier choice on the matfree leg.
+        fused = base.config.backend.fused if b == "matfree" else None
+        results[b] = base.variant(backend=BackendSpec(stiffness=b, fused=fused)).run()
+    return results
+
+
+def relative_deviation(a: SimulationResult, b: SimulationResult) -> float:
+    """Maximal |a - b| over final fields and traces, relative to the
+    peak |u| of ``a`` (the reference)."""
+    scale = max(float(np.abs(a.u).max()), 1e-300)
+    dev = float(np.abs(a.u - b.u).max())
+    if a.traces is not None and b.traces is not None:
+        dev = max(dev, float(np.abs(a.traces - b.traces).max()))
+    return dev / scale

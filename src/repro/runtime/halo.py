@@ -122,6 +122,7 @@ def build_rank_layout(
     n_ranks: int,
     dof_level: np.ndarray | None = None,
     backend: str = "assembled",
+    use_fused: bool | None = None,
 ) -> RankLayout:
     """Build the per-rank decomposition of a SEM system.
 
@@ -145,8 +146,17 @@ def build_rank_layout(
         :class:`~repro.sem.elastic3d.ElasticSem3D`), anisotropic
         (:class:`~repro.sem.anisotropic.AnisotropicElasticSemND`), plus
         :class:`~repro.sem.assembly1d.Sem1D`).
+    use_fused:
+        Fused-C kernel selection for the matfree backend (``None`` =
+        auto-detect, as in :meth:`repro.sem.tensor.SemND.operator`);
+        must stay ``None`` for the assembled backend.
     """
     require(backend in ("assembled", "matfree"), f"unknown backend {backend!r}", PartitionError)
+    require(
+        use_fused is None or backend == "matfree",
+        "use_fused applies to the matfree backend only",
+        PartitionError,
+    )
     element_dofs = np.asarray(assembler.element_dofs)
     n_elem, n_loc = element_dofs.shape
     n_dof = int(assembler.n_dof)
@@ -182,7 +192,9 @@ def build_rank_layout(
                 "kernel_spec() (see repro.core.operator.KernelSpec)",
                 PartitionError,
             )
-            K_local.append(local_stiffness(assembler, owned, ld, len(ids)))
+            K_local.append(
+                local_stiffness(assembler, owned, ld, len(ids), use_fused=use_fused)
+            )
         else:
             K_local.append(_rank_stiffness_assembled(assembler, owned, ld, len(ids)))
 

@@ -156,6 +156,12 @@ class Sem1D:
         Me = jac * w
         return Ke, Me
 
+    def max_velocity(self) -> np.ndarray:
+        """Per-element maximal wave speed (``mesh.c``; unit density), so
+        ``assign_levels(assembler=...)`` / ``cfl_timestep(assembler=...)``
+        work uniformly across every assembler including 1D."""
+        return np.asarray(self.mesh.c, dtype=np.float64)
+
     def interpolate(self, f) -> np.ndarray:
         """Nodal interpolant of a function ``f(x)`` (vectorized callable)."""
         return np.asarray(f(self.x), dtype=np.float64)

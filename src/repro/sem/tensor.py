@@ -49,6 +49,7 @@ element against the O(n^6) of a dense element matvec (paper Sec. II-C).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -63,6 +64,24 @@ from repro.util.validation import require
 
 #: Cap on scattered COO entries per assembly chunk (~64 MB of values).
 _CHUNK_ENTRIES = 8_000_000
+
+
+def _warn_legacy_kwargs(obj, base: type, kwargs: str, material_cls: str) -> None:
+    """Deprecation notice for the loose constitutive constructor kwargs.
+
+    The wrappers stay bit-identical to the material path; only the
+    spelling is deprecated.  The stacklevel must reach the *user's*
+    frame: 3 when ``base.__init__`` was called directly, 4 when a
+    dimension-pinned subclass ``__init__`` (Sem2D/Sem3D/ElasticSem2D/
+    ElasticSem3D) forwarded here.
+    """
+    warnings.warn(
+        f"{type(obj).__name__}({kwargs}) is deprecated; pass "
+        f"material={material_cls}(...) (repro.sem.materials) or declare a "
+        f"repro.api.MaterialSpec — behaviour is unchanged",
+        DeprecationWarning,
+        stacklevel=3 if type(obj) is base else 4,
+    )
 
 #: Element-local edge slots per dimension: corner pairs, ordered
 #: axis-by-axis (x-direction edges first).  Local corner index packs the
@@ -519,6 +538,8 @@ class SemND:
                 SolverError,
             )
             if material is None:
+                if rho is not None:
+                    _warn_legacy_kwargs(self, SemND, "rho=", "IsotropicAcoustic")
                 material = IsotropicAcoustic(mesh.c, rho=1.0 if rho is None else rho)
             require(
                 isinstance(material, self.material_cls),
@@ -829,6 +850,9 @@ class ElasticSemND(VectorSemMixin, SemND):
         material: IsotropicElastic | None = None,
     ):
         if material is None:
+            if lam is not None or mu is not None or rho is not None:
+                _warn_legacy_kwargs(self, ElasticSemND, "lam=/mu=/rho=",
+                                    "IsotropicElastic")
             material = IsotropicElastic(
                 lam=1.0 if lam is None else lam,
                 mu=1.0 if mu is None else mu,

@@ -4,7 +4,13 @@ Nothing in here is physics- or partitioning-specific; the submodules are
 dependency-free so that every other subpackage may import them freely.
 """
 
-from repro.util.errors import ReproError, MeshError, PartitionError, SolverError
+from repro.util.errors import (
+    ConfigError,
+    MeshError,
+    PartitionError,
+    ReproError,
+    SolverError,
+)
 from repro.util.validation import (
     check_array,
     check_positive,
@@ -15,6 +21,7 @@ from repro.util.tables import Table, format_si
 
 __all__ = [
     "ReproError",
+    "ConfigError",
     "MeshError",
     "PartitionError",
     "SolverError",

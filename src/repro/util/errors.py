@@ -24,3 +24,8 @@ class SolverError(ReproError):
 
 class CommError(ReproError):
     """Simulated communicator misuse (mismatched sends, bad rank...)."""
+
+
+class ConfigError(ReproError):
+    """Invalid declarative simulation configuration (:mod:`repro.api`):
+    unknown keys, inadmissible values, or specs that don't fit the mesh."""

@@ -1,0 +1,107 @@
+"""CLI tests: ``python -m repro run`` must reproduce the façade (and
+therefore ``examples/quickstart.py``) receiver traces on both backends,
+and fail cleanly on bad configs."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api import SimulationConfig, run
+
+REPO = Path(__file__).resolve().parents[2]
+QUICKSTART = REPO / "examples" / "configs" / "quickstart.json"
+HEX_TRENCH = REPO / "examples" / "configs" / "hex_trench_3d.json"
+
+
+def _repro(*args, check=True):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        env=env,
+    )
+    if check:
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+    return proc
+
+
+@pytest.fixture(scope="module")
+def quickstart_reference():
+    """The façade's own quickstart traces (what examples/quickstart.py
+    records), computed once per backend."""
+    cfg = SimulationConfig.from_file(QUICKSTART)
+    return cfg, run(cfg)
+
+
+class TestRunParity:
+    @pytest.mark.parametrize("backend", ["assembled", "matfree"])
+    def test_cli_reproduces_quickstart_traces(self, tmp_path, backend,
+                                              quickstart_reference):
+        _, ref = quickstart_reference
+        out = tmp_path / f"{backend}.npz"
+        proc = _repro(
+            "run", str(QUICKSTART), "--backend", backend, "--output", str(out)
+        )
+        assert "LTS levels" in proc.stdout
+        data = np.load(out)
+        assert data["traces"].shape == ref.traces.shape
+        peak = np.abs(ref.traces).max()
+        assert peak > 0
+        # Acceptance bar: the CLI run reproduces the quickstart traces
+        # to <= 1e-12 (exactly, for the backend the reference used).
+        dev = np.abs(data["traces"] - ref.traces).max() / peak
+        assert dev <= 1e-12
+        if backend == "assembled":
+            assert np.array_equal(data["traces"], ref.traces)
+        assert np.array_equal(data["times"], ref.times)
+        assert np.array_equal(data["receiver_dofs"], ref.receiver_dofs)
+
+    def test_saved_config_round_trips(self, tmp_path, quickstart_reference):
+        cfg, _ = quickstart_reference
+        out = tmp_path / "out.npz"
+        _repro("run", str(QUICKSTART), "--output", str(out))
+        stored = json.loads(str(np.load(out)["config_json"]))
+        assert SimulationConfig.from_dict(stored) == cfg
+
+    def test_override_flags(self, tmp_path):
+        out = tmp_path / "o.npz"
+        proc = _repro(
+            "run", str(QUICKSTART), "--scheme", "newmark", "--backend",
+            "matfree", "--output", str(out),
+        )
+        assert "scheme=newmark" in proc.stdout
+        assert "backend=matfree" in proc.stdout
+
+
+class TestValidateAndErrors:
+    def test_validate_ok(self):
+        proc = _repro("validate", str(QUICKSTART), "--print")
+        assert "OK" in proc.stdout
+        assert json.loads(proc.stdout.split("\n", 1)[1])["name"] == "quickstart"
+
+    def test_validate_hex_trench_config(self):
+        proc = _repro("validate", str(HEX_TRENCH))
+        assert "OK" in proc.stdout
+
+    def test_unknown_key_fails_with_actionable_message(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"mesg": {"family": "trench"},
+                                   "time": {"n_cycles": 1}}))
+        proc = _repro("run", str(bad), check=False)
+        assert proc.returncode == 2
+        assert "unknown key 'mesg'" in proc.stderr
+        assert "did you mean 'mesh'" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_missing_file_fails_cleanly(self, tmp_path):
+        proc = _repro("run", str(tmp_path / "nope.json"), check=False)
+        assert proc.returncode == 2
+        assert "not found" in proc.stderr

@@ -1,0 +1,247 @@
+"""Simulation-driver tests: resolved pipeline stages, scheme semantics,
+and serial-vs-distributed SimulationResult agreement (2D and 3D)."""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro.api import (
+    BackendSpec,
+    PartitionSpec,
+    Simulation,
+    SimulationConfig,
+    compare_backends,
+    relative_deviation,
+    run,
+)
+from repro.sem import ElasticSem3D, Sem1D, Sem2D, Sem3D
+from repro.util.errors import ConfigError
+
+
+def config_2d(**overrides) -> SimulationConfig:
+    base = dict(
+        name="2d-case",
+        mesh={"family": "uniform_grid", "params": {"shape": [6, 6]}},
+        material={
+            "model": "acoustic",
+            "regions": [{"elements": [14, 15], "values": {"c": 4.0}}],
+        },
+        order=3,
+        time={"n_cycles": 12, "c_cfl": 0.35},
+        source={"position": [1.0, 3.0], "f0": 0.8},
+        receivers={"positions": [[4.0, 3.0], [5.0, 3.0]]},
+    )
+    base.update(overrides)
+    return SimulationConfig.from_dict(base)
+
+
+def config_3d(**overrides) -> SimulationConfig:
+    base = dict(
+        name="3d-case",
+        mesh={
+            "family": "trench",
+            "params": {"nx": 6, "ny": 4, "nz": 2, "band_radii": [0.8]},
+        },
+        material={"model": "elastic", "lam": 2.0, "mu": 1.0},
+        order=2,
+        time={"n_cycles": 6, "c_cfl": 0.35},
+        source={"position": [1.0, 2.0, 0.5], "component": 2, "f0": 0.5},
+        receivers={"positions": [[4.0, 2.0, 0.5]], "component": 2},
+    )
+    base.update(overrides)
+    return SimulationConfig.from_dict(base)
+
+
+class TestPipelineStages:
+    def test_assembler_dispatch(self):
+        assert isinstance(Simulation(config_2d()).assembler, Sem2D)
+        assert isinstance(Simulation(config_3d()).assembler, ElasticSem3D)
+        cfg1 = SimulationConfig.from_dict(
+            {
+                "mesh": {"family": "refined_interval",
+                         "params": {"n_coarse": 8, "n_fine": 4}},
+                "time": {"n_cycles": 2},
+            }
+        )
+        assert isinstance(Simulation(cfg1).assembler, Sem1D)
+        cfg3a = config_3d(material={"model": "acoustic"}, source=None, receivers=None)
+        assert isinstance(Simulation(cfg3a).assembler, Sem3D)
+
+    def test_elastic_on_1d_mesh_rejected(self):
+        cfg = SimulationConfig.from_dict(
+            {
+                "mesh": {"family": "uniform_interval", "params": {"n_elements": 4}},
+                "material": {"model": "elastic"},
+                "time": {"n_cycles": 1},
+            }
+        )
+        with pytest.raises(ConfigError, match="elastic materials need a 2D or 3D"):
+            Simulation(cfg).assembler
+
+    def test_levels_follow_material_velocity(self):
+        """The fast inclusion, not mesh geometry, creates the levels."""
+        sim = Simulation(config_2d())
+        assert sim.levels.n_levels >= 2
+        lvl = sim.levels.level
+        assert lvl[14] == sim.levels.n_levels  # fast element = finest level
+        no_region = Simulation(config_2d(material={"model": "acoustic"}))
+        assert no_region.levels.n_levels == 1
+
+    def test_component_validation(self):
+        with pytest.raises(ConfigError, match="scalar physics"):
+            Simulation(config_2d(source={"position": [1.0, 3.0], "component": 1})).force
+        with pytest.raises(ConfigError, match="out of range"):
+            Simulation(
+                config_3d(source={"position": [1.0, 2.0, 0.5], "component": 3})
+            ).force
+
+    def test_position_dimension_validation(self):
+        with pytest.raises(ConfigError, match="2 coordinates but the mesh is 3D"):
+            Simulation(config_3d(source={"position": [1.0, 2.0]})).force
+
+    def test_t_end_mode_lands_exactly(self):
+        cfg = config_2d(time={"t_end": 1.0, "c_cfl": 0.35})
+        sim = Simulation(cfg)
+        assert sim.n_cycles * sim.dt == pytest.approx(1.0, abs=1e-15)
+        assert sim.dt <= sim.levels.dt + 1e-15
+
+    def test_newmark_scheme_is_single_level_at_fine_step(self):
+        sim = Simulation(config_2d(time={"n_cycles": 3, "c_cfl": 0.35,
+                                         "scheme": "newmark"}))
+        assert np.all(sim.dof_level == 1)
+        assert sim.dt == sim.levels.dt_min
+
+    def test_schemes_cover_the_same_physical_duration(self):
+        """n_cycles counts coarse-cycle spans under both schemes: the
+        newmark baseline takes p_max fine steps per cycle."""
+        lts = Simulation(config_2d())
+        nm = Simulation(config_2d(time={"n_cycles": 12, "c_cfl": 0.35,
+                                        "scheme": "newmark"}))
+        assert lts.levels.p_max > 1
+        assert nm.n_cycles == 12 * lts.levels.p_max
+        assert nm.n_cycles * nm.dt == pytest.approx(lts.n_cycles * lts.dt)
+
+    def test_result_fields_and_metadata(self):
+        res = Simulation(config_2d()).run()
+        assert res.traces.shape == (12, 2)
+        assert res.times.shape == (12,)
+        assert res.times[-1] == pytest.approx(12 * res.dt)
+        assert res.u.shape == res.v.shape
+        assert res.parts is None
+        md = res.metadata
+        assert md["scheme"] == "lts" and md["n_ranks"] == 1
+        assert md["n_dof"] == Simulation(config_2d()).assembler.n_dof
+
+
+class TestSerialDistributedAgreement:
+    @pytest.mark.parametrize("backend", ["assembled", "matfree"])
+    def test_2d_acoustic(self, backend):
+        cfg = config_2d(backend={"stiffness": backend})
+        serial = run(cfg)
+        dist = run(replace(cfg, partition=PartitionSpec(n_ranks=4)))
+        assert dist.parts is not None and len(dist.parts) == 36
+        assert "messages" in dist.metadata
+        assert relative_deviation(serial, dist) < 1e-11
+        assert np.abs(serial.v - dist.v).max() <= 1e-11 * max(
+            np.abs(serial.v).max(), 1.0
+        )
+        assert np.abs(serial.traces).max() > 0
+
+    @pytest.mark.parametrize("backend", ["assembled", "matfree"])
+    def test_3d_elastic(self, backend):
+        cfg = config_3d(backend={"stiffness": backend})
+        serial = run(cfg)
+        dist = run(replace(cfg, partition=PartitionSpec(n_ranks=3)))
+        assert relative_deviation(serial, dist) < 1e-11
+        assert np.abs(serial.traces).max() > 0
+
+    def test_backend_agreement_helper(self):
+        results = compare_backends(config_2d())
+        assert set(results) == {"assembled", "matfree"}
+        assert relative_deviation(results["assembled"], results["matfree"]) < 1e-12
+
+    def test_compare_backends_includes_serial_and_shares_stages(self):
+        cfg = config_2d(partition={"n_ranks": 3})
+        sim = Simulation(cfg)
+        results = compare_backends(sim, include_serial=True)
+        assert set(results) == {"serial", "assembled", "matfree"}
+        assert results["serial"].parts is None
+        assert results["assembled"].parts is not None
+        assert relative_deviation(results["serial"], results["matfree"]) < 1e-11
+        # The expensive stages were resolved once, on the base Simulation.
+        assert "assembler" in sim.__dict__
+
+    def test_compare_backends_keeps_fused_choice(self):
+        cfg = config_2d(backend={"stiffness": "matfree", "fused": False})
+        results = compare_backends(cfg)
+        assert results["matfree"].config.backend.fused is False
+        assert results["assembled"].config.backend.fused is None
+
+    def test_variant_shares_resolved_stages(self):
+        sim = Simulation(config_2d())
+        sim.run()
+        var = sim.variant(backend=BackendSpec(stiffness="matfree"))
+        assert var.assembler is sim.assembler  # no re-assembly
+        assert var.levels is sim.levels
+        assert var.config.backend.stiffness == "matfree"
+        # A partition swap must re-derive parts, nothing else.
+        ser = sim.variant(partition=PartitionSpec(n_ranks=1))
+        assert ser.assembler is sim.assembler
+        assert "parts" not in ser.__dict__
+        assert ser.parts is None
+
+    def test_distributed_newmark_scheme(self):
+        cfg = config_2d(time={"n_cycles": 3, "c_cfl": 0.35, "scheme": "newmark"})
+        serial = run(cfg)
+        dist = run(replace(cfg, partition=PartitionSpec(n_ranks=2)))
+        assert relative_deviation(serial, dist) < 1e-12
+
+
+class TestFacadeMatchesManualWiring:
+    def test_serial_run_equals_hand_wired_solver(self):
+        """The façade adds nothing to the numerics: a hand-wired
+        LTSNewmarkSolver from the same resolved stages is bit-identical."""
+        from repro.core.lts_newmark import LTSNewmarkSolver
+
+        cfg = config_2d()
+        sim = Simulation(cfg)
+        res = sim.run()
+        solver = LTSNewmarkSolver(
+            sim.assembler.A, sim.dof_level, sim.dt, force=sim.force
+        )
+        u = np.zeros(sim.assembler.n_dof)
+        v = np.zeros(sim.assembler.n_dof)
+        for _ in range(sim.n_cycles):
+            u, v = solver.step(u, v)
+        assert np.array_equal(res.u, u)
+        assert np.array_equal(res.v, v)
+
+    def test_1d_acoustic_runs_end_to_end(self):
+        cfg = SimulationConfig.from_dict(
+            {
+                "mesh": {
+                    "family": "refined_interval",
+                    "params": {"n_coarse": 16, "n_fine": 8, "refinement": 4,
+                               "coarse_h": 0.125},
+                },
+                "order": 4,
+                "dirichlet": True,
+                "time": {"n_cycles": 10, "c_cfl": 0.4},
+                "source": {"position": [0.5], "f0": 2.0},
+                "receivers": {"positions": [[1.0]]},
+            }
+        )
+        res = run(cfg)
+        assert res.levels.n_levels == 3
+        assert np.all(np.isfinite(res.u))
+
+    def test_1d_rejects_non_unit_density(self):
+        cfg = SimulationConfig.from_dict(
+            {
+                "mesh": {"family": "uniform_interval", "params": {"n_elements": 4}},
+                "material": {"model": "acoustic", "rho": 2.0},
+                "time": {"n_cycles": 1},
+            }
+        )
+        with pytest.raises(ConfigError, match="unit density"):
+            Simulation(cfg).assembler

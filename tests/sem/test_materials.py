@@ -2,6 +2,8 @@
 broadcasting, validation, Christoffel wave speeds, and the equivalence
 of the material path with the legacy kwargs path on the assemblers."""
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -160,7 +162,8 @@ class TestAssemblerMaterialPath:
         lam = 2.0 + rng.random(mesh.n_elements)
         mu = 1.0 + rng.random(mesh.n_elements)
         rho = 1.0 + rng.random(mesh.n_elements)
-        legacy = ElasticSem2D(mesh, order=3, lam=lam, mu=mu, rho=rho)
+        with pytest.warns(DeprecationWarning):
+            legacy = ElasticSem2D(mesh, order=3, lam=lam, mu=mu, rho=rho)
         material = ElasticSem2D(
             mesh, order=3, material=IsotropicElastic(lam=lam, mu=mu, rho=rho)
         )
@@ -170,12 +173,36 @@ class TestAssemblerMaterialPath:
 
     def test_elastic3d_bit_identical(self):
         mesh = uniform_grid((2, 2, 2))
-        legacy = ElasticSem3D(mesh, order=2, lam=2.0, mu=1.0, rho=1.3)
+        with pytest.warns(DeprecationWarning):
+            legacy = ElasticSem3D(mesh, order=2, lam=2.0, mu=1.0, rho=1.3)
         material = ElasticSem3D(
             mesh, order=2, material=IsotropicElastic(lam=2.0, mu=1.0, rho=1.3)
         )
         assert np.array_equal(legacy.M, material.M)
         assert (legacy.A != material.A).nnz == 0
+
+    def test_legacy_kwargs_emit_deprecation_warning(self):
+        """The loose constitutive kwargs warn (pointing at the material
+        layer / MaterialSpec) on every assembler family that keeps them."""
+        mesh2 = uniform_grid((2, 2))
+        with pytest.warns(DeprecationWarning, match="MaterialSpec"):
+            ElasticSem2D(mesh2, order=2, lam=2.0)
+        with pytest.warns(DeprecationWarning, match="IsotropicElastic"):
+            ElasticSem2D(mesh2, order=2, mu=1.5)
+        with pytest.warns(DeprecationWarning, match="rho="):
+            Sem2D(mesh2, order=2, rho=1.3)
+        with pytest.warns(DeprecationWarning, match="lam=/mu=/rho="):
+            ElasticSem3D(uniform_grid((2, 2, 2)), order=1, rho=2.0)
+
+    def test_material_path_does_not_warn(self):
+        """material= (and the bare default) must stay warning-free."""
+        mesh = uniform_grid((2, 2))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            ElasticSem2D(mesh, order=2, material=IsotropicElastic(lam=2.0, mu=1.0))
+            ElasticSem2D(mesh, order=2)
+            Sem2D(mesh, order=2)
+            Sem2D(mesh, order=2, material=IsotropicAcoustic(c=mesh.c, rho=1.3))
 
     def test_material_and_kwargs_are_mutually_exclusive(self):
         mesh = uniform_grid((2, 2))
@@ -199,7 +226,7 @@ class TestAssemblerMaterialPath:
         mesh = uniform_grid((4, 4))
         mu = np.full(mesh.n_elements, 1.0)
         mu[::3] = 0.0  # fluid stripes
-        sem = ElasticSem2D(mesh, order=2, lam=2.0, mu=mu)
+        sem = ElasticSem2D(mesh, order=2, material=IsotropicElastic(lam=2.0, mu=mu))
         assert np.all(sem.s_velocity()[::3] == 0.0)
         assert np.all(sem.max_velocity() > 0)
         levels = assign_levels(mesh, assembler=sem)

@@ -30,6 +30,7 @@ def test_quickstart_runs_and_reports_speedup():
     out = _run("quickstart.py")
     assert "speedup model" in out
     assert "wall-clock speedup" in out
+    assert "both backends reproduce the same seismograms" in out
 
 
 def test_distributed_wave_matches_serial():

@@ -1,0 +1,26 @@
+"""The supported public surface: repro.__all__ must resolve, and the
+façade must be reachable from the top-level package."""
+
+import repro
+
+
+def test_all_names_resolve():
+    missing = [name for name in repro.__all__ if not hasattr(repro, name)]
+    assert not missing, f"repro.__all__ names missing: {missing}"
+
+
+def test_facade_reachable_from_top_level():
+    cfg = repro.SimulationConfig(
+        mesh=repro.MeshSpec("uniform_grid", {"shape": (3, 3)}),
+        time=repro.TimeSpec(n_cycles=2),
+    )
+    result = repro.run(cfg)
+    assert isinstance(result, repro.SimulationResult)
+    assert result.n_cycles == 2
+
+
+def test_star_import_is_bounded():
+    ns: dict = {}
+    exec("from repro import *", ns)
+    exported = {k for k in ns if not k.startswith("__")}
+    assert exported == set(repro.__all__)
