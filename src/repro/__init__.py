@@ -36,6 +36,7 @@ from repro.api import (
     PartitionSpec,
     ReceiverSpec,
     RegionSpec,
+    ResilienceSpec,
     Simulation,
     SimulationConfig,
     SimulationResult,
@@ -46,6 +47,7 @@ from repro.api import (
     run,
 )
 from repro.core import (
+    HealthGuard,
     LevelAssignment,
     LTSNewmarkSolver,
     NewmarkSolver,
@@ -56,7 +58,18 @@ from repro.core import (
 )
 from repro.mesh import Mesh, benchmark_mesh
 from repro.partition import PARTITIONERS, partition_mesh
-from repro.runtime import DistributedLTSSolver, MailboxWorld, build_rank_layout
+from repro.runtime import (
+    DistributedLTSSolver,
+    FaultEvent,
+    FaultPlan,
+    FaultyWorld,
+    MailboxWorld,
+    Supervisor,
+    build_rank_layout,
+    latest_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.sem import (
     AnisotropicElastic,
     AnisotropicElasticSemND,
@@ -82,6 +95,7 @@ __all__ = [
     "TimeSpec",
     "PartitionSpec",
     "BackendSpec",
+    "ResilienceSpec",
     "Simulation",
     "SimulationResult",
     "run",
@@ -116,6 +130,15 @@ __all__ = [
     "MailboxWorld",
     "build_rank_layout",
     "DistributedLTSSolver",
+    # resilience
+    "HealthGuard",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultyWorld",
+    "Supervisor",
+    "save_checkpoint",
+    "load_checkpoint",
+    "latest_checkpoint",
     # errors
     "ReproError",
     "ConfigError",

@@ -4,9 +4,13 @@ Subcommands
 -----------
 ``run <config.json|toml>``
     Resolve and execute a :class:`repro.api.SimulationConfig`, print a
-    run summary, and optionally save traces/fields to an ``.npz``.
-    ``--backend/--ranks/--scheme`` override the corresponding spec
-    fields without editing the file.
+    run summary, and optionally save traces/fields to an ``.npz``
+    (written atomically — a killed run leaves either the complete file
+    or nothing).  ``--backend/--ranks/--scheme`` override the
+    corresponding spec fields without editing the file;
+    ``--checkpoint-dir/--checkpoint-every`` enable periodic
+    checkpointing and ``--resume <ckpt.npz>`` restarts from a saved
+    checkpoint (the resumed run matches the uninterrupted one).
 ``validate <config.json|toml>``
     Parse and validate a config (including mesh/material resolution),
     print the normalized JSON form, and exit — a pre-flight check for
@@ -28,6 +32,7 @@ import numpy as np
 
 from repro.api import Simulation, SimulationConfig
 from repro.util.errors import ReproError
+from repro.util.io import atomic_savez
 
 
 def _apply_overrides(cfg: SimulationConfig, args) -> SimulationConfig:
@@ -38,6 +43,17 @@ def _apply_overrides(cfg: SimulationConfig, args) -> SimulationConfig:
         cfg = replace(cfg, partition=replace(cfg.partition, n_ranks=args.ranks))
     if args.scheme is not None:
         cfg = replace(cfg, time=replace(cfg.time, scheme=args.scheme))
+    if args.checkpoint_dir is not None or args.checkpoint_every is not None:
+        res = replace(
+            cfg.resilience,
+            checkpoint_dir=args.checkpoint_dir or cfg.resilience.checkpoint_dir,
+            checkpoint_every=(
+                args.checkpoint_every
+                if args.checkpoint_every is not None
+                else cfg.resilience.checkpoint_every
+            ),
+        )
+        cfg = replace(cfg, resilience=res)
     return cfg
 
 
@@ -57,12 +73,26 @@ def _cmd_run(args) -> int:
         f"{sim.n_cycles} cycles "
         f"(backend={cfg.backend.stiffness}, ranks={cfg.partition.n_ranks})"
     )
-    result = sim.run()
+    result = sim.run(resume=args.resume)
     md = result.metadata
     line = f"run: {md['build_seconds']:.2f}s build, {md['run_seconds']:.2f}s stepping"
     if "messages" in md:
         line += f", {md['messages']} messages / {md['comm_volume']} values exchanged"
     print(line)
+    if "resilience" in md:
+        rmd = md["resilience"]
+        line = (
+            f"resilience: {rmd['checkpoints_written']} checkpoint(s) written, "
+            f"{rmd['attempts']} attempt(s)"
+        )
+        if rmd["resumed_from_cycle"] is not None:
+            line += f", resumed from cycle {rmd['resumed_from_cycle']}"
+        print(line)
+        for incident in rmd["recovery"]:
+            print(
+                f"  recovered: attempt {incident['attempt']} failed with "
+                f"{incident['error']}: {incident['message']}"
+            )
     if result.traces is not None:
         print(
             f"receivers: {result.traces.shape[1]} traces x "
@@ -80,8 +110,8 @@ def _cmd_run(args) -> int:
         if result.traces is not None:
             payload["traces"] = result.traces
             payload["receiver_dofs"] = result.receiver_dofs
-        np.savez(args.output, **payload)
-        print(f"wrote {args.output}")
+        written = atomic_savez(args.output, **payload)
+        print(f"wrote {written}")
     return 0
 
 
@@ -123,7 +153,22 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_run.add_argument(
         "--output", default=None, metavar="OUT.npz",
-        help="save times/traces/fields (and the resolved config) to an .npz",
+        help="save times/traces/fields (and the resolved config) to an .npz "
+             "(written atomically)",
+    )
+    p_run.add_argument(
+        "--resume", default=None, metavar="CKPT.npz",
+        help="resume from a checkpoint written by an earlier run of the "
+             "same config",
+    )
+    p_run.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="write periodic checkpoints into DIR (overrides the config's "
+             "resilience.checkpoint_dir)",
+    )
+    p_run.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="checkpoint every N LTS cycles (needs a checkpoint dir)",
     )
     p_run.set_defaults(func=_cmd_run)
 

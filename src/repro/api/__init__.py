@@ -30,6 +30,7 @@ from repro.api.config import (
     PartitionSpec,
     ReceiverSpec,
     RegionSpec,
+    ResilienceSpec,
     SimulationConfig,
     SourceSpec,
     TimeSpec,
@@ -54,6 +55,7 @@ __all__ = [
     "TimeSpec",
     "PartitionSpec",
     "BackendSpec",
+    "ResilienceSpec",
     "MESH_FAMILIES",
     "MATERIAL_MODELS",
     "Simulation",

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import dataclasses
 import difflib
+import hashlib
 import inspect
 import json
 from dataclasses import dataclass, field
@@ -51,6 +52,7 @@ from repro.mesh.generators import (
     uniform_interval,
 )
 from repro.partition.strategies import PARTITIONERS
+from repro.runtime.faults import FaultEvent
 from repro.sem.materials import (
     AnisotropicElastic,
     IsotropicAcoustic,
@@ -58,7 +60,7 @@ from repro.sem.materials import (
     Material,
     VOIGT_SIZE,
 )
-from repro.util.errors import ConfigError
+from repro.util.errors import CommError, ConfigError
 
 
 #: Mesh generator registry: the paper's benchmark families plus the
@@ -639,6 +641,139 @@ class BackendSpec(Spec):
             self._set("fused", bool(self.fused))
 
 
+def _faults_from(value) -> tuple:
+    try:
+        return tuple(
+            e if isinstance(e, FaultEvent) else FaultEvent.from_dict(e)
+            for e in value
+        )
+    except CommError as e:
+        raise ConfigError(f"invalid ResilienceSpec fault event: {e}") from None
+
+
+@dataclass(frozen=True)
+class ResilienceSpec(Spec):
+    """Fault-tolerance knobs: checkpointing, supervised restarts,
+    numerical health checks, and (for testing) fault injection.
+
+    * ``checkpoint_every`` / ``checkpoint_dir`` — write an atomic
+      ``.npz`` checkpoint every that many LTS cycles into the
+      directory (created on demand), keeping the ``keep_checkpoints``
+      newest; resume with ``Simulation.run(resume=...)`` or
+      ``python -m repro run --resume <ckpt>``.
+    * ``max_restarts`` / ``backoff_seconds`` — run under a
+      :class:`repro.runtime.supervisor.Supervisor`: on a rank failure,
+      lost message, or numerical blow-up, rebuild the world, restore
+      the latest checkpoint and retry (exponential backoff), at most
+      ``max_restarts`` times.
+    * ``health_check_every`` / ``energy_factor`` — run a
+      :class:`repro.core.health.HealthGuard` every that many cycles:
+      NaN/Inf detection with element-level diagnostics, plus an
+      optional energy-growth bound (see the guard's docs for when to
+      enable it).
+    * ``faults`` — a deterministic
+      :class:`repro.runtime.faults.FaultPlan` executed by the mailbox
+      world (rank crashes, dropped/duplicated/bit-flipped messages);
+      needs a multi-rank partition.  This is how recovery paths are
+      *tested* rather than hoped for.
+    """
+
+    checkpoint_every: int | None = None
+    checkpoint_dir: str | None = None
+    keep_checkpoints: int = 3
+    max_restarts: int = 0
+    backoff_seconds: float = 0.0
+    health_check_every: int | None = None
+    energy_factor: float | None = None
+    faults: tuple = ()
+
+    _nested = {"faults": _faults_from}
+
+    def __post_init__(self):
+        if self.checkpoint_every is not None:
+            if int(self.checkpoint_every) < 1:
+                raise ConfigError(
+                    f"ResilienceSpec.checkpoint_every must be >= 1, "
+                    f"got {self.checkpoint_every}"
+                )
+            self._set("checkpoint_every", int(self.checkpoint_every))
+            if self.checkpoint_dir is None:
+                raise ConfigError(
+                    "ResilienceSpec.checkpoint_every needs checkpoint_dir= "
+                    "(where to write the .npz checkpoints)"
+                )
+        if self.checkpoint_dir is not None:
+            self._set("checkpoint_dir", str(self.checkpoint_dir))
+        if int(self.keep_checkpoints) < 1:
+            raise ConfigError(
+                f"ResilienceSpec.keep_checkpoints must be >= 1, "
+                f"got {self.keep_checkpoints}"
+            )
+        self._set("keep_checkpoints", int(self.keep_checkpoints))
+        if int(self.max_restarts) < 0:
+            raise ConfigError(
+                f"ResilienceSpec.max_restarts must be >= 0, "
+                f"got {self.max_restarts}"
+            )
+        self._set("max_restarts", int(self.max_restarts))
+        if not self.backoff_seconds >= 0:
+            raise ConfigError(
+                f"ResilienceSpec.backoff_seconds must be >= 0, "
+                f"got {self.backoff_seconds}"
+            )
+        self._set("backoff_seconds", float(self.backoff_seconds))
+        if self.health_check_every is not None:
+            if int(self.health_check_every) < 1:
+                raise ConfigError(
+                    f"ResilienceSpec.health_check_every must be >= 1, "
+                    f"got {self.health_check_every}"
+                )
+            self._set("health_check_every", int(self.health_check_every))
+        if self.energy_factor is not None:
+            if not self.energy_factor > 1:
+                raise ConfigError(
+                    f"ResilienceSpec.energy_factor must be > 1, "
+                    f"got {self.energy_factor}"
+                )
+            if self.health_check_every is None:
+                raise ConfigError(
+                    "ResilienceSpec.energy_factor needs health_check_every= "
+                    "(the energy guard runs on the health-check cadence)"
+                )
+            self._set("energy_factor", float(self.energy_factor))
+        try:
+            self._set("faults", _faults_from(self.faults))
+        except TypeError:
+            raise ConfigError(
+                f"ResilienceSpec.faults must be a sequence of fault-event "
+                f"mappings, got {self.faults!r}"
+            ) from None
+
+    def to_dict(self) -> dict:
+        out = super().to_dict()
+        out["faults"] = [e.to_dict() for e in self.faults]
+        return out
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any resilience machinery is switched on."""
+        return (
+            self.checkpoint_every is not None
+            or self.health_check_every is not None
+            or self.max_restarts > 0
+            or bool(self.faults)
+        )
+
+    def fault_plan(self):
+        """The configured :class:`repro.runtime.faults.FaultPlan`, or
+        ``None`` when no faults are declared."""
+        if not self.faults:
+            return None
+        from repro.runtime.faults import FaultPlan
+
+        return FaultPlan(self.faults)
+
+
 # ----------------------------------------------------------------------
 # The top-level config
 # ----------------------------------------------------------------------
@@ -662,6 +797,7 @@ class SimulationConfig(Spec):
     receivers: ReceiverSpec | None = None
     partition: PartitionSpec = field(default_factory=PartitionSpec)
     backend: BackendSpec = field(default_factory=BackendSpec)
+    resilience: ResilienceSpec = field(default_factory=ResilienceSpec)
     name: str = ""
 
     _nested = {
@@ -672,6 +808,7 @@ class SimulationConfig(Spec):
         "receivers": ReceiverSpec.from_dict,
         "partition": PartitionSpec.from_dict,
         "backend": BackendSpec.from_dict,
+        "resilience": ResilienceSpec.from_dict,
     }
 
     def __post_init__(self):
@@ -697,6 +834,17 @@ class SimulationConfig(Spec):
         self._set(
             "backend", _as_spec(self.backend, BackendSpec, "SimulationConfig.backend")
         )
+        self._set(
+            "resilience",
+            _as_spec(
+                self.resilience, ResilienceSpec, "SimulationConfig.resilience"
+            ),
+        )
+        if self.resilience.faults and self.partition.n_ranks < 2:
+            raise ConfigError(
+                "ResilienceSpec.faults inject communication faults and "
+                "need a multi-rank run; set partition.n_ranks >= 2"
+            )
         if int(self.order) < 1:
             raise ConfigError(
                 f"SimulationConfig.order must be >= 1, got {self.order}"
@@ -706,6 +854,26 @@ class SimulationConfig(Spec):
         self._set("name", str(self.name))
 
     # ------------------------------------------------------------------
+    def content_hash(self) -> str:
+        """Stable digest of everything that determines the computed
+        solution.
+
+        SHA-256 over the canonical (sorted-keys) JSON form, excluding
+        ``name`` and ``resilience`` — checkpoint cadence, restart
+        budgets and injected test faults change *how* a run executes,
+        not what it converges to, so a checkpoint written with one
+        resilience setting can be resumed under another.  Unlike
+        ``hash()``, the digest is stable across processes, which is
+        what lets a checkpoint file reject a restore against a
+        different configuration.
+        """
+        data = self.to_dict()
+        data.pop("name", None)
+        data.pop("resilience", None)
+        return hashlib.sha256(
+            json.dumps(data, sort_keys=True).encode()
+        ).hexdigest()
+
     @classmethod
     def from_file(cls, path) -> "SimulationConfig":
         """Load a config from a ``.json`` or ``.toml`` file."""

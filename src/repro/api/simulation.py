@@ -41,17 +41,29 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, replace
 from functools import cached_property
+from pathlib import Path
 from typing import Callable, Mapping
 
 import numpy as np
 
 from repro.api.config import BackendSpec, PartitionSpec, SimulationConfig
+from repro.core.health import HealthGuard
 from repro.core.levels import LevelAssignment, assign_levels
 from repro.core.lts_newmark import LTSNewmarkSolver, dof_levels_from_elements
 from repro.partition.strategies import PARTITIONERS
+from repro.runtime.checkpoint import (
+    CheckpointState,
+    checkpoint_path,
+    latest_checkpoint,
+    load_checkpoint,
+    prune_checkpoints,
+    save_checkpoint,
+)
 from repro.runtime.comm import MailboxWorld
 from repro.runtime.executor import DistributedLTSSolver
+from repro.runtime.faults import FaultyWorld
 from repro.runtime.halo import build_rank_layout
+from repro.runtime.supervisor import Supervisor
 from repro.sem.anisotropic import AnisotropicElasticSemND
 from repro.sem.assembly1d import Sem1D
 from repro.sem.assembly2d import Sem2D
@@ -102,6 +114,27 @@ class SimulationResult:
     metadata: dict
 
 
+def _receiver_locations(layout, receiver_dofs) -> list[tuple[int, int]]:
+    """``(owning rank, local index)`` of each global receiver DOF.
+
+    Locating each receiver once lets trace recording read scalars off
+    the owning rank's local vector instead of gathering the global
+    field every cycle.  Every DOF has exactly one owning rank.
+    """
+    locations: list[tuple[int, int]] = []
+    for g in receiver_dofs:
+        for r in range(layout.n_ranks):
+            i = int(np.searchsorted(layout.gdofs[r], g))
+            if (
+                i < len(layout.gdofs[r])
+                and layout.gdofs[r][i] == g
+                and layout.owner[r][i]
+            ):
+                locations.append((r, i))
+                break
+    return locations
+
+
 def run_distributed(
     assembler,
     parts: np.ndarray,
@@ -146,23 +179,12 @@ def run_distributed(
     locations: list[tuple[int, int]] = []
     if receiver_dofs is not None:
         traces = np.zeros((n_cycles, len(receiver_dofs)))
-        # Locate each receiver once (owning rank, local index) so trace
-        # recording reads scalars instead of gathering the global field
-        # every cycle.  Every DOF has exactly one owning rank.
-        for g in receiver_dofs:
-            for r in range(layout.n_ranks):
-                i = int(np.searchsorted(layout.gdofs[r], g))
-                if (
-                    i < len(layout.gdofs[r])
-                    and layout.gdofs[r][i] == g
-                    and layout.owner[r][i]
-                ):
-                    locations.append((r, i))
-                    break
+        locations = _receiver_locations(layout, receiver_dofs)
     for n in range(n_cycles):
         solver.step(u_locals, v_locals)
         if traces is not None:
             traces[n] = [u_locals[r][i] for r, i in locations]
+    solver.check_no_leaks()
     return layout.gather(u_locals), layout.gather(v_locals), traces, world
 
 
@@ -377,8 +399,27 @@ class Simulation:
         return sim
 
     # -- the run ---------------------------------------------------------
-    def run(self) -> SimulationResult:
-        """Execute the configured simulation and collect the result."""
+    def run(
+        self, resume: str | Path | CheckpointState | None = None
+    ) -> SimulationResult:
+        """Execute the configured simulation and collect the result.
+
+        ``resume`` restarts from a checkpoint file (or an in-memory
+        :class:`~repro.runtime.checkpoint.CheckpointState`): the run
+        continues at the saved cycle and produces the same result as an
+        uninterrupted run — bitwise on the serial path, to round-off
+        distributed.  Resuming against a config whose content hash
+        differs from the checkpoint's is a :class:`ConfigError`.
+
+        When ``config.resilience`` is enabled (or ``resume`` is given)
+        the run goes through the fault-tolerant loop: periodic
+        checkpoints, numerical health checks, injected faults, and
+        supervised restarts — see
+        :class:`~repro.api.config.ResilienceSpec`.  Otherwise this is
+        the plain fast path, unchanged.
+        """
+        if resume is not None or self.config.resilience.enabled:
+            return self._run_resilient(resume)
         cfg = self.config
         t0 = time.perf_counter()
         sem = self.assembler
@@ -446,10 +487,270 @@ class Simulation:
             metadata=metadata,
         )
 
+    # -- the fault-tolerant run -------------------------------------------
+    def _health_guard(self, dt: float) -> HealthGuard | None:
+        """The configured :class:`HealthGuard`, or ``None`` when off."""
+        res = self.config.resilience
+        if res.health_check_every is None:
+            return None
+        stable = (
+            self.levels.dt
+            if self.config.time.scheme == "lts"
+            else self.levels.dt_min
+        )
+        return HealthGuard(
+            check_every=res.health_check_every,
+            element_dofs=self.assembler.element_dofs,
+            dt=dt,
+            dt_stable=stable,
+            energy_factor=res.energy_factor,
+        )
 
-def run(config: SimulationConfig | Mapping) -> SimulationResult:
-    """One-shot convenience: ``Simulation(config).run()``."""
-    return Simulation(config).run()
+    def _check_restorable(self, state: CheckpointState, origin) -> CheckpointState:
+        """Reject a checkpoint this config cannot faithfully continue."""
+        if (
+            state.config_hash is not None
+            and state.config_hash != self.config.content_hash()
+        ):
+            raise ConfigError(
+                f"checkpoint {origin} was written by a different "
+                f"configuration (content hash {state.config_hash[:12]}... != "
+                f"{self.config.content_hash()[:12]}...); refusing to resume"
+            )
+        if len(state.u) != int(self.assembler.n_dof):
+            raise ConfigError(
+                f"checkpoint {origin} holds {len(state.u)} DOFs but this "
+                f"config resolves to {int(self.assembler.n_dof)}"
+            )
+        n_ranks = self.config.partition.n_ranks
+        if state.u_locals is not None and n_ranks > 1 and state.n_ranks != n_ranks:
+            raise ConfigError(
+                f"checkpoint {origin} was written by a {state.n_ranks}-rank "
+                f"run but this config has n_ranks={n_ranks}; distributed "
+                f"resumes need matching rank counts (per-rank replicas are "
+                f"restored exactly)"
+            )
+        return state
+
+    def _run_resilient(
+        self, resume: str | Path | CheckpointState | None
+    ) -> SimulationResult:
+        """Checkpointed, health-guarded, supervised execution of the run.
+
+        Structure: a per-attempt body (fresh world, latest restorable
+        state, the stepping loop) handed to a
+        :class:`~repro.runtime.supervisor.Supervisor`.  Each retry
+        rebuilds the world at the next attempt index — so planned
+        faults fire only in the attempt they name — and restores the
+        newest checkpoint, falling back to the ``resume`` state or a
+        cold start.  The rank layout is resolved once and shared across
+        attempts (it is immutable; only the mailbox world is rebuilt).
+        """
+        cfg = self.config
+        res = cfg.resilience
+        t0 = time.perf_counter()
+        sem = self.assembler
+        dt, n_cycles = self._stepping
+        dof_level = self.dof_level
+        force = self.force
+        rec = self.receiver_dofs
+        parts = self.parts
+        cfg_hash = cfg.content_hash()
+        health = self._health_guard(dt)
+        plan = res.fault_plan()
+        resume_state = None
+        if resume is not None:
+            resume_state = (
+                resume
+                if isinstance(resume, CheckpointState)
+                else load_checkpoint(resume)
+            )
+            self._check_restorable(resume_state, resume)
+        layout = None
+        if parts is not None:
+            layout = build_rank_layout(
+                sem,
+                parts,
+                cfg.partition.n_ranks,
+                dof_level=dof_level,
+                backend=cfg.backend.stiffness,
+                use_fused=cfg.backend.fused,
+            )
+        ckpt_dir = Path(res.checkpoint_dir) if res.checkpoint_dir else None
+        written: list[Path] = []
+        worlds: list[MailboxWorld] = []
+        build_seconds = time.perf_counter() - t0
+
+        def start_state() -> CheckpointState | None:
+            """Newest restorable state: a checkpoint this run (or a
+            previous attempt) wrote beats the ``resume`` argument beats
+            a cold start."""
+            best = resume_state
+            if ckpt_dir is not None:
+                path = latest_checkpoint(ckpt_dir)
+                if path is not None:
+                    state = self._check_restorable(load_checkpoint(path), path)
+                    if best is None or state.cycle > best.cycle:
+                        best = state
+            return best
+
+        def write_checkpoint(cycle, t, u, v, u_locals, v_locals, traces):
+            state = CheckpointState(
+                cycle=cycle,
+                t=t,
+                u=u,
+                v=v,
+                u_locals=u_locals,
+                v_locals=v_locals,
+                traces=None if traces is None else traces[:cycle].copy(),
+                dt=dt,
+                n_cycles_total=n_cycles,
+                config_hash=cfg_hash,
+            )
+            written.append(save_checkpoint(checkpoint_path(ckpt_dir, cycle), state))
+            prune_checkpoints(ckpt_dir, res.keep_checkpoints)
+
+        checkpointing = ckpt_dir is not None and res.checkpoint_every is not None
+
+        def attempt_serial(state, traces, start):
+            solver = LTSNewmarkSolver(self.operator(), dof_level, dt, force=force)
+            if state is not None:
+                u, v = state.u.copy(), state.v.copy()
+                solver.restore(state.solver_state())
+            else:
+                u, v = np.zeros(sem.n_dof), np.zeros(sem.n_dof)
+            for _ in range(start, n_cycles):
+                u, v = solver.step(u, v)
+                cycle = solver.n_cycles_taken
+                if traces is not None:
+                    traces[cycle - 1] = u[rec]
+                if health is not None:
+                    health.check(cycle, u, v)
+                if checkpointing and cycle % res.checkpoint_every == 0:
+                    write_checkpoint(
+                        cycle, solver.t, u.copy(), v.copy(), None, None, traces
+                    )
+            return u, v, traces, None
+
+        def attempt_distributed(state, traces, start, attempt):
+            n_ranks = cfg.partition.n_ranks
+            world = (
+                FaultyWorld(n_ranks, plan, attempt=attempt)
+                if plan is not None
+                else MailboxWorld(n_ranks)
+            )
+            worlds.append(world)
+            solver = DistributedLTSSolver(layout, dt, world=world, force=force)
+            if state is not None:
+                if state.u_locals is not None:
+                    # Exact per-rank replicas: bitwise continuation.
+                    u_locals = [x.copy() for x in state.u_locals]
+                    v_locals = [x.copy() for x in state.v_locals]
+                else:
+                    u_locals = layout.scatter(state.u)
+                    v_locals = layout.scatter(state.v)
+                solver.restore(state.solver_state())
+            else:
+                u_locals = layout.scatter(np.zeros(sem.n_dof))
+                v_locals = layout.scatter(np.zeros(sem.n_dof))
+            locations = [] if rec is None else _receiver_locations(layout, rec)
+            for _ in range(start, n_cycles):
+                solver.step(u_locals, v_locals)
+                cycle = solver.n_cycles_taken
+                if traces is not None:
+                    traces[cycle - 1] = [u_locals[r][i] for r, i in locations]
+                if health is not None:
+                    health.check_locals(
+                        cycle, u_locals, v_locals, gdofs=layout.gdofs
+                    )
+                if checkpointing and cycle % res.checkpoint_every == 0:
+                    write_checkpoint(
+                        cycle,
+                        solver.t,
+                        layout.gather(u_locals),
+                        layout.gather(v_locals),
+                        [x.copy() for x in u_locals],
+                        [x.copy() for x in v_locals],
+                        traces,
+                    )
+            solver.check_no_leaks()
+            return (
+                layout.gather(u_locals),
+                layout.gather(v_locals),
+                traces,
+                world,
+            )
+
+        def attempt(i: int):
+            state = start_state()
+            traces = None if rec is None else np.zeros((n_cycles, len(rec)))
+            start = 0
+            if state is not None:
+                start = min(state.cycle, n_cycles)
+                if traces is not None and state.traces is not None:
+                    m = min(start, len(state.traces))
+                    traces[:m] = state.traces[:m]
+            if parts is None:
+                return attempt_serial(state, traces, start)
+            return attempt_distributed(state, traces, start, i)
+
+        supervisor = Supervisor(
+            max_restarts=res.max_restarts, backoff_seconds=res.backoff_seconds
+        )
+        t1 = time.perf_counter()
+        u, v, traces, world = supervisor.run(attempt)
+        run_seconds = time.perf_counter() - t1
+
+        metadata = {
+            "name": cfg.name,
+            "n_elements": int(self.mesh.n_elements),
+            "n_dof": int(sem.n_dof),
+            "n_levels": int(self.levels.n_levels),
+            "scheme": cfg.time.scheme,
+            "backend": cfg.backend.stiffness,
+            "n_ranks": int(cfg.partition.n_ranks),
+            "build_seconds": build_seconds,
+            "run_seconds": run_seconds,
+        }
+        if world is not None:
+            metadata["messages"] = int(world.sent_messages)
+            metadata["comm_volume"] = int(world.sent_volume)
+        metadata["resilience"] = {
+            "checkpoints_written": len(written),
+            "resumed_from_cycle": (
+                int(resume_state.cycle) if resume_state is not None else None
+            ),
+            "attempts": len(supervisor.log) + 1,
+            "recovery": supervisor.log,
+            "faults_injected": [
+                f
+                for w in worlds
+                if isinstance(w, FaultyWorld)
+                for f in w.injected
+            ],
+            "health_checks": 0 if health is None else health.checks_run,
+        }
+        return SimulationResult(
+            config=cfg,
+            u=u,
+            v=v,
+            times=np.arange(1, n_cycles + 1) * dt,
+            traces=traces,
+            receiver_dofs=rec,
+            levels=self.levels,
+            dt=dt,
+            n_cycles=n_cycles,
+            parts=parts,
+            metadata=metadata,
+        )
+
+
+def run(
+    config: SimulationConfig | Mapping,
+    resume: str | Path | CheckpointState | None = None,
+) -> SimulationResult:
+    """One-shot convenience: ``Simulation(config).run(resume=resume)``."""
+    return Simulation(config).run(resume=resume)
 
 
 def compare_backends(

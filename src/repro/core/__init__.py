@@ -39,6 +39,7 @@ from repro.core.speedup import (
     lts_cycle_cost,
     serial_efficiency,
 )
+from repro.core.health import HealthGuard
 from repro.core.newmark import NewmarkSolver, newmark_run
 from repro.core.lts_newmark import (
     LTSNewmarkSolver,
@@ -65,6 +66,7 @@ __all__ = [
     "two_level_speedup",
     "lts_cycle_cost",
     "serial_efficiency",
+    "HealthGuard",
     "NewmarkSolver",
     "newmark_run",
     "LTSNewmarkSolver",

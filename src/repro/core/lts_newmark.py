@@ -47,7 +47,9 @@ from typing import Callable
 
 import numpy as np
 
+from repro.core.health import HealthGuard
 from repro.core.levels import LevelAssignment
+from repro.core.newmark import _checked_run
 from repro.core.operator import AssembledOperator, as_operator
 from repro.util.errors import SolverError
 from repro.util.validation import check_positive, require
@@ -370,16 +372,44 @@ class LTSNewmarkSolver:
         self.n_cycles_taken += 1
         return u, v
 
+    # -- checkpoint/restart hooks ----------------------------------------
+    def state(self) -> dict:
+        """Schedule position for checkpointing: completed-cycle count
+        and simulated time.  The LTS schedule is RNG-free and repeats
+        identically every cycle, so the cycle index *is* the full
+        schedule position; ``u``/``v`` live with the caller."""
+        return {"t": self.t, "cycle": self.n_cycles_taken}
+
+    def restore(self, state: dict) -> None:
+        """Resume the schedule position saved by :meth:`state`.
+
+        With field vectors restored alongside, continuing is bitwise
+        identical to the uninterrupted run (same operator, same
+        summation order, same force sampling times)."""
+        self.t = float(state["t"])
+        self.n_cycles_taken = int(state["cycle"])
+
     def run(
-        self, u0: np.ndarray, v0: np.ndarray, n_cycles: int
+        self,
+        u0: np.ndarray,
+        v0: np.ndarray,
+        n_cycles: int,
+        health: HealthGuard | None = None,
+        checkpoint_every: int | None = None,
+        on_checkpoint: Callable | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Integrate ``n_cycles`` LTS cycles from staggered ``(u0, v^{-1/2})``."""
-        require(n_cycles >= 0, "n_cycles must be >= 0", SolverError)
+        """Integrate ``n_cycles`` LTS cycles from staggered ``(u0, v^{-1/2})``.
+
+        ``health`` runs a :class:`~repro.core.health.HealthGuard` on
+        its cadence; ``on_checkpoint(cycle, u, v)`` fires every
+        ``checkpoint_every`` completed cycles with snapshot copies.
+        """
         u = np.array(u0, dtype=np.float64, copy=True)
         v = np.array(v0, dtype=np.float64, copy=True)
-        for _ in range(n_cycles):
-            self.step(u, v)
-        return u, v
+        return _checked_run(
+            self, u, v, n_cycles, health, checkpoint_every, on_checkpoint,
+            "n_cycles_taken",
+        )
 
 
 def lts_newmark_run(

@@ -16,8 +16,48 @@ from typing import Callable
 
 import numpy as np
 
+from repro.core.health import HealthGuard
 from repro.util.errors import SolverError
 from repro.util.validation import check_positive, require
+
+
+def _checked_run(
+    solver,
+    u: np.ndarray,
+    v: np.ndarray,
+    n_cycles: int,
+    health: HealthGuard | None,
+    checkpoint_every: int | None,
+    on_checkpoint: Callable | None,
+    cycle_attr: str,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Shared stepping loop with health checks and checkpoint callbacks.
+
+    ``cycle_attr`` names the solver's completed-cycle counter
+    (``n_steps_taken`` / ``n_cycles_taken``), so cadences stay aligned
+    across a checkpoint/restore: a solver restored at cycle 10 with
+    ``checkpoint_every=4`` checkpoints next at cycle 12, exactly like
+    the uninterrupted run.  ``on_checkpoint(cycle, u, v)`` receives
+    snapshot copies, safe to serialize asynchronously.
+    """
+    require(n_cycles >= 0, "n_steps must be >= 0", SolverError)
+    require(
+        checkpoint_every is None or checkpoint_every >= 1,
+        "checkpoint_every must be >= 1",
+        SolverError,
+    )
+    for _ in range(n_cycles):
+        solver.step(u, v)
+        cycle = getattr(solver, cycle_attr)
+        if health is not None:
+            health.check(cycle, u, v)
+        if (
+            on_checkpoint is not None
+            and checkpoint_every is not None
+            and cycle % checkpoint_every == 0
+        ):
+            on_checkpoint(cycle, u.copy(), v.copy())
+    return u, v
 
 
 class NewmarkSolver:
@@ -53,20 +93,40 @@ class NewmarkSolver:
         self.n_steps_taken += 1
         return u, v
 
+    # -- checkpoint/restart hooks ----------------------------------------
+    def state(self) -> dict:
+        """Schedule position for checkpointing (``u``/``v`` live with
+        the caller — pair this with copies of the field vectors)."""
+        return {"t": self.t, "cycle": self.n_steps_taken}
+
+    def restore(self, state: dict) -> None:
+        """Resume the schedule position saved by :meth:`state`."""
+        self.t = float(state["t"])
+        self.n_steps_taken = int(state["cycle"])
+
     def run(
-        self, u0: np.ndarray, v0: np.ndarray, n_steps: int
+        self,
+        u0: np.ndarray,
+        v0: np.ndarray,
+        n_steps: int,
+        health: HealthGuard | None = None,
+        checkpoint_every: int | None = None,
+        on_checkpoint: Callable | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Integrate ``n_steps`` steps from ``(u0, v0)``.
 
         ``v0`` is interpreted as the staggered ``v^{-1/2}`` value.  Returns
-        copies; inputs are not modified.
+        copies; inputs are not modified.  ``health`` runs a
+        :class:`~repro.core.health.HealthGuard` on its cadence;
+        ``on_checkpoint(cycle, u, v)`` fires every ``checkpoint_every``
+        completed steps with snapshot copies.
         """
-        require(n_steps >= 0, "n_steps must be >= 0", SolverError)
         u = np.array(u0, dtype=np.float64, copy=True)
         v = np.array(v0, dtype=np.float64, copy=True)
-        for _ in range(n_steps):
-            self.step(u, v)
-        return u, v
+        return _checked_run(
+            self, u, v, n_steps, health, checkpoint_every, on_checkpoint,
+            "n_steps_taken",
+        )
 
 
 def newmark_run(

@@ -10,6 +10,13 @@ package substitutes two complementary pieces (see DESIGN.md):
   decomposed across ranks and reproduces the serial solution to machine
   round-off, validating the parallelization (per-substep halo exchange
   across p-levels);
+* a **fault-tolerant layer** — :mod:`repro.runtime.checkpoint`
+  (atomic ``.npz`` checkpoint/restart for every solver),
+  :mod:`repro.runtime.faults` (deterministic, replayable fault
+  injection over the mailbox: rank crashes, dropped / duplicated /
+  bit-flipped messages), and :mod:`repro.runtime.supervisor` (bounded
+  restarts restoring the latest checkpoint — something real MPI can
+  only test nondeterministically);
 * a **calibrated performance simulator** — :mod:`repro.runtime.perfmodel`
   models CPU cores (with the working-set cache effect behind the paper's
   super-linear scaling, Fig. 12) and GPUs (kernel launch overhead behind
@@ -22,6 +29,16 @@ package substitutes two complementary pieces (see DESIGN.md):
 from repro.runtime.comm import MailboxWorld, RankComm
 from repro.runtime.halo import HaloExchange, build_rank_layout, RankLayout
 from repro.runtime.executor import DistributedLTSSolver, DistributedNewmarkSolver
+from repro.runtime.checkpoint import (
+    CheckpointState,
+    checkpoint_path,
+    latest_checkpoint,
+    load_checkpoint,
+    prune_checkpoints,
+    save_checkpoint,
+)
+from repro.runtime.faults import FaultEvent, FaultPlan, FaultyWorld
+from repro.runtime.supervisor import Supervisor
 from repro.runtime.perfmodel import MachineModel, CPU_NODE, GPU_NODE, cache_hit_metric
 from repro.runtime.simulate import ClusterSimulator, ScalingResult, simulate_scaling
 from repro.runtime.trace import CycleTrace, render_timeline
@@ -34,6 +51,16 @@ __all__ = [
     "build_rank_layout",
     "DistributedLTSSolver",
     "DistributedNewmarkSolver",
+    "CheckpointState",
+    "checkpoint_path",
+    "latest_checkpoint",
+    "load_checkpoint",
+    "prune_checkpoints",
+    "save_checkpoint",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultyWorld",
+    "Supervisor",
     "MachineModel",
     "CPU_NODE",
     "GPU_NODE",

@@ -18,6 +18,7 @@ surfaces schedule bugs (receiving before the peer's superstep ran).
 from __future__ import annotations
 
 from collections import deque
+from typing import Mapping
 
 import numpy as np
 
@@ -47,6 +48,35 @@ class MailboxWorld:
         """Number of undelivered messages (0 after a clean run)."""
         return sum(len(q) for q in self._boxes.values())
 
+    def channels(self, dst: int | None = None) -> dict[tuple[int, int, int], int]:
+        """Non-empty channels as ``{(src, dst, tag): queue depth}``.
+
+        ``dst`` restricts the view to one destination rank — the
+        introspection behind the "no message pending" diagnostics and
+        the executors' end-of-run leak check.
+        """
+        return {
+            k: len(q)
+            for k, q in self._boxes.items()
+            if q and (dst is None or k[1] == dst)
+        }
+
+    def begin_superstep(self) -> None:
+        """BSP superstep boundary hook (no-op here).
+
+        The distributed executors call this once per solver step;
+        :class:`repro.runtime.faults.FaultyWorld` overrides it to
+        advance its deterministic fault schedule.
+        """
+
+    @staticmethod
+    def describe_channels(channels: Mapping) -> str:
+        """Render a ``channels()`` mapping for error messages."""
+        return ", ".join(
+            f"(src={s}, dst={d}, tag={t}) x{n}"
+            for (s, d, t), n in sorted(channels.items())
+        )
+
     # -- internals -----------------------------------------------------
     def _push(self, src: int, dst: int, tag: int, payload: np.ndarray) -> None:
         require(0 <= dst < self.n_ranks, f"dest rank {dst} out of range", CommError)
@@ -57,9 +87,16 @@ class MailboxWorld:
     def _pop(self, src: int, dst: int, tag: int) -> np.ndarray:
         box = self._boxes.get((src, dst, tag))
         if not box:
+            inbound = self.channels(dst)
+            detail = (
+                f"pending for rank {dst}: {self.describe_channels(inbound)}"
+                if inbound
+                else f"no channels pending for rank {dst}"
+            )
             raise CommError(
                 f"rank {dst} receive from {src} tag {tag}: no message pending "
-                "(peer superstep not executed yet?)"
+                f"(peer superstep not executed yet, or the message was "
+                f"lost?); {detail}"
             )
         return box.popleft()
 

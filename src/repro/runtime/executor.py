@@ -31,9 +31,10 @@ from typing import Callable
 
 import numpy as np
 
+from repro.core.health import HealthGuard
 from repro.runtime.comm import MailboxWorld, RankComm
 from repro.runtime.halo import RankLayout
-from repro.util.errors import SolverError
+from repro.util.errors import CommError, SolverError
 from repro.util.validation import check_positive, require
 
 
@@ -49,6 +50,76 @@ class _DistributedBase:
             SolverError,
         )
         self.comms: list[RankComm] = self.world.comms()
+        self.t = 0.0
+        self.n_cycles_taken = 0
+
+    # -- checkpoint/restart hooks ----------------------------------------
+    def state(self) -> dict:
+        """Schedule position for checkpointing (fields live with the
+        caller; pair this with the ``u_locals``/``v_locals`` vectors)."""
+        return {"t": self.t, "cycle": self.n_cycles_taken}
+
+    def restore(self, state: dict) -> None:
+        """Resume the schedule position saved by :meth:`state`."""
+        self.t = float(state["t"])
+        self.n_cycles_taken = int(state["cycle"])
+
+    def check_no_leaks(self) -> None:
+        """Assert every sent message was consumed (clean-run invariant).
+
+        A non-empty mailbox after a run means a schedule bug or an
+        injected duplicate — surfaced as :class:`CommError` naming the
+        leaked channels.
+        """
+        leaked = self.world.channels()
+        if leaked:
+            raise CommError(
+                f"{self.world.pending()} undelivered message(s) after run: "
+                f"{self.world.describe_channels(leaked)}"
+            )
+
+    def _run_cycles(
+        self,
+        u0: np.ndarray,
+        v0: np.ndarray,
+        n_cycles: int,
+        health: HealthGuard | None,
+        checkpoint_every: int | None,
+        on_checkpoint: Callable | None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Shared ``run`` body: scatter, step, guard, checkpoint, gather.
+
+        ``health`` checks the per-rank replicas every ``check_every``
+        cycles (replicas, not gathered fields — corruption in a
+        non-owned copy is invisible to an owner-projected gather);
+        ``on_checkpoint(cycle, u_locals, v_locals)`` fires every
+        ``checkpoint_every`` completed cycles (cycle counts are the
+        solver totals, so resumed runs keep their cadence).  Verifies
+        the mailbox drained before gathering.
+        """
+        require(n_cycles >= 0, "n_cycles must be >= 0", SolverError)
+        require(
+            checkpoint_every is None or checkpoint_every >= 1,
+            "checkpoint_every must be >= 1",
+            SolverError,
+        )
+        u_locals = self.layout.scatter(u0)
+        v_locals = self.layout.scatter(v0)
+        for _ in range(n_cycles):
+            self.step(u_locals, v_locals)
+            cycle = self.n_cycles_taken
+            if health is not None:
+                health.check_locals(
+                    cycle, u_locals, v_locals, gdofs=self.layout.gdofs
+                )
+            if (
+                on_checkpoint is not None
+                and checkpoint_every is not None
+                and cycle % checkpoint_every == 0
+            ):
+                on_checkpoint(cycle, u_locals, v_locals)
+        self.check_no_leaks()
+        return self.layout.gather(u_locals), self.layout.gather(v_locals)
 
     # -- collectives -----------------------------------------------------
     def _exchange_sum(self, z_locals: list[np.ndarray], tag: int = 0) -> None:
@@ -91,9 +162,9 @@ class DistributedNewmarkSolver(_DistributedBase):
         super().__init__(layout, world)
         self.dt = check_positive(dt, "dt", SolverError)
         self.force = force
-        self.t = 0.0
 
     def step(self, u_locals: list[np.ndarray], v_locals: list[np.ndarray]) -> None:
+        self.world.begin_superstep()
         z = self._apply_A(u_locals)
         f_locals = None
         if self.force is not None:
@@ -103,17 +174,22 @@ class DistributedNewmarkSolver(_DistributedBase):
             v_locals[r] += self.dt * accel
             u_locals[r] += self.dt * v_locals[r]
         self.t += self.dt
+        self.n_cycles_taken += 1
 
     def run(
-        self, u0: np.ndarray, v0: np.ndarray, n_steps: int
+        self,
+        u0: np.ndarray,
+        v0: np.ndarray,
+        n_steps: int,
+        health: HealthGuard | None = None,
+        checkpoint_every: int | None = None,
+        on_checkpoint: Callable | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Scatter global staggered state, step, gather back."""
-        require(n_steps >= 0, "n_steps must be >= 0", SolverError)
-        u_locals = self.layout.scatter(u0)
-        v_locals = self.layout.scatter(v0)
-        for _ in range(n_steps):
-            self.step(u_locals, v_locals)
-        return self.layout.gather(u_locals), self.layout.gather(v_locals)
+        """Scatter global staggered state, step, gather back (see
+        :meth:`_DistributedBase._run_cycles` for the hooks)."""
+        return self._run_cycles(
+            u0, v0, n_steps, health, checkpoint_every, on_checkpoint
+        )
 
 
 class DistributedLTSSolver(_DistributedBase):
@@ -139,7 +215,6 @@ class DistributedLTSSolver(_DistributedBase):
         )
         self.dt = check_positive(dt, "dt", SolverError)
         self.force = force
-        self.t = 0.0
         all_levels: set[int] = set()
         for lv in layout.dof_level_local:
             all_levels.update(int(x) for x in np.unique(lv))
@@ -222,6 +297,7 @@ class DistributedLTSSolver(_DistributedBase):
 
     def step(self, u_locals: list[np.ndarray], v_locals: list[np.ndarray]) -> None:
         """One LTS cycle of the coarse step ``dt`` across all ranks."""
+        self.world.begin_superstep()
         lay = self.layout
         if len(self.active_levels) == 1:
             z = self._apply_level(self.active_levels[0], u_locals)
@@ -243,14 +319,19 @@ class DistributedLTSSolver(_DistributedBase):
                 v_locals[r] += (2.0 / self.dt) * (u_t[r] - u_locals[r])
                 u_locals[r] += self.dt * v_locals[r]
         self.t += self.dt
+        self.n_cycles_taken += 1
 
     def run(
-        self, u0: np.ndarray, v0: np.ndarray, n_cycles: int
+        self,
+        u0: np.ndarray,
+        v0: np.ndarray,
+        n_cycles: int,
+        health: HealthGuard | None = None,
+        checkpoint_every: int | None = None,
+        on_checkpoint: Callable | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Scatter global staggered state, run cycles, gather back."""
-        require(n_cycles >= 0, "n_cycles must be >= 0", SolverError)
-        u_locals = self.layout.scatter(u0)
-        v_locals = self.layout.scatter(v0)
-        for _ in range(n_cycles):
-            self.step(u_locals, v_locals)
-        return self.layout.gather(u_locals), self.layout.gather(v_locals)
+        """Scatter global staggered state, run cycles, gather back (see
+        :meth:`_DistributedBase._run_cycles` for the hooks)."""
+        return self._run_cycles(
+            u0, v0, n_cycles, health, checkpoint_every, on_checkpoint
+        )

@@ -1,0 +1,239 @@
+"""Deterministic fault injection for the mailbox runtime.
+
+Real MPI gives you faults you cannot reproduce; the in-process BSP
+mailbox gives us the opposite — a fault *plan* executed deterministically
+at exact supersteps, so every recovery path can be tested, replayed and
+bisected.  :class:`FaultyWorld` wraps the :class:`repro.runtime.comm
+.MailboxWorld` semantics and executes a :class:`FaultPlan`:
+
+* ``crash`` — the rank dies at the start of superstep ``k``
+  (:class:`repro.util.errors.RankFailure` on its first communication);
+* ``drop`` — a matching in-flight message is discarded (the receiver
+  later fails with the enriched "no message pending" ``CommError``);
+* ``duplicate`` — a matching message is delivered twice (a clean run
+  then fails the executor's end-of-run leak check);
+* ``bitflip`` — one bit of the payload's largest-magnitude element is
+  XOR-flipped in flight (silent corruption: the health guard, not the
+  transport, must catch it).
+
+Supersteps are ticked by the distributed executors
+(``world.begin_superstep()`` once per solver step), so "superstep k"
+means "LTS cycle k, counted from 0".  Events carry an ``attempt``
+index: a :class:`repro.runtime.supervisor.Supervisor` rebuilds the
+world with ``attempt + 1`` after a failure, so a fault fires in exactly
+the attempt it names and recovery re-runs clean — deterministic
+end-to-end, including the retry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.runtime.comm import MailboxWorld
+from repro.util.errors import CommError, RankFailure
+from repro.util.validation import require
+
+FAULT_KINDS = ("crash", "drop", "duplicate", "bitflip")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One planned fault (plain, hashable data).
+
+    ``kind`` is one of :data:`FAULT_KINDS`.  ``superstep`` is the BSP
+    superstep (LTS cycle, from 0) the event fires at; ``attempt`` the
+    run attempt it belongs to (0 = first try).  ``rank`` names the
+    crashing rank; ``src``/``dst``/``tag`` filter the affected channel
+    for message faults (``None`` matches anything), ``count`` bounds how
+    many messages are affected that superstep, and ``bit`` selects the
+    flipped bit (0..63 of the payload's largest-magnitude float64
+    element).
+    """
+
+    kind: str
+    superstep: int = 0
+    attempt: int = 0
+    rank: int | None = None
+    src: int | None = None
+    dst: int | None = None
+    tag: int | None = None
+    count: int = 1
+    bit: int = 52
+
+    def __post_init__(self):
+        require(self.kind in FAULT_KINDS,
+                f"unknown fault kind {self.kind!r}; valid: {', '.join(FAULT_KINDS)}",
+                CommError)
+        require(self.superstep >= 0, "superstep must be >= 0", CommError)
+        require(self.attempt >= 0, "attempt must be >= 0", CommError)
+        require(self.count >= 1, "count must be >= 1", CommError)
+        require(0 <= self.bit < 64, "bit must be in [0, 64)", CommError)
+        if self.kind == "crash":
+            require(self.rank is not None, "crash events need rank=", CommError)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-friendly; inverse of :meth:`from_dict`)."""
+        out = {"kind": self.kind, "superstep": self.superstep}
+        for name in ("attempt", "rank", "src", "dst", "tag", "count", "bit"):
+            v = getattr(self, name)
+            d = FaultEvent.__dataclass_fields__[name].default
+            if v != d:
+                out[name] = v
+        return out
+
+    @classmethod
+    def from_dict(cls, data) -> "FaultEvent":
+        valid = tuple(f.name for f in cls.__dataclass_fields__.values())
+        for key in data:
+            require(key in valid,
+                    f"unknown FaultEvent key {key!r}; valid: {', '.join(valid)}",
+                    CommError)
+        return cls(**{k: v for k, v in data.items()})
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered collection of :class:`FaultEvent`."""
+
+    events: tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(
+            self,
+            "events",
+            tuple(
+                e if isinstance(e, FaultEvent) else FaultEvent.from_dict(e)
+                for e in self.events
+            ),
+        )
+
+    def for_attempt(self, attempt: int) -> tuple[FaultEvent, ...]:
+        return tuple(e for e in self.events if e.attempt == int(attempt))
+
+    @classmethod
+    def crash(cls, rank: int, superstep: int, attempt: int = 0) -> "FaultPlan":
+        """Single rank crash — the canonical recovery test."""
+        return cls((FaultEvent("crash", superstep=superstep, rank=rank,
+                               attempt=attempt),))
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        n_ranks: int,
+        max_superstep: int,
+        kinds: tuple[str, ...] = ("crash",),
+        n_events: int | None = None,
+    ) -> "FaultPlan":
+        """Random-but-reproducible plan: same seed, same faults.
+
+        Defaults to one event per rank (every rank eventually fails —
+        the CI smoke setting); crashes pick the event's rank, message
+        faults pick a random directed pair.  Supersteps are drawn
+        uniformly from ``[0, max_superstep]``.
+        """
+        require(n_ranks >= 1, "n_ranks must be >= 1", CommError)
+        rng = np.random.default_rng(seed)
+        n_events = n_ranks if n_events is None else int(n_events)
+        events = []
+        for i in range(n_events):
+            kind = kinds[int(rng.integers(len(kinds)))]
+            step = int(rng.integers(max_superstep + 1))
+            if kind == "crash":
+                events.append(
+                    FaultEvent("crash", superstep=step, rank=i % n_ranks,
+                               attempt=i)
+                )
+            else:
+                src = int(rng.integers(n_ranks))
+                dst = int(rng.integers(n_ranks))
+                events.append(
+                    FaultEvent(kind, superstep=step, src=src, dst=dst,
+                               attempt=i, bit=int(rng.integers(64)))
+                )
+        return cls(tuple(events))
+
+
+class FaultyWorld(MailboxWorld):
+    """A :class:`MailboxWorld` that executes a :class:`FaultPlan`.
+
+    Drop-in for any executor: identical semantics on an empty plan.
+    ``attempt`` selects which events are live (see module docs);
+    :attr:`injected` logs every fault actually fired, for assertions
+    and recovery-log reporting.
+    """
+
+    def __init__(self, n_ranks: int, plan: FaultPlan, attempt: int = 0):
+        super().__init__(n_ranks)
+        self.plan = plan
+        self.attempt = int(attempt)
+        self.superstep = -1  # no superstep begun yet
+        self.injected: list[dict] = []
+        self._live = list(plan.for_attempt(self.attempt))
+        self._dead: set[int] = set()
+
+    # -- superstep protocol --------------------------------------------
+    def begin_superstep(self) -> None:
+        self.superstep += 1
+        for e in self._live:
+            if e.kind == "crash" and e.superstep <= self.superstep:
+                self._dead.add(int(e.rank))
+
+    def _check_alive(self, rank: int) -> None:
+        if rank in self._dead:
+            self._log("crash", rank=rank)
+            raise RankFailure(
+                f"rank {rank} crashed at superstep {self.superstep} "
+                f"(attempt {self.attempt}, injected fault)",
+                rank=rank,
+                superstep=self.superstep,
+            )
+
+    def _log(self, kind: str, **info) -> None:
+        self.injected.append(
+            {"kind": kind, "superstep": self.superstep,
+             "attempt": self.attempt, **info}
+        )
+
+    def _take_message_fault(self, kind: str, src: int, dst: int,
+                            tag: int) -> FaultEvent | None:
+        for i, e in enumerate(self._live):
+            if (
+                e.kind == kind
+                and e.superstep == self.superstep
+                and (e.src is None or e.src == src)
+                and (e.dst is None or e.dst == dst)
+                and (e.tag is None or e.tag == tag)
+            ):
+                if e.count <= 1:
+                    del self._live[i]
+                else:
+                    self._live[i] = replace(e, count=e.count - 1)
+                self._log(kind, src=src, dst=dst, tag=tag)
+                return e
+        return None
+
+    # -- faulty transport ----------------------------------------------
+    def _push(self, src: int, dst: int, tag: int, payload: np.ndarray) -> None:
+        self._check_alive(src)
+        if self._take_message_fault("drop", src, dst, tag):
+            return
+        if self._take_message_fault("duplicate", src, dst, tag):
+            super()._push(src, dst, tag, payload.copy())
+        e = self._take_message_fault("bitflip", src, dst, tag)
+        if e is not None and payload.size:
+            payload = payload.copy()
+            flat = payload.reshape(-1)
+            if flat.dtype == np.float64:
+                # Corrupt the largest-magnitude element (deterministic,
+                # and guaranteed to matter — element 0 may be exactly 0).
+                i = int(np.argmax(np.abs(flat)))
+                bits = flat[i : i + 1].view(np.uint64)
+                bits ^= np.uint64(1) << np.uint64(e.bit)
+        super()._push(src, dst, tag, payload)
+
+    def _pop(self, src: int, dst: int, tag: int) -> np.ndarray:
+        self._check_alive(dst)
+        return super()._pop(src, dst, tag)

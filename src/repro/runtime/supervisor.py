@@ -1,0 +1,103 @@
+"""Supervised execution: bounded restarts over checkpointed attempts.
+
+The cluster-scale failure model the paper's runs face — a rank dies, a
+message is lost, the fields blow up — maps onto three recoverable
+exception families here: :class:`~repro.util.errors.RankFailure`,
+:class:`~repro.util.errors.CommError` and
+:class:`~repro.util.errors.NumericalError`.  :class:`Supervisor` runs
+an *attempt function* under a restart budget: on a recoverable failure
+it records the incident, waits an exponential backoff, and calls the
+attempt again with the next attempt index — the caller's attempt
+function is responsible for rebuilding the world (fresh
+:class:`~repro.runtime.comm.MailboxWorld` /
+:class:`~repro.runtime.faults.FaultyWorld` at that attempt index) and
+restoring the latest checkpoint.  When the budget is exhausted the
+last error propagates unchanged.
+
+The incident log (:attr:`Supervisor.log`) is plain data, suitable for
+embedding in result metadata — :class:`repro.api.Simulation` does
+exactly that under the ``"recovery"`` key.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, TypeVar
+
+from repro.util.errors import CommError, NumericalError, SolverError
+from repro.util.validation import require
+
+T = TypeVar("T")
+
+#: Exception classes a supervisor treats as recoverable by default.
+#: (RankFailure is a CommError subclass; NumericalError is recoverable
+#: because a restored attempt re-runs *without* the transient fault —
+#: e.g. an injected bit flip — that corrupted the fields.)
+RECOVERABLE = (CommError, NumericalError)
+
+
+class Supervisor:
+    """Run attempts under a bounded restart budget with backoff.
+
+    Parameters
+    ----------
+    max_restarts:
+        How many times a failed attempt is retried (0 = fail fast).
+    backoff_seconds:
+        Base delay before retry ``i`` (scaled by ``2**(i-1)``); 0
+        disables waiting.  In the in-process runtime this mainly keeps
+        the recovery log honest about what a cluster deployment would
+        do.
+    recover_on:
+        Exception classes to treat as recoverable; anything else
+        propagates immediately.
+    sleep:
+        Injection point for the backoff clock (tests pass a stub).
+    """
+
+    def __init__(
+        self,
+        max_restarts: int = 1,
+        backoff_seconds: float = 0.0,
+        recover_on: tuple[type[BaseException], ...] = RECOVERABLE,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        require(int(max_restarts) >= 0, "max_restarts must be >= 0", SolverError)
+        require(backoff_seconds >= 0, "backoff_seconds must be >= 0", SolverError)
+        self.max_restarts = int(max_restarts)
+        self.backoff_seconds = float(backoff_seconds)
+        self.recover_on = recover_on
+        self._sleep = sleep
+        #: One entry per failed attempt: attempt index, error type and
+        #: message, and the backoff applied before the retry.
+        self.log: list[dict] = []
+
+    def run(self, attempt: Callable[[int], T]) -> T:
+        """Call ``attempt(i)`` for ``i = 0, 1, ...`` until one succeeds.
+
+        Returns the first successful attempt's result; re-raises the
+        last recoverable error once ``max_restarts`` retries are spent.
+        """
+        for i in range(self.max_restarts + 1):
+            try:
+                return attempt(i)
+            except self.recover_on as e:
+                retrying = i < self.max_restarts
+                wait = (
+                    self.backoff_seconds * (2.0 ** i) if retrying and
+                    self.backoff_seconds > 0 else 0.0
+                )
+                self.log.append(
+                    {
+                        "attempt": i,
+                        "error": type(e).__name__,
+                        "message": str(e),
+                        "backoff_seconds": wait,
+                        "retried": retrying,
+                    }
+                )
+                if not retrying:
+                    raise
+                if wait > 0:
+                    self._sleep(wait)
+        raise AssertionError("unreachable")  # pragma: no cover

@@ -26,6 +26,47 @@ class CommError(ReproError):
     """Simulated communicator misuse (mismatched sends, bad rank...)."""
 
 
+class RankFailure(CommError):
+    """A rank crashed (injected by :class:`repro.runtime.faults
+    .FaultyWorld` or raised by a real transport): the run attempt is
+    lost, but a supervisor can rebuild the world and restore a
+    checkpoint.  Carries the failing ``rank`` and the BSP ``superstep``
+    at which it died."""
+
+    def __init__(self, message: str, rank: int | None = None,
+                 superstep: int | None = None):
+        super().__init__(message)
+        self.rank = rank
+        self.superstep = superstep
+
+
+class NumericalError(SolverError):
+    """A numerical health check failed: non-finite values in the fields
+    or unbounded energy growth (:class:`repro.core.health.HealthGuard`).
+    Carries element-level diagnostics: ``bad_dofs`` / ``bad_elements``
+    (when resolvable), the failing ``cycle``, the ``last_healthy``
+    cycle, and the ``dt`` / ``dt_stable`` pair that was in effect."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        cycle: int | None = None,
+        last_healthy: int | None = None,
+        bad_dofs=None,
+        bad_elements=None,
+        dt: float | None = None,
+        dt_stable: float | None = None,
+    ):
+        super().__init__(message)
+        self.cycle = cycle
+        self.last_healthy = last_healthy
+        self.bad_dofs = bad_dofs
+        self.bad_elements = bad_elements
+        self.dt = dt
+        self.dt_stable = dt_stable
+
+
 class ConfigError(ReproError):
     """Invalid declarative simulation configuration (:mod:`repro.api`):
     unknown keys, inadmissible values, or specs that don't fit the mesh."""

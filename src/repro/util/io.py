@@ -1,0 +1,47 @@
+"""Crash-safe file output.
+
+A killed run must never leave a truncated ``.npz`` behind — neither for
+``python -m repro run --output`` nor for the checkpoint files the
+fault-tolerant runtime relies on to restart.  :func:`atomic_savez`
+therefore writes to a temporary file *in the target directory* (so the
+rename cannot cross filesystems) and publishes it with ``os.replace``,
+which is atomic on POSIX and Windows: readers observe either the old
+complete file or the new complete file, never a partial write.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+
+def atomic_savez(path, **arrays) -> Path:
+    """``np.savez`` with all-or-nothing semantics.
+
+    Mirrors ``np.savez`` naming (a ``.npz`` suffix is appended when
+    missing) and returns the final path.  On any failure mid-write the
+    temporary file is removed and the target is left untouched.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as f:
+            np.savez(f, **arrays)
+        os.replace(tmp, path)
+    except BaseException:
+        # Cover KeyboardInterrupt/SystemExit too: a kill mid-write must
+        # not leave the temp file behind (the target was never touched).
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path

@@ -1,0 +1,385 @@
+"""Façade-level resilience: the acceptance tests of the fault-tolerant layer.
+
+Kill-and-resume determinism (bitwise serial, <= 1e-12 distributed),
+supervised recovery from planned faults matching the fault-free
+reference, silent-corruption detection by the health guard, and the CLI
+``--resume`` / atomic ``--output`` paths.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.api import (
+    ResilienceSpec,
+    Simulation,
+    SimulationConfig,
+    relative_deviation,
+)
+from repro.runtime import load_checkpoint
+from repro.util.errors import ConfigError, SolverError
+
+REPO = Path(__file__).resolve().parents[2]
+
+BASE = {
+    "mesh": {
+        "family": "refined_interval",
+        "params": {"n_coarse": 16, "n_fine": 8, "refinement": 4},
+    },
+    "time": {"n_cycles": 10},
+    "source": {"position": [0.3], "f0": 4.0},
+    "receivers": {"positions": [[0.7]]},
+}
+
+
+def config(**extra) -> SimulationConfig:
+    return SimulationConfig.from_dict({**BASE, **extra})
+
+
+@pytest.fixture(scope="module")
+def serial_reference():
+    return Simulation(config()).run()
+
+
+@pytest.fixture(scope="module")
+def distributed_reference():
+    return Simulation(config(partition={"n_ranks": 3})).run()
+
+
+class TestResilienceSpec:
+    def test_defaults_are_disabled(self):
+        spec = ResilienceSpec()
+        assert not spec.enabled
+        assert spec.fault_plan() is None
+        assert config().resilience == spec
+
+    def test_round_trip(self):
+        cfg = config(
+            resilience={
+                "checkpoint_every": 2,
+                "checkpoint_dir": "/tmp/ck",
+                "max_restarts": 3,
+                "health_check_every": 1,
+                "faults": [{"kind": "crash", "rank": 1, "superstep": 4}],
+            },
+            partition={"n_ranks": 2},
+        )
+        assert SimulationConfig.from_dict(cfg.to_dict()) == cfg
+        assert cfg.resilience.enabled
+        assert len(cfg.resilience.fault_plan().events) == 1
+
+    def test_checkpoint_every_requires_dir(self):
+        with pytest.raises(ConfigError, match="checkpoint_dir"):
+            config(resilience={"checkpoint_every": 2})
+
+    def test_energy_factor_requires_health_cadence(self):
+        with pytest.raises(ConfigError, match="health_check_every"):
+            config(resilience={"energy_factor": 10.0})
+
+    def test_faults_need_multiple_ranks(self):
+        with pytest.raises(ConfigError, match="n_ranks"):
+            config(
+                resilience={"faults": [{"kind": "crash", "rank": 0}]}
+            )
+
+    def test_bad_fault_event_is_config_error(self):
+        with pytest.raises(ConfigError, match="fault event"):
+            config(
+                partition={"n_ranks": 2},
+                resilience={"faults": [{"kind": "gremlin"}]},
+            )
+
+    def test_content_hash_ignores_resilience_and_name(self):
+        plain = config()
+        tweaked = config(
+            name="other",
+            resilience={"checkpoint_every": 2, "checkpoint_dir": "x"},
+        )
+        assert plain.content_hash() == tweaked.content_hash()
+        assert plain.content_hash() != config(time={"n_cycles": 11}).content_hash()
+
+
+class TestKillAndResume:
+    @pytest.mark.parametrize("backend", ["assembled", "matfree"])
+    def test_serial_resume_is_bitwise(self, tmp_path, backend, serial_reference):
+        cfg = config(
+            backend={"stiffness": backend},
+            resilience={
+                "checkpoint_every": 3,
+                "checkpoint_dir": str(tmp_path),
+            },
+        )
+        full = Simulation(cfg).run()
+        # "kill" after cycle 6: only the checkpoint file survives
+        ckpt = tmp_path / "ckpt_00000006.npz"
+        assert ckpt.exists()
+        resumed = Simulation(cfg).run(resume=ckpt)
+        assert np.array_equal(resumed.u, full.u)
+        assert np.array_equal(resumed.v, full.v)
+        assert np.array_equal(resumed.traces, full.traces)
+        assert resumed.metadata["resilience"]["resumed_from_cycle"] == 6
+        if backend == "assembled":
+            assert np.array_equal(full.u, serial_reference.u)
+        else:
+            assert relative_deviation(serial_reference, full) <= 1e-12
+
+    def test_distributed_resume_is_bitwise(self, tmp_path, distributed_reference):
+        cfg = config(
+            partition={"n_ranks": 3},
+            resilience={
+                "checkpoint_every": 4,
+                "checkpoint_dir": str(tmp_path),
+            },
+        )
+        full = Simulation(cfg).run()
+        assert np.array_equal(full.u, distributed_reference.u)
+        resumed = Simulation(cfg).run(resume=tmp_path / "ckpt_00000004.npz")
+        assert np.array_equal(resumed.u, full.u)
+        assert np.array_equal(resumed.traces, full.traces)
+        # and against the serial scheme the usual round-off bar holds
+        assert relative_deviation(distributed_reference, resumed) == 0.0
+
+    def test_resume_skips_completed_work(self, tmp_path):
+        cfg = config(
+            resilience={"checkpoint_every": 5, "checkpoint_dir": str(tmp_path)}
+        )
+        full = Simulation(cfg).run()
+        final = tmp_path / "ckpt_00000010.npz"
+        done = Simulation(cfg).run(resume=final)
+        assert np.array_equal(done.u, full.u)
+        assert np.array_equal(done.traces, full.traces)
+
+    def test_checkpoint_stores_traces_so_far(self, tmp_path):
+        cfg = config(
+            resilience={"checkpoint_every": 3, "checkpoint_dir": str(tmp_path)}
+        )
+        full = Simulation(cfg).run()
+        state = load_checkpoint(tmp_path / "ckpt_00000006.npz")
+        assert state.traces.shape == (6, 1)
+        assert np.array_equal(state.traces, full.traces[:6])
+
+    def test_keep_checkpoints_prunes(self, tmp_path):
+        cfg = config(
+            resilience={
+                "checkpoint_every": 2,
+                "checkpoint_dir": str(tmp_path),
+                "keep_checkpoints": 2,
+            }
+        )
+        Simulation(cfg).run()
+        names = sorted(p.name for p in tmp_path.glob("ckpt_*.npz"))
+        assert names == ["ckpt_00000008.npz", "ckpt_00000010.npz"]
+
+    def test_config_hash_mismatch_refused(self, tmp_path):
+        cfg = config(
+            resilience={"checkpoint_every": 5, "checkpoint_dir": str(tmp_path)}
+        )
+        Simulation(cfg).run()
+        other = config(time={"n_cycles": 12}, source={"position": [0.4], "f0": 3.0})
+        with pytest.raises(ConfigError, match="different configuration"):
+            Simulation(other).run(resume=tmp_path / "ckpt_00000005.npz")
+
+    def test_rank_count_mismatch_refused(self, tmp_path):
+        cfg = config(
+            partition={"n_ranks": 3},
+            resilience={"checkpoint_every": 5, "checkpoint_dir": str(tmp_path)},
+        )
+        Simulation(cfg).run()
+        ckpt = tmp_path / "ckpt_00000005.npz"
+        with pytest.raises(ConfigError, match="rank"):
+            Simulation(config(partition={"n_ranks": 2})).run(resume=ckpt)
+
+
+class TestSupervisedRecovery:
+    def test_crash_recovery_matches_fault_free(self, tmp_path, distributed_reference):
+        """The paper-scale story in miniature: rank 1 dies mid-run, the
+        supervisor restores the last checkpoint and the final answer is
+        identical to the run where nothing went wrong."""
+        cfg = config(
+            partition={"n_ranks": 3},
+            resilience={
+                "checkpoint_every": 3,
+                "checkpoint_dir": str(tmp_path),
+                "max_restarts": 1,
+                "faults": [{"kind": "crash", "rank": 1, "superstep": 7}],
+            },
+        )
+        result = Simulation(cfg).run()
+        assert np.array_equal(result.u, distributed_reference.u)
+        assert np.array_equal(result.traces, distributed_reference.traces)
+        rmd = result.metadata["resilience"]
+        assert rmd["attempts"] == 2
+        assert rmd["recovery"][0]["error"] == "RankFailure"
+        assert rmd["faults_injected"][0]["kind"] == "crash"
+
+    def test_crash_without_checkpoints_restarts_cold(self, distributed_reference):
+        cfg = config(
+            partition={"n_ranks": 3},
+            resilience={
+                "max_restarts": 1,
+                "faults": [{"kind": "crash", "rank": 0, "superstep": 2}],
+            },
+        )
+        result = Simulation(cfg).run()
+        assert np.array_equal(result.u, distributed_reference.u)
+        assert result.metadata["resilience"]["checkpoints_written"] == 0
+
+    def test_exhausted_budget_reraises(self):
+        cfg = config(
+            partition={"n_ranks": 2},
+            resilience={
+                "max_restarts": 1,
+                "faults": [
+                    {"kind": "crash", "rank": 0, "superstep": 1, "attempt": 0},
+                    {"kind": "crash", "rank": 1, "superstep": 1, "attempt": 1},
+                ],
+            },
+        )
+        from repro.util.errors import RankFailure
+
+        with pytest.raises(RankFailure):
+            Simulation(cfg).run()
+
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_silent_corruption_caught_and_recovered(
+        self, tmp_path, distributed_reference
+    ):
+        """A bit flip in a halo message (silent: the transport succeeds,
+        and a ~1e300 field value is still finite) must be caught by the
+        energy-growth guard within its cadence and healed by a
+        supervised restart from the last good checkpoint."""
+        cfg = config(
+            partition={"n_ranks": 3},
+            resilience={
+                "checkpoint_every": 2,
+                "checkpoint_dir": str(tmp_path),
+                "max_restarts": 1,
+                "health_check_every": 1,
+                "energy_factor": 1e6,
+                # bit 62 (top exponent bit): the ~1e-6 payload on the
+                # 0->2 halo channel becomes ~1e302 — finite, so only
+                # the energy proxy can flag it
+                "faults": [
+                    {
+                        "kind": "bitflip", "superstep": 7,
+                        "src": 0, "dst": 2, "bit": 62,
+                    }
+                ],
+            },
+        )
+        result = Simulation(cfg).run()
+        assert np.array_equal(result.u, distributed_reference.u)
+        rmd = result.metadata["resilience"]
+        assert rmd["attempts"] == 2
+        assert rmd["recovery"][0]["error"] == "NumericalError"
+        # caught within health_check_every (=1) cycles of the corrupted
+        # superstep
+        assert "cycle 8" in rmd["recovery"][0]["message"]
+        assert "energy" in rmd["recovery"][0]["message"]
+        assert rmd["faults_injected"][0]["kind"] == "bitflip"
+
+
+def _repro(*args, check=True):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        env=env,
+    )
+    if check:
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+    return proc
+
+
+class TestCli:
+    @pytest.fixture()
+    def cfg_file(self, tmp_path):
+        path = tmp_path / "cfg.json"
+        path.write_text(json.dumps(BASE))
+        return path
+
+    def test_resume_round_trip(self, tmp_path, cfg_file):
+        """Run with checkpointing, then resume from the mid-run file:
+        identical outputs."""
+        out1, out2 = tmp_path / "a.npz", tmp_path / "b.npz"
+        ckdir = tmp_path / "ck"
+        proc = _repro(
+            "run", str(cfg_file), "--checkpoint-dir", str(ckdir),
+            "--checkpoint-every", "4", "--output", str(out1),
+        )
+        assert "checkpoint(s) written" in proc.stdout
+        proc = _repro(
+            "run", str(cfg_file), "--resume", str(ckdir / "ckpt_00000004.npz"),
+            "--output", str(out2),
+        )
+        assert "resumed from cycle 4" in proc.stdout
+        a, b = np.load(out1), np.load(out2)
+        assert np.array_equal(a["u"], b["u"])
+        assert np.array_equal(a["traces"], b["traces"])
+
+    def test_resume_missing_checkpoint_exits_2(self, cfg_file, tmp_path):
+        proc = _repro(
+            "run", str(cfg_file), "--resume", str(tmp_path / "nope.npz"),
+            check=False,
+        )
+        assert proc.returncode == 2
+        assert "not found" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_checkpoint_every_without_dir_exits_2(self, cfg_file):
+        proc = _repro(
+            "run", str(cfg_file), "--checkpoint-every", "3", check=False
+        )
+        assert proc.returncode == 2
+        assert "checkpoint_dir" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_malformed_resilience_config_exits_2(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(
+            json.dumps({**BASE, "resilience": {"checkpoints_every": 3}})
+        )
+        proc = _repro("run", str(bad), check=False)
+        assert proc.returncode == 2
+        assert "checkpoints_every" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_output_written_atomically(self, cfg_file, tmp_path, monkeypatch):
+        """A crash during --output serialization leaves no partial file
+        (in-process so np.savez can be failed mid-run)."""
+        out = tmp_path / "out.npz"
+        monkeypatch.setattr(
+            np, "savez", lambda *a, **k: (_ for _ in ()).throw(OSError("full"))
+        )
+        with pytest.raises(OSError):
+            cli_main(["run", str(cfg_file), "--output", str(out)])
+        assert not out.exists()
+        assert not list(tmp_path.glob(".out.npz.*"))
+
+    def test_validate_accepts_resilience_block(self, tmp_path):
+        path = tmp_path / "cfg.json"
+        path.write_text(
+            json.dumps(
+                {
+                    **BASE,
+                    "resilience": {
+                        "checkpoint_every": 2,
+                        "checkpoint_dir": str(tmp_path / "ck"),
+                        "health_check_every": 1,
+                    },
+                }
+            )
+        )
+        proc = _repro("validate", str(path), "--print")
+        assert "OK" in proc.stdout
+        printed = json.loads(proc.stdout.split("\n", 1)[1])
+        assert printed["resilience"]["checkpoint_every"] == 2

@@ -87,6 +87,47 @@ class TestMailbox:
         assert c0.recv(1, tag=5)[0] == 20.0
         assert c1.recv(0, tag=5)[0] == 10.0
 
+    def test_channels_lists_nonempty_boxes(self):
+        world = MailboxWorld(3)
+        comms = world.comms()
+        assert world.channels() == {}
+        comms[0].Send(np.zeros(2), dest=1, tag=4)
+        comms[0].Send(np.zeros(2), dest=1, tag=4)
+        comms[2].Send(np.zeros(1), dest=0, tag=0)
+        assert world.channels() == {(0, 1, 4): 2, (2, 0, 0): 1}
+        assert world.channels(dst=1) == {(0, 1, 4): 2}
+        comms[1].recv(0, tag=4)
+        comms[1].recv(0, tag=4)
+        assert world.channels(dst=1) == {}
+
+    def test_describe_channels(self):
+        text = MailboxWorld.describe_channels({(0, 1, 4): 2, (2, 0, 0): 1})
+        assert "src=0" in text and "dst=1" in text and "tag=4" in text
+        assert "x2" in text
+
+    def test_empty_recv_error_names_pending_channels(self):
+        """The enriched diagnostic: a failed recv tells you what *is*
+        queued for that rank, the first clue for a schedule bug."""
+        world = MailboxWorld(2)
+        c0, c1 = world.comms()
+        c0.Send(np.zeros(1), dest=1, tag=9)
+        with pytest.raises(CommError, match=r"pending for rank 1.*tag=9") as exc:
+            c1.recv(source=0, tag=2)
+        assert "no message" in str(exc.value)
+
+    def test_empty_recv_error_when_nothing_pending(self):
+        world = MailboxWorld(2)
+        _, c1 = world.comms()
+        with pytest.raises(CommError, match="no channels pending for rank 1"):
+            c1.recv(source=0)
+
+    def test_begin_superstep_is_a_noop_hook(self):
+        world = MailboxWorld(2)
+        world.begin_superstep()  # plain world: counts nothing, raises nothing
+        c0, c1 = world.comms()
+        c0.Send(np.ones(1), dest=1)
+        assert c1.recv(0)[0] == 1.0
+
 
 class TestAllreduce:
     def test_sum(self):

@@ -1,0 +1,164 @@
+"""Deterministic fault injection over the mailbox runtime."""
+
+import numpy as np
+import pytest
+
+from repro.core import assign_levels
+from repro.core.lts_newmark import LTSNewmarkSolver, dof_levels_from_elements
+from repro.mesh import refined_interval
+from repro.runtime import (
+    DistributedLTSSolver,
+    FaultEvent,
+    FaultPlan,
+    FaultyWorld,
+    build_rank_layout,
+)
+from repro.sem import Sem1D
+from repro.util.errors import CommError, RankFailure
+
+
+@pytest.fixture(scope="module")
+def sys1d():
+    mesh = refined_interval(12, 8, refinement=4, coarse_h=0.125)
+    sem = Sem1D(mesh, order=4)
+    a = assign_levels(mesh, c_cfl=0.4, order=4)
+    dof_level = dof_levels_from_elements(sem.element_dofs, a.level, sem.n_dof)
+    parts = (np.arange(mesh.n_elements) * 2 // mesh.n_elements).astype(np.int64)
+    lay = build_rank_layout(sem, parts, 2, dof_level=dof_level)
+    u0 = np.exp(-((sem.x - sem.x.mean()) ** 2) / 0.05)
+    return sem, a, dof_level, lay, u0
+
+
+class TestFaultEvent:
+    def test_roundtrip_omits_defaults(self):
+        e = FaultEvent("crash", superstep=3, rank=1)
+        assert e.to_dict() == {"kind": "crash", "superstep": 3, "rank": 1}
+        assert FaultEvent.from_dict(e.to_dict()) == e
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(CommError, match="unknown fault kind"):
+            FaultEvent("meteor")
+
+    def test_crash_requires_rank(self):
+        with pytest.raises(CommError, match="rank"):
+            FaultEvent("crash", superstep=1)
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(CommError, match="unknown FaultEvent key"):
+            FaultEvent.from_dict({"kind": "drop", "supersteep": 1})
+
+    def test_bit_range_checked(self):
+        with pytest.raises(CommError, match="bit"):
+            FaultEvent("bitflip", bit=64)
+
+
+class TestFaultPlan:
+    def test_coerces_dicts(self):
+        plan = FaultPlan(({"kind": "drop", "superstep": 2},))
+        assert plan.events[0] == FaultEvent("drop", superstep=2)
+
+    def test_for_attempt_filters(self):
+        plan = FaultPlan(
+            (
+                FaultEvent("crash", rank=0, attempt=0),
+                FaultEvent("crash", rank=1, attempt=1),
+            )
+        )
+        assert [e.rank for e in plan.for_attempt(0)] == [0]
+        assert [e.rank for e in plan.for_attempt(1)] == [1]
+        assert plan.for_attempt(2) == ()
+
+    def test_seeded_is_reproducible(self):
+        a = FaultPlan.seeded(42, n_ranks=4, max_superstep=10)
+        b = FaultPlan.seeded(42, n_ranks=4, max_superstep=10)
+        assert a == b
+        assert len(a.events) == 4  # one per rank by default
+        assert {e.attempt for e in a.events} == {0, 1, 2, 3}
+        assert FaultPlan.seeded(43, n_ranks=4, max_superstep=10) != a
+
+    def test_seeded_message_kinds(self):
+        plan = FaultPlan.seeded(
+            7, n_ranks=3, max_superstep=5, kinds=("drop", "bitflip"), n_events=6
+        )
+        assert all(e.kind in ("drop", "bitflip") for e in plan.events)
+
+
+class TestFaultyWorld:
+    def test_empty_plan_is_transparent(self, sys1d):
+        sem, a, dof_level, lay, u0 = sys1d
+        v0 = np.zeros_like(u0)
+        world = FaultyWorld(2, FaultPlan())
+        ud, _ = DistributedLTSSolver(lay, a.dt, world=world).run(u0, v0, 4)
+        us, _ = LTSNewmarkSolver(sem.A, dof_level, a.dt).run(u0, v0, 4)
+        assert np.max(np.abs(us - ud)) < 1e-11
+        assert world.injected == []
+
+    def test_crash_raises_rank_failure_at_superstep(self, sys1d):
+        sem, a, dof_level, lay, u0 = sys1d
+        world = FaultyWorld(2, FaultPlan.crash(rank=1, superstep=2))
+        solver = DistributedLTSSolver(lay, a.dt, world=world)
+        with pytest.raises(RankFailure, match="rank 1 crashed at superstep 2") as exc:
+            solver.run(u0, np.zeros_like(u0), 6)
+        assert exc.value.rank == 1
+        assert exc.value.superstep == 2
+        assert solver.n_cycles_taken == 2  # cycles 0 and 1 completed
+
+    def test_crash_is_a_comm_error(self):
+        assert issubclass(RankFailure, CommError)
+
+    def test_crash_only_fires_in_its_attempt(self, sys1d):
+        sem, a, dof_level, lay, u0 = sys1d
+        plan = FaultPlan.crash(rank=0, superstep=1, attempt=0)
+        world = FaultyWorld(2, plan, attempt=1)
+        ud, _ = DistributedLTSSolver(lay, a.dt, world=world).run(
+            u0, np.zeros_like(u0), 4
+        )
+        assert np.all(np.isfinite(ud))
+        assert world.injected == []
+
+    def test_drop_surfaces_as_enriched_comm_error(self, sys1d):
+        sem, a, dof_level, lay, u0 = sys1d
+        plan = FaultPlan((FaultEvent("drop", superstep=1, src=0, dst=1),))
+        world = FaultyWorld(2, plan)
+        with pytest.raises(CommError, match="pending for rank"):
+            DistributedLTSSolver(lay, a.dt, world=world).run(
+                u0, np.zeros_like(u0), 4
+            )
+        assert world.injected[0]["kind"] == "drop"
+
+    def test_duplicate_trips_leak_check(self, sys1d):
+        sem, a, dof_level, lay, u0 = sys1d
+        plan = FaultPlan((FaultEvent("duplicate", superstep=0, src=0, dst=1),))
+        world = FaultyWorld(2, plan)
+        with pytest.raises(CommError, match="undelivered"):
+            DistributedLTSSolver(lay, a.dt, world=world).run(
+                u0, np.zeros_like(u0), 2
+            )
+
+    def test_bitflip_perturbs_solution_deterministically(self, sys1d):
+        sem, a, dof_level, lay, u0 = sys1d
+        v0 = np.zeros_like(u0)
+        clean, _ = LTSNewmarkSolver(sem.A, dof_level, a.dt).run(u0, v0, 4)
+
+        def flipped_run():
+            plan = FaultPlan((FaultEvent("bitflip", superstep=1, bit=60),))
+            world = FaultyWorld(2, plan)
+            u, _ = DistributedLTSSolver(lay, a.dt, world=world).run(u0, v0, 4)
+            return u, world.injected
+
+        u1, log1 = flipped_run()
+        u2, log2 = flipped_run()
+        assert np.array_equal(u1, u2), "same plan must corrupt identically"
+        assert log1 == log2
+        assert log1[0]["kind"] == "bitflip"
+        assert not np.array_equal(u1, clean), "a high-exponent flip must show"
+
+    def test_count_bounds_multiple_messages(self, sys1d):
+        sem, a, dof_level, lay, u0 = sys1d
+        plan = FaultPlan((FaultEvent("drop", superstep=0, count=2),))
+        world = FaultyWorld(2, plan)
+        with pytest.raises(CommError):
+            DistributedLTSSolver(lay, a.dt, world=world).run(
+                u0, np.zeros_like(u0), 2
+            )
+        assert sum(1 for f in world.injected if f["kind"] == "drop") == 2

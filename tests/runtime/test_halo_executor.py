@@ -99,6 +99,22 @@ class TestDistributedNewmark:
         assert world.pending() == 0
         assert world.sent_messages > 0
 
+    def test_leak_check_names_channels(self, sys1d):
+        """run() ends with a mailbox-drained assertion; a stray message
+        fails it with the leaked channel named."""
+        from repro.util.errors import CommError
+
+        mesh, sem, a, _, u0, v0 = sys1d
+        world = MailboxWorld(2)
+        lay = build_rank_layout(sem, block_partition(mesh.n_elements, 2), 2)
+        solver = DistributedNewmarkSolver(lay, a.dt_min, world=world)
+        solver.check_no_leaks()  # clean world passes
+        world.comm(0).Send(np.zeros(3), dest=1, tag=77)
+        with pytest.raises(CommError, match=r"undelivered.*tag=77"):
+            solver.check_no_leaks()
+        with pytest.raises(CommError, match="undelivered"):
+            solver.run(u0, v0, 2)
+
 
 class TestDistributedLTS:
     @pytest.mark.parametrize("k", [2, 3, 4])

@@ -1,0 +1,107 @@
+"""Supervised execution: restart budgets, backoff, and the incident log."""
+
+import pytest
+
+from repro.runtime import Supervisor
+from repro.util.errors import (
+    CommError,
+    NumericalError,
+    RankFailure,
+    SolverError,
+)
+
+
+def flaky(fail_times: int, exc: Exception):
+    """An attempt function failing ``fail_times`` times, then succeeding."""
+
+    def attempt(i: int):
+        if i < fail_times:
+            raise exc
+        return f"ok@{i}"
+
+    return attempt
+
+
+class TestSupervisor:
+    def test_first_try_success_is_untouched(self):
+        sup = Supervisor(max_restarts=3)
+        assert sup.run(flaky(0, CommError("x"))) == "ok@0"
+        assert sup.log == []
+
+    def test_recovers_from_rank_failure(self):
+        sup = Supervisor(max_restarts=2)
+        assert sup.run(flaky(1, RankFailure("rank 1 died", rank=1))) == "ok@1"
+        assert len(sup.log) == 1
+        assert sup.log[0]["error"] == "RankFailure"
+        assert sup.log[0]["retried"] is True
+
+    def test_recovers_from_numerical_error(self):
+        sup = Supervisor(max_restarts=1)
+        assert sup.run(flaky(1, NumericalError("NaN", cycle=4))) == "ok@1"
+
+    def test_budget_exhaustion_reraises_last_error(self):
+        sup = Supervisor(max_restarts=2)
+        with pytest.raises(CommError, match="always"):
+            sup.run(flaky(99, CommError("always")))
+        assert len(sup.log) == 3  # initial try + 2 restarts, all failed
+        assert sup.log[-1]["retried"] is False
+
+    def test_zero_restarts_fails_fast(self):
+        sup = Supervisor(max_restarts=0)
+        with pytest.raises(RankFailure):
+            sup.run(flaky(1, RankFailure("dead")))
+        assert len(sup.log) == 1
+
+    def test_unrecoverable_error_propagates_immediately(self):
+        sup = Supervisor(max_restarts=5)
+        calls = []
+
+        def attempt(i):
+            calls.append(i)
+            raise SolverError("logic bug, not a fault")
+
+        with pytest.raises(SolverError):
+            sup.run(attempt)
+        assert calls == [0]
+        assert sup.log == []
+
+    def test_attempt_indices_increment(self):
+        seen = []
+
+        def attempt(i):
+            seen.append(i)
+            if i < 2:
+                raise CommError("boom")
+            return i
+
+        assert Supervisor(max_restarts=3).run(attempt) == 2
+        assert seen == [0, 1, 2]
+
+    def test_exponential_backoff_uses_injected_clock(self):
+        waits = []
+        sup = Supervisor(
+            max_restarts=3, backoff_seconds=0.5, sleep=waits.append
+        )
+        sup.run(flaky(3, CommError("x")))
+        assert waits == [0.5, 1.0, 2.0]
+        assert [e["backoff_seconds"] for e in sup.log] == waits
+
+    def test_no_sleep_when_backoff_zero(self):
+        called = []
+        sup = Supervisor(max_restarts=1, sleep=lambda s: called.append(s))
+        sup.run(flaky(1, CommError("x")))
+        assert called == []
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(SolverError):
+            Supervisor(max_restarts=-1)
+        with pytest.raises(SolverError):
+            Supervisor(backoff_seconds=-0.1)
+
+    def test_custom_recover_on(self):
+        sup = Supervisor(max_restarts=1, recover_on=(KeyError,))
+        assert sup.run(flaky(1, KeyError("k"))) == "ok@1"
+        with pytest.raises(CommError):
+            Supervisor(max_restarts=1, recover_on=(KeyError,)).run(
+                flaky(1, CommError("not listed"))
+            )

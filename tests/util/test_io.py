@@ -1,0 +1,73 @@
+"""Atomic .npz publication: complete file or nothing, never a partial."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.util.io import atomic_savez
+
+
+class TestAtomicSavez:
+    def test_roundtrip(self, tmp_path):
+        path = atomic_savez(tmp_path / "out.npz", a=np.arange(3.0), b=np.eye(2))
+        with np.load(path) as data:
+            assert np.array_equal(data["a"], np.arange(3.0))
+            assert np.array_equal(data["b"], np.eye(2))
+
+    def test_appends_npz_suffix(self, tmp_path):
+        path = atomic_savez(tmp_path / "out", a=np.zeros(1))
+        assert path.name == "out.npz"
+        assert path.exists()
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = atomic_savez(tmp_path / "deep" / "er" / "out.npz", a=np.zeros(1))
+        assert path.exists()
+
+    def test_overwrite_is_atomic(self, tmp_path):
+        target = tmp_path / "out.npz"
+        atomic_savez(target, a=np.zeros(4))
+        atomic_savez(target, a=np.ones(4))
+        with np.load(target) as data:
+            assert np.array_equal(data["a"], np.ones(4))
+
+    def test_failed_write_leaves_no_trace(self, tmp_path, monkeypatch):
+        """A crash mid-serialization must not leave a partial target or a
+        stray temp file — the kill-during-write guarantee."""
+
+        def boom(*args, **kwargs):
+            raise KeyboardInterrupt("killed mid-write")
+
+        monkeypatch.setattr(np, "savez", boom)
+        with pytest.raises(KeyboardInterrupt):
+            atomic_savez(tmp_path / "out.npz", a=np.zeros(3))
+        assert list(tmp_path.iterdir()) == []
+
+    def test_failed_write_keeps_previous_version(self, tmp_path, monkeypatch):
+        target = atomic_savez(tmp_path / "out.npz", a=np.full(2, 7.0))
+        real_savez = np.savez
+
+        def boom(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(np, "savez", boom)
+        with pytest.raises(OSError):
+            atomic_savez(target, a=np.zeros(2))
+        monkeypatch.setattr(np, "savez", real_savez)
+        with np.load(target) as data:
+            assert np.array_equal(data["a"], np.full(2, 7.0))
+        assert [p.name for p in tmp_path.iterdir()] == ["out.npz"]
+
+    def test_temp_file_in_target_directory(self, tmp_path, monkeypatch):
+        """The temp file must live next to the target (same filesystem),
+        or os.replace would not be atomic."""
+        seen = {}
+        real_replace = os.replace
+
+        def spy(src, dst):
+            seen["src_dir"] = os.path.dirname(src)
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", spy)
+        atomic_savez(tmp_path / "out.npz", a=np.zeros(1))
+        assert seen["src_dir"] == str(tmp_path)
