@@ -26,26 +26,35 @@ fused matfree tier beats the CSR matvec outright at order >= 4.
 larger and arrives earlier than in the acoustic sweeps.
 ``--physics anisotropic`` sweeps the general-``C`` operator
 (:class:`repro.sem.anisotropic.AnisotropicElasticSemND`, a tilted-TI
-medium): there is no fused C tier, so this records the NumPy
-stress-form contraction against the (much denser) anisotropic CSR.
+medium) through the fused stress-form kernels (``an_apply`` /
+``an_apply3``) against the (much denser) anisotropic CSR.
+
+``--threads N`` additionally times the threaded kernel tiers — the
+OpenMP fused path and the chunked NumPy thread pool — and records the
+resolved tier labels plus CPU identity (model name, core count) so a
+result file documents the machine it came from.  Threaded results are
+written to a separate ``..._threads*.json`` so the serial baselines
+stay untouched.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_matfree_vs_assembled.py \
-        [--quick] [--dim {2,3}] [--physics {acoustic,elastic,anisotropic}]
+        [--quick] [--dim {2,3}] [--physics {acoustic,elastic,anisotropic}] \
+        [--threads N]
 
 ``--quick`` shrinks the mesh and order sweep to a seconds-long smoke
 run (used by CI); the full run records the numbers quoted in README.
 Emits a ``BENCH`` JSON line and persists to
-``benchmarks/results/matfree_vs_assembled[_3d|_elastic|_elastic3d|
-_aniso|_aniso3d].json`` (quick runs never overwrite the recorded full
-runs).
+``benchmarks/results/matfree_vs_assembled[_threads][_3d|_elastic|
+_elastic3d|_aniso|_aniso3d].json`` (quick runs never overwrite the
+recorded full runs).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -117,6 +126,24 @@ def _anisotropic_stiffness(dim: int) -> "np.ndarray":
     return C
 
 
+def _cpu_info() -> dict:
+    """CPU identity for result-file provenance: a threaded number is
+    meaningless without the core count it ran on."""
+    model = None
+    try:
+        for line in Path("/proc/cpuinfo").read_text().splitlines():
+            if line.lower().startswith("model name"):
+                model = line.split(":", 1)[1].strip()
+                break
+    except OSError:
+        pass
+    try:
+        usable = len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        usable = os.cpu_count()
+    return {"cpu_model": model, "cpu_count": os.cpu_count(), "usable_cores": usable}
+
+
 def _best_ms(fn, reps: int) -> float:
     fn()  # warm up (JIT-less, but touches caches and lazy buffers)
     best = np.inf
@@ -148,17 +175,25 @@ def _make_sem(physics: str, dim: int, grid, order: int):
     return cls(mesh, order=order)
 
 
-def run(quick: bool = False, dim: int = 2, physics: str = "acoustic") -> dict:
+def run(
+    quick: bool = False,
+    dim: int = 2,
+    physics: str = "acoustic",
+    threads: int | None = None,
+) -> dict:
     if (physics, dim) not in SEM_CLASSES:
         raise SystemExit(f"unsupported combination physics={physics!r} dim={dim}")
     grid, orders = SWEEPS[(physics, dim)][quick]
     reps = 5 if quick else 30
     rng = np.random.default_rng(0)
 
+    header = ["order", "n_dof", "nnz", "assembled ms", "matfree ms", "speedup",
+              "numpy ms", "restricted speedup", "max rel err"]
+    if threads is not None:
+        header[7:7] = [f"omp:{threads} ms", f"pool:{threads} ms"]
     rows = []
     t = Table(
-        ["order", "n_dof", "nnz", "assembled ms", "matfree ms", "speedup",
-         "numpy ms", "restricted speedup", "max rel err"],
+        header,
         title=f"matrix-free vs assembled apply — {'x'.join(map(str, grid))} "
         f"{physics} {dim}D "
         f"(fused kernels: {'yes' if fused.available() else 'NO — numpy fallback'})",
@@ -202,12 +237,28 @@ def run(quick: bool = False, dim: int = 2, physics: str = "acoustic") -> dict:
             "restricted_speedup": t_rasm / t_rmf,
             "max_rel_err": max(err, err_np, err_r),
         }
+        cells = [order, sem.n_dof, assembled.nnz, f"{t_asm:.3f}", f"{t_mf:.3f}",
+                 f"{t_asm / t_mf:.2f}x", f"{t_np:.3f}"]
+        if threads is not None:
+            mf_t = sem.operator("matfree", threads=threads)
+            np_t = sem.operator("matfree", use_fused=False, threads=threads)
+            err_t = float(np.abs(mf_t @ u - ref).max() / np.abs(ref).max())
+            err_tp = float(np.abs(np_t @ u - ref).max() / np.abs(ref).max())
+            t_omp = _best_ms(lambda: mf_t @ u, reps)
+            t_pool = _best_ms(lambda: np_t @ u, reps)
+            row.update(
+                threads=threads,
+                matfree_threads_ms=t_omp,
+                matfree_threads_tier=mf_t.tier,
+                numpy_threads_ms=t_pool,
+                numpy_threads_tier=np_t.tier,
+                threads_speedup=t_mf / t_omp,
+            )
+            row["max_rel_err"] = max(row["max_rel_err"], err_t, err_tp)
+            cells += [f"{t_omp:.3f}", f"{t_pool:.3f}"]
         rows.append(row)
-        t.add_row(
-            [order, sem.n_dof, assembled.nnz, f"{t_asm:.3f}", f"{t_mf:.3f}",
-             f"{t_asm / t_mf:.2f}x", f"{t_np:.3f}",
-             f"{t_rasm / t_rmf:.2f}x", f"{row['max_rel_err']:.1e}"]
-        )
+        cells += [f"{t_rasm / t_rmf:.2f}x", f"{row['max_rel_err']:.1e}"]
+        t.add_row(cells)
 
     if physics == "acoustic" and dim == 2:
         # One elastic row for the vector-valued kernel (kept in the
@@ -238,10 +289,11 @@ def run(quick: bool = False, dim: int = 2, physics: str = "acoustic") -> dict:
                 "max_rel_err": err_e,
             }
         )
-        t.add_row(
-            [f"{el_order} (elastic)", el.n_dof, asm_e.nnz, f"{te_asm:.3f}",
-             f"{te_mf:.3f}", f"{te_asm / te_mf:.2f}x", "-", "-", f"{err_e:.1e}"]
-        )
+        cells = [f"{el_order} (elastic)", el.n_dof, asm_e.nnz, f"{te_asm:.3f}",
+                 f"{te_mf:.3f}", f"{te_asm / te_mf:.2f}x", "-"]
+        if threads is not None:
+            cells += ["-", "-"]
+        t.add_row(cells + ["-", f"{err_e:.1e}"])
     t.print()
 
     payload = {
@@ -250,17 +302,22 @@ def run(quick: bool = False, dim: int = 2, physics: str = "acoustic") -> dict:
         "physics": physics,
         "quick": quick,
         "fused_available": fused.available(),
+        "omp_enabled": fused.available() and fused.omp_enabled(),
+        "threads": threads,
         "rows": rows,
+        **_cpu_info(),
     }
+    name = "matfree_vs_assembled"
+    if threads is not None:
+        name += "_threads"
     if not quick:  # quick/CI smokes must not clobber the recorded full runs
-        save_results("matfree_vs_assembled" + RESULT_SUFFIX[(physics, dim)], payload)
+        save_results(name + RESULT_SUFFIX[(physics, dim)], payload)
     print("BENCH " + json.dumps(payload, default=float))
 
     # Hard checks: backends must agree; the matrix-free backend must win
     # decisively at high order on the full-size mesh (paper Sec. II-C).
-    # The anisotropic sweep has no fused tier, so it asserts equivalence
-    # only — the recorded JSON documents where the NumPy stress-form
-    # contraction stands against the (dense) anisotropic CSR.
+    # The anisotropic CSR is denser still (no zero axis-pair entries),
+    # so the fused stress-form kernels win from order 3 in either dim.
     tol = 1e-12 if physics == "acoustic" else 1e-11
     for row in rows:
         assert row["max_rel_err"] < tol, row
@@ -278,6 +335,19 @@ def run(quick: bool = False, dim: int = 2, physics: str = "acoustic") -> dict:
                 # matfree tier must win from moderate order in either dim.
                 if row["order"] >= 3:
                     assert row["speedup"] >= 1.5, row
+            elif physics == "anisotropic":
+                if row["order"] >= 3:
+                    assert row["speedup"] >= 1.5, row
+            # Threaded scaling is only checkable on a machine that has
+            # the cores: on a single-core container the OpenMP tier
+            # legitimately degenerates to serial-plus-overhead.
+            if (
+                threads is not None and threads >= 4
+                and payload["omp_enabled"]
+                and payload["usable_cores"] >= threads
+                and dim == 3 and row["order"] >= 4
+            ):
+                assert row["threads_speedup"] >= 2.0, row
     return payload
 
 
@@ -319,5 +389,8 @@ if __name__ == "__main__":
     ap.add_argument("--physics", default="acoustic",
                     choices=("acoustic", "elastic", "anisotropic"),
                     help="operator physics (elastic/anisotropic = vector-valued sweeps)")
+    ap.add_argument("--threads", type=int, default=None, metavar="N",
+                    help="also time the threaded kernel tiers with N threads "
+                         "(results go to a separate _threads JSON)")
     args = ap.parse_args()
-    run(quick=args.quick, dim=args.dim, physics=args.physics)
+    run(quick=args.quick, dim=args.dim, physics=args.physics, threads=args.threads)

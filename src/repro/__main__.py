@@ -6,7 +6,7 @@ Subcommands
     Resolve and execute a :class:`repro.api.SimulationConfig`, print a
     run summary, and optionally save traces/fields to an ``.npz``
     (written atomically — a killed run leaves either the complete file
-    or nothing).  ``--backend/--ranks/--scheme`` override the
+    or nothing).  ``--backend/--ranks/--scheme/--threads`` override the
     corresponding spec fields without editing the file;
     ``--checkpoint-dir/--checkpoint-every`` enable periodic
     checkpointing and ``--resume <ckpt.npz>`` restarts from a saved
@@ -38,7 +38,15 @@ from repro.util.io import atomic_savez
 def _apply_overrides(cfg: SimulationConfig, args) -> SimulationConfig:
     if args.backend is not None:
         fused = cfg.backend.fused if args.backend == "matfree" else None
-        cfg = replace(cfg, backend=replace(cfg.backend, stiffness=args.backend, fused=fused))
+        threads = cfg.backend.threads if args.backend == "matfree" else None
+        cfg = replace(
+            cfg,
+            backend=replace(
+                cfg.backend, stiffness=args.backend, fused=fused, threads=threads
+            ),
+        )
+    if getattr(args, "threads", None) is not None:
+        cfg = replace(cfg, backend=replace(cfg.backend, threads=args.threads))
     if args.ranks is not None:
         cfg = replace(cfg, partition=replace(cfg.partition, n_ranks=args.ranks))
     if args.scheme is not None:
@@ -71,7 +79,8 @@ def _cmd_run(args) -> int:
         f"scheme={cfg.time.scheme}: {levels.n_levels} LTS levels "
         f"{levels.counts().tolist()}, dt={sim.dt:.6g}, "
         f"{sim.n_cycles} cycles "
-        f"(backend={cfg.backend.stiffness}, ranks={cfg.partition.n_ranks})"
+        f"(backend={cfg.backend.stiffness}, kernel={sim.kernel_tier()}, "
+        f"ranks={cfg.partition.n_ranks})"
     )
     result = sim.run(resume=args.resume)
     md = result.metadata
@@ -106,6 +115,7 @@ def _cmd_run(args) -> int:
             "u": result.u,
             "v": result.v,
             "config_json": np.array(json.dumps(cfg.to_dict())),
+            "kernel_tier": np.array(md["kernel_tier"]),
         }
         if result.traces is not None:
             payload["traces"] = result.traces
@@ -150,6 +160,11 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument(
         "--scheme", choices=("lts", "newmark"), default=None,
         help="override the stepping scheme",
+    )
+    p_run.add_argument(
+        "--threads", type=int, default=None, metavar="N",
+        help="override BackendSpec.threads for the matfree backend "
+             "(0 = auto-detect; needs --backend matfree or a matfree config)",
     )
     p_run.add_argument(
         "--output", default=None, metavar="OUT.npz",

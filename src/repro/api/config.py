@@ -621,10 +621,16 @@ class BackendSpec(Spec):
     architecture"): ``"assembled"`` (global/partial CSR) or
     ``"matfree"`` (sum-factorization, no matrix).  ``fused`` toggles
     the fused C element kernels on the matfree path (``None`` = auto).
+    ``threads`` parallelizes the matfree element loop: ``None`` = serial,
+    ``0`` = auto-detect the CPUs available to the process, ``N >= 1`` =
+    that many threads (OpenMP on the fused tier, a chunked thread pool
+    on the NumPy tier).  The ``REPRO_THREADS`` environment variable
+    overrides the field at operator-build time.
     """
 
     stiffness: str = "assembled"
     fused: bool | None = None
+    threads: int | None = None
 
     def __post_init__(self):
         if self.stiffness not in _STIFFNESS_BACKENDS:
@@ -639,6 +645,22 @@ class BackendSpec(Spec):
                     "only; set stiffness='matfree' (or leave fused=None)"
                 )
             self._set("fused", bool(self.fused))
+        if self.threads is not None:
+            if self.stiffness != "matfree":
+                raise ConfigError(
+                    "BackendSpec.threads applies to the matfree backend "
+                    "only; set stiffness='matfree' (or leave threads=None)"
+                )
+            if isinstance(self.threads, bool) or not isinstance(self.threads, int):
+                raise ConfigError(
+                    f"BackendSpec.threads must be an integer >= 0 or None "
+                    f"(0 = auto-detect), got {self.threads!r}"
+                )
+            if self.threads < 0:
+                raise ConfigError(
+                    f"BackendSpec.threads must be >= 0 (0 = auto-detect), "
+                    f"got {self.threads}"
+                )
 
 
 def _faults_from(value) -> tuple:

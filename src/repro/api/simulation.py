@@ -145,6 +145,7 @@ def run_distributed(
     n_ranks: int | None = None,
     backend: str = "assembled",
     use_fused: bool | None = None,
+    threads: int | None = None,
     force: Callable[[float], np.ndarray] | None = None,
     receiver_dofs: np.ndarray | None = None,
     u0: np.ndarray | None = None,
@@ -167,7 +168,7 @@ def run_distributed(
         world = MailboxWorld(n_ranks)
     layout = build_rank_layout(
         assembler, parts, n_ranks, dof_level=dof_level, backend=backend,
-        use_fused=use_fused,
+        use_fused=use_fused, threads=threads,
     )
     solver = DistributedLTSSolver(layout, dt, world=world, force=force)
     n_dof = int(assembler.n_dof)
@@ -360,7 +361,28 @@ class Simulation:
         b = self.config.backend
         if b.stiffness == "assembled":
             return self.assembler.A
-        return self.assembler.operator("matfree", use_fused=b.fused)
+        return self.assembler.operator(
+            "matfree", use_fused=b.fused, threads=b.threads
+        )
+
+    def kernel_tier(self) -> str:
+        """The kernel tier this config resolves to — ``"assembled"``,
+        ``"numpy"``, ``"numpy-threads:N"``, ``"fused"``, or
+        ``"fused+openmp:N"`` — so results always record whether the
+        fused/threaded path actually ran (a missing compiler or OpenMP
+        silently falls back).  Cheap: no operator is built."""
+        b = self.config.backend
+        if b.stiffness == "assembled":
+            return "assembled"
+        from repro.sem.matfree import describe_tier
+
+        return describe_tier(
+            self.config.material.model,
+            self.mesh.dim,
+            self.config.order,
+            use_fused=b.fused,
+            threads=b.threads,
+        )
 
     #: Cached stages independent of the stiffness backend *and* the
     #: partition spec — safe to share across those config variants.
@@ -452,6 +474,7 @@ class Simulation:
                 n_ranks=cfg.partition.n_ranks,
                 backend=cfg.backend.stiffness,
                 use_fused=cfg.backend.fused,
+                threads=cfg.backend.threads,
                 force=force,
                 receiver_dofs=rec,
                 u0=u0,
@@ -466,6 +489,7 @@ class Simulation:
             "n_levels": int(self.levels.n_levels),
             "scheme": cfg.time.scheme,
             "backend": cfg.backend.stiffness,
+            "kernel_tier": self.kernel_tier(),
             "n_ranks": int(cfg.partition.n_ranks),
             "build_seconds": build_seconds,
             "run_seconds": run_seconds,
@@ -575,6 +599,7 @@ class Simulation:
                 dof_level=dof_level,
                 backend=cfg.backend.stiffness,
                 use_fused=cfg.backend.fused,
+                threads=cfg.backend.threads,
             )
         ckpt_dir = Path(res.checkpoint_dir) if res.checkpoint_dir else None
         written: list[Path] = []
@@ -708,6 +733,7 @@ class Simulation:
             "n_levels": int(self.levels.n_levels),
             "scheme": cfg.time.scheme,
             "backend": cfg.backend.stiffness,
+            "kernel_tier": self.kernel_tier(),
             "n_ranks": int(cfg.partition.n_ranks),
             "build_seconds": build_seconds,
             "run_seconds": run_seconds,
@@ -776,9 +802,12 @@ def compare_backends(
     if include_serial:
         results["serial"] = base.variant(partition=PartitionSpec(n_ranks=1)).run()
     for b in backends:
-        # Keep the config's fused-tier choice on the matfree leg.
+        # Keep the config's fused/threads choices on the matfree leg.
         fused = base.config.backend.fused if b == "matfree" else None
-        results[b] = base.variant(backend=BackendSpec(stiffness=b, fused=fused)).run()
+        threads = base.config.backend.threads if b == "matfree" else None
+        results[b] = base.variant(
+            backend=BackendSpec(stiffness=b, fused=fused, threads=threads)
+        ).run()
     return results
 
 

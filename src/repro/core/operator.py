@@ -162,6 +162,12 @@ class AssembledOperator:
     def nnz(self) -> int:
         return self.A.nnz
 
+    @property
+    def tier(self) -> str:
+        """Kernel-tier label for provenance (matches the matfree
+        operators' ``tier`` vocabulary)."""
+        return "assembled"
+
     def __matmul__(self, u: np.ndarray) -> np.ndarray:
         return self.A @ u
 

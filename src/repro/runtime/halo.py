@@ -123,6 +123,7 @@ def build_rank_layout(
     dof_level: np.ndarray | None = None,
     backend: str = "assembled",
     use_fused: bool | None = None,
+    threads: int | None = None,
 ) -> RankLayout:
     """Build the per-rank decomposition of a SEM system.
 
@@ -150,11 +151,21 @@ def build_rank_layout(
         Fused-C kernel selection for the matfree backend (``None`` =
         auto-detect, as in :meth:`repro.sem.tensor.SemND.operator`);
         must stay ``None`` for the assembled backend.
+    threads:
+        Threaded element-loop selection for the rank-local matfree
+        stiffness (``None`` serial, ``0`` auto-detect — see
+        :func:`repro.sem.matfree.resolve_threads`); must stay ``None``
+        for the assembled backend.
     """
     require(backend in ("assembled", "matfree"), f"unknown backend {backend!r}", PartitionError)
     require(
         use_fused is None or backend == "matfree",
         "use_fused applies to the matfree backend only",
+        PartitionError,
+    )
+    require(
+        threads is None or backend == "matfree",
+        "threads applies to the matfree backend only",
         PartitionError,
     )
     element_dofs = np.asarray(assembler.element_dofs)
@@ -193,7 +204,10 @@ def build_rank_layout(
                 PartitionError,
             )
             K_local.append(
-                local_stiffness(assembler, owned, ld, len(ids), use_fused=use_fused)
+                local_stiffness(
+                    assembler, owned, ld, len(ids),
+                    use_fused=use_fused, threads=threads,
+                )
             )
         else:
             K_local.append(_rank_stiffness_assembled(assembler, owned, ld, len(ids)))

@@ -128,12 +128,17 @@ class Sem1D:
             params={"scales": scales[sl]},
         )
 
-    def operator(self, backend: str = "assembled", use_fused: bool | None = None):
+    def operator(
+        self,
+        backend: str = "assembled",
+        use_fused: bool | None = None,
+        threads: int | None = None,
+    ):
         """Stiffness operator ``A = M^{-1} K`` in the requested backend
         (see :meth:`repro.sem.tensor.SemND.operator`)."""
         from repro.sem.matfree import operator_for
 
-        return operator_for(self, backend, use_fused=use_fused)
+        return operator_for(self, backend, use_fused=use_fused, threads=threads)
 
     # ------------------------------------------------------------------
     def element_system(self, e: int) -> tuple[np.ndarray, np.ndarray]:

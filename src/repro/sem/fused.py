@@ -9,15 +9,29 @@ tier: a small C source compiled on demand with the system compiler and
 loaded through :mod:`ctypes` (stdlib only — no new dependencies).
 Kernels: 2D acoustic (``ac_apply``), 3D hexahedral acoustic
 (``ac_apply3``), 2D elastic (``el_apply``), 3D hexahedral elastic
-(``el_apply3``); the 3D kernels cover orders <= ``MAX_ORDER_3D``.
+(``el_apply3``), 2D/3D anisotropic stress form (``an_apply`` /
+``an_apply3``); the 3D kernels cover orders <= ``MAX_ORDER_3D``.
 
 The kernels are strictly optional.  If no C compiler is available, the
 compile fails, ``REPRO_FUSED=0`` is set, or the polynomial order exceeds
 ``MAX_ORDER``, callers fall back to the NumPy path transparently — same
 results (up to last-bit summation order), just slower.  The compiled
-shared object is cached in the system temp directory keyed by a source
+shared object is cached in a user-private directory keyed by a source
 hash, so the one-time ~0.5 s compile is paid once per machine, not per
 process.
+
+Threading
+---------
+When the compiler accepts ``-fopenmp`` (probed, like ``-march=native``
+— unsupported flags are dropped instead of failing the tier), every
+kernel can parallelize its element-block loop across ``n_threads``
+OpenMP threads.  The scatter stays atomic-free: each thread accumulates
+into its own ``n_dof`` slice of a caller-provided scratch buffer
+``zt``, and a second static-schedule loop reduces the slices in
+ascending thread order — deterministic for a fixed thread count, and
+bitwise equal to serial only up to summation order (callers document a
+<= 1e-12 relative tolerance).  Builds without OpenMP export
+``repro_omp = 0`` and run the serial loop regardless of ``n_threads``.
 
 Design notes (mirrors the NumPy path in :mod:`repro.sem.matfree`):
 
@@ -56,10 +70,20 @@ MAX_ORDER_3D = 7
 _SOURCE = r"""
 #include <stdint.h>
 #include <string.h>
+#if defined(_OPENMP)
+#include <omp.h>
+#define REPRO_OMP 1
+#else
+#define REPRO_OMP 0
+#endif
 #define MAXNL 256
 #define MAXNL3 512
 #define VL 8
 typedef double v8 __attribute__((vector_size(64), aligned(64)));
+
+/* 1 when this build runs the OpenMP element-block loop, read by the
+ * Python loader to decide whether n_threads > 1 is honored. */
+int repro_omp = REPRO_OMP;
 
 /* O[i][j] = sum_a A[i*n1+a] * U[a*n1+j]  (left 1D transform) */
 static inline void mul_left(const double *restrict A, const v8 *restrict U,
@@ -90,6 +114,21 @@ static inline void mul_right(const double *restrict A, const v8 *restrict U,
     }
 }
 
+/* O[i][j] += sum_b U[i*n1+b] * A[j*n1+b]  (accumulating mul_right) */
+static inline void mul_right_add(const double *restrict A, const v8 *restrict U,
+                                 v8 *restrict O, int n1)
+{
+    for (int i = 0; i < n1; ++i) {
+        const v8 *ui = U + i * n1;
+        for (int j = 0; j < n1; ++j) {
+            const double *aj = A + j * n1;
+            v8 acc = {0};
+            for (int b = 0; b < n1; ++b) acc += aj[b] * ui[b];
+            O[i * n1 + j] += acc;
+        }
+    }
+}
+
 /* O[i][j] += coef * sum_a A[i*n1+a] * U[a*n1+j] */
 static inline void mul_left_acc(const double *restrict A, const v8 *restrict U,
                                 v8 *restrict O, v8 coef, int n1)
@@ -114,171 +153,6 @@ static inline void gather(const int64_t *restrict d, int stride, int nl,
         for (int k = 0; k < nl; ++k) U[k][lane] = u[d[k * stride]];
 }
 
-/*
- * Acoustic: z = (optional Minv *) sum_e scatter(ed_e, K_e gather(ed_e, u))
- * with K_e = ax_e KxX (x) Wd + ay_e Wd (x) KxX.  ne must be a multiple
- * of VL (callers pad with ax = ay = 0 ghost elements).
- */
-void ac_apply(long ne, long n_dof, int n1,
-              const double *restrict KxX, const double *restrict w,
-              const double *restrict ax, const double *restrict ay,
-              const int64_t *restrict ed, const double *restrict u,
-              const double *restrict gmask, const double *restrict Minv,
-              double *restrict z)
-{
-    int nl = n1 * n1;
-    v8 Ue[MAXNL], T[MAXNL], Ui[MAXNL];
-    memset(z, 0, (size_t)n_dof * sizeof(double));
-    for (long e0 = 0; e0 + VL <= ne; e0 += VL) {
-        for (int l = 0; l < VL; ++l)
-            gather(ed + (e0 + l) * nl, 1, nl, u,
-                   gmask ? gmask + (e0 + l) * nl : 0, Ue, l);
-        v8 AXE, AYE;
-        for (int l = 0; l < VL; ++l) { AXE[l] = ax[e0 + l]; AYE[l] = ay[e0 + l]; }
-        for (int i = 0; i < n1; ++i) {
-            const double *ki = KxX + i * n1;
-            for (int a = 0; a < n1; ++a) Ui[a] = Ue[i * n1 + a];
-            v8 AYW = AYE * w[i];
-            for (int j = 0; j < n1; ++j) {
-                v8 acc1 = {0}, acc2 = {0};
-                for (int a = 0; a < n1; ++a) {
-                    acc1 += ki[a] * Ue[a * n1 + j];
-                    acc2 += KxX[a * n1 + j] * Ui[a];
-                }
-                T[i * n1 + j] = AXE * w[j] * acc1 + AYW * acc2;
-            }
-        }
-        for (int l = 0; l < VL; ++l) {
-            const int64_t *d = ed + (e0 + l) * nl;
-            for (int k = 0; k < nl; ++k) z[d[k]] += T[k][l];
-        }
-    }
-    if (Minv)
-        for (long i = 0; i < n_dof; ++i) z[i] *= Minv[i];
-}
-
-/*
- * 3D acoustic: K_e = ax KxX(x)Wd(x)Wd + ay Wd(x)KxX(x)Wd + az Wd(x)Wd(x)KxX
- * on the local layout flat = (i*n1 + j)*n1 + k (x slowest).  All three
- * per-axis 1D contractions are evaluated node-by-node inside the element
- * workspace (3 n1^4 FMAs per element), so per element only the gather
- * and scatter touch memory -- the O(n^4) sum-factorization tier that
- * beats the O(n^4)-nonzero CSR matvec on bandwidth, not flops.
- * ne must be a multiple of VL (callers pad with ax = ay = az = 0 ghosts).
- */
-void ac_apply3(long ne, long n_dof, int n1,
-               const double *restrict KxX, const double *restrict w,
-               const double *restrict ax, const double *restrict ay,
-               const double *restrict az,
-               const int64_t *restrict ed, const double *restrict u,
-               const double *restrict gmask, const double *restrict Minv,
-               double *restrict z)
-{
-    int n2 = n1 * n1, nl = n2 * n1;
-    static _Thread_local v8 Ue[MAXNL3], T[MAXNL3];
-    memset(z, 0, (size_t)n_dof * sizeof(double));
-    for (long e0 = 0; e0 + VL <= ne; e0 += VL) {
-        for (int l = 0; l < VL; ++l)
-            gather(ed + (e0 + l) * nl, 1, nl, u,
-                   gmask ? gmask + (e0 + l) * nl : 0, Ue, l);
-        v8 AXE, AYE, AZE;
-        for (int l = 0; l < VL; ++l) {
-            AXE[l] = ax[e0 + l]; AYE[l] = ay[e0 + l]; AZE[l] = az[e0 + l];
-        }
-        for (int i = 0; i < n1; ++i) {
-            const double *ki = KxX + i * n1;
-            for (int j = 0; j < n1; ++j) {
-                const double *kj = KxX + j * n1;
-                const v8 *uij = Ue + (i * n1 + j) * n1;
-                for (int k = 0; k < n1; ++k) {
-                    const double *kk = KxX + k * n1;
-                    v8 a1 = {0}, a2 = {0}, a3 = {0};
-                    for (int a = 0; a < n1; ++a) {
-                        a1 += ki[a] * Ue[(a * n1 + j) * n1 + k];
-                        a2 += kj[a] * Ue[(i * n1 + a) * n1 + k];
-                        a3 += kk[a] * uij[a];
-                    }
-                    T[(i * n1 + j) * n1 + k] =
-                        AXE * (w[j] * w[k]) * a1 + AYE * (w[i] * w[k]) * a2
-                        + AZE * (w[i] * w[j]) * a3;
-                }
-            }
-        }
-        for (int l = 0; l < VL; ++l) {
-            const int64_t *d = ed + (e0 + l) * nl;
-            for (int k = 0; k < nl; ++k) z[d[k]] += T[k][l];
-        }
-    }
-    if (Minv)
-        for (long i = 0; i < n_dof; ++i) z[i] *= Minv[i];
-}
-
-/*
- * Elastic P-SV, component-interleaved ed of width 2*nl.  Element blocks:
- *   fx = cp hy/hx K1 Ux + mu hx/hy K2 Ux + lam C Uy + mu C^T Uy
- *   fy = mu hy/hx K1 Uy + cp hx/hy K2 Uy + mu C Ux + lam C^T Ux
- * with C U = E (U F^T), C^T U = E^T (U F); E/ET/F/FT passed explicitly.
- * ne must be a multiple of VL (pad with lam = mu = 0 ghosts).
- */
-void el_apply(long ne, long n_dof, int n1,
-              const double *restrict KxX, const double *restrict w,
-              const double *restrict E, const double *restrict ET,
-              const double *restrict F, const double *restrict FT,
-              const double *restrict lam, const double *restrict mu,
-              const double *restrict hx, const double *restrict hy,
-              const int64_t *restrict ed, const double *restrict u,
-              const double *restrict gmask, const double *restrict Minv,
-              double *restrict z)
-{
-    int nl = n1 * n1;
-    v8 Ux[MAXNL], Uy[MAXNL], T1[MAXNL], T2[MAXNL], S[MAXNL], Fo[MAXNL];
-    memset(z, 0, (size_t)n_dof * sizeof(double));
-    for (long e0 = 0; e0 + VL <= ne; e0 += VL) {
-        for (int l = 0; l < VL; ++l) {
-            const int64_t *d = ed + (e0 + l) * 2 * nl;
-            const double *gm = gmask ? gmask + (e0 + l) * 2 * nl : 0;
-            gather(d, 2, nl, u, gm, Ux, l);
-            gather(d + 1, 2, nl, u, gm ? gm + 1 : 0, Uy, l);
-        }
-        v8 LAM, MU, C1, C2, C3, C4;
-        for (int l = 0; l < VL; ++l) {
-            double le = lam[e0 + l], me = mu[e0 + l];
-            double rx = hy[e0 + l], ry = hx[e0 + l];
-            double gx = (ry != 0.0) ? rx / ry : 0.0;  /* hy/hx; ghosts have h=0 */
-            double gy = (rx != 0.0) ? ry / rx : 0.0;
-            LAM[l] = le; MU[l] = me;
-            C1[l] = (le + 2 * me) * gx;  /* K1 coeff in fx */
-            C2[l] = me * gy;             /* K2 coeff in fx */
-            C3[l] = me * gx;             /* K1 coeff in fy */
-            C4[l] = (le + 2 * me) * gy;  /* K2 coeff in fy */
-        }
-        for (int comp = 0; comp < 2; ++comp) {
-            const v8 *U = comp ? Uy : Ux;
-            const v8 *V = comp ? Ux : Uy;  /* shear partner */
-            v8 K1C = comp ? C3 : C1, K2C = comp ? C4 : C2;
-            v8 CL = comp ? MU : LAM;   /* coeff of C V   */
-            v8 CT = comp ? LAM : MU;   /* coeff of C^T V */
-            mul_left(KxX, U, T1, n1);
-            mul_right(KxX, U, T2, n1);
-            for (int i = 0; i < n1; ++i) {
-                v8 K2W = K2C * w[i];
-                for (int j = 0; j < n1; ++j)
-                    Fo[i * n1 + j] = K1C * w[j] * T1[i * n1 + j] + K2W * T2[i * n1 + j];
-            }
-            mul_right(F, V, S, n1);       /* S = V F^T  */
-            mul_left_acc(E, S, Fo, CL, n1);
-            mul_right(FT, V, S, n1);      /* S = V F    */
-            mul_left_acc(ET, S, Fo, CT, n1);
-            for (int l = 0; l < VL; ++l) {
-                const int64_t *d = ed + (e0 + l) * 2 * nl + comp;
-                for (int k = 0; k < nl; ++k) z[d[2 * k]] += Fo[k][l];
-            }
-        }
-    }
-    if (Minv)
-        for (long i = 0; i < n_dof; ++i) z[i] *= Minv[i];
-}
-
 /* O[...] = contraction of U along the axis of stride sa with A:
  * O[i sa + j sb + k sc] = sum_t A[i*n1+t] U[t sa + j sb + k sc].
  * Passing a cyclic permutation of the three axis strides selects the
@@ -298,101 +172,492 @@ static inline void axis3_mul(const double *restrict A, const v8 *restrict U,
     }
 }
 
+/* Accumulating axis3_mul: O[...] += contraction along the sa axis. */
+static inline void axis3_mul_add(const double *restrict A, const v8 *restrict U,
+                                 v8 *restrict O, int n1, int sa, int sb, int sc)
+{
+    for (int i = 0; i < n1; ++i) {
+        const double *ai = A + i * n1;
+        for (int j = 0; j < n1; ++j)
+            for (int k = 0; k < n1; ++k) {
+                const v8 *u = U + j * sb + k * sc;
+                v8 acc = {0};
+                for (int t = 0; t < n1; ++t) acc += ai[t] * u[t * sa];
+                O[i * sa + j * sb + k * sc] += acc;
+            }
+    }
+}
+
 /*
- * 3D isotropic elastic, component-interleaved ed of width 3*nl.  Blocks
- * (c, d in {x, y, z}), with R_cd = E(at c) (x) F(at d) (x) Wd(rest),
- * E = D^T diag(w), F = diag(w) D = E^T:
+ * Shared apply drivers.  Every kernel body is a per-VL-block function
+ * writing scatter-adds into a z pointer; the driver picks serial (one
+ * shared z) or OpenMP (per-thread n_dof slices of the caller scratch
+ * zt, reduced deterministically in ascending thread order — no atomics,
+ * and the static schedules make the partial sums reproducible for a
+ * fixed thread count).  ne must be a multiple of VL.
+ */
+#define SERIAL_DRIVER(CALL)                                                  \
+    do {                                                                     \
+        memset(z, 0, (size_t)n_dof * sizeof(double));                        \
+        for (long e0 = 0; e0 < ne; e0 += VL) { CALL(z); }                    \
+        if (Minv)                                                            \
+            for (long i = 0; i < n_dof; ++i) z[i] *= Minv[i];                \
+    } while (0)
+
+#if REPRO_OMP
+#define APPLY_DRIVER(CALL)                                                   \
+    do {                                                                     \
+        if (n_threads > 1 && zt) {                                           \
+            _Pragma("omp parallel num_threads(n_threads)")                   \
+            {                                                                \
+                double *zme = zt + (size_t)omp_get_thread_num() * n_dof;     \
+                memset(zme, 0, (size_t)n_dof * sizeof(double));              \
+                _Pragma("omp for schedule(static)")                          \
+                for (long e0 = 0; e0 < ne; e0 += VL) { CALL(zme); }          \
+                _Pragma("omp for schedule(static)")                          \
+                for (long i = 0; i < n_dof; ++i) {                           \
+                    double acc = 0.0;                                        \
+                    for (int t = 0; t < n_threads; ++t)                      \
+                        acc += zt[(size_t)t * n_dof + i];                    \
+                    z[i] = Minv ? acc * Minv[i] : acc;                       \
+                }                                                            \
+            }                                                                \
+        } else {                                                             \
+            SERIAL_DRIVER(CALL);                                             \
+        }                                                                    \
+    } while (0)
+#else
+#define APPLY_DRIVER(CALL) SERIAL_DRIVER(CALL)
+#endif
+
+/*
+ * Acoustic block: z += scatter(ed_e, K_e gather(ed_e, u)) for one VL
+ * group, K_e = ax_e KxX (x) Wd + ay_e Wd (x) KxX.
+ */
+static void ac_block(long e0, int n1,
+                     const double *restrict KxX, const double *restrict w,
+                     const double *restrict ax, const double *restrict ay,
+                     const int64_t *restrict ed, const double *restrict u,
+                     const double *restrict gmask, double *restrict z)
+{
+    int nl = n1 * n1;
+    v8 Ue[MAXNL], T[MAXNL], Ui[MAXNL];
+    for (int l = 0; l < VL; ++l)
+        gather(ed + (e0 + l) * nl, 1, nl, u,
+               gmask ? gmask + (e0 + l) * nl : 0, Ue, l);
+    v8 AXE, AYE;
+    for (int l = 0; l < VL; ++l) { AXE[l] = ax[e0 + l]; AYE[l] = ay[e0 + l]; }
+    for (int i = 0; i < n1; ++i) {
+        const double *ki = KxX + i * n1;
+        for (int a = 0; a < n1; ++a) Ui[a] = Ue[i * n1 + a];
+        v8 AYW = AYE * w[i];
+        for (int j = 0; j < n1; ++j) {
+            v8 acc1 = {0}, acc2 = {0};
+            for (int a = 0; a < n1; ++a) {
+                acc1 += ki[a] * Ue[a * n1 + j];
+                acc2 += KxX[a * n1 + j] * Ui[a];
+            }
+            T[i * n1 + j] = AXE * w[j] * acc1 + AYW * acc2;
+        }
+    }
+    for (int l = 0; l < VL; ++l) {
+        const int64_t *d = ed + (e0 + l) * nl;
+        for (int k = 0; k < nl; ++k) z[d[k]] += T[k][l];
+    }
+}
+
+void ac_apply(long ne, long n_dof, int n1,
+              const double *restrict KxX, const double *restrict w,
+              const double *restrict ax, const double *restrict ay,
+              const int64_t *restrict ed, const double *restrict u,
+              const double *restrict gmask, const double *restrict Minv,
+              double *restrict z, int n_threads, double *restrict zt)
+{
+#define AC_CALL(ZP) ac_block(e0, n1, KxX, w, ax, ay, ed, u, gmask, ZP)
+    APPLY_DRIVER(AC_CALL);
+#undef AC_CALL
+}
+
+/*
+ * 3D acoustic block: K_e = ax KxX(x)Wd(x)Wd + ay Wd(x)KxX(x)Wd
+ * + az Wd(x)Wd(x)KxX on the local layout flat = (i*n1 + j)*n1 + k
+ * (x slowest).  All three per-axis 1D contractions are evaluated
+ * node-by-node inside the element workspace (3 n1^4 FMAs per element),
+ * so per element only the gather and scatter touch memory -- the
+ * O(n^4) sum-factorization tier that beats the O(n^4)-nonzero CSR
+ * matvec on bandwidth, not flops.
+ */
+static void ac_block3(long e0, int n1,
+                      const double *restrict KxX, const double *restrict w,
+                      const double *restrict ax, const double *restrict ay,
+                      const double *restrict az,
+                      const int64_t *restrict ed, const double *restrict u,
+                      const double *restrict gmask, double *restrict z)
+{
+    int n2 = n1 * n1, nl = n2 * n1;
+    static _Thread_local v8 Ue[MAXNL3], T[MAXNL3];
+    for (int l = 0; l < VL; ++l)
+        gather(ed + (e0 + l) * nl, 1, nl, u,
+               gmask ? gmask + (e0 + l) * nl : 0, Ue, l);
+    v8 AXE, AYE, AZE;
+    for (int l = 0; l < VL; ++l) {
+        AXE[l] = ax[e0 + l]; AYE[l] = ay[e0 + l]; AZE[l] = az[e0 + l];
+    }
+    for (int i = 0; i < n1; ++i) {
+        const double *ki = KxX + i * n1;
+        for (int j = 0; j < n1; ++j) {
+            const double *kj = KxX + j * n1;
+            const v8 *uij = Ue + (i * n1 + j) * n1;
+            for (int k = 0; k < n1; ++k) {
+                const double *kk = KxX + k * n1;
+                v8 a1 = {0}, a2 = {0}, a3 = {0};
+                for (int a = 0; a < n1; ++a) {
+                    a1 += ki[a] * Ue[(a * n1 + j) * n1 + k];
+                    a2 += kj[a] * Ue[(i * n1 + a) * n1 + k];
+                    a3 += kk[a] * uij[a];
+                }
+                T[(i * n1 + j) * n1 + k] =
+                    AXE * (w[j] * w[k]) * a1 + AYE * (w[i] * w[k]) * a2
+                    + AZE * (w[i] * w[j]) * a3;
+            }
+        }
+    }
+    for (int l = 0; l < VL; ++l) {
+        const int64_t *d = ed + (e0 + l) * nl;
+        for (int k = 0; k < nl; ++k) z[d[k]] += T[k][l];
+    }
+}
+
+void ac_apply3(long ne, long n_dof, int n1,
+               const double *restrict KxX, const double *restrict w,
+               const double *restrict ax, const double *restrict ay,
+               const double *restrict az,
+               const int64_t *restrict ed, const double *restrict u,
+               const double *restrict gmask, const double *restrict Minv,
+               double *restrict z, int n_threads, double *restrict zt)
+{
+#define AC3_CALL(ZP) ac_block3(e0, n1, KxX, w, ax, ay, az, ed, u, gmask, ZP)
+    APPLY_DRIVER(AC3_CALL);
+#undef AC3_CALL
+}
+
+/*
+ * Elastic P-SV block, component-interleaved ed of width 2*nl:
+ *   fx = cp hy/hx K1 Ux + mu hx/hy K2 Ux + lam C Uy + mu C^T Uy
+ *   fy = mu hy/hx K1 Uy + cp hx/hy K2 Uy + mu C Ux + lam C^T Ux
+ * with C U = E (U F^T), C^T U = E^T (U F); E/ET/F/FT passed explicitly.
+ */
+static void el_block(long e0, int n1,
+                     const double *restrict KxX, const double *restrict w,
+                     const double *restrict E, const double *restrict ET,
+                     const double *restrict F, const double *restrict FT,
+                     const double *restrict lam, const double *restrict mu,
+                     const double *restrict hx, const double *restrict hy,
+                     const int64_t *restrict ed, const double *restrict u,
+                     const double *restrict gmask, double *restrict z)
+{
+    int nl = n1 * n1;
+    v8 Ux[MAXNL], Uy[MAXNL], T1[MAXNL], T2[MAXNL], S[MAXNL], Fo[MAXNL];
+    for (int l = 0; l < VL; ++l) {
+        const int64_t *d = ed + (e0 + l) * 2 * nl;
+        const double *gm = gmask ? gmask + (e0 + l) * 2 * nl : 0;
+        gather(d, 2, nl, u, gm, Ux, l);
+        gather(d + 1, 2, nl, u, gm ? gm + 1 : 0, Uy, l);
+    }
+    v8 LAM, MU, C1, C2, C3, C4;
+    for (int l = 0; l < VL; ++l) {
+        double le = lam[e0 + l], me = mu[e0 + l];
+        double rx = hy[e0 + l], ry = hx[e0 + l];
+        double gx = (ry != 0.0) ? rx / ry : 0.0;  /* hy/hx; ghosts have h=0 */
+        double gy = (rx != 0.0) ? ry / rx : 0.0;
+        LAM[l] = le; MU[l] = me;
+        C1[l] = (le + 2 * me) * gx;  /* K1 coeff in fx */
+        C2[l] = me * gy;             /* K2 coeff in fx */
+        C3[l] = me * gx;             /* K1 coeff in fy */
+        C4[l] = (le + 2 * me) * gy;  /* K2 coeff in fy */
+    }
+    for (int comp = 0; comp < 2; ++comp) {
+        const v8 *U = comp ? Uy : Ux;
+        const v8 *V = comp ? Ux : Uy;  /* shear partner */
+        v8 K1C = comp ? C3 : C1, K2C = comp ? C4 : C2;
+        v8 CL = comp ? MU : LAM;   /* coeff of C V   */
+        v8 CT = comp ? LAM : MU;   /* coeff of C^T V */
+        mul_left(KxX, U, T1, n1);
+        mul_right(KxX, U, T2, n1);
+        for (int i = 0; i < n1; ++i) {
+            v8 K2W = K2C * w[i];
+            for (int j = 0; j < n1; ++j)
+                Fo[i * n1 + j] = K1C * w[j] * T1[i * n1 + j] + K2W * T2[i * n1 + j];
+        }
+        mul_right(F, V, S, n1);       /* S = V F^T  */
+        mul_left_acc(E, S, Fo, CL, n1);
+        mul_right(FT, V, S, n1);      /* S = V F    */
+        mul_left_acc(ET, S, Fo, CT, n1);
+        for (int l = 0; l < VL; ++l) {
+            const int64_t *d = ed + (e0 + l) * 2 * nl + comp;
+            for (int k = 0; k < nl; ++k) z[d[2 * k]] += Fo[k][l];
+        }
+    }
+}
+
+void el_apply(long ne, long n_dof, int n1,
+              const double *restrict KxX, const double *restrict w,
+              const double *restrict E, const double *restrict ET,
+              const double *restrict F, const double *restrict FT,
+              const double *restrict lam, const double *restrict mu,
+              const double *restrict hx, const double *restrict hy,
+              const int64_t *restrict ed, const double *restrict u,
+              const double *restrict gmask, const double *restrict Minv,
+              double *restrict z, int n_threads, double *restrict zt)
+{
+#define EL_CALL(ZP) \
+    el_block(e0, n1, KxX, w, E, ET, F, FT, lam, mu, hx, hy, ed, u, gmask, ZP)
+    APPLY_DRIVER(EL_CALL);
+#undef EL_CALL
+}
+
+/*
+ * 3D isotropic elastic block, component-interleaved ed of width 3*nl.
+ * Blocks (c, d in {x, y, z}), with R_cd = E(at c) (x) F(at d) (x)
+ * Wd(rest), E = D^T diag(w), F = diag(w) D = E^T:
  *   f_c = sum_a ds[c][a] * (KxX contraction of U_c along axis a, w-plane)
  *       + sum_{d != c} ( lamg[cd] [E@c, F@d] + mug[cd] [F@c, E@d] ) U_d
  * coef carries 15 doubles per element: ds[3][3] row-major, then lamg and
  * mug for the pairs (0,1), (0,2), (1,2) — all with the geometry factors
- * folded in.  ne must be a multiple of VL (pad with all-zero coef
- * ghosts).
+ * folded in.
  */
+static void el_block3(long e0, int n1,
+                      const double *restrict KxX, const double *restrict w,
+                      const double *restrict E, const double *restrict F,
+                      const double *restrict coef,
+                      const int64_t *restrict ed, const double *restrict u,
+                      const double *restrict gmask, double *restrict z)
+{
+    int n2 = n1 * n1, nl = n2 * n1;
+    static _Thread_local v8 U[3][MAXNL3], Fo[MAXNL3], S[MAXNL3], T[MAXNL3];
+    const int str[3] = {n2, n1, 1};
+    for (int l = 0; l < VL; ++l) {
+        const int64_t *d = ed + (e0 + l) * 3 * nl;
+        const double *gm = gmask ? gmask + (e0 + l) * 3 * nl : 0;
+        for (int c = 0; c < 3; ++c)
+            gather(d + c, 3, nl, u, gm ? gm + c : 0, U[c], l);
+    }
+    v8 CF[15];
+    for (int m = 0; m < 15; ++m)
+        for (int l = 0; l < VL; ++l) CF[m][l] = coef[(e0 + l) * 15 + m];
+    for (int c = 0; c < 3; ++c) {
+        v8 DX = CF[3 * c], DY = CF[3 * c + 1], DZ = CF[3 * c + 2];
+        /* diagonal block: the ac_apply3 contraction, per-comp coefs */
+        for (int i = 0; i < n1; ++i) {
+            const double *ki = KxX + i * n1;
+            for (int j = 0; j < n1; ++j) {
+                const double *kj = KxX + j * n1;
+                const v8 *uij = U[c] + (i * n1 + j) * n1;
+                for (int k = 0; k < n1; ++k) {
+                    const double *kk = KxX + k * n1;
+                    v8 a1 = {0}, a2 = {0}, a3 = {0};
+                    for (int a = 0; a < n1; ++a) {
+                        a1 += ki[a] * U[c][(a * n1 + j) * n1 + k];
+                        a2 += kj[a] * U[c][(i * n1 + a) * n1 + k];
+                        a3 += kk[a] * uij[a];
+                    }
+                    Fo[(i * n1 + j) * n1 + k] =
+                        DX * (w[j] * w[k]) * a1 + DY * (w[i] * w[k]) * a2
+                        + DZ * (w[i] * w[j]) * a3;
+                }
+            }
+        }
+        /* off-diagonal blocks feeding component c */
+        for (int d = 0; d < 3; ++d) {
+            if (d == c) continue;
+            int lo = c < d ? c : d, hi = c < d ? d : c;
+            int p = lo + hi - 1;   /* (0,1)->0, (0,2)->1, (1,2)->2 */
+            int e = 3 - c - d;     /* the axis carrying a bare w    */
+            v8 LG = CF[9 + p], MG = CF[12 + p];
+            for (int term = 0; term < 2; ++term) {
+                /* lam [E@c, F@d] U_d, then mu [F@c, E@d] U_d */
+                const double *Ad = term ? E : F;
+                const double *Ac = term ? F : E;
+                v8 CO = term ? MG : LG;
+                axis3_mul(Ad, U[d], S, n1,
+                          str[d], str[(d + 1) % 3], str[(d + 2) % 3]);
+                axis3_mul(Ac, S, T, n1,
+                          str[c], str[(c + 1) % 3], str[(c + 2) % 3]);
+                for (int i = 0; i < n1; ++i)
+                    for (int j = 0; j < n1; ++j)
+                        for (int k = 0; k < n1; ++k) {
+                            int idx3[3] = {i, j, k};
+                            int f = (i * n1 + j) * n1 + k;
+                            Fo[f] += CO * w[idx3[e]] * T[f];
+                        }
+            }
+        }
+        for (int l = 0; l < VL; ++l) {
+            const int64_t *dc = ed + (e0 + l) * 3 * nl + c;
+            for (int k = 0; k < nl; ++k) z[dc[3 * k]] += Fo[k][l];
+        }
+    }
+}
+
 void el_apply3(long ne, long n_dof, int n1,
                const double *restrict KxX, const double *restrict w,
                const double *restrict E, const double *restrict F,
                const double *restrict coef,
                const int64_t *restrict ed, const double *restrict u,
                const double *restrict gmask, const double *restrict Minv,
-               double *restrict z)
+               double *restrict z, int n_threads, double *restrict zt)
 {
-    int n2 = n1 * n1, nl = n2 * n1;
-    static _Thread_local v8 U[3][MAXNL3], Fo[MAXNL3], S[MAXNL3], T[MAXNL3];
-    const int str[3] = {n2, n1, 1};
-    memset(z, 0, (size_t)n_dof * sizeof(double));
-    for (long e0 = 0; e0 + VL <= ne; e0 += VL) {
-        for (int l = 0; l < VL; ++l) {
-            const int64_t *d = ed + (e0 + l) * 3 * nl;
-            const double *gm = gmask ? gmask + (e0 + l) * 3 * nl : 0;
-            for (int c = 0; c < 3; ++c)
-                gather(d + c, 3, nl, u, gm ? gm + c : 0, U[c], l);
-        }
-        v8 CF[15];
-        for (int m = 0; m < 15; ++m)
-            for (int l = 0; l < VL; ++l) CF[m][l] = coef[(e0 + l) * 15 + m];
-        for (int c = 0; c < 3; ++c) {
-            v8 DX = CF[3 * c], DY = CF[3 * c + 1], DZ = CF[3 * c + 2];
-            /* diagonal block: the ac_apply3 contraction, per-comp coefs */
-            for (int i = 0; i < n1; ++i) {
-                const double *ki = KxX + i * n1;
+#define EL3_CALL(ZP) el_block3(e0, n1, KxX, w, E, F, coef, ed, u, gmask, ZP)
+    APPLY_DRIVER(EL3_CALL);
+#undef EL3_CALL
+}
+
+/*
+ * 2D anisotropic stress-form block, component-interleaved ed of width
+ * 2*nl.  Mirrors repro.sem.matfree.AnisotropicKernelND: with G_b the 1D
+ * derivative along axis b and W the tensor quadrature weights,
+ *   K_cd = sum_ab coef[e, c, a, d, b] G_a^T W G_b,
+ * applied as gradient -> Hooke combine -> weighted divergence.  coef
+ * carries dim^4 = 16 doubles per element, C-order (c, a, d, b), the
+ * rank-4 material tensor times the pair geometry scales.  Axis-0
+ * contraction is mul_left, axis-1 is mul_right (layout i*n1 + j).
+ */
+static void an_block(long e0, int n1,
+                     const double *restrict D, const double *restrict Dt,
+                     const double *restrict w, const double *restrict coef,
+                     const int64_t *restrict ed, const double *restrict u,
+                     const double *restrict gmask, double *restrict z)
+{
+    int nl = n1 * n1;
+    static _Thread_local v8 U[2][MAXNL], DU[2][2][MAXNL], S[2][MAXNL], Fo[MAXNL];
+    for (int l = 0; l < VL; ++l) {
+        const int64_t *d = ed + (e0 + l) * 2 * nl;
+        const double *gm = gmask ? gmask + (e0 + l) * 2 * nl : 0;
+        for (int c = 0; c < 2; ++c)
+            gather(d + c, 2, nl, u, gm ? gm + c : 0, U[c], l);
+    }
+    v8 CF[16];
+    for (int m = 0; m < 16; ++m)
+        for (int l = 0; l < VL; ++l) CF[m][l] = coef[(e0 + l) * 16 + m];
+    /* 1. gradient: DU[d][b] = G_b U_d */
+    for (int d = 0; d < 2; ++d) {
+        mul_left(D, U[d], DU[d][0], n1);
+        mul_right(D, U[d], DU[d][1], n1);
+    }
+    for (int c = 0; c < 2; ++c) {
+        /* 2. Hooke combine, quadrature weights folded in */
+        for (int a = 0; a < 2; ++a) {
+            const v8 *cf = CF + (c * 2 + a) * 4;
+            for (int i = 0; i < n1; ++i)
                 for (int j = 0; j < n1; ++j) {
-                    const double *kj = KxX + j * n1;
-                    const v8 *uij = U[c] + (i * n1 + j) * n1;
-                    for (int k = 0; k < n1; ++k) {
-                        const double *kk = KxX + k * n1;
-                        v8 a1 = {0}, a2 = {0}, a3 = {0};
-                        for (int a = 0; a < n1; ++a) {
-                            a1 += ki[a] * U[c][(a * n1 + j) * n1 + k];
-                            a2 += kj[a] * U[c][(i * n1 + a) * n1 + k];
-                            a3 += kk[a] * uij[a];
-                        }
-                        Fo[(i * n1 + j) * n1 + k] =
-                            DX * (w[j] * w[k]) * a1 + DY * (w[i] * w[k]) * a2
-                            + DZ * (w[i] * w[j]) * a3;
-                    }
+                    int f = i * n1 + j;
+                    v8 acc = cf[0] * DU[0][0][f] + cf[1] * DU[0][1][f]
+                           + cf[2] * DU[1][0][f] + cf[3] * DU[1][1][f];
+                    S[a][f] = (w[i] * w[j]) * acc;
                 }
-            }
-            /* off-diagonal blocks feeding component c */
-            for (int d = 0; d < 3; ++d) {
-                if (d == c) continue;
-                int lo = c < d ? c : d, hi = c < d ? d : c;
-                int p = lo + hi - 1;   /* (0,1)->0, (0,2)->1, (1,2)->2 */
-                int e = 3 - c - d;     /* the axis carrying a bare w    */
-                v8 LG = CF[9 + p], MG = CF[12 + p];
-                for (int term = 0; term < 2; ++term) {
-                    /* lam [E@c, F@d] U_d, then mu [F@c, E@d] U_d */
-                    const double *Ad = term ? E : F;
-                    const double *Ac = term ? F : E;
-                    v8 CO = term ? MG : LG;
-                    axis3_mul(Ad, U[d], S, n1,
-                              str[d], str[(d + 1) % 3], str[(d + 2) % 3]);
-                    axis3_mul(Ac, S, T, n1,
-                              str[c], str[(c + 1) % 3], str[(c + 2) % 3]);
-                    for (int i = 0; i < n1; ++i)
-                        for (int j = 0; j < n1; ++j)
-                            for (int k = 0; k < n1; ++k) {
-                                int idx3[3] = {i, j, k};
-                                int f = (i * n1 + j) * n1 + k;
-                                Fo[f] += CO * w[idx3[e]] * T[f];
-                            }
-                }
-            }
-            for (int l = 0; l < VL; ++l) {
-                const int64_t *dc = ed + (e0 + l) * 3 * nl + c;
-                for (int k = 0; k < nl; ++k) z[dc[3 * k]] += Fo[k][l];
-            }
+        }
+        /* 3. weighted divergence: Fo = sum_a G_a^T S[a] */
+        mul_left(Dt, S[0], Fo, n1);
+        mul_right_add(Dt, S[1], Fo, n1);
+        for (int l = 0; l < VL; ++l) {
+            const int64_t *dc = ed + (e0 + l) * 2 * nl + c;
+            for (int k = 0; k < nl; ++k) z[dc[2 * k]] += Fo[k][l];
         }
     }
-    if (Minv)
-        for (long i = 0; i < n_dof; ++i) z[i] *= Minv[i];
+}
+
+void an_apply(long ne, long n_dof, int n1,
+              const double *restrict D, const double *restrict Dt,
+              const double *restrict w, const double *restrict coef,
+              const int64_t *restrict ed, const double *restrict u,
+              const double *restrict gmask, const double *restrict Minv,
+              double *restrict z, int n_threads, double *restrict zt)
+{
+#define AN_CALL(ZP) an_block(e0, n1, D, Dt, w, coef, ed, u, gmask, ZP)
+    APPLY_DRIVER(AN_CALL);
+#undef AN_CALL
+}
+
+/*
+ * 3D anisotropic stress-form block: same structure as an_block on the
+ * hex layout flat = (i*n1 + j)*n1 + k, coef width dim^4 = 81, axis
+ * contractions via axis3_mul with cyclic stride permutations.
+ */
+static void an_block3(long e0, int n1,
+                      const double *restrict D, const double *restrict Dt,
+                      const double *restrict w, const double *restrict coef,
+                      const int64_t *restrict ed, const double *restrict u,
+                      const double *restrict gmask, double *restrict z)
+{
+    int n2 = n1 * n1, nl = n2 * n1;
+    static _Thread_local v8 U[3][MAXNL3], DU[3][3][MAXNL3], S[3][MAXNL3],
+        Fo[MAXNL3];
+    const int str[3] = {n2, n1, 1};
+    for (int l = 0; l < VL; ++l) {
+        const int64_t *d = ed + (e0 + l) * 3 * nl;
+        const double *gm = gmask ? gmask + (e0 + l) * 3 * nl : 0;
+        for (int c = 0; c < 3; ++c)
+            gather(d + c, 3, nl, u, gm ? gm + c : 0, U[c], l);
+    }
+    static _Thread_local v8 CF[81];
+    for (int m = 0; m < 81; ++m)
+        for (int l = 0; l < VL; ++l) CF[m][l] = coef[(e0 + l) * 81 + m];
+    /* 1. gradient: DU[d][b] = G_b U_d */
+    for (int d = 0; d < 3; ++d)
+        for (int b = 0; b < 3; ++b)
+            axis3_mul(D, U[d], DU[d][b], n1,
+                      str[b], str[(b + 1) % 3], str[(b + 2) % 3]);
+    for (int c = 0; c < 3; ++c) {
+        /* 2. Hooke combine, quadrature weights folded in */
+        for (int a = 0; a < 3; ++a) {
+            const v8 *cf = CF + (c * 3 + a) * 9;
+            for (int i = 0; i < n1; ++i)
+                for (int j = 0; j < n1; ++j)
+                    for (int k = 0; k < n1; ++k) {
+                        int f = (i * n1 + j) * n1 + k;
+                        v8 acc = {0};
+                        for (int m = 0; m < 9; ++m)
+                            acc += cf[m] * DU[m / 3][m % 3][f];
+                        S[a][f] = (w[i] * w[j] * w[k]) * acc;
+                    }
+        }
+        /* 3. weighted divergence: Fo = sum_a G_a^T S[a] */
+        axis3_mul(Dt, S[0], Fo, n1, str[0], str[1], str[2]);
+        axis3_mul_add(Dt, S[1], Fo, n1, str[1], str[2], str[0]);
+        axis3_mul_add(Dt, S[2], Fo, n1, str[2], str[0], str[1]);
+        for (int l = 0; l < VL; ++l) {
+            const int64_t *dc = ed + (e0 + l) * 3 * nl + c;
+            for (int k = 0; k < nl; ++k) z[dc[3 * k]] += Fo[k][l];
+        }
+    }
+}
+
+void an_apply3(long ne, long n_dof, int n1,
+               const double *restrict D, const double *restrict Dt,
+               const double *restrict w, const double *restrict coef,
+               const int64_t *restrict ed, const double *restrict u,
+               const double *restrict gmask, const double *restrict Minv,
+               double *restrict z, int n_threads, double *restrict zt)
+{
+#define AN3_CALL(ZP) an_block3(e0, n1, D, Dt, w, coef, ed, u, gmask, ZP)
+    APPLY_DRIVER(AN3_CALL);
+#undef AN3_CALL
 }
 """
 
-_CFLAGS = ["-O3", "-march=native", "-funroll-loops", "-shared", "-fPIC"]
+#: Flags every build uses; optional flags are probed per compiler.
+_BASE_CFLAGS = ("-O3", "-funroll-loops", "-shared", "-fPIC")
+#: CPU-tuning spellings, tried in order (clang on some targets rejects
+#: -march=native and wants -mcpu=native).
+_ARCH_FLAGS = ("-march=native", "-mcpu=native")
+_OMP_FLAG = "-fopenmp"
+
+_KERNELS = ("ac_apply", "ac_apply3", "el_apply", "el_apply3",
+            "an_apply", "an_apply3")
 
 _lib: ctypes.CDLL | None = None
 _tried = False
+_flag_cache: dict[str, tuple[str, ...]] = {}
 
 
 def _compiler() -> str | None:
@@ -400,6 +665,46 @@ def _compiler() -> str | None:
         if cand and shutil.which(cand):
             return cand
     return None
+
+
+def _flag_ok(cc: str, flags: list[str]) -> bool:
+    """True when ``cc`` accepts ``flags`` on a trivial test compile."""
+    with tempfile.TemporaryDirectory() as td:
+        src = os.path.join(td, "probe.c")
+        with open(src, "w") as f:
+            f.write("int main(void) { return 0; }\n")
+        try:
+            r = subprocess.run(
+                [cc, *flags, "-Werror", "-c", "-o", os.path.join(td, "probe.o"), src],
+                capture_output=True,
+                timeout=60,
+            )
+        except Exception:
+            return False
+        return r.returncode == 0
+
+
+def accepted_cflags(cc: str) -> tuple[str, ...]:
+    """The base flags plus every *probed* optional flag ``cc`` accepts.
+
+    ``-march=native`` (falling back to ``-mcpu=native``) and
+    ``-fopenmp`` are tried with a tiny test compile and dropped when
+    unsupported, instead of failing the whole fused tier.  The result
+    is cached per compiler and folded into the build cache key, so a
+    toolchain change re-triggers both the probe and the compile.
+    """
+    cached = _flag_cache.get(cc)
+    if cached is not None:
+        return cached
+    flags = list(_BASE_CFLAGS)
+    for arch in _ARCH_FLAGS:
+        if _flag_ok(cc, [arch]):
+            flags.append(arch)
+            break
+    if _flag_ok(cc, [_OMP_FLAG]):
+        flags.append(_OMP_FLAG)
+    _flag_cache[cc] = tuple(flags)
+    return _flag_cache[cc]
 
 
 def _machine_tag() -> str:
@@ -431,26 +736,10 @@ def _cache_dir() -> str:
     return path
 
 
-def load() -> ctypes.CDLL | None:
-    """Compile (once, cached) and load the fused kernels, or ``None``.
-
-    Returns ``None`` when disabled via ``REPRO_FUSED=0``, no compiler is
-    found, or compilation/loading fails for any reason — callers then
-    stay on the NumPy path.  The build is cached in a user-private
-    directory keyed by source *and* CPU identity (``-march=native``
-    objects must not survive a move to a different machine).
-    """
-    global _lib, _tried
-    if _tried:
-        return _lib
-    _tried = True
-    if os.environ.get("REPRO_FUSED", "1") == "0":
-        return None
-    cc = _compiler()
-    if cc is None:
-        return None
+def _build(cc: str, flags: tuple[str, ...]) -> ctypes.CDLL | None:
+    """Compile (cached) and load the kernels with ``flags``, or ``None``."""
     tag = hashlib.sha256(
-        (_SOURCE + " ".join(_CFLAGS) + _machine_tag()).encode()
+        (_SOURCE + cc + " ".join(flags) + _machine_tag()).encode()
     ).hexdigest()[:16]
     try:
         so_path = os.path.join(_cache_dir(), f"fused_{tag}.so")
@@ -461,25 +750,62 @@ def load() -> ctypes.CDLL | None:
                 with open(src, "w") as f:
                     f.write(_SOURCE)
                 subprocess.run(
-                    [cc, *_CFLAGS, "-o", out, src],
+                    [cc, *flags, "-o", out, src],
                     check=True,
                     capture_output=True,
                     timeout=120,
                 )
                 os.replace(out, so_path)  # atomic vs concurrent builders
         lib = ctypes.CDLL(so_path)
-        lib.ac_apply.restype = None
-        lib.ac_apply3.restype = None
-        lib.el_apply.restype = None
-        lib.el_apply3.restype = None
-        _lib = lib
+        for name in _KERNELS:
+            getattr(lib, name).restype = None
+        return lib
     except Exception:
-        _lib = None
+        return None
+
+
+def load() -> ctypes.CDLL | None:
+    """Compile (once, cached) and load the fused kernels, or ``None``.
+
+    Returns ``None`` when disabled via ``REPRO_FUSED=0``, no compiler is
+    found, or compilation/loading fails for any reason — callers then
+    stay on the NumPy path.  The build is cached in a user-private
+    directory keyed by source, compiler, accepted flag set *and* CPU
+    identity (``-march=native`` objects must not survive a move to a
+    different machine).  If the probed optional flags still break the
+    real build, a second attempt with the base flags alone keeps the
+    serial tier alive.
+    """
+    global _lib, _tried
+    if _tried:
+        return _lib
+    _tried = True
+    if os.environ.get("REPRO_FUSED", "1") == "0":
+        return None
+    cc = _compiler()
+    if cc is None:
+        return None
+    flags = accepted_cflags(cc)
+    lib = _build(cc, flags)
+    if lib is None and flags != _BASE_CFLAGS:
+        lib = _build(cc, _BASE_CFLAGS)
+    _lib = lib
     return _lib
 
 
 def available() -> bool:
     return load() is not None
+
+
+def omp_enabled() -> bool:
+    """True when the loaded build honors ``n_threads > 1`` (OpenMP)."""
+    lib = load()
+    if lib is None:
+        return False
+    try:
+        return bool(ctypes.c_int.in_dll(lib, "repro_omp").value)
+    except ValueError:
+        return False
 
 
 _PD = ctypes.POINTER(ctypes.c_double)
@@ -499,95 +825,104 @@ def _pad(a: np.ndarray, ne_pad: int, fill=0.0) -> np.ndarray:
     return out
 
 
-class AcousticPlan:
-    """Bound fused acoustic apply: ``u -> [Minv *] K u`` (+ gmask)."""
+class _FusedPlan:
+    """Base bound fused apply: ``u -> [Minv *] K u`` (+ gmask).
 
-    def __init__(self, kernel, element_dofs, n_dof, gmask=None, Minv=None):
+    Subclasses name their C symbol and bind the kernel-specific
+    coefficient arrays; padding, masks, the GLL weights, and the
+    threading decision live here.  ``threads > 1`` is honored only when
+    the build has OpenMP and the padded element count gives every
+    thread at least one ``VL`` block — otherwise the plan silently runs
+    serial (``self.threads == 1``), which callers surface as the
+    resolved tier.
+    """
+
+    _symbol = ""
+
+    def __init__(self, kernel, element_dofs, n_dof, gmask=None, Minv=None,
+                 threads: int = 1):
         lib = load()
         assert lib is not None
-        self._lib = lib
+        self._fn = getattr(lib, self._symbol)
         self.n_dof = int(n_dof)
         self.n1 = kernel.n1
         ne = element_dofs.shape[0]
         ne_pad = -(-ne // VL) * VL
         self._ed = _pad(np.ascontiguousarray(element_dofs, dtype=np.int64), ne_pad)
-        self._ax = _pad(kernel.ax, ne_pad)  # ghost elements: zero coefficient
-        self._ay = _pad(kernel.ay, ne_pad)
-        self._KxX = np.ascontiguousarray(kernel.KxX)
-        _, w = _gll(kernel.order)
-        self._w = w
         self._gmask = None if gmask is None else _pad(
             np.ascontiguousarray(gmask, dtype=np.float64), ne_pad, fill=0.0
         )
         self._Minv = None if Minv is None else np.ascontiguousarray(Minv)
         self._ne = ne_pad
+        _, w = _gll(kernel.order)
+        self._w = w
+        self._bind(kernel, ne_pad)
+        t = int(threads)
+        if t > 1 and omp_enabled() and ne_pad >= VL * t:
+            self.threads = t
+            self._zt = np.empty(t * self.n_dof)
+        else:
+            self.threads = 1
+            self._zt = None
+
+    def _bind(self, kernel, ne_pad: int) -> None:
+        raise NotImplementedError
+
+    def _coef_args(self) -> tuple:
+        raise NotImplementedError
 
     def __call__(self, u: np.ndarray) -> np.ndarray:
         z = np.empty(self.n_dof)
         u = np.ascontiguousarray(u, dtype=np.float64)
-        self._lib.ac_apply(
+        self._fn(
             ctypes.c_long(self._ne),
             ctypes.c_long(self.n_dof),
             ctypes.c_int(self.n1),
-            _pd(self._KxX), _pd(self._w), _pd(self._ax), _pd(self._ay),
+            *self._coef_args(),
             self._ed.ctypes.data_as(_PI), _pd(u),
             _pd(self._gmask), _pd(self._Minv), _pd(z),
+            ctypes.c_int(self.threads), _pd(self._zt),
         )
         return z
 
 
-class Acoustic3DPlan:
-    """Bound fused 3D acoustic apply: ``u -> [Minv *] K u`` (+ gmask)."""
+class AcousticPlan(_FusedPlan):
+    """Bound fused 2D acoustic apply."""
 
-    def __init__(self, kernel, element_dofs, n_dof, gmask=None, Minv=None):
-        lib = load()
-        assert lib is not None
-        self._lib = lib
-        self.n_dof = int(n_dof)
-        self.n1 = kernel.n1
-        ne = element_dofs.shape[0]
-        ne_pad = -(-ne // VL) * VL
-        self._ed = _pad(np.ascontiguousarray(element_dofs, dtype=np.int64), ne_pad)
+    _symbol = "ac_apply"
+
+    def _bind(self, kernel, ne_pad):
+        self._ax = _pad(kernel.ax, ne_pad)  # ghost elements: zero coefficient
+        self._ay = _pad(kernel.ay, ne_pad)
+        self._KxX = np.ascontiguousarray(kernel.KxX)
+
+    def _coef_args(self):
+        return (_pd(self._KxX), _pd(self._w), _pd(self._ax), _pd(self._ay))
+
+
+class Acoustic3DPlan(_FusedPlan):
+    """Bound fused 3D acoustic apply."""
+
+    _symbol = "ac_apply3"
+
+    def _bind(self, kernel, ne_pad):
         # Per-axis scales; ghost elements get zero coefficients.
         self._ax = _pad(np.ascontiguousarray(kernel.scales[:, 0]), ne_pad)
         self._ay = _pad(np.ascontiguousarray(kernel.scales[:, 1]), ne_pad)
         self._az = _pad(np.ascontiguousarray(kernel.scales[:, 2]), ne_pad)
         self._KxX = np.ascontiguousarray(kernel.KxX)
-        _, w = _gll(kernel.order)
-        self._w = w
-        self._gmask = None if gmask is None else _pad(
-            np.ascontiguousarray(gmask, dtype=np.float64), ne_pad, fill=0.0
-        )
-        self._Minv = None if Minv is None else np.ascontiguousarray(Minv)
-        self._ne = ne_pad
 
-    def __call__(self, u: np.ndarray) -> np.ndarray:
-        z = np.empty(self.n_dof)
-        u = np.ascontiguousarray(u, dtype=np.float64)
-        self._lib.ac_apply3(
-            ctypes.c_long(self._ne),
-            ctypes.c_long(self.n_dof),
-            ctypes.c_int(self.n1),
-            _pd(self._KxX), _pd(self._w),
-            _pd(self._ax), _pd(self._ay), _pd(self._az),
-            self._ed.ctypes.data_as(_PI), _pd(u),
-            _pd(self._gmask), _pd(self._Minv), _pd(z),
-        )
-        return z
+    def _coef_args(self):
+        return (_pd(self._KxX), _pd(self._w),
+                _pd(self._ax), _pd(self._ay), _pd(self._az))
 
 
-class ElasticPlan:
-    """Bound fused elastic apply (component-interleaved DOFs)."""
+class ElasticPlan(_FusedPlan):
+    """Bound fused 2D elastic apply (component-interleaved DOFs)."""
 
-    def __init__(self, kernel, element_dofs, n_dof, gmask=None, Minv=None):
-        lib = load()
-        assert lib is not None
-        self._lib = lib
-        self.n_dof = int(n_dof)
-        self.n1 = kernel.n1
-        ne = element_dofs.shape[0]
-        ne_pad = -(-ne // VL) * VL
-        self._ed = _pad(np.ascontiguousarray(element_dofs, dtype=np.int64), ne_pad)
+    _symbol = "el_apply"
+
+    def _bind(self, kernel, ne_pad):
         self._lam = _pad(kernel.lam, ne_pad)  # ghosts: lam = mu = 0
         self._mu = _pad(kernel.mu, ne_pad)
         self._hx = _pad(kernel.hx, ne_pad)
@@ -597,31 +932,14 @@ class ElasticPlan:
         self._ET = np.ascontiguousarray(kernel.E.T)
         self._F = np.ascontiguousarray(kernel.F)
         self._FT = np.ascontiguousarray(kernel.F.T)
-        _, w = _gll(kernel.order)
-        self._w = w
-        self._gmask = None if gmask is None else _pad(
-            np.ascontiguousarray(gmask, dtype=np.float64), ne_pad, fill=0.0
-        )
-        self._Minv = None if Minv is None else np.ascontiguousarray(Minv)
-        self._ne = ne_pad
 
-    def __call__(self, u: np.ndarray) -> np.ndarray:
-        z = np.empty(self.n_dof)
-        u = np.ascontiguousarray(u, dtype=np.float64)
-        self._lib.el_apply(
-            ctypes.c_long(self._ne),
-            ctypes.c_long(self.n_dof),
-            ctypes.c_int(self.n1),
-            _pd(self._KxX), _pd(self._w),
-            _pd(self._E), _pd(self._ET), _pd(self._F), _pd(self._FT),
-            _pd(self._lam), _pd(self._mu), _pd(self._hx), _pd(self._hy),
-            self._ed.ctypes.data_as(_PI), _pd(u),
-            _pd(self._gmask), _pd(self._Minv), _pd(z),
-        )
-        return z
+    def _coef_args(self):
+        return (_pd(self._KxX), _pd(self._w),
+                _pd(self._E), _pd(self._ET), _pd(self._F), _pd(self._FT),
+                _pd(self._lam), _pd(self._mu), _pd(self._hx), _pd(self._hy))
 
 
-class Elastic3DPlan:
+class Elastic3DPlan(_FusedPlan):
     """Bound fused 3D elastic apply (component-interleaved DOFs).
 
     Packs the per-element block coefficients of
@@ -630,15 +948,10 @@ class Elastic3DPlan:
     factors folded in — into one 15-wide array for ``el_apply3``.
     """
 
-    def __init__(self, kernel, element_dofs, n_dof, gmask=None, Minv=None):
-        lib = load()
-        assert lib is not None
-        self._lib = lib
-        self.n_dof = int(n_dof)
-        self.n1 = kernel.n1
-        ne = element_dofs.shape[0]
-        ne_pad = -(-ne // VL) * VL
-        self._ed = _pad(np.ascontiguousarray(element_dofs, dtype=np.int64), ne_pad)
+    _symbol = "el_apply3"
+
+    def _bind(self, kernel, ne_pad):
+        ne = kernel.diag_scales.shape[0]
         coef = np.empty((ne, 15))
         coef[:, :9] = kernel.diag_scales.reshape(ne, 9)
         coef[:, 9:12] = kernel.lam_g
@@ -647,27 +960,38 @@ class Elastic3DPlan:
         self._KxX = np.ascontiguousarray(kernel.KxX)
         self._E = np.ascontiguousarray(kernel.E)
         self._F = np.ascontiguousarray(kernel.F)
-        _, w = _gll(kernel.order)
-        self._w = w
-        self._gmask = None if gmask is None else _pad(
-            np.ascontiguousarray(gmask, dtype=np.float64), ne_pad, fill=0.0
-        )
-        self._Minv = None if Minv is None else np.ascontiguousarray(Minv)
-        self._ne = ne_pad
 
-    def __call__(self, u: np.ndarray) -> np.ndarray:
-        z = np.empty(self.n_dof)
-        u = np.ascontiguousarray(u, dtype=np.float64)
-        self._lib.el_apply3(
-            ctypes.c_long(self._ne),
-            ctypes.c_long(self.n_dof),
-            ctypes.c_int(self.n1),
-            _pd(self._KxX), _pd(self._w), _pd(self._E), _pd(self._F),
-            _pd(self._coef),
-            self._ed.ctypes.data_as(_PI), _pd(u),
-            _pd(self._gmask), _pd(self._Minv), _pd(z),
-        )
-        return z
+    def _coef_args(self):
+        return (_pd(self._KxX), _pd(self._w), _pd(self._E), _pd(self._F),
+                _pd(self._coef))
+
+
+class AnisotropicPlan(_FusedPlan):
+    """Bound fused 2D anisotropic stress-form apply.
+
+    Flattens :class:`repro.sem.matfree.AnisotropicKernelND`'s
+    ``coef[e, c, a, d, b]`` (material tensor times pair geometry
+    scales) to ``dim^4`` C-ordered doubles per element for
+    ``an_apply``/``an_apply3``.
+    """
+
+    _symbol = "an_apply"
+
+    def _bind(self, kernel, ne_pad):
+        ne = kernel.coef.shape[0]
+        self._coef = _pad(np.ascontiguousarray(kernel.coef.reshape(ne, -1)),
+                          ne_pad)  # ghost elements: zero coefficients
+        self._D = np.ascontiguousarray(kernel.D)
+        self._Dt = np.ascontiguousarray(kernel.Dt)
+
+    def _coef_args(self):
+        return (_pd(self._D), _pd(self._Dt), _pd(self._w), _pd(self._coef))
+
+
+class Anisotropic3DPlan(AnisotropicPlan):
+    """Bound fused 3D anisotropic stress-form apply."""
+
+    _symbol = "an_apply3"
 
 
 def _gll(order: int) -> tuple[np.ndarray, np.ndarray]:

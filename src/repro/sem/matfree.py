@@ -56,6 +56,9 @@ meaningful — see :mod:`repro.core.operator`.
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
+
 import numpy as np
 
 from repro.core.operator import KernelSpec, Restriction
@@ -65,13 +68,57 @@ from repro.util.errors import SolverError
 from repro.util.validation import require
 
 
-def _fused_plan(kernel, element_dofs, n_dof, gmask=None, Minv=None, enabled=None):
+def resolve_threads(threads: int | None) -> int:
+    """The effective thread count for a requested ``threads`` setting.
+
+    ``REPRO_THREADS`` (when set and non-empty) overrides the argument;
+    ``None`` means serial (1), ``0`` auto-detects the CPUs available to
+    this process, positive integers are taken literally.  Negative
+    values are rejected.
+    """
+    env = os.environ.get("REPRO_THREADS")
+    if env:
+        try:
+            threads = int(env)
+        except ValueError:
+            raise SolverError(f"REPRO_THREADS must be an integer, got {env!r}")
+    if threads is None:
+        return 1
+    threads = int(threads)
+    require(threads >= 0, "threads must be >= 0 (0 = auto-detect)", SolverError)
+    if threads == 0:
+        try:
+            return len(os.sched_getaffinity(0))
+        except AttributeError:  # pragma: no cover - non-Linux
+            return os.cpu_count() or 1
+    return threads
+
+
+# One shared worker pool for the chunked NumPy tier, grown to the
+# largest thread count requested so far.  A superseded executor is left
+# to the GC — its idle workers exit once the object is collected.
+_POOL: ThreadPoolExecutor | None = None
+_POOL_SIZE = 0
+
+
+def _pool(n: int) -> ThreadPoolExecutor:
+    global _POOL, _POOL_SIZE
+    if _POOL is None or _POOL_SIZE < n:
+        _POOL = ThreadPoolExecutor(max_workers=n, thread_name_prefix="repro-matfree")
+        _POOL_SIZE = n
+    return _POOL
+
+
+def _fused_plan(kernel, element_dofs, n_dof, gmask=None, Minv=None, enabled=None,
+                threads: int = 1):
     """Fused-kernel apply plan, or ``None`` to use the NumPy path.
 
     ``enabled=None`` auto-detects (compiler present, order and dimension
-    supported — acoustic and elastic kernels both have fused tiers in 2D
-    and 3D; anything else falls back to NumPy); ``False`` forces the
-    NumPy path; ``True`` raises if unavailable.
+    supported — acoustic, elastic, and anisotropic kernels all have
+    fused tiers in 2D and 3D; anything else falls back to NumPy);
+    ``False`` forces the NumPy path; ``True`` raises if unavailable.
+    ``threads > 1`` requests the OpenMP element-block loop (honored only
+    when the build has OpenMP — see :func:`repro.sem.fused.omp_enabled`).
     """
     if enabled is False:
         return None
@@ -83,13 +130,18 @@ def _fused_plan(kernel, element_dofs, n_dof, gmask=None, Minv=None, enabled=None
         plan_cls, max_order = fused.AcousticPlan, fused.MAX_ORDER
     elif isinstance(kernel, AcousticKernel3D):
         plan_cls, max_order = fused.Acoustic3DPlan, fused.MAX_ORDER_3D
-    else:  # generic-ND and anisotropic kernels have no fused tier
+    elif isinstance(kernel, AnisotropicKernelND) and kernel.dim == 2:
+        plan_cls, max_order = fused.AnisotropicPlan, fused.MAX_ORDER
+    elif isinstance(kernel, AnisotropicKernelND) and kernel.dim == 3:
+        plan_cls, max_order = fused.Anisotropic3DPlan, fused.MAX_ORDER_3D
+    else:  # generic-ND kernels have no fused tier
         plan_cls, max_order = None, -1
     ok = fused.available() and plan_cls is not None and kernel.order <= max_order
     if not ok:
         require(enabled is not True, "fused kernels unavailable", SolverError)
         return None
-    return plan_cls(kernel, element_dofs, n_dof, gmask=gmask, Minv=Minv)
+    return plan_cls(kernel, element_dofs, n_dof, gmask=gmask, Minv=Minv,
+                    threads=threads)
 
 
 # ----------------------------------------------------------------------
@@ -382,8 +434,8 @@ class ElasticKernel3D(ElasticKernelND):
 
 class AnisotropicKernelND:
     """Batched general-anisotropy elastic stiffness action, generic over
-    dimension (component-interleaved DOFs; NumPy tier only — no fused C
-    kernel, callers fall back transparently).
+    dimension (component-interleaved DOFs; fused C tier via
+    ``an_apply``/``an_apply3``).
 
     Applies the operator in *stress form*, the classic SEM structure for
     arbitrary ``C``: with ``G_b`` the 1D derivative along axis ``b`` and
@@ -502,6 +554,17 @@ class MatrixFreeStiffness:
 
     ``use_fused=None`` auto-selects the fused C kernels when available
     (:mod:`repro.sem.fused`); ``False`` pins the batched NumPy path.
+    ``threads`` (resolved by :func:`resolve_threads` — ``None`` serial,
+    ``0`` auto-detect, ``REPRO_THREADS`` overriding) parallelizes the
+    element loop: on the fused tier via the kernels' OpenMP element-block
+    loop, on the NumPy tier via contiguous element chunks fanned out on a
+    shared :class:`~concurrent.futures.ThreadPoolExecutor` (NumPy
+    releases the GIL inside the batched contractions).  Both scatters
+    reduce partial results in a fixed order, so for a fixed thread count
+    results are deterministic and agree with serial to summation order
+    (<= 1e-12 relative).  Tiny workloads (fewer than 2 chunks / one
+    ``VL`` block per thread) silently run serial; ``tier`` reports what
+    actually runs.
     """
 
     def __init__(
@@ -512,6 +575,7 @@ class MatrixFreeStiffness:
         use_fused: bool | None = None,
         gmask: np.ndarray | None = None,
         Minv: np.ndarray | None = None,
+        threads: int | None = None,
     ):
         self.kernel = kernel
         self.element_dofs = np.ascontiguousarray(element_dofs, dtype=np.int64)
@@ -524,6 +588,8 @@ class MatrixFreeStiffness:
         self.gmask = None if gmask is None else np.ascontiguousarray(gmask, dtype=np.float64)
         self.Minv = None if Minv is None else np.ascontiguousarray(Minv, dtype=np.float64)
         self._use_fused = use_fused
+        self._requested_threads = threads
+        self.threads = resolve_threads(threads)
         self._plan = (
             _fused_plan(
                 kernel,
@@ -532,10 +598,39 @@ class MatrixFreeStiffness:
                 gmask=self.gmask,
                 Minv=self.Minv,
                 enabled=use_fused,
+                threads=self.threads,
             )
             if self.element_dofs.size
             else None
         )
+        # Chunked NumPy tier: contiguous element ranges, one per worker,
+        # each with its own kernel subset; partials are summed in chunk
+        # order so the result is independent of completion order.
+        self._chunks = None
+        ne = self.element_dofs.shape[0]
+        if self._plan is None and self.threads > 1 and ne >= 2 * self.threads:
+            bounds = np.linspace(0, ne, self.threads + 1).astype(int)
+            self._chunks = [
+                (
+                    self.element_dofs[lo:hi],
+                    self.kernel.subset(np.arange(lo, hi)),
+                    None if self.gmask is None else self.gmask[lo:hi],
+                )
+                for lo, hi in zip(bounds[:-1], bounds[1:])
+            ]
+
+    @property
+    def tier(self) -> str:
+        """The kernel tier this operator actually runs (post-gating):
+        ``"fused+openmp:N"``, ``"fused"``, ``"numpy-threads:N"``, or
+        ``"numpy"``."""
+        if self._plan is not None:
+            if self._plan.threads > 1:
+                return f"fused+openmp:{self._plan.threads}"
+            return "fused"
+        if self._chunks is not None:
+            return f"numpy-threads:{self.threads}"
+        return "numpy"
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -550,6 +645,8 @@ class MatrixFreeStiffness:
             return np.zeros(self.n_dof)
         if self._plan is not None:
             return self._plan(u)
+        if self._chunks is not None:
+            return self._apply_chunked(u)
         Ue = u[self.element_dofs]
         if self.gmask is not None:
             Ue = Ue * self.gmask
@@ -557,6 +654,23 @@ class MatrixFreeStiffness:
         z = np.bincount(
             self.element_dofs.ravel(), weights=ku.ravel(), minlength=self.n_dof
         )
+        if self.Minv is not None:
+            z *= self.Minv
+        return z
+
+    def _apply_chunked(self, u: np.ndarray) -> np.ndarray:
+        def _partial(chunk):
+            ed, kern, gm = chunk
+            Ue = u[ed]
+            if gm is not None:
+                Ue = Ue * gm
+            ku = kern.contract(Ue)
+            return np.bincount(ed.ravel(), weights=ku.ravel(), minlength=self.n_dof)
+
+        parts = list(_pool(self.threads).map(_partial, self._chunks))
+        z = parts[0]
+        for p in parts[1:]:
+            z += p
         if self.Minv is not None:
             z *= self.Minv
         return z
@@ -584,6 +698,7 @@ class MatrixFreeStiffness:
             use_fused=self._use_fused,
             gmask=gm,
             Minv=self.Minv,
+            threads=self._requested_threads,
         )
 
 
@@ -605,6 +720,7 @@ class MatrixFreeOperator:
         M: np.ndarray,
         dirichlet_mask: np.ndarray | None = None,
         use_fused: bool | None = None,
+        threads: int | None = None,
     ):
         self.kernel = kernel
         self.element_dofs = np.ascontiguousarray(element_dofs, dtype=np.int64)
@@ -629,11 +745,18 @@ class MatrixFreeOperator:
                 else self.dirichlet_mask[self.element_dofs]
             ),
             Minv=self._Minv,
+            threads=threads,
         )
 
     @property
     def shape(self) -> tuple[int, int]:
         return (self.n_dof, self.n_dof)
+
+    @property
+    def tier(self) -> str:
+        """The kernel tier of the full-operator apply (see
+        :attr:`MatrixFreeStiffness.tier`)."""
+        return self._stiffness.tier
 
     @property
     def nnz(self) -> int:
@@ -757,7 +880,12 @@ def _make_kernel(assembler, ids: np.ndarray | None = None):
     return kernel_from_spec(spec_fn(ids))
 
 
-def operator_for(assembler, backend: str = "assembled", use_fused: bool | None = None):
+def operator_for(
+    assembler,
+    backend: str = "assembled",
+    use_fused: bool | None = None,
+    threads: int | None = None,
+):
     """Backend dispatch behind ``Sem2D.operator`` / ``ElasticSem2D.operator``.
 
     ``"assembled"`` wraps the precomputed CSR; ``"matfree"`` builds the
@@ -768,11 +896,15 @@ def operator_for(assembler, backend: str = "assembled", use_fused: bool | None =
 
         return AssembledOperator(assembler.A)
     if backend == "matfree":
-        return matrix_free_operator(assembler, use_fused=use_fused)
+        return matrix_free_operator(assembler, use_fused=use_fused, threads=threads)
     raise SolverError(f"unknown backend {backend!r}")
 
 
-def matrix_free_operator(assembler, use_fused: bool | None = None) -> MatrixFreeOperator:
+def matrix_free_operator(
+    assembler,
+    use_fused: bool | None = None,
+    threads: int | None = None,
+) -> MatrixFreeOperator:
     """Matrix-free ``A = M^{-1} K`` for any :class:`~repro.sem.tensor.SemND`
     assembler (:class:`~repro.sem.assembly2d.Sem2D`,
     :class:`~repro.sem.assembly3d.Sem3D`) or
@@ -784,6 +916,7 @@ def matrix_free_operator(assembler, use_fused: bool | None = None) -> MatrixFree
         assembler.M,
         dirichlet_mask=getattr(assembler, "dirichlet_mask", None),
         use_fused=use_fused,
+        threads=threads,
     )
 
 
@@ -793,6 +926,7 @@ def local_stiffness(
     local_dofs: np.ndarray,
     n_local: int,
     use_fused: bool | None = None,
+    threads: int | None = None,
 ) -> MatrixFreeStiffness:
     """Rank-local unassembled ``K`` for the distributed runtime.
 
@@ -806,4 +940,45 @@ def local_stiffness(
         local_dofs,
         n_local,
         use_fused=use_fused,
+        threads=threads,
     )
+
+
+#: Fused-tier order ceilings by dimension (see :mod:`repro.sem.fused`).
+_FUSED_MAX_ORDER = {2: fused.MAX_ORDER, 3: fused.MAX_ORDER_3D}
+_FUSED_PHYSICS = frozenset({"acoustic", "elastic", "anisotropic_elastic"})
+
+
+def fused_supported(physics: str, dim: int, order: int) -> bool:
+    """True when a compiled fused C tier exists for this physics, mesh
+    dimension, and polynomial order."""
+    return (
+        physics in _FUSED_PHYSICS
+        and dim in _FUSED_MAX_ORDER
+        and order <= _FUSED_MAX_ORDER[dim]
+        and fused.available()
+    )
+
+
+def describe_tier(
+    physics: str,
+    dim: int,
+    order: int,
+    use_fused: bool | None = None,
+    threads: int | None = None,
+) -> str:
+    """The kernel tier a matfree operator with these settings resolves
+    to, without building one: ``"fused+openmp:N"``, ``"fused"``,
+    ``"numpy-threads:N"``, or ``"numpy"``.
+
+    This is the *configured* tier — per-operator size gating (an element
+    count too small to split across ``N`` workers) can still downgrade a
+    specific apply to serial; :attr:`MatrixFreeStiffness.tier` on a
+    built operator is authoritative.
+    """
+    n = resolve_threads(threads)
+    if use_fused is not False and fused_supported(physics, dim, order):
+        if n > 1 and fused.omp_enabled():
+            return f"fused+openmp:{n}"
+        return "fused"
+    return f"numpy-threads:{n}" if n > 1 else "numpy"

@@ -686,18 +686,24 @@ class SemND:
         )
 
     # ------------------------------------------------------------------
-    def operator(self, backend: str = "assembled", use_fused: bool | None = None):
+    def operator(
+        self,
+        backend: str = "assembled",
+        use_fused: bool | None = None,
+        threads: int | None = None,
+    ):
         """Stiffness operator ``A = M^{-1} K`` in the requested backend.
 
         ``"assembled"`` wraps the precomputed CSR matrix; ``"matfree"``
         builds the batched sum-factorization operator (no matrix) — see
         :mod:`repro.sem.matfree` for when each wins.  ``use_fused``
-        selects the optional fused C kernels (``None`` = auto; 2D only —
-        the 3D NumPy tier always wins over CSR at high order anyway).
+        selects the optional fused C kernels (``None`` = auto);
+        ``threads`` the threaded element loop (``None`` serial, ``0``
+        auto-detect — see :func:`repro.sem.matfree.resolve_threads`).
         """
         from repro.sem.matfree import operator_for
 
-        return operator_for(self, backend, use_fused=use_fused)
+        return operator_for(self, backend, use_fused=use_fused, threads=threads)
 
     # ------------------------------------------------------------------
     def _axis_kernels(self) -> list[np.ndarray]:

@@ -226,6 +226,47 @@ class TestRejection:
         with pytest.raises(ConfigError, match="fused applies to the matfree"):
             BackendSpec(stiffness="assembled", fused=True)
 
+    def test_backend_threads_validation(self):
+        with pytest.raises(ConfigError, match="threads applies to the matfree"):
+            BackendSpec(stiffness="assembled", threads=2)
+        with pytest.raises(ConfigError, match="threads must be >= 0"):
+            BackendSpec(stiffness="matfree", threads=-1)
+        with pytest.raises(ConfigError, match="threads must be an integer"):
+            BackendSpec(stiffness="matfree", threads=1.5)
+        with pytest.raises(ConfigError, match="threads must be an integer"):
+            BackendSpec(stiffness="matfree", threads=True)
+        # 0 = auto-detect is valid, as is any positive count.
+        assert BackendSpec(stiffness="matfree", threads=0).threads == 0
+        assert BackendSpec(stiffness="matfree", threads=4).threads == 4
+
+    def test_backend_threads_round_trip(self, tmp_path):
+        cfg = SimulationConfig(
+            mesh=MeshSpec("uniform_grid", {"shape": (3, 3)}),
+            time=TimeSpec(n_cycles=1),
+            backend=BackendSpec(stiffness="matfree", fused=False, threads=2),
+        )
+        back = SimulationConfig.from_dict(json.loads(json.dumps(cfg.to_dict())))
+        assert back == cfg
+        assert back.backend.threads == 2
+        pytest.importorskip("tomllib")
+        path = tmp_path / "cfg.toml"
+        path.write_text(
+            """
+            [mesh]
+            family = "uniform_grid"
+            [mesh.params]
+            shape = [3, 3]
+
+            [time]
+            n_cycles = 1
+
+            [backend]
+            stiffness = "matfree"
+            threads = 2
+            """
+        )
+        assert SimulationConfig.from_file(path).backend.threads == 2
+
     def test_order_validation(self):
         with pytest.raises(ConfigError, match="order must be >= 1"):
             SimulationConfig(

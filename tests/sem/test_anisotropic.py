@@ -20,6 +20,7 @@ from repro.sem import (
     hexagonal_stiffness,
     isotropic_stiffness,
 )
+from repro.sem import fused
 from repro.sem.materials import rotation_about_y
 from repro.util.errors import SolverError
 
@@ -131,11 +132,35 @@ class TestBackendEquivalence:
         K = sem.K.toarray()
         assert np.allclose(K, K.T, atol=1e-12 * np.abs(K).max())
 
-    def test_use_fused_true_raises(self):
-        """No fused C tier exists for general anisotropy: requesting it
-        must fail loudly, not silently fall back."""
-        mesh = uniform_grid((2, 2))
-        sem = AnisotropicElasticSemND(mesh, order=2, C=isotropic_stiffness(2.0, 1.0, 2))
+    @pytest.mark.skipif(not fused.available(), reason="no C compiler")
+    @pytest.mark.parametrize("dim,grid", [(2, (4, 3)), (3, (2, 2, 2))])
+    def test_fused_tier_matches_assembled(self, dim, grid):
+        """The fused stress-form kernels (an_apply/an_apply3) reproduce
+        the assembled CSR action at machine precision."""
+        mesh = uniform_grid(grid)
+        rng = np.random.default_rng(dim)
+        sem = AnisotropicElasticSemND(
+            mesh, order=3, C=_random_pd_voigt(rng, mesh.n_elements, dim),
+            dirichlet=True,
+        )
+        op = sem.operator("matfree", use_fused=True)
+        assert op.tier == "fused"
+        u = rng.standard_normal(sem.n_dof)
+        assert _rel_err(op @ u, sem.A @ u) < 1e-12
+        cols = rng.choice(sem.n_dof, size=sem.n_dof // 4, replace=False)
+        ref = sem.operator("assembled").restrict(cols).apply(u)
+        assert _rel_err(op.restrict(cols).apply(u), ref) < 1e-12
+
+    def test_use_fused_true_raises_when_unavailable(self):
+        """Requesting the fused tier past its order ceiling must fail
+        loudly, not silently fall back (3D workspace caps at
+        MAX_ORDER_3D)."""
+        mesh = uniform_grid((1, 1, 1))
+        rng = np.random.default_rng(0)
+        sem = AnisotropicElasticSemND(
+            mesh, order=fused.MAX_ORDER_3D + 1,
+            C=_random_pd_voigt(rng, mesh.n_elements, 3),
+        )
         with pytest.raises(SolverError):
             sem.operator("matfree", use_fused=True)
 

@@ -1,0 +1,197 @@
+"""Threaded kernel tier: OpenMP fused kernels and the chunked NumPy
+thread pool agree with their serial counterparts.
+
+Both threaded paths change only summation order (per-thread partial
+scatters reduced in a fixed order), so results are documented to match
+serial within 1e-12 *relative* — in practice they agree to the last few
+bits, and for a fixed thread count repeated applies are deterministic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mesh import uniform_grid
+from repro.sem import ElasticSem2D, ElasticSem3D, Sem2D, Sem3D, fused
+from repro.sem.anisotropic import AnisotropicElasticSemND
+from repro.sem.matfree import describe_tier, resolve_threads
+from repro.util.errors import SolverError
+
+TOL = 1e-12
+
+OMP = fused.available() and fused.omp_enabled()
+
+
+def _rel_err(got, ref):
+    return np.abs(got - ref).max() / max(np.abs(ref).max(), 1e-30)
+
+
+def _assemblers():
+    mesh2 = uniform_grid((5, 4), (1.0, 1.3))
+    mesh3 = uniform_grid((3, 3, 2))
+    rng = np.random.default_rng(0)
+    nv = 6
+    A = rng.standard_normal((mesh3.n_elements, nv, nv))
+    C3 = A @ A.transpose(0, 2, 1) + nv * np.eye(nv)
+    return [
+        ("acoustic2", Sem2D(mesh2, order=4, dirichlet=True)),
+        ("acoustic3", Sem3D(mesh3, order=3)),
+        ("elastic2", ElasticSem2D(mesh2, order=3)),
+        ("elastic3", ElasticSem3D(mesh3, order=2, dirichlet=True)),
+        ("aniso3", AnisotropicElasticSemND(mesh3, order=2, C=C3)),
+    ]
+
+
+class TestResolveThreads:
+    def test_none_is_serial(self):
+        assert resolve_threads(None) == 1
+
+    def test_explicit_count(self):
+        assert resolve_threads(3) == 3
+
+    def test_zero_auto_detects(self):
+        n = resolve_threads(0)
+        assert n >= 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(SolverError, match="threads must be >= 0"):
+            resolve_threads(-2)
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_THREADS", "5")
+        assert resolve_threads(None) == 5
+        assert resolve_threads(2) == 5
+
+    def test_env_bad_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_THREADS", "many")
+        with pytest.raises(SolverError, match="REPRO_THREADS"):
+            resolve_threads(None)
+
+
+class TestNumpyPoolTier:
+    """The chunked ThreadPoolExecutor path needs no compiler at all."""
+
+    @pytest.mark.parametrize("name,sem", _assemblers())
+    def test_full_apply_matches_serial(self, name, sem):
+        rng = np.random.default_rng(1)
+        u = rng.standard_normal(sem.n_dof)
+        ref = sem.operator("matfree", use_fused=False) @ u
+        op = sem.operator("matfree", use_fused=False, threads=2)
+        assert op.tier == "numpy-threads:2"
+        assert _rel_err(op @ u, ref) < TOL, name
+
+    @pytest.mark.parametrize("name,sem", _assemblers()[:2])
+    def test_restricted_apply_matches_serial(self, name, sem):
+        rng = np.random.default_rng(2)
+        u = rng.standard_normal(sem.n_dof)
+        cols = rng.choice(sem.n_dof, size=max(1, sem.n_dof // 3), replace=False)
+        ref = sem.operator("matfree", use_fused=False).restrict(cols).apply(u)
+        op = sem.operator("matfree", use_fused=False, threads=2)
+        assert _rel_err(op.restrict(cols).apply(u), ref) < TOL, name
+
+    def test_deterministic_across_applies(self):
+        sem = Sem2D(uniform_grid((5, 4)), order=3)
+        op = sem.operator("matfree", use_fused=False, threads=2)
+        u = np.random.default_rng(3).standard_normal(sem.n_dof)
+        z = op @ u
+        for _ in range(3):
+            assert np.array_equal(op @ u, z)
+
+    def test_tiny_workload_runs_serial(self):
+        sem = Sem2D(uniform_grid((1, 1)), order=2)
+        op = sem.operator("matfree", use_fused=False, threads=8)
+        assert op.tier == "numpy"  # 1 element < 2 * 8 -> serial
+
+
+@pytest.mark.skipif(not OMP, reason="fused kernels without OpenMP")
+class TestOpenMPFusedTier:
+    @pytest.mark.parametrize("name,sem", _assemblers())
+    @pytest.mark.parametrize("threads", [2, 3])
+    def test_full_apply_matches_serial_fused_and_numpy(self, name, sem, threads):
+        rng = np.random.default_rng(4)
+        u = rng.standard_normal(sem.n_dof)
+        ref_np = sem.operator("matfree", use_fused=False) @ u
+        ref_fused = sem.operator("matfree", use_fused=True) @ u
+        op = sem.operator("matfree", use_fused=True, threads=threads)
+        assert op.tier == f"fused+openmp:{threads}"
+        z = op @ u
+        assert _rel_err(z, ref_fused) < TOL, name
+        assert _rel_err(z, ref_np) < TOL, name
+
+    @pytest.mark.parametrize("name,sem", _assemblers())
+    def test_restricted_apply_matches_serial(self, name, sem):
+        rng = np.random.default_rng(5)
+        u = rng.standard_normal(sem.n_dof)
+        cols = rng.choice(sem.n_dof, size=max(1, sem.n_dof // 3), replace=False)
+        ref = sem.operator("matfree", use_fused=True).restrict(cols).apply(u)
+        op = sem.operator("matfree", use_fused=True, threads=2)
+        assert _rel_err(op.restrict(cols).apply(u), ref) < TOL, name
+
+    def test_deterministic_across_applies(self):
+        sem = Sem3D(uniform_grid((3, 2, 2)), order=3)
+        op = sem.operator("matfree", threads=2)
+        u = np.random.default_rng(6).standard_normal(sem.n_dof)
+        z = op @ u
+        for _ in range(3):
+            assert np.array_equal(op @ u, z)
+
+    def test_tiny_workload_runs_serial(self):
+        # fewer padded blocks than threads -> the plan drops to serial
+        sem = Sem2D(uniform_grid((2, 2)), order=2)  # 4 elements -> 1 block
+        op = sem.operator("matfree", threads=4)
+        assert op.tier == "fused"
+
+
+class TestSimulationParity:
+    """End-to-end: a threads=2 config reproduces the serial trace."""
+
+    def _cfg(self, **backend):
+        from repro.api import SimulationConfig
+
+        return SimulationConfig.from_dict(
+            {
+                "mesh": {"family": "uniform_grid", "params": {"shape": [6, 5]}},
+                "material": {"model": "acoustic", "c": 1.0, "rho": 1.0},
+                "order": 3,
+                "time": {"t_end": 0.05},
+                "backend": backend,
+            }
+        )
+
+    def test_numpy_pool_matches_serial(self):
+        from repro.api import Simulation
+
+        ref = Simulation(self._cfg(stiffness="matfree", fused=False)).run()
+        sim = Simulation(self._cfg(stiffness="matfree", fused=False, threads=2))
+        assert sim.kernel_tier() == "numpy-threads:2"
+        res = sim.run()
+        assert res.metadata["kernel_tier"] == "numpy-threads:2"
+        assert _rel_err(res.u, ref.u) < TOL
+
+    @pytest.mark.skipif(not OMP, reason="fused kernels without OpenMP")
+    def test_openmp_fused_matches_serial(self):
+        from repro.api import Simulation
+
+        ref = Simulation(self._cfg(stiffness="matfree")).run()
+        sim = Simulation(self._cfg(stiffness="matfree", threads=2))
+        res = sim.run()
+        assert res.metadata["kernel_tier"] == "fused+openmp:2"
+        assert _rel_err(res.u, ref.u) < TOL
+
+
+class TestTierReporting:
+    def test_describe_matches_built_operator(self):
+        sem = Sem2D(uniform_grid((5, 4)), order=3)
+        for uf, th in [(False, None), (False, 2), (None, None)]:
+            op = sem.operator("matfree", use_fused=uf, threads=th)
+            assert op.tier == describe_tier("acoustic", 2, 3, uf, th)
+
+    def test_describe_unfused_physics(self):
+        # 1D has no fused tier regardless of availability.
+        assert describe_tier("acoustic", 1, 3) == "numpy"
+        assert describe_tier("acoustic", 1, 3, threads=2) == "numpy-threads:2"
+
+    def test_env_override_reaches_operator(self, monkeypatch):
+        monkeypatch.setenv("REPRO_THREADS", "2")
+        sem = Sem2D(uniform_grid((5, 4)), order=3)
+        op = sem.operator("matfree", use_fused=False)
+        assert op.tier == "numpy-threads:2"
