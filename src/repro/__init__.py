@@ -31,6 +31,8 @@ __version__ = "1.1.0"
 
 from repro.api import (
     BackendSpec,
+    EnsembleResult,
+    EnsembleSpec,
     MaterialSpec,
     MeshSpec,
     PartitionSpec,
@@ -41,10 +43,13 @@ from repro.api import (
     SimulationConfig,
     SimulationResult,
     SourceSpec,
+    StageCache,
+    SweepSpec,
     TimeSpec,
     compare_backends,
     relative_deviation,
     run,
+    run_ensemble,
 )
 from repro.core import (
     HealthGuard,
@@ -101,6 +106,12 @@ __all__ = [
     "run",
     "compare_backends",
     "relative_deviation",
+    # stage cache + ensembles (repro.api)
+    "StageCache",
+    "EnsembleSpec",
+    "SweepSpec",
+    "EnsembleResult",
+    "run_ensemble",
     # meshes
     "Mesh",
     "benchmark_mesh",

@@ -15,6 +15,14 @@ Subcommands
     Parse and validate a config (including mesh/material resolution),
     print the normalized JSON form, and exit — a pre-flight check for
     checked-in configs.
+``ensemble <sweep.json|toml>``
+    Expand an :class:`repro.api.EnsembleSpec` (base config + sweep
+    axes) and run every member through a shared content-addressed
+    :class:`repro.api.StageCache` on a bounded worker pool
+    (``--jobs``).  ``--cache-dir`` persists the expensive artifacts
+    (assembled CSR, LTS levels, partitions) across invocations;
+    ``--output-dir`` writes one ``member_<i>.npz`` per member plus a
+    ``summary.json`` with per-member timings and cache-hit provenance.
 
 Exit codes: 0 on success, 2 on a configuration/library error (the
 message, not a traceback, goes to stderr).
@@ -140,6 +148,73 @@ def _cmd_validate(args) -> int:
     return 0
 
 
+def _cmd_ensemble(args) -> int:
+    from pathlib import Path
+
+    from repro.api import EnsembleSpec, run_ensemble
+    from repro.util.io import atomic_write_text
+
+    spec = EnsembleSpec.from_file(args.sweep)
+    name = spec.name or spec.base.name or spec.base.mesh.family
+    axes = ", ".join(f"{s.path}({len(s.values)})" for s in spec.sweeps)
+    print(
+        f"{name}: {spec.n_members} members "
+        f"({spec.mode} of {axes}), jobs={args.jobs}"
+    )
+
+    out_dir = None if args.output_dir is None else Path(args.output_dir)
+
+    def save_member(result) -> None:
+        md = result.metadata["member"]
+        print(
+            f"  [{md['index']}] {md['name']}: {md['seconds']:.2f}s, "
+            f"{md['cache_hits']} cache hits / {md['cache_misses']} misses, "
+            f"max |u| = {np.abs(result.u).max():.6e}"
+        )
+        if out_dir is not None:
+            payload = {
+                "times": result.times,
+                "u": result.u,
+                "v": result.v,
+                "config_json": np.array(json.dumps(result.config.to_dict())),
+            }
+            if result.traces is not None:
+                payload["traces"] = result.traces
+                payload["receiver_dofs"] = result.receiver_dofs
+            atomic_savez(out_dir / f"member_{md['index']:03d}.npz", **payload)
+
+    res = run_ensemble(
+        spec,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        executor=args.executor,
+        on_result=save_member,
+    )
+    s = res.summary
+    sharing = ", ".join(
+        f"{stage} {info['distinct']}/{info['members']}"
+        for stage, info in s["stage_sharing"].items()
+        if info["members"]
+    )
+    print(f"stage sharing (distinct/members): {sharing}")
+    print(
+        f"cache: {s['cache_hits']} hits / {s['cache_misses']} misses "
+        f"({res.cache.describe()})"
+    )
+    print(
+        f"done: {s['total_seconds']:.2f}s total "
+        f"({s['warm_seconds']:.2f}s warm + {s['run_seconds']:.2f}s members), "
+        f"{s['throughput_members_per_second']:.2f} members/s "
+        f"[{s['executor']}]"
+    )
+    if out_dir is not None:
+        written = atomic_write_text(
+            out_dir / "summary.json", json.dumps(s, indent=2) + "\n"
+        )
+        print(f"wrote {written}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -194,6 +269,32 @@ def main(argv: list[str] | None = None) -> int:
         help="also print the normalized JSON form",
     )
     p_val.set_defaults(func=_cmd_validate)
+
+    p_ens = sub.add_parser(
+        "ensemble",
+        help="run a declarative sweep through the shared stage cache",
+    )
+    p_ens.add_argument("sweep", help="path to a .json or .toml EnsembleSpec")
+    p_ens.add_argument(
+        "--jobs", type=int, default=1, metavar="K",
+        help="worker-pool width (default 1 = run members inline)",
+    )
+    p_ens.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist expensive stage artifacts (CSR, levels, partitions) "
+             "as .npz files in DIR, shared across invocations",
+    )
+    p_ens.add_argument(
+        "--output-dir", default=None, metavar="DIR",
+        help="write member_<i>.npz per member plus summary.json into DIR",
+    )
+    p_ens.add_argument(
+        "--executor", choices=("auto", "serial", "thread", "process"),
+        default="auto",
+        help="worker pool kind (auto = threads for all-matfree sweeps, "
+             "processes otherwise)",
+    )
+    p_ens.set_defaults(func=_cmd_ensemble)
 
     args = parser.parse_args(argv)
     try:

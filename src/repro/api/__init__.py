@@ -19,8 +19,14 @@ Every stage stays inspectable (``Simulation(cfg).assembler``,
 ``.levels``, ``.parts`` ...) so the façade composes with the manual
 wiring layer it replaces — see ``examples/convergence_study.py`` for
 the escape-hatch tutorial.
+
+For many related runs, attach a :class:`StageCache` (content-addressed
+resolved-stage cache, optional on-disk persistence) and/or declare the
+whole sweep as an :class:`EnsembleSpec` executed by
+:func:`run_ensemble` — the ``python -m repro ensemble`` command line.
 """
 
+from repro.api.cache import CacheStats, StageCache
 from repro.api.config import (
     BackendSpec,
     MATERIAL_MODELS,
@@ -35,13 +41,21 @@ from repro.api.config import (
     SourceSpec,
     TimeSpec,
 )
+from repro.api.ensemble import (
+    EnsembleResult,
+    EnsembleSpec,
+    SweepSpec,
+    run_ensemble,
+)
 from repro.api.simulation import (
+    STAGES,
     Simulation,
     SimulationResult,
     compare_backends,
     relative_deviation,
     run,
     run_distributed,
+    stage_key,
 )
 from repro.util.errors import ConfigError
 
@@ -64,5 +78,13 @@ __all__ = [
     "run_distributed",
     "compare_backends",
     "relative_deviation",
+    "StageCache",
+    "CacheStats",
+    "STAGES",
+    "stage_key",
+    "EnsembleSpec",
+    "SweepSpec",
+    "EnsembleResult",
+    "run_ensemble",
     "ConfigError",
 ]

@@ -178,6 +178,22 @@ class Spec:
         """Normalize a field on a frozen dataclass (post-init only)."""
         object.__setattr__(self, name, value)
 
+    def content_hash(self) -> str:
+        """Stable per-spec digest: SHA-256 over the canonical
+        (sorted-keys) JSON form of :meth:`to_dict`.
+
+        Unlike ``hash()``, the digest is identical across processes and
+        sessions, which is what lets resolved pipeline stages be
+        *content-addressed*: :class:`repro.api.cache.StageCache` keys
+        each stage on the sub-hashes of exactly the specs that
+        determine it (see ``repro.api.simulation.STAGES``), so two
+        configs that differ only downstream — a moved source, a
+        different backend — share every upstream artifact.
+        """
+        return hashlib.sha256(
+            json.dumps(self.to_dict(), sort_keys=True).encode()
+        ).hexdigest()
+
 
 def _as_spec(value, spec_cls, what: str):
     """Accept a spec instance or a raw mapping (converted on the fly)."""
@@ -877,21 +893,33 @@ class SimulationConfig(Spec):
 
     # ------------------------------------------------------------------
     def content_hash(self) -> str:
-        """Stable digest of everything that determines the computed
-        solution.
+        """Stable digest of everything that determines the *physics* of
+        the computed solution.
 
-        SHA-256 over the canonical (sorted-keys) JSON form, excluding
-        ``name`` and ``resilience`` — checkpoint cadence, restart
-        budgets and injected test faults change *how* a run executes,
-        not what it converges to, so a checkpoint written with one
-        resilience setting can be resumed under another.  Unlike
-        ``hash()``, the digest is stable across processes, which is
-        what lets a checkpoint file reject a restore against a
-        different configuration.
+        SHA-256 over the canonical (sorted-keys) JSON form, excluding:
+
+        * ``name`` — a label;
+        * ``resilience`` — checkpoint cadence, restart budgets and
+          injected test faults change *how* a run executes, not what it
+          converges to;
+        * ``backend`` — the stiffness backend, fused-kernel choice and
+          thread count select an execution plan (a kernel tier) for the
+          same discrete operator; backend parity is asserted at machine
+          precision by the test suite, so a checkpoint written under
+          ``threads=None`` resumes cleanly under ``threads=2`` (or
+          under the other backend) instead of being rejected for a
+          physics-irrelevant difference.
+
+        Unlike ``hash()``, the digest is stable across processes, which
+        is what lets a checkpoint file reject a restore against a
+        genuinely different configuration.  Stage-cache keys do *not*
+        use this digest — they compose per-spec sub-hashes
+        (:meth:`Spec.content_hash`) per pipeline stage.
         """
         data = self.to_dict()
         data.pop("name", None)
         data.pop("resilience", None)
+        data.pop("backend", None)
         return hashlib.sha256(
             json.dumps(data, sort_keys=True).encode()
         ).hexdigest()
@@ -928,10 +956,14 @@ class SimulationConfig(Spec):
         return cls.from_dict(data)
 
     def save(self, path) -> None:
-        """Write the config as pretty-printed JSON."""
+        """Write the config as pretty-printed JSON (atomically — a
+        killed process leaves the old file or the new one, never a
+        truncated config)."""
+        from repro.util.io import atomic_write_text
+
         path = Path(path)
         if path.suffix.lower() != ".json":
             raise ConfigError(
                 f"SimulationConfig.save writes JSON; got {path.suffix!r}"
             )
-        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        atomic_write_text(path, json.dumps(self.to_dict(), indent=2) + "\n")

@@ -1,0 +1,539 @@
+"""Parallel ensemble engine: N simulations, every common stage resolved once.
+
+The workload the stage cache exists for: seismic practice rarely runs
+*one* simulation — it runs an N-source sweep over the same model, a
+material-perturbation study on the same mesh, a backend/timing matrix
+over the same discretization.  All members share most of their
+pipeline; the naive loop re-resolves it N times.
+
+:class:`EnsembleSpec` declares the sweep as plain data: a ``base``
+:class:`~repro.api.config.SimulationConfig` plus sweep axes — dotted
+config paths with a list of values each — expanded into member configs
+(cartesian ``product`` or aligned ``zip``).  :func:`run_ensemble`
+executes them:
+
+1. **group** members by shared stage content keys
+   (:func:`repro.api.simulation.stage_key`);
+2. **warm** the shared :class:`~repro.api.cache.StageCache` by
+   resolving each *distinct* upstream artifact exactly once, in
+   dependency order (mesh -> material -> assembler -> levels ->
+   dof_level -> parts, plus the CSR for assembled-backend members);
+3. **run** the members on a bounded worker pool —
+   ``ThreadPoolExecutor`` by default for matrix-free configs (the
+   NumPy/fused kernels release the GIL), a ``ProcessPoolExecutor``
+   fallback otherwise (sharing through the on-disk cache layer when a
+   ``cache_dir`` is set) — streaming each
+   :class:`~repro.api.simulation.SimulationResult` through
+   ``on_result`` as it completes, with per-member timing and cache-hit
+   metadata attached.
+
+The CLI front-end is ``python -m repro ensemble sweep.json --jobs K
+--cache-dir D --output-dir O``.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+import time
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, ClassVar, Mapping
+
+from repro.api.cache import StageCache
+from repro.api.config import SimulationConfig, Spec, _freeze, _thaw
+from repro.api.simulation import STAGES, Simulation, SimulationResult
+from repro.core.levels import LevelAssignment
+from repro.util.errors import ConfigError
+
+__all__ = [
+    "EnsembleSpec",
+    "SweepSpec",
+    "EnsembleResult",
+    "run_ensemble",
+]
+
+_MAX_MEMBERS = 100_000
+_EXECUTORS = ("auto", "serial", "thread", "process")
+
+#: Stages warmed (resolved once per distinct key) before the member
+#: runs, in dependency order.
+_WARM_STAGES = ("mesh", "material", "assembler", "levels", "dof_level", "parts")
+
+
+@dataclass(frozen=True)
+class SweepSpec(Spec):
+    """One sweep axis: a dotted config path and the values it takes.
+
+    ``path`` addresses a field of the base config through nested specs
+    — ``"source.position"``, ``"material.rho"``, ``"time.scheme"``,
+    ``"backend"`` (a whole section may be swept by giving mappings as
+    values).  ``values`` is the non-empty list of settings; each
+    expanded member must still validate as a full
+    :class:`~repro.api.config.SimulationConfig`.
+    """
+
+    path: str
+    values: tuple
+
+    def __post_init__(self):
+        if not isinstance(self.path, str) or not self.path:
+            raise ConfigError(
+                f"SweepSpec.path must be a dotted config path like "
+                f"'source.position', got {self.path!r}"
+            )
+        if any(not seg for seg in self.path.split(".")):
+            raise ConfigError(
+                f"SweepSpec.path {self.path!r} has an empty segment"
+            )
+        values = _freeze(self.values)
+        if not isinstance(values, tuple) or not values:
+            raise ConfigError(
+                f"SweepSpec.values for path {self.path!r} must be a "
+                f"non-empty sequence"
+            )
+        self._set("values", values)
+
+    def __hash__(self):
+        from repro.api.config import _hashable
+
+        return hash((self.path, _hashable(self.values)))
+
+
+def _sweeps_from(value) -> tuple:
+    return tuple(
+        s if isinstance(s, SweepSpec) else SweepSpec.from_dict(s) for s in value
+    )
+
+
+def _set_path(data: dict, path: str, value) -> None:
+    """Set ``path`` (dotted) inside the nested config dict ``data``."""
+    segments = path.split(".")
+    node = data
+    for depth, seg in enumerate(segments[:-1]):
+        child = node.get(seg)
+        if not isinstance(child, dict):
+            where = ".".join(segments[: depth + 1])
+            raise ConfigError(
+                f"sweep path {path!r} needs a {where!r} section in the "
+                f"base config (add it with the unswept fields filled in)"
+            )
+        node = child
+    node[segments[-1]] = value
+
+
+@dataclass(frozen=True)
+class EnsembleSpec(Spec):
+    """A declarative simulation sweep: base config + sweep axes.
+
+    ``mode="product"`` (default) expands the cartesian product of all
+    axis values; ``mode="zip"`` pairs them index-by-index (all axes
+    must then have equal lengths).  Member configs inherit everything
+    else from ``base`` and get names ``<name>[<i>]``.
+
+    JSON form (see ``examples/configs/ensemble_smoke.json``)::
+
+        {
+          "name": "source-sweep",
+          "base": { ... a SimulationConfig ... },
+          "mode": "zip",
+          "sweeps": [
+            {"path": "source.position", "values": [[2.0, 4.0], [3.0, 4.0]]}
+          ]
+        }
+    """
+
+    base: SimulationConfig
+    sweeps: tuple
+    mode: str = "product"
+    name: str = ""
+
+    _nested: ClassVar[dict] = {
+        "base": SimulationConfig.from_dict,
+        "sweeps": _sweeps_from,
+    }
+
+    def __post_init__(self):
+        if isinstance(self.base, Mapping):
+            self._set("base", SimulationConfig.from_dict(self.base))
+        if not isinstance(self.base, SimulationConfig):
+            raise ConfigError(
+                f"EnsembleSpec.base must be a SimulationConfig (or a "
+                f"mapping), got {type(self.base).__name__}"
+            )
+        self._set("sweeps", _sweeps_from(self.sweeps))
+        if not self.sweeps:
+            raise ConfigError(
+                "EnsembleSpec.sweeps must declare at least one sweep axis"
+            )
+        if self.mode not in ("product", "zip"):
+            raise ConfigError(
+                f"unknown ensemble mode {self.mode!r}; "
+                f"available: product, zip"
+            )
+        if self.mode == "zip":
+            lengths = {len(s.values) for s in self.sweeps}
+            if len(lengths) > 1:
+                raise ConfigError(
+                    f"EnsembleSpec(mode='zip') needs equal-length axes; "
+                    f"got lengths {sorted(len(s.values) for s in self.sweeps)}"
+                )
+        n = self.n_members
+        if n > _MAX_MEMBERS:
+            raise ConfigError(
+                f"ensemble expands to {n} members (> {_MAX_MEMBERS}); "
+                f"split the sweep or use mode='zip'"
+            )
+        self._set("name", str(self.name))
+
+    @property
+    def n_members(self) -> int:
+        """Number of member configs the sweep expands to."""
+        if self.mode == "zip":
+            return len(self.sweeps[0].values)
+        n = 1
+        for s in self.sweeps:
+            n *= len(s.values)
+        return n
+
+    def expand(self) -> tuple[SimulationConfig, ...]:
+        """The member configs, in sweep order (last axis fastest for
+        ``product``); each one is fully validated."""
+        if self.mode == "zip":
+            combos = zip(*(s.values for s in self.sweeps))
+        else:
+            combos = itertools.product(*(s.values for s in self.sweeps))
+        base = self.base.to_dict()
+        prefix = self.name or self.base.name or "member"
+        members = []
+        for i, combo in enumerate(combos):
+            data = copy.deepcopy(base)
+            for sweep, value in zip(self.sweeps, combo):
+                _set_path(data, sweep.path, _thaw(value))
+            data["name"] = f"{prefix}[{i}]"
+            try:
+                members.append(SimulationConfig.from_dict(data))
+            except ConfigError as e:
+                raise ConfigError(
+                    f"ensemble member {i} (sweep values "
+                    f"{[_thaw(v) for v in combo]!r}) is invalid: {e}"
+                ) from e
+        return tuple(members)
+
+    @classmethod
+    def from_file(cls, path) -> "EnsembleSpec":
+        """Load a sweep from a ``.json`` or ``.toml`` file (same formats
+        as :meth:`SimulationConfig.from_file`)."""
+        path = Path(path)
+        if not path.exists():
+            raise ConfigError(f"ensemble file not found: {path}")
+        suffix = path.suffix.lower()
+        if suffix == ".json":
+            import json
+
+            try:
+                data = json.loads(path.read_text())
+            except json.JSONDecodeError as e:
+                raise ConfigError(f"{path} is not valid JSON: {e}") from e
+        elif suffix == ".toml":
+            try:
+                import tomllib
+            except ModuleNotFoundError:  # pragma: no cover - py < 3.11
+                raise ConfigError(
+                    "TOML configs require Python 3.11+ (tomllib); "
+                    "use a JSON sweep instead"
+                ) from None
+            try:
+                data = tomllib.loads(path.read_text())
+            except tomllib.TOMLDecodeError as e:
+                raise ConfigError(f"{path} is not valid TOML: {e}") from e
+        else:
+            raise ConfigError(
+                f"unsupported ensemble format {suffix!r} for {path}; "
+                f"expected .json or .toml"
+            )
+        return cls.from_dict(data)
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+@dataclass
+class EnsembleResult:
+    """Everything an ensemble run produces.
+
+    ``members`` holds one :class:`SimulationResult` per member config,
+    in expansion order; ``summary`` the run-level provenance — stage
+    sharing (distinct keys per stage vs member count), cache traffic,
+    wall times and throughput — the dict
+    ``python -m repro ensemble`` prints and persists.
+    """
+
+    spec: EnsembleSpec | None
+    configs: tuple[SimulationConfig, ...]
+    members: list[SimulationResult]
+    summary: dict
+    cache: StageCache = field(repr=False, default=None)
+
+
+def _attach_member_metadata(result, index, name, seconds, events) -> None:
+    result.metadata["member"] = {
+        "index": index,
+        "name": name,
+        "seconds": seconds,
+        "cache_hits": int(events.get("hits", 0)),
+        "cache_misses": int(events.get("misses", 0)),
+    }
+
+
+def _run_member_in_process(payload: dict) -> dict:
+    """Worker-process entry: run one member from plain data.
+
+    Specs hold ``MappingProxyType`` views (not picklable), so the
+    config crosses the process boundary as its dict form and the result
+    comes back as plain arrays; the parent reassembles the
+    :class:`SimulationResult`.  Stage sharing happens through the
+    on-disk cache layer when a ``cache_dir`` is given.
+    """
+    config = SimulationConfig.from_dict(payload["config"])
+    cache = (
+        StageCache(cache_dir=payload["cache_dir"])
+        if payload["cache_dir"]
+        else None
+    )
+    sim = Simulation(config, cache=cache)
+    result = sim.run()
+    return {
+        "u": result.u,
+        "v": result.v,
+        "times": result.times,
+        "traces": result.traces,
+        "receiver_dofs": result.receiver_dofs,
+        "level": result.levels.level,
+        "levels_dt": result.levels.dt,
+        "levels_dt_min": result.levels.dt_min,
+        "dt": result.dt,
+        "n_cycles": result.n_cycles,
+        "parts": result.parts,
+        "metadata": result.metadata,
+        "events": sim.cache_events,
+    }
+
+
+def _pick_executor(executor: str, jobs: int, configs) -> str:
+    if executor not in _EXECUTORS:
+        raise ConfigError(
+            f"unknown ensemble executor {executor!r}; "
+            f"available: {', '.join(_EXECUTORS)}"
+        )
+    if jobs == 1 and executor in ("auto", "thread", "process"):
+        return "serial"
+    if executor != "auto":
+        return executor
+    # Matrix-free kernels (NumPy batched contractions, fused C with or
+    # without OpenMP) release the GIL for the bulk of a step, so threads
+    # genuinely overlap; the assembled CSR matvec holds it for longer —
+    # fall back to processes there.
+    if all(cfg.backend.stiffness == "matfree" for cfg in configs):
+        return "thread"
+    return "process"
+
+
+def run_ensemble(
+    spec,
+    jobs: int = 1,
+    cache: StageCache | None = None,
+    cache_dir=None,
+    executor: str = "auto",
+    on_result: Callable[[SimulationResult], None] | None = None,
+) -> EnsembleResult:
+    """Execute an ensemble with shared stage resolution (module docs).
+
+    Parameters
+    ----------
+    spec:
+        An :class:`EnsembleSpec` (or its mapping form), or a plain
+        sequence of :class:`SimulationConfig` members.
+    jobs:
+        Worker-pool width; ``1`` runs members inline (still
+        cache-shared).
+    cache:
+        Shared :class:`StageCache` to resolve through (a fresh one is
+        created when omitted).
+    cache_dir:
+        Convenience for ``cache=StageCache(cache_dir=...)`` — enables
+        on-disk persistence of CSR/levels/parts; mutually exclusive
+        with ``cache``.
+    executor:
+        ``"auto"`` (threads for all-matfree ensembles, processes
+        otherwise), ``"serial"``, ``"thread"`` or ``"process"``.
+    on_result:
+        Streaming hook, called with each member's
+        :class:`SimulationResult` as it completes (from worker threads
+        under the ``thread`` executor; completion order, not member
+        order).
+
+    Raises the first member failure after cancelling outstanding work;
+    cache-shared artifacts resolved before the failure stay warm.
+    """
+    if isinstance(spec, Mapping):
+        spec = EnsembleSpec.from_dict(spec)
+    if isinstance(spec, EnsembleSpec):
+        configs = spec.expand()
+        ens_spec = spec
+    else:
+        configs = tuple(
+            c if isinstance(c, SimulationConfig) else SimulationConfig.from_dict(c)
+            for c in spec
+        )
+        ens_spec = None
+        if not configs:
+            raise ConfigError("run_ensemble needs at least one member config")
+    if int(jobs) < 1:
+        raise ConfigError(f"run_ensemble jobs must be >= 1, got {jobs}")
+    jobs = int(jobs)
+    if cache is not None and cache_dir is not None:
+        raise ConfigError(
+            "pass either cache= (a StageCache) or cache_dir= (a path), "
+            "not both"
+        )
+    if cache is None:
+        cache = StageCache(cache_dir=cache_dir)
+    mode = _pick_executor(executor, jobs, configs)
+
+    t0 = time.perf_counter()
+    sims = [Simulation(cfg, cache=cache) for cfg in configs]
+
+    # -- group + warm: each distinct upstream artifact exactly once ----
+    sharing: dict[str, dict] = {}
+    for stage in _WARM_STAGES:
+        groups: dict[str, int] = {}
+        for i, sim in enumerate(sims):
+            if stage == "parts" and sim.config.partition.n_ranks == 1:
+                continue
+            groups.setdefault(sim.stage_key(stage), i)
+        for key, i in groups.items():
+            getattr(sims[i], stage)
+            if stage == "assembler" and sims[i].config.backend.stiffness == "assembled":
+                # Materialize the CSR once, in this thread: assembly is
+                # lazy, and racing workers would each pay for it.
+                sims[i].assembler.A
+        sharing[stage.lstrip("_")] = {
+            "distinct": len(groups),
+            "members": len(sims) if stage != "parts" else sum(
+                1 for s in sims if s.config.partition.n_ranks > 1
+            ),
+        }
+    warm_seconds = time.perf_counter() - t0
+
+    # -- run the members ------------------------------------------------
+    results: list[SimulationResult | None] = [None] * len(sims)
+
+    def run_one(i: int) -> SimulationResult:
+        sim = sims[i]
+        t = time.perf_counter()
+        result = sim.run()
+        _attach_member_metadata(
+            result,
+            i,
+            sim.config.name,
+            time.perf_counter() - t,
+            sim.cache_events,
+        )
+        if on_result is not None:
+            on_result(result)
+        return result
+
+    t1 = time.perf_counter()
+    if mode == "serial":
+        for i in range(len(sims)):
+            results[i] = run_one(i)
+    elif mode == "thread":
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            futures = {pool.submit(run_one, i): i for i in range(len(sims))}
+            done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+            failed = [f for f in done if f.exception() is not None]
+            if failed:
+                for f in not_done:
+                    f.cancel()
+                raise failed[0].exception()
+            for f in done:
+                results[futures[f]] = f.result()
+    else:  # process
+        payloads = [
+            {
+                "config": cfg.to_dict(),
+                "cache_dir": None if cache.cache_dir is None else str(cache.cache_dir),
+            }
+            for cfg in configs
+        ]
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {
+                pool.submit(_run_member_in_process, payloads[i]): i
+                for i in range(len(sims))
+            }
+            done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+            failed = [f for f in done if f.exception() is not None]
+            if failed:
+                for f in not_done:
+                    f.cancel()
+                raise failed[0].exception()
+            for f in done:
+                i = futures[f]
+                d = f.result()
+                result = SimulationResult(
+                    config=configs[i],
+                    u=d["u"],
+                    v=d["v"],
+                    times=d["times"],
+                    traces=d["traces"],
+                    receiver_dofs=d["receiver_dofs"],
+                    levels=LevelAssignment(
+                        level=d["level"],
+                        dt=float(d["levels_dt"]),
+                        dt_min=float(d["levels_dt_min"]),
+                    ),
+                    dt=float(d["dt"]),
+                    n_cycles=int(d["n_cycles"]),
+                    parts=d["parts"],
+                    metadata=d["metadata"],
+                )
+                _attach_member_metadata(
+                    result,
+                    i,
+                    configs[i].name,
+                    result.metadata.get("run_seconds", 0.0),
+                    d["events"],
+                )
+                if on_result is not None:
+                    on_result(result)
+                results[i] = result
+    run_seconds = time.perf_counter() - t1
+    total = time.perf_counter() - t0
+
+    stats = cache.stats
+    summary = {
+        "n_members": len(sims),
+        "jobs": jobs,
+        "executor": mode,
+        "warm_seconds": warm_seconds,
+        "run_seconds": run_seconds,
+        "total_seconds": total,
+        "throughput_members_per_second": len(sims) / total if total > 0 else 0.0,
+        "stage_sharing": sharing,
+        "cache_hits": stats.hits,
+        "cache_misses": stats.misses,
+        "cache": stats.as_dict(),
+        "members": [
+            None if r is None else dict(r.metadata.get("member", {}))
+            for r in results
+        ],
+    }
+    return EnsembleResult(
+        spec=ens_spec,
+        configs=configs,
+        members=results,
+        summary=summary,
+        cache=cache,
+    )

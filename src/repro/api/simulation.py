@@ -38,6 +38,8 @@ itself).
 
 from __future__ import annotations
 
+import hashlib
+import json
 import time
 from dataclasses import dataclass, replace
 from functools import cached_property
@@ -45,7 +47,9 @@ from pathlib import Path
 from typing import Callable, Mapping
 
 import numpy as np
+import scipy.sparse as sp
 
+from repro.api.cache import StageCache
 from repro.api.config import BackendSpec, PartitionSpec, SimulationConfig
 from repro.core.health import HealthGuard
 from repro.core.levels import LevelAssignment, assign_levels
@@ -72,6 +76,105 @@ from repro.sem.elastic2d import ElasticSem2D
 from repro.sem.elastic3d import ElasticSem3D
 from repro.sem.sources import point_source, ricker
 from repro.util.errors import ConfigError
+
+
+# ----------------------------------------------------------------------
+# Stage content keys
+# ----------------------------------------------------------------------
+# Each resolved pipeline stage is determined by a *subset* of the config:
+# the functions below compose exactly the per-spec sub-hashes
+# (``Spec.content_hash()``) and scalar fields a stage depends on.  Two
+# configs with equal key tuples for a stage can share that stage's
+# resolved artifact — this is what drives both the content-addressed
+# :class:`~repro.api.cache.StageCache` and the generalized
+# :meth:`Simulation.variant` sharing.  The table is the single source of
+# truth for "which spec fields invalidate which stage" (documented in
+# the README cache-key semantics table):
+#
+# ==============  =====================================================
+# stage           invalidated by
+# ==============  =====================================================
+# mesh            mesh spec
+# material        mesh spec, material spec (incl. regions)
+# assembler       + order, dirichlet
+# levels          + time.c_cfl, time.max_levels
+# dof_level       + time.scheme
+# _stepping       + time.n_cycles / time.t_end
+# force           assembler key + source spec
+# receiver_dofs   assembler key + receivers spec
+# parts           levels key + partition spec
+# ==============  =====================================================
+#
+# Notably *absent* everywhere: BackendSpec (stiffness backend, fused,
+# threads select an execution plan, not a different artifact — the
+# operator itself is built per run from the shared assembler), the
+# resilience spec, and the config name.
+
+
+def _mesh_key(cfg: SimulationConfig) -> tuple:
+    return (cfg.mesh.content_hash(),)
+
+
+def _material_key(cfg: SimulationConfig) -> tuple:
+    return _mesh_key(cfg) + (cfg.material.content_hash(),)
+
+
+def _assembler_key(cfg: SimulationConfig) -> tuple:
+    return _material_key(cfg) + (cfg.order, cfg.dirichlet)
+
+
+def _levels_key(cfg: SimulationConfig) -> tuple:
+    return _assembler_key(cfg) + (cfg.time.c_cfl, cfg.time.max_levels)
+
+
+def _dof_level_key(cfg: SimulationConfig) -> tuple:
+    return _levels_key(cfg) + (cfg.time.scheme,)
+
+
+def _stepping_key(cfg: SimulationConfig) -> tuple:
+    return _dof_level_key(cfg) + (cfg.time.n_cycles, cfg.time.t_end)
+
+
+def _force_key(cfg: SimulationConfig) -> tuple:
+    src = None if cfg.source is None else cfg.source.content_hash()
+    return _assembler_key(cfg) + (src,)
+
+
+def _receivers_key(cfg: SimulationConfig) -> tuple:
+    rec = None if cfg.receivers is None else cfg.receivers.content_hash()
+    return _assembler_key(cfg) + (rec,)
+
+
+def _parts_key(cfg: SimulationConfig) -> tuple:
+    return _levels_key(cfg) + (cfg.partition.content_hash(),)
+
+
+#: Resolved-stage dependency table: cached attribute -> key function.
+STAGES: dict[str, Callable[[SimulationConfig], tuple]] = {
+    "mesh": _mesh_key,
+    "material": _material_key,
+    "assembler": _assembler_key,
+    "levels": _levels_key,
+    "dof_level": _dof_level_key,
+    "_stepping": _stepping_key,
+    "force": _force_key,
+    "receiver_dofs": _receivers_key,
+    "parts": _parts_key,
+}
+
+
+def stage_key(stage: str, cfg: SimulationConfig) -> str:
+    """The content-addressed cache key of ``stage`` for ``cfg``:
+    ``"<stage>:<sha256 of the key tuple>"``."""
+    if stage not in STAGES:
+        raise ConfigError(
+            f"unknown pipeline stage {stage!r}; "
+            f"stages: {', '.join(STAGES)}"
+        )
+    digest = hashlib.sha256(
+        json.dumps(STAGES[stage](cfg), sort_keys=True).encode()
+    ).hexdigest()
+    return f"{stage.lstrip('_')}:{digest[:40]}"
 
 
 @dataclass
@@ -195,9 +298,19 @@ class Simulation:
     Construction is cheap; every pipeline stage is a cached property
     built on first access, and :meth:`run` produces the
     :class:`SimulationResult`.
+
+    ``cache`` plugs in a shared :class:`~repro.api.cache.StageCache`:
+    stages then resolve *through* the cache under their content keys
+    (:func:`stage_key`), so any number of Simulations — ensemble
+    members, backend variants, repeated service requests — resolve each
+    distinct mesh/assembler/levels/partition exactly once.  The
+    per-instance ``cache_events`` dict counts this Simulation's own
+    hits/misses (the shared cache's ``stats`` aggregates across users).
     """
 
-    def __init__(self, config: SimulationConfig | Mapping):
+    def __init__(
+        self, config: SimulationConfig | Mapping, cache: StageCache | None = None
+    ):
         if isinstance(config, Mapping):
             config = SimulationConfig.from_dict(config)
         if not isinstance(config, SimulationConfig):
@@ -205,22 +318,48 @@ class Simulation:
                 f"Simulation expects a SimulationConfig (or a mapping), "
                 f"got {type(config).__name__}"
             )
+        if cache is not None and not isinstance(cache, StageCache):
+            raise ConfigError(
+                f"Simulation cache= expects a StageCache, "
+                f"got {type(cache).__name__}"
+            )
         self.config = config
+        self.cache = cache
+        self.cache_events: dict[str, int] = {}
+
+    # -- cache plumbing -------------------------------------------------
+    def stage_key(self, stage: str) -> str:
+        """This config's content key for ``stage`` (see :func:`stage_key`)."""
+        return stage_key(stage, self.config)
+
+    def _resolve(self, stage: str, build: Callable, pack=None, unpack=None):
+        """Build a stage artifact, through the cache when one is set."""
+        if self.cache is None:
+            return build()
+        return self.cache.get_or_create(
+            self.stage_key(stage),
+            build,
+            stage=stage.lstrip("_"),
+            pack=pack,
+            unpack=unpack,
+            events=self.cache_events,
+        )
 
     # -- pipeline stages ------------------------------------------------
     @cached_property
     def mesh(self):
         """The built :class:`repro.mesh.Mesh`."""
-        return self.config.mesh.build()
+        return self._resolve("mesh", self.config.mesh.build)
 
     @cached_property
     def material(self):
         """The resolved per-element :class:`repro.sem.materials.Material`."""
-        return self.config.material.build(self.mesh)
+        return self._resolve(
+            "material", lambda: self.config.material.build(self.mesh)
+        )
 
-    @cached_property
-    def assembler(self):
-        """The SEM assembler matching (material model, mesh dimension)."""
+    def _build_assembler(self):
+        """The uncached assembler construction (see ``assembler``)."""
         cfg = self.config
         mesh = self.mesh
         model = cfg.material.model
@@ -234,7 +373,10 @@ class Simulation:
                     )
                 # Sem1D reads the wave speed off the mesh; the resolved
                 # material (spec c override + regions) is authoritative.
-                mesh.c = np.array(material.c, dtype=np.float64)
+                # Rebind c on a shallow copy: the built mesh may be
+                # shared (via the stage cache) with configs whose
+                # material resolves to a different speed field.
+                mesh = replace(mesh, c=np.array(material.c, dtype=np.float64))
                 return Sem1D(mesh, order=cfg.order, dirichlet=cfg.dirichlet)
             cls = {2: Sem2D, 3: Sem3D}[mesh.dim]
         elif model == "elastic":
@@ -249,26 +391,97 @@ class Simulation:
             mesh, order=cfg.order, dirichlet=cfg.dirichlet, material=material
         )
 
+    def _assembler_codec(self):
+        """Disk ``pack``/``unpack`` for the assembler stage, or
+        ``(None, None)`` when persisting its CSR makes no sense.
+
+        The persisted artifact is the assembled ``(K, A)`` CSR pair —
+        the single most expensive resolution step.  On a disk hit the
+        assembler object is rebuilt (geometry/numbering are cheap and
+        hold no large invariants worth persisting) and the matrices
+        injected, skipping the chunked scatter.  Matrix-free configs
+        never assemble, so the codec is enabled only for the
+        ``assembled`` backend (and only for the dimension-generic SemND
+        assemblers — the 1D chain assembles in microseconds).
+        """
+        if self.config.backend.stiffness != "assembled" or self.mesh.dim == 1:
+            return None, None
+
+        def pack(sem) -> dict:
+            return {
+                "K_data": sem.K.data,
+                "K_indices": sem.K.indices,
+                "K_indptr": sem.K.indptr,
+                "A_data": sem.A.data,
+                "A_indices": sem.A.indices,
+                "A_indptr": sem.A.indptr,
+                "shape": np.array(sem.A.shape, dtype=np.int64),
+            }
+
+        def unpack(d: dict):
+            shape = tuple(int(x) for x in d["shape"])
+            K = sp.csr_matrix(
+                (d["K_data"], d["K_indices"], d["K_indptr"]), shape=shape
+            )
+            A = sp.csr_matrix(
+                (d["A_data"], d["A_indices"], d["A_indptr"]), shape=shape
+            )
+            sem = self._build_assembler()
+            sem._set_assembled(K, A)
+            return sem
+
+        return pack, unpack
+
+    @cached_property
+    def assembler(self):
+        """The SEM assembler matching (material model, mesh dimension)."""
+        pack, unpack = (None, None) if self.cache is None else self._assembler_codec()
+        return self._resolve(
+            "assembler", self._build_assembler, pack=pack, unpack=unpack
+        )
+
     @cached_property
     def levels(self) -> LevelAssignment:
         """LTS p-levels from the material's maximal wave speed (Eq. (7))."""
-        t = self.config.time
-        return assign_levels(
-            self.mesh,
-            c_cfl=t.c_cfl,
-            max_levels=t.max_levels,
-            assembler=self.assembler,
-        )
+
+        def build():
+            t = self.config.time
+            return assign_levels(
+                self.mesh,
+                c_cfl=t.c_cfl,
+                max_levels=t.max_levels,
+                assembler=self.assembler,
+            )
+
+        def pack(lv: LevelAssignment) -> dict:
+            return {
+                "level": lv.level,
+                "dt": np.array(lv.dt),
+                "dt_min": np.array(lv.dt_min),
+            }
+
+        def unpack(d: dict) -> LevelAssignment:
+            return LevelAssignment(
+                level=d["level"].astype(np.int64),
+                dt=float(d["dt"]),
+                dt_min=float(d["dt_min"]),
+            )
+
+        return self._resolve("levels", build, pack=pack, unpack=unpack)
 
     @cached_property
     def dof_level(self) -> np.ndarray:
         """Per-DOF levels (all 1 under the non-LTS ``newmark`` scheme)."""
-        sem = self.assembler
-        if self.config.time.scheme == "newmark":
-            return np.ones(sem.n_dof, dtype=np.int64)
-        return dof_levels_from_elements(
-            sem.element_dofs, self.levels.level, sem.n_dof
-        )
+
+        def build():
+            sem = self.assembler
+            if self.config.time.scheme == "newmark":
+                return np.ones(sem.n_dof, dtype=np.int64)
+            return dof_levels_from_elements(
+                sem.element_dofs, self.levels.level, sem.n_dof
+            )
+
+        return self._resolve("dof_level", build)
 
     @cached_property
     def _stepping(self) -> tuple[float, int]:
@@ -354,7 +567,18 @@ class Simulation:
         p = self.config.partition
         if p.n_ranks == 1:
             return None
-        return PARTITIONERS[p.strategy](self.mesh, self.levels, p.n_ranks, seed=p.seed)
+
+        def build():
+            return PARTITIONERS[p.strategy](
+                self.mesh, self.levels, p.n_ranks, seed=p.seed
+            )
+
+        return self._resolve(
+            "parts",
+            build,
+            pack=lambda parts: {"parts": parts},
+            unpack=lambda d: d["parts"].astype(np.int64),
+        )
 
     def operator(self):
         """The serial stiffness operator in the configured backend."""
@@ -384,39 +608,45 @@ class Simulation:
             threads=b.threads,
         )
 
-    #: Cached stages independent of the stiffness backend *and* the
-    #: partition spec — safe to share across those config variants.
-    _SHARED_STAGES = (
-        "mesh", "material", "assembler", "levels", "dof_level",
-        "_stepping", "force", "receiver_dofs",
-    )
+    def cache_summary(self) -> dict:
+        """This Simulation's own stage-cache traffic: ``{"hits": n,
+        "misses": n}`` (empty when no cache is attached)."""
+        return dict(self.cache_events)
 
     def variant(
         self,
         backend: BackendSpec | None = None,
         partition: PartitionSpec | None = None,
+        **swaps,
     ) -> "Simulation":
-        """A Simulation for the same config with the backend and/or
-        partition spec swapped, *sharing* every already-resolved
-        pipeline stage that stays valid (mesh, material, assembler,
-        levels, source, receivers — none depend on either spec; the
-        partition itself is re-derived only when ``partition`` changes).
+        """A Simulation with any config fields swapped, *sharing* every
+        already-resolved pipeline stage whose upstream content keys
+        match (see :data:`STAGES`).
 
-        This is how backend-parity and serial-reference runs avoid
-        paying mesh construction and stiffness assembly once per
-        variant; :func:`compare_backends` is built on it.
+        Sharing is fully general: a backend or partition swap keeps the
+        whole mesh -> assembler -> levels pipeline (neither spec appears
+        in any upstream key); a moved source keeps everything but the
+        force; a different ``time.scheme`` keeps the assembler and
+        levels but re-derives ``dof_level``; a new mesh shares nothing.
+        Keyword arguments name any :class:`SimulationConfig` field
+        (``source=``, ``time=``, ``material=``, ``name=`` ...); specs
+        may be given as raw mappings.  The attached stage cache (if
+        any) carries over, so even stages not resolved yet on *this*
+        instance are shared through it.
+
+        This is how backend-parity, serial-reference, and ensemble
+        member runs avoid paying mesh construction and stiffness
+        assembly more than once; :func:`compare_backends` and
+        :mod:`repro.api.ensemble` are built on it.
         """
-        cfg = self.config
         if backend is not None:
-            cfg = replace(cfg, backend=backend)
+            swaps["backend"] = backend
         if partition is not None:
-            cfg = replace(cfg, partition=partition)
-        sim = Simulation(cfg)
-        shared = self._SHARED_STAGES if partition is not None else (
-            self._SHARED_STAGES + ("parts",)
-        )
-        for name in shared:
-            if name in self.__dict__:
+            swaps["partition"] = partition
+        cfg = replace(self.config, **swaps) if swaps else self.config
+        sim = Simulation(cfg, cache=self.cache)
+        for name, key_fn in STAGES.items():
+            if name in self.__dict__ and key_fn(self.config) == key_fn(cfg):
                 sim.__dict__[name] = self.__dict__[name]
         return sim
 
@@ -783,20 +1013,26 @@ def compare_backends(
     config: SimulationConfig | Simulation,
     backends: tuple[str, ...] = ("assembled", "matfree"),
     include_serial: bool = False,
+    cache: StageCache | None = None,
 ) -> dict[str, SimulationResult]:
     """Run the same config once per stiffness backend.
 
     The backend-parity check of every example: results should agree to
-    machine precision (:func:`relative_deviation`).  Pass an existing
-    :class:`Simulation` to reuse its already-resolved stages; either
-    way the mesh/material/assembler/levels pipeline is resolved exactly
-    once and shared across all runs (:meth:`Simulation.variant`).
-    ``include_serial`` adds a ``"serial"`` entry — the same config on
-    one rank — as the distributed examples' reference.
+    machine precision (:func:`relative_deviation`).  The runs are
+    routed through a shared :class:`~repro.api.cache.StageCache`
+    (``cache``, or a fresh private one), so the
+    mesh/material/assembler/levels pipeline is resolved **exactly
+    once** no matter how many legs run — assertable via the cache's
+    resolution counters (``cache.stats.resolutions``).  Pass an
+    existing :class:`Simulation` to also reuse its already-resolved
+    stages.  ``include_serial`` adds a ``"serial"`` entry — the same
+    config on one rank — as the distributed examples' reference.
     """
     base = config if isinstance(config, Simulation) else Simulation(config)
+    if base.cache is None:
+        base.cache = cache if cache is not None else StageCache()
     # Resolve the shared stages once, on the base, before cloning.
-    for name in base._SHARED_STAGES + ("parts",):
+    for name in STAGES:
         getattr(base, name)
     results = {}
     if include_serial:

@@ -57,6 +57,7 @@ import platform
 import shutil
 import subprocess
 import tempfile
+import threading
 
 import numpy as np
 
@@ -657,6 +658,7 @@ _KERNELS = ("ac_apply", "ac_apply3", "el_apply", "el_apply3",
 
 _lib: ctypes.CDLL | None = None
 _tried = False
+_load_lock = threading.Lock()
 _flag_cache: dict[str, tuple[str, ...]] = {}
 
 
@@ -775,21 +777,30 @@ def load() -> ctypes.CDLL | None:
     different machine).  If the probed optional flags still break the
     real build, a second attempt with the base flags alone keeps the
     serial tier alive.
+
+    Thread-safe: concurrent first callers (ensemble workers racing the
+    one-time build) serialize on a lock, so none of them can observe
+    the half-initialized state and silently drop to the NumPy tier —
+    mixing tiers within one ensemble would split results by one ULP.
     """
     global _lib, _tried
     if _tried:
         return _lib
-    _tried = True
-    if os.environ.get("REPRO_FUSED", "1") == "0":
-        return None
-    cc = _compiler()
-    if cc is None:
-        return None
-    flags = accepted_cflags(cc)
-    lib = _build(cc, flags)
-    if lib is None and flags != _BASE_CFLAGS:
-        lib = _build(cc, _BASE_CFLAGS)
-    _lib = lib
+    with _load_lock:
+        if _tried:
+            return _lib
+        lib = None
+        if os.environ.get("REPRO_FUSED", "1") != "0":
+            cc = _compiler()
+            if cc is not None:
+                flags = accepted_cflags(cc)
+                lib = _build(cc, flags)
+                if lib is None and flags != _BASE_CFLAGS:
+                    lib = _build(cc, _BASE_CFLAGS)
+        # _lib must be visible before the lock-free fast path can see
+        # _tried (assignment order + the GIL guarantee that).
+        _lib = lib
+        _tried = True
     return _lib
 
 

@@ -605,13 +605,33 @@ class SemND:
             self.element_dofs.ravel(), weights=Me.ravel(), minlength=self.n_dof
         )
 
-        # Stiffness: chunked vectorized scatter of the dense element
-        # matrices from the physics hook.
-        n2 = nc * n_loc
+        # Dirichlet mask: needed by both backends (the matrix-free path
+        # applies it without ever assembling), so it is built eagerly.
+        self.dirichlet_mask: np.ndarray | None = None
+        if dirichlet:
+            mask = np.ones(self.n_dof)
+            mask[self.boundary_dofs()] = 0.0
+            self.dirichlet_mask = mask
+
+        # Stiffness assembly is *lazy*: the chunked CSR scatter is by
+        # far the most expensive construction step and matrix-free runs
+        # never need it.  ``A``/``K`` trigger it on first access;
+        # ``_set_assembled`` injects matrices restored from a stage
+        # cache so a warm resolve skips the scatter entirely.
+        self._K: sp.csr_matrix | None = None
+        self._A: sp.csr_matrix | None = None
+
+    # ------------------------------------------------------------------
+    # Lazy global stiffness
+    # ------------------------------------------------------------------
+    def _assemble_stiffness(self) -> None:
+        """Chunked vectorized scatter of the dense element matrices from
+        the physics hook into the global CSR pair ``(K, A)``."""
+        n2 = self.n_comp * (self.order + 1) ** self.dim
         K = sp.csr_matrix((self.n_dof, self.n_dof))
         chunk = max(1, _CHUNK_ENTRIES // (n2 * n2))
-        for s in range(0, mesh.n_elements, chunk):
-            ids = np.arange(s, min(s + chunk, mesh.n_elements))
+        for s in range(0, self.mesh.n_elements, chunk):
+            ids = np.arange(s, min(s + chunk, self.mesh.n_elements))
             Ke, _ = self.element_system_batch(ids)
             d = self.element_dofs[ids]
             K = K + sp.coo_matrix(
@@ -626,18 +646,49 @@ class SemND:
             ).tocsr()
         K.sum_duplicates()
         K.eliminate_zeros()  # kron kernels are exactly zero off the GLL lines
-        self.K = K
 
         A = sp.diags(1.0 / self.M) @ K
-        self.dirichlet_mask: np.ndarray | None = None
-        if dirichlet:
-            mask = np.ones(self.n_dof)
-            mask[self.boundary_dofs()] = 0.0
+        if self.dirichlet_mask is not None:
+            mask = self.dirichlet_mask
             A = sp.diags(mask) @ A @ sp.diags(mask)
-            self.dirichlet_mask = mask
         A = sp.csr_matrix(A)
         A.eliminate_zeros()
-        self.A = A
+        self._K, self._A = K, A
+
+    @property
+    def K(self) -> sp.csr_matrix:
+        """Global stiffness matrix (assembled on first access)."""
+        if self._K is None:
+            self._assemble_stiffness()
+        return self._K
+
+    @property
+    def A(self) -> sp.csr_matrix:
+        """Assembled operator ``M^{-1} K`` with Dirichlet masking
+        applied (assembled on first access)."""
+        if self._A is None:
+            self._assemble_stiffness()
+        return self._A
+
+    @property
+    def assembled(self) -> bool:
+        """Whether the global CSR pair has been built (or injected)."""
+        return self._A is not None
+
+    def _set_assembled(self, K: sp.csr_matrix, A: sp.csr_matrix) -> None:
+        """Inject a previously assembled ``(K, A)`` pair — the stage
+        cache's disk-restore path.  The matrices must come from an
+        assembler with an identical content key; no cross-checks beyond
+        the shape are performed."""
+        require(
+            K.shape == (self.n_dof, self.n_dof)
+            and A.shape == (self.n_dof, self.n_dof),
+            f"injected stiffness shape {A.shape} does not match "
+            f"n_dof={self.n_dof}",
+            SolverError,
+        )
+        self._K = sp.csr_matrix(K)
+        self._A = sp.csr_matrix(A)
 
     # ------------------------------------------------------------------
     # Physics hooks (base class: scalar acoustic)

@@ -45,3 +45,26 @@ def atomic_savez(path, **arrays) -> Path:
             pass
         raise
     return path
+
+
+def atomic_write_text(path, text: str) -> Path:
+    """Write ``text`` with the same all-or-nothing semantics as
+    :func:`atomic_savez` (temp file in the target directory +
+    ``os.replace``), for the JSON artifacts — saved configs, ensemble
+    summaries — that sit next to the ``.npz`` outputs."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as f:
+            f.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path

@@ -1,0 +1,279 @@
+"""StageCache unit behavior: LRU bounds, exactly-once builds under
+threads, disk persistence, key-mismatch/corruption rejection — plus the
+content-key layer (stage_key / per-spec sub-hashes) it is addressed by."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    BackendSpec,
+    SimulationConfig,
+    StageCache,
+    Simulation,
+    compare_backends,
+    stage_key,
+)
+from repro.util.errors import ConfigError
+
+
+def make_config(**overrides) -> SimulationConfig:
+    base = dict(
+        mesh={"family": "uniform_grid", "params": {"shape": [5, 5]}},
+        material={
+            "model": "acoustic",
+            "regions": [{"elements": [12], "values": {"c": 3.0}}],
+        },
+        order=3,
+        time={"n_cycles": 4, "c_cfl": 0.35},
+        source={"position": [1.0, 2.0], "f0": 0.8},
+    )
+    base.update(overrides)
+    return SimulationConfig.from_dict(base)
+
+
+class TestGetOrCreate:
+    def test_memory_hit_and_events(self):
+        cache = StageCache()
+        calls = []
+        events: dict = {}
+        build = lambda: calls.append(1) or np.arange(4.0)
+        a = cache.get_or_create("k:1", build, stage="mesh", events=events)
+        b = cache.get_or_create("k:1", build, stage="mesh", events=events)
+        assert a is b and len(calls) == 1
+        assert events == {"misses": 1, "hits": 1}
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert cache.stats.resolutions == {"mesh": 1}
+        assert "k:1" in cache and len(cache) == 1
+
+    def test_build_exactly_once_under_racing_threads(self):
+        cache = StageCache()
+        builds = []
+
+        def build():
+            builds.append(1)
+            return np.zeros(8)
+
+        barrier = threading.Barrier(8)
+        results = []
+
+        def worker():
+            barrier.wait()
+            results.append(cache.get_or_create("k:race", build))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(builds) == 1
+        assert all(r is results[0] for r in results)
+
+    def test_pack_without_unpack_rejected(self):
+        cache = StageCache()
+        with pytest.raises(ConfigError, match="pack= and unpack="):
+            cache.get_or_create("k:1", lambda: 1, pack=lambda o: {})
+
+    def test_invalid_caps_rejected(self):
+        with pytest.raises(ConfigError, match="max_entries"):
+            StageCache(max_entries=0)
+        with pytest.raises(ConfigError, match="max_bytes"):
+            StageCache(max_bytes=0)
+
+    def test_clear_drops_memory(self):
+        cache = StageCache()
+        cache.get_or_create("k:1", lambda: np.zeros(4))
+        cache.clear()
+        assert len(cache) == 0 and cache.nbytes == 0
+
+
+class TestLRU:
+    def test_entry_cap_evicts_least_recently_used(self):
+        cache = StageCache(max_entries=2)
+        cache.get_or_create("k:a", lambda: np.zeros(2))
+        cache.get_or_create("k:b", lambda: np.zeros(2))
+        cache.get_or_create("k:a", lambda: np.zeros(2))  # a now most recent
+        cache.get_or_create("k:c", lambda: np.zeros(2))  # evicts b
+        assert "k:a" in cache and "k:c" in cache and "k:b" not in cache
+        assert cache.stats.evictions == 1
+        # b rebuilds on next access
+        cache.get_or_create("k:b", lambda: np.zeros(2))
+        assert cache.stats.misses == 4
+
+    def test_byte_cap_evicts_under_memory_pressure(self):
+        one_kb = 1024
+        cache = StageCache(max_bytes=3 * one_kb)
+        for name in ("a", "b", "c", "d"):
+            cache.get_or_create(f"k:{name}", lambda: np.zeros(one_kb // 8))
+        assert cache.stats.evictions >= 1
+        assert cache.nbytes <= 3 * one_kb
+        assert "k:d" in cache  # newest always survives
+
+    def test_oversized_entry_still_caches(self):
+        cache = StageCache(max_bytes=64)
+        big = cache.get_or_create("k:big", lambda: np.zeros(1024))
+        assert "k:big" in cache
+        assert cache.get_or_create("k:big", lambda: np.zeros(1024)) is big
+
+
+class TestDiskLayer:
+    CODEC = dict(
+        pack=lambda a: {"a": a},
+        unpack=lambda d: d["a"],
+    )
+
+    def test_persist_and_warm_start(self, tmp_path):
+        cold = StageCache(cache_dir=tmp_path)
+        a = cold.get_or_create("mesh:abc", lambda: np.arange(6.0), **self.CODEC)
+        assert cold.stats.disk_writes == 1
+        files = list(tmp_path.glob("*.npz"))
+        assert len(files) == 1 and files[0].name == "mesh-abc.npz"
+
+        warm = StageCache(cache_dir=tmp_path)
+        b = warm.get_or_create(
+            "mesh:abc", lambda: pytest.fail("must not rebuild"), **self.CODEC
+        )
+        assert np.array_equal(a, b)
+        assert warm.stats.disk_hits == 1 and warm.stats.resolutions == {}
+
+    def test_no_codec_means_memory_only(self, tmp_path):
+        cache = StageCache(cache_dir=tmp_path)
+        cache.get_or_create("mesh:abc", lambda: object())
+        assert list(tmp_path.glob("*.npz")) == []
+
+    def test_corrupted_file_is_rejected_and_recomputed(self, tmp_path):
+        cold = StageCache(cache_dir=tmp_path)
+        cold.get_or_create("mesh:abc", lambda: np.arange(6.0), **self.CODEC)
+        path = next(tmp_path.glob("*.npz"))
+        path.write_bytes(b"not a zip archive")
+
+        warm = StageCache(cache_dir=tmp_path)
+        rebuilt = warm.get_or_create(
+            "mesh:abc", lambda: np.arange(6.0), **self.CODEC
+        )
+        assert np.array_equal(rebuilt, np.arange(6.0))
+        assert warm.stats.disk_rejects == 1
+        # The bad file was replaced by a healthy rewrite.
+        assert warm.stats.disk_writes == 1
+        third = StageCache(cache_dir=tmp_path)
+        third.get_or_create(
+            "mesh:abc", lambda: pytest.fail("must not rebuild"), **self.CODEC
+        )
+        assert third.stats.disk_hits == 1
+
+    def test_key_mismatch_is_rejected(self, tmp_path):
+        cache = StageCache(cache_dir=tmp_path)
+        cache.get_or_create("mesh:abc", lambda: np.arange(6.0), **self.CODEC)
+        path = next(tmp_path.glob("*.npz"))
+        # Masquerade the file as a different key: must not be trusted.
+        path.rename(tmp_path / "mesh-def.npz")
+        other = StageCache(cache_dir=tmp_path)
+        out = other.get_or_create("mesh:def", lambda: np.zeros(3), **self.CODEC)
+        assert np.array_equal(out, np.zeros(3))
+        assert other.stats.disk_rejects == 1
+
+    def test_non_array_pack_rejected(self, tmp_path):
+        cache = StageCache(cache_dir=tmp_path)
+        with pytest.raises(ConfigError, match="ndarray"):
+            cache.get_or_create(
+                "mesh:abc",
+                lambda: 7,
+                pack=lambda o: {"x": o},
+                unpack=lambda d: d["x"],
+            )
+
+
+class TestStageKeys:
+    def test_backend_and_name_never_invalidate(self):
+        a = make_config()
+        b = make_config(
+            name="other", backend={"stiffness": "matfree", "threads": 2}
+        )
+        for stage in ("mesh", "material", "assembler", "levels", "parts"):
+            assert stage_key(stage, a) == stage_key(stage, b)
+
+    def test_source_move_only_invalidates_force(self):
+        a = make_config()
+        b = make_config(source={"position": [2.0, 3.0], "f0": 0.8})
+        assert stage_key("assembler", a) == stage_key("assembler", b)
+        assert stage_key("parts", a) == stage_key("parts", b)
+        assert stage_key("force", a) != stage_key("force", b)
+
+    def test_material_change_invalidates_downstream(self):
+        a = make_config()
+        b = make_config(material={"model": "acoustic"})
+        assert stage_key("mesh", a) == stage_key("mesh", b)
+        for stage in ("material", "assembler", "levels", "parts"):
+            assert stage_key(stage, a) != stage_key(stage, b)
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ConfigError, match="unknown pipeline stage"):
+            stage_key("solver", make_config())
+
+
+class TestSimulationThroughCache:
+    def test_two_simulations_share_resolved_stages(self):
+        cache = StageCache()
+        a = Simulation(make_config(), cache=cache)
+        b = Simulation(
+            make_config(source={"position": [2.0, 3.0], "f0": 0.8}),
+            cache=cache,
+        )
+        assert a.assembler is b.assembler
+        assert a.levels is b.levels
+        assert cache.stats.resolutions["assembler"] == 1
+        assert b.cache_summary()["hits"] >= 2
+
+    def test_results_match_uncached(self):
+        cache = StageCache()
+        cfg = make_config()
+        cached = Simulation(cfg, cache=cache).run()
+        plain = Simulation(cfg).run()
+        assert np.array_equal(cached.u, plain.u)
+        assert np.array_equal(cached.traces, plain.traces)
+
+    def test_assembler_disk_roundtrip_is_exact(self, tmp_path):
+        cfg = make_config()
+        cold = Simulation(cfg, cache=StageCache(cache_dir=tmp_path))
+        cold.assembler  # resolve + persist
+        warm = Simulation(cfg, cache=StageCache(cache_dir=tmp_path))
+        warm.assembler
+        assert warm.cache.stats.disk_hits >= 1
+        assert (cold.assembler.A - warm.assembler.A).nnz == 0
+        assert (cold.assembler.K - warm.assembler.K).nnz == 0
+        assert np.array_equal(cold.run().u, warm.run().u)
+
+    def test_disk_key_change_recomputes(self, tmp_path):
+        Simulation(make_config(), cache=StageCache(cache_dir=tmp_path)).assembler
+        other = Simulation(
+            make_config(order=4), cache=StageCache(cache_dir=tmp_path)
+        )
+        other.assembler
+        # Different sub-hash -> different file; no stale artifact reused.
+        assert other.cache.stats.disk_hits == 0
+        assert other.cache.stats.resolutions["assembler"] == 1
+        assert len(list(tmp_path.glob("assembler-*.npz"))) == 2
+
+    def test_compare_backends_resolves_assembler_once(self):
+        cache = StageCache()
+        results = compare_backends(make_config(), cache=cache)
+        assert cache.stats.resolutions["assembler"] == 1
+        assert cache.stats.resolutions["levels"] == 1
+        assert np.array_equal(
+            results["assembled"].times, results["matfree"].times
+        )
+
+    def test_matfree_simulation_never_assembles(self):
+        sim = Simulation(
+            make_config(backend={"stiffness": "matfree"}), cache=StageCache()
+        )
+        sim.run()
+        assert not sim.assembler.assembled
+
+    def test_variant_backend_swap_keeps_lazy_csr_shared(self):
+        sim = Simulation(make_config(), cache=StageCache())
+        sim.run()
+        var = sim.variant(backend=BackendSpec(stiffness="matfree"))
+        assert var.assembler is sim.assembler
+        var.run()

@@ -185,6 +185,32 @@ class TestKillAndResume:
         with pytest.raises(ConfigError, match="different configuration"):
             Simulation(other).run(resume=tmp_path / "ckpt_00000005.npz")
 
+    def test_backend_change_does_not_refuse_resume(self, tmp_path):
+        """Regression: the backend section is an execution plan, not
+        physics — a checkpoint written under ``threads=None`` must
+        resume under ``threads=2`` (or the other backend) instead of
+        being rejected by the config-hash check."""
+        cfg = config(
+            backend={"stiffness": "matfree"},  # threads=None
+            resilience={"checkpoint_every": 5, "checkpoint_dir": str(tmp_path)},
+        )
+        full = Simulation(cfg).run()
+        ckpt = tmp_path / "ckpt_00000005.npz"
+        threaded = config(
+            backend={"stiffness": "matfree", "threads": 2},
+            resilience={"checkpoint_every": 5, "checkpoint_dir": str(tmp_path)},
+        )
+        resumed = Simulation(threaded).run(resume=ckpt)
+        assert resumed.metadata["resilience"]["resumed_from_cycle"] == 5
+        assert relative_deviation(full, resumed) <= 1e-12
+        # ... and across backends too (assembled leg of the same physics).
+        other_backend = config(
+            backend={"stiffness": "assembled"},
+            resilience={"checkpoint_every": 5, "checkpoint_dir": str(tmp_path)},
+        )
+        crossed = Simulation(other_backend).run(resume=ckpt)
+        assert relative_deviation(full, crossed) <= 1e-12
+
     def test_rank_count_mismatch_refused(self, tmp_path):
         cfg = config(
             partition={"n_ranks": 3},

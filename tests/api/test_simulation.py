@@ -184,11 +184,15 @@ class TestSerialDistributedAgreement:
         assert var.assembler is sim.assembler  # no re-assembly
         assert var.levels is sim.levels
         assert var.config.backend.stiffness == "matfree"
-        # A partition swap must re-derive parts, nothing else.
-        ser = sim.variant(partition=PartitionSpec(n_ranks=1))
-        assert ser.assembler is sim.assembler
-        assert "parts" not in ser.__dict__
-        assert ser.parts is None
+        # An identical partition spec shares the resolved parts ...
+        same = sim.variant(partition=PartitionSpec(n_ranks=1))
+        assert same.assembler is sim.assembler
+        assert "parts" in same.__dict__ and same.parts is None
+        # ... while an actually different one re-derives them (only).
+        dist = sim.variant(partition=PartitionSpec(n_ranks=3))
+        assert dist.assembler is sim.assembler
+        assert "parts" not in dist.__dict__
+        assert dist.parts is not None and len(dist.parts) == 36
 
     def test_distributed_newmark_scheme(self):
         cfg = config_2d(time={"n_cycles": 3, "c_cfl": 0.35, "scheme": "newmark"})
