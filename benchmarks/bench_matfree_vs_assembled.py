@@ -34,7 +34,10 @@ OpenMP fused path and the chunked NumPy thread pool — and records the
 resolved tier labels plus CPU identity (model name, core count) so a
 result file documents the machine it came from.  Threaded results are
 written to a separate ``..._threads*.json`` so the serial baselines
-stay untouched.
+stay untouched.  The ``threads_speedup >= 2`` scaling assertion is
+gated on ``usable_cores >= N``: a single-core container records its
+(honestly sub-1x) threaded numbers with the core count alongside,
+rather than failing or implying an undemonstrated multi-core claim.
 
 Usage::
 

@@ -90,12 +90,21 @@ def _cmd_run(args) -> int:
         f"(backend={cfg.backend.stiffness}, kernel={sim.kernel_tier()}, "
         f"ranks={cfg.partition.n_ranks})"
     )
-    result = sim.run(resume=args.resume)
+    result = sim.run(resume=args.resume, perf=args.perf)
     md = result.metadata
     line = f"run: {md['build_seconds']:.2f}s build, {md['run_seconds']:.2f}s stepping"
     if "messages" in md:
         line += f", {md['messages']} messages / {md['comm_volume']} values exchanged"
     print(line)
+    if "perf" in md:
+        p = md["perf"]
+        print(
+            f"perf: {p['steps_per_second']:.1f} steps/s, "
+            f"{p['allocs_per_step']:.1f} net allocs/step over "
+            f"{p['steps_traced']} traced steps, "
+            f"peak {p['alloc_peak_bytes_per_step']} transient bytes/step, "
+            f"{p['workspace_bytes']} workspace bytes"
+        )
     if "resilience" in md:
         rmd = md["resilience"]
         line = (
@@ -245,6 +254,11 @@ def main(argv: list[str] | None = None) -> int:
         "--output", default=None, metavar="OUT.npz",
         help="save times/traces/fields (and the resolved config) to an .npz "
              "(written atomically)",
+    )
+    p_run.add_argument(
+        "--perf", action="store_true",
+        help="trace a few steady-state cycles (tracemalloc) and print "
+             "steps/sec, allocations per step, and workspace bytes",
     )
     p_run.add_argument(
         "--resume", default=None, metavar="CKPT.npz",

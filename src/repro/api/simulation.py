@@ -54,6 +54,7 @@ from repro.api.config import BackendSpec, PartitionSpec, SimulationConfig
 from repro.core.health import HealthGuard
 from repro.core.levels import LevelAssignment, assign_levels
 from repro.core.lts_newmark import LTSNewmarkSolver, dof_levels_from_elements
+from repro.core.workspace import HotPathTracer
 from repro.partition.strategies import PARTITIONERS
 from repro.runtime.checkpoint import (
     CheckpointState,
@@ -254,6 +255,7 @@ def run_distributed(
     u0: np.ndarray | None = None,
     v0: np.ndarray | None = None,
     world: MailboxWorld | None = None,
+    tracer: HotPathTracer | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None, MailboxWorld]:
     """Partitioned LTS run: layout -> mailbox world -> executor -> gather.
 
@@ -262,7 +264,10 @@ def run_distributed(
     rank layout in the requested stiffness backend, steps
     :class:`repro.runtime.executor.DistributedLTSSolver` for
     ``n_cycles``, records receiver traces once per cycle, and returns
-    ``(u, v, traces, world)`` with globally gathered fields.
+    ``(u, v, traces, world)`` with globally gathered fields.  An
+    optional :class:`~repro.core.workspace.HotPathTracer` brackets each
+    cycle (``tracer.workspace`` is set to the solver's pooled scratch
+    footprint for the caller's stats).
     """
     parts = np.asarray(parts, dtype=np.int64)
     if n_ranks is None:
@@ -285,10 +290,16 @@ def run_distributed(
         traces = np.zeros((n_cycles, len(receiver_dofs)))
         locations = _receiver_locations(layout, receiver_dofs)
     for n in range(n_cycles):
+        if tracer is not None:
+            tracer.before_step(n)
         solver.step(u_locals, v_locals)
+        if tracer is not None:
+            tracer.after_step(n)
         if traces is not None:
             traces[n] = [u_locals[r][i] for r, i in locations]
     solver.check_no_leaks()
+    if tracer is not None:
+        tracer.workspace = solver.workspace_bytes()
     return layout.gather(u_locals), layout.gather(v_locals), traces, world
 
 
@@ -652,7 +663,9 @@ class Simulation:
 
     # -- the run ---------------------------------------------------------
     def run(
-        self, resume: str | Path | CheckpointState | None = None
+        self,
+        resume: str | Path | CheckpointState | None = None,
+        perf: bool = False,
     ) -> SimulationResult:
         """Execute the configured simulation and collect the result.
 
@@ -662,6 +675,13 @@ class Simulation:
         uninterrupted run — bitwise on the serial path, to round-off
         distributed.  Resuming against a config whose content hash
         differs from the checkpoint's is a :class:`ConfigError`.
+
+        ``perf=True`` brackets a few steady-state cycles with a
+        :class:`~repro.core.workspace.HotPathTracer` and records hot-path
+        evidence (steps/sec, net tracemalloc blocks per step, transient
+        peak, pooled workspace footprint) under ``metadata["perf"]``.
+        Tracing a short window perturbs only the traced cycles; results
+        are unchanged.  Not supported on the resilient path.
 
         When ``config.resilience`` is enabled (or ``resume`` is given)
         the run goes through the fault-tolerant loop: periodic
@@ -684,6 +704,12 @@ class Simulation:
 
         u0 = np.zeros(sem.n_dof)
         v0 = np.zeros(sem.n_dof)
+        tracer = (
+            HotPathTracer(warmup=1, trace=min(4, n_cycles))
+            if perf and n_cycles >= 2
+            else None
+        )
+        perf_workspace = 0
         t1 = time.perf_counter()
         world = None
         if parts is None:
@@ -691,9 +717,15 @@ class Simulation:
             traces = None if rec is None else np.zeros((n_cycles, len(rec)))
             u, v = u0, v0
             for n in range(n_cycles):
+                if tracer is not None:
+                    tracer.before_step(n)
                 u, v = solver.step(u, v)
+                if tracer is not None:
+                    tracer.after_step(n)
                 if traces is not None:
                     traces[n] = u[rec]
+            if tracer is not None:
+                perf_workspace = solver.workspace_bytes()
         else:
             u, v, traces, world = run_distributed(
                 sem,
@@ -709,7 +741,10 @@ class Simulation:
                 receiver_dofs=rec,
                 u0=u0,
                 v0=v0,
+                tracer=tracer,
             )
+            if tracer is not None:
+                perf_workspace = getattr(tracer, "workspace", 0)
         run_seconds = time.perf_counter() - t1
 
         metadata = {
@@ -727,6 +762,12 @@ class Simulation:
         if world is not None:
             metadata["messages"] = int(world.sent_messages)
             metadata["comm_volume"] = int(world.sent_volume)
+        if tracer is not None:
+            metadata["perf"] = tracer.stats(
+                steps_per_second=n_cycles / max(run_seconds, 1e-12),
+                steps_measured=n_cycles,
+                workspace=perf_workspace,
+            ).as_dict()
         return SimulationResult(
             config=cfg,
             u=u,

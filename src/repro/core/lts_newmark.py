@@ -51,6 +51,7 @@ from repro.core.health import HealthGuard
 from repro.core.levels import LevelAssignment
 from repro.core.newmark import _checked_run
 from repro.core.operator import AssembledOperator, as_operator
+from repro.core.workspace import resolve_pooled, workspace_bytes
 from repro.util.errors import SolverError
 from repro.util.validation import check_positive, require
 
@@ -167,6 +168,14 @@ class LTSNewmarkSolver:
         second-order consistent for sources supported on coarse DOFs.
     counter:
         Optional :class:`OperationCounter` to fill while stepping.
+    pooled:
+        Workspace pooling for the optimized mode's stepping loop
+        (default on; ``REPRO_POOLED=0`` or ``pooled=False`` pins the
+        seed temporary-per-update path for A/B measurement).  All
+        active-set and full-vector updates then run through per-depth
+        scratch vectors allocated once here, with arithmetic bitwise
+        identical to the seed.  Reference mode is never pooled — it is
+        the deliberately literal transcription.
     """
 
     def __init__(
@@ -177,6 +186,7 @@ class LTSNewmarkSolver:
         mode: str = "optimized",
         force: Callable[[float], np.ndarray] | None = None,
         counter: OperationCounter | None = None,
+        pooled: bool | None = None,
     ):
         require(mode in ("optimized", "reference"), f"unknown mode {mode!r}", SolverError)
         self.mode = mode
@@ -240,6 +250,59 @@ class LTSNewmarkSolver:
                 np.nonzero(self._act_mask[i] & ~self._act_mask[i + 1])[0]
             )
 
+        # Pooled stepping scratch (optimized mode): everything the
+        # steady-state loop touches, allocated once.  One full-length
+        # stiffness buffer is shared across depths (its content is
+        # consumed before any deeper apply overwrites it); displacement
+        # copies, frozen-force accumulators, and active-set vectors are
+        # per recursion depth.
+        self.pooled = resolve_pooled(pooled) and self.mode == "optimized"
+        if self.pooled:
+            n_depths = len(self.active_levels)
+            self._zbuf = np.empty(n)
+            self._F1 = np.empty(n)
+            self._ub: dict[int, np.ndarray] = {}
+            self._F2: dict[int, np.ndarray] = {}
+            self._vact: dict[int, np.ndarray] = {}
+            self._r1: dict[int, np.ndarray] = {}
+            self._r2: dict[int, np.ndarray] = {}
+            self._d1: dict[int, np.ndarray] = {}
+            self._d2: dict[int, np.ndarray] = {}
+            for i in range(1, n_depths):
+                na = len(self._act[i - 1])
+                # Zero-filled, not np.empty: the depth buffers are only
+                # refreshed on their active rows per call, and a
+                # masked-subset gather may read (and zero via gmask) the
+                # inactive rows — which must hold finite values.
+                self._ub[i] = np.zeros(n)
+                self._vact[i] = np.empty(na)
+                self._r1[i] = np.empty(na)
+                self._r2[i] = np.empty(na)
+                if i < n_depths - 1:
+                    nd = len(self._diff[i - 1])
+                    self._F2[i] = np.zeros(n)
+                    self._d1[i] = np.empty(nd)
+                    self._d2[i] = np.empty(nd)
+            if n_depths > 1:
+                self._inact = np.nonzero(~self._act_mask[0])[0]
+                self._i1 = np.empty(len(self._inact))
+                self._i2 = np.empty(len(self._inact))
+
+    def workspace_bytes(self) -> int:
+        """Bytes of pooled stepping scratch (solver, operator, and
+        level restrictions)."""
+        total = workspace_bytes(self.op)
+        total += sum(int(r.workspace_bytes) for r in self._restr.values())
+        if self.pooled:
+            pools = [self._zbuf, self._F1]
+            for d in (self._ub, self._F2, self._vact, self._r1, self._r2,
+                      self._d1, self._d2):
+                pools.extend(d.values())
+            if len(self.active_levels) > 1:
+                pools.extend([self._inact, self._i1, self._i2])
+            total += sum(b.nbytes for b in pools)
+        return total
+
     # ------------------------------------------------------------------
     def _apply_level(self, k: int, u: np.ndarray) -> np.ndarray:
         """``A P_k u`` — full-length result.
@@ -264,6 +327,14 @@ class LTSNewmarkSolver:
     def _count_vec(self, n: int) -> None:
         if self.counter is not None:
             self.counter.count_vector(n)
+
+    def _apply_level_into(self, k: int, u: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Pooled ``A P_k u``: the restricted apply written into ``out``."""
+        restr = self._restr[k]
+        z = restr.apply(u, out=out)
+        if self.counter is not None:
+            self.counter.count_stiffness(k, restr.ops)
+        return z
 
     # ------------------------------------------------------------------
     def _advance(self, i: int, u0: np.ndarray, F: np.ndarray, n_steps: int) -> np.ndarray:
@@ -342,6 +413,88 @@ class LTSNewmarkSolver:
         return u
 
     # ------------------------------------------------------------------
+    def _advance_pooled(self, i: int, u0: np.ndarray, F: np.ndarray,
+                        n_steps: int) -> np.ndarray:
+        """Pooled optimized :meth:`_advance`: identical arithmetic (take
+        / in-place ufunc / scatter-assign decompositions of the seed's
+        fancy-indexed axpys — bitwise equal), zero per-substep
+        allocations.  Returns the depth's persistent displacement
+        buffer; the caller consumes it before the next child call
+        overwrites it."""
+        lv = self.active_levels[i]
+        dt_k = self.dt / float(2 ** (lv - 1))
+        last = i == len(self.active_levels) - 1
+        act = self._act[i - 1]
+        v = self._vact[i]
+        r1, r2 = self._r1[i], self._r2[i]
+        z = self._zbuf
+        # Refresh only the active rows of this depth's displacement
+        # buffer — everything the auxiliary system below reads or
+        # writes lives in ``act`` (inactive rows are gathered only
+        # through a zero gmask, so their stale-but-finite values cannot
+        # contribute).  This keeps the per-substep cost proportional to
+        # the active set, the Sec. II-C discipline.
+        u = self._ub[i]
+        u0.take(act, out=r1, mode="clip")
+        u[act] = r1
+
+        if last:
+            for s in range(n_steps):
+                self._apply_level_into(lv, u, z)
+                F.take(act, out=r1, mode="clip")
+                z.take(act, out=r2, mode="clip")
+                r1 += r2  # rhs = F[act] + z[act]
+                if s == 0:
+                    np.multiply(r1, -(0.5 * dt_k), out=v)
+                else:
+                    r1 *= dt_k
+                    v -= r1
+                np.multiply(v, dt_k, out=r2)
+                u.take(act, out=r1, mode="clip")
+                r1 += r2
+                u[act] = r1  # u[act] += dt_k * v
+                self._count_vec(4 * len(act))
+            return u
+
+        ratio = 2 ** (self.active_levels[i + 1] - lv)
+        diff = self._diff[i - 1]
+        d1, d2 = self._d1[i], self._d2[i]
+        F2 = self._F2[i]
+        for m in range(n_steps):
+            self._apply_level_into(lv, u, z)
+            # Frozen forcing for the child, on the active rows only —
+            # the only rows read below (child act sets are nested inside
+            # this depth's, ``diff`` is a subset of ``act``).  ``z`` is
+            # consumed before the child reuses the shared buffer.
+            F.take(act, out=r1, mode="clip")
+            z.take(act, out=r2, mode="clip")
+            r1 += r2
+            F2[act] = r1
+            u_fine = self._advance_pooled(i + 1, u, F2, ratio)
+            # Closed-form complement: constant-force leap-frog is
+            # exactly quadratic over the child's whole span dt_k.
+            F2.take(diff, out=d1, mode="clip")
+            d1 *= 0.5 * dt_k * dt_k
+            u.take(diff, out=d2, mode="clip")
+            d2 -= d1
+            u_fine[diff] = d2
+            u_fine.take(act, out=r1, mode="clip")
+            u.take(act, out=r2, mode="clip")
+            r1 -= r2
+            r1 /= dt_k  # recon = (u_fine[act] - u[act]) / dt_k
+            if m == 0:
+                v[:] = r1
+            else:
+                r1 *= 2.0
+                v += r1
+            np.multiply(v, dt_k, out=r1)
+            u.take(act, out=r2, mode="clip")
+            r2 += r1
+            u[act] = r2  # u[act] += dt_k * v
+            self._count_vec(6 * len(act) + 2 * len(diff))
+        return u
+
+    # ------------------------------------------------------------------
     def step(self, u: np.ndarray, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """One LTS cycle: advance ``(u^n, v^{n-1/2})`` by the coarse ``dt``."""
         n = self.n_dof
@@ -349,12 +502,43 @@ class LTSNewmarkSolver:
 
         if len(self.active_levels) == 1:
             # Degenerate single-level mesh: LTS *is* explicit Newmark.
-            accel = -(self._apply_level(self.active_levels[0], u))
-            if self.force is not None:
-                accel += self.force(self.t)
-            v += self.dt * accel
-            u += self.dt * v
+            if self.pooled:
+                z = self._zbuf
+                self._apply_level_into(self.active_levels[0], u, z)
+                np.negative(z, out=z)
+                if self.force is not None:
+                    z += self.force(self.t)
+                z *= self.dt
+                v += z
+                np.multiply(v, self.dt, out=z)
+                u += z
+            else:
+                accel = -(self._apply_level(self.active_levels[0], u))
+                if self.force is not None:
+                    accel += self.force(self.t)
+                v += self.dt * accel
+                u += self.dt * v
             self._count_vec(4 * n)
+        elif self.pooled:
+            F1 = self._F1
+            self._apply_level_into(self.active_levels[0], u, F1)
+            if self.force is not None:
+                np.subtract(F1, self.force(self.t), out=F1)
+            n_sub = 2 ** (self.active_levels[1] - 1)
+            u_t = self._advance_pooled(1, u, F1, n_sub)
+            inact = self._inact
+            F1.take(inact, out=self._i1, mode="clip")
+            self._i1 *= 0.5 * self.dt * self.dt
+            u.take(inact, out=self._i2, mode="clip")
+            self._i2 -= self._i1
+            u_t[inact] = self._i2
+            z = self._zbuf
+            np.subtract(u_t, u, out=z)
+            z *= 2.0 / self.dt
+            v += z  # v += (2/dt) (u_t - u)
+            np.multiply(v, self.dt, out=z)
+            u += z
+            self._count_vec(6 * n)
         else:
             F1 = self._apply_level(self.active_levels[0], u)
             if self.force is not None:

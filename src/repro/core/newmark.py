@@ -17,6 +17,7 @@ from typing import Callable
 import numpy as np
 
 from repro.core.health import HealthGuard
+from repro.core.workspace import make_apply_into, workspace_bytes
 from repro.util.errors import SolverError
 from repro.util.validation import check_positive, require
 
@@ -81,17 +82,36 @@ class NewmarkSolver:
         self.force = force
         self.t = 0.0
         self.n_steps_taken = 0
+        self._apply_into = make_apply_into(A)
+        self._z: np.ndarray | None = None  # step scratch, sized on first use
 
     def step(self, u: np.ndarray, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Advance ``(u^n, v^{n-1/2})`` to ``(u^{n+1}, v^{n+1/2})`` in place."""
-        accel = -(self.A @ u)
+        """Advance ``(u^n, v^{n-1/2})`` to ``(u^{n+1}, v^{n+1/2})`` in place.
+
+        All updates run through one preallocated scratch vector with
+        ``out=`` ufunc forms — bitwise identical to the seed's
+        temporary-per-axpy arithmetic, without the per-step allocations.
+        """
+        z = self._z
+        if z is None or z.shape != u.shape:
+            z = self._z = np.empty_like(u, dtype=np.float64)
+        self._apply_into(u, z)
         if self.force is not None:
-            accel = accel + self.force(self.t)
-        v += self.dt * accel
-        u += self.dt * v
+            np.subtract(self.force(self.t), z, out=z)
+        else:
+            np.negative(z, out=z)
+        z *= self.dt
+        v += z
+        np.multiply(v, self.dt, out=z)
+        u += z
         self.t += self.dt
         self.n_steps_taken += 1
         return u, v
+
+    def workspace_bytes(self) -> int:
+        """Bytes of pooled stepping scratch (solver plus operator)."""
+        own = 0 if self._z is None else self._z.nbytes
+        return own + workspace_bytes(self.A)
 
     # -- checkpoint/restart hooks ----------------------------------------
     def state(self) -> dict:

@@ -39,6 +39,7 @@ from typing import Callable, Protocol, runtime_checkable
 import numpy as np
 import scipy.sparse as sp
 
+from repro.core.workspace import csr_matvec_into
 from repro.util.errors import SolverError
 from repro.util.validation import require
 
@@ -107,11 +108,15 @@ class Restriction:
 
     cols: np.ndarray
     ops: int
-    _apply: Callable[[np.ndarray], np.ndarray]
+    _apply: Callable[..., np.ndarray]
+    workspace_bytes: int = 0
 
-    def apply(self, u: np.ndarray) -> np.ndarray:
-        """Full-length ``A[:, cols] @ u[cols]`` (reads only ``u[cols]``)."""
-        return self._apply(u)
+    def apply(self, u: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Full-length ``A[:, cols] @ u[cols]`` (reads only ``u[cols]``).
+
+        With ``out=`` the result is written into the caller's buffer and
+        no new vector is allocated (the workspace contract)."""
+        return self._apply(u, out=out)
 
 
 @runtime_checkable
@@ -132,7 +137,10 @@ class StiffnessOperator(Protocol):
 
     def __matmul__(self, u: np.ndarray) -> np.ndarray: ...
 
-    def apply(self, u: np.ndarray) -> np.ndarray: ...
+    def apply(self, u: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """``A @ u``; with ``out=`` the result lands in the caller's
+        buffer and the apply stays allocation-free."""
+        ...
 
     def restrict(self, cols: np.ndarray) -> Restriction: ...
 
@@ -171,8 +179,15 @@ class AssembledOperator:
     def __matmul__(self, u: np.ndarray) -> np.ndarray:
         return self.A @ u
 
-    def apply(self, u: np.ndarray) -> np.ndarray:
-        return self.A @ u
+    def apply(self, u: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        if out is None:
+            return self.A @ u
+        return csr_matvec_into(self.A, u, out)
+
+    def workspace_bytes(self) -> int:
+        """Pooled scratch held by the operator itself (restriction
+        gather buffers are owned by their :class:`Restriction`)."""
+        return 0
 
     def apply_on(self, cols: np.ndarray, u: np.ndarray) -> np.ndarray:
         """One-shot ``A[:, cols] @ u[cols]`` (uncached convenience)."""
@@ -181,7 +196,17 @@ class AssembledOperator:
     def restrict(self, cols: np.ndarray) -> Restriction:
         cols = np.asarray(cols, dtype=np.int64)
         A_cols = self._A_csc[:, cols].tocsr()
-        return Restriction(cols=cols, ops=A_cols.nnz, _apply=lambda u: A_cols @ u[cols])
+        ucols = np.empty(len(cols))
+
+        def _apply(u: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+            if out is None:
+                return A_cols @ u[cols]
+            u.take(cols, out=ucols, mode="clip")
+            return csr_matvec_into(A_cols, ucols, out)
+
+        return Restriction(
+            cols=cols, ops=A_cols.nnz, _apply=_apply, workspace_bytes=ucols.nbytes
+        )
 
     def reach(self, col_mask: np.ndarray) -> np.ndarray:
         """Rows with a stored entry in any masked column.

@@ -32,8 +32,9 @@ from typing import Callable
 import numpy as np
 
 from repro.core.health import HealthGuard
+from repro.core.workspace import make_apply_into
 from repro.runtime.comm import MailboxWorld, RankComm
-from repro.runtime.halo import RankLayout
+from repro.runtime.halo import ExchangePlan, RankLayout
 from repro.util.errors import CommError, SolverError
 from repro.util.validation import check_positive, require
 
@@ -52,6 +53,31 @@ class _DistributedBase:
         self.comms: list[RankComm] = self.world.comms()
         self.t = 0.0
         self.n_cycles_taken = 0
+        # Pooled hot-path state: the full-operator exchange plan, one
+        # persistent apply output per rank, and in-place appliers for the
+        # rank-local stiffness (built lazily on first use).
+        self._plan_full: ExchangePlan | None = None
+        self._zl: list[np.ndarray] = [
+            np.empty(len(g)) for g in layout.gdofs
+        ]
+        self._apply_into_local = [make_apply_into(K) for K in layout.K_local]
+
+    def _full_plan(self) -> ExchangePlan:
+        if self._plan_full is None:
+            self._plan_full = self.layout.exchange_plan()
+        return self._plan_full
+
+    def workspace_bytes(self) -> int:
+        """Bytes of persistent hot-path scratch (apply outputs, exchange
+        pack/accumulate buffers, per-level plans where present)."""
+        total = sum(z.nbytes for z in self._zl)
+        if self._plan_full is not None:
+            total += self._plan_full.workspace_bytes()
+        for plan in getattr(self, "_plans", {}).values():
+            total += plan.workspace_bytes()
+        for attr in ("_uml", "_F1l"):
+            total += sum(b.nbytes for b in getattr(self, attr, ()))
+        return int(total)
 
     # -- checkpoint/restart hooks ----------------------------------------
     def state(self) -> dict:
@@ -122,27 +148,55 @@ class _DistributedBase:
         return self.layout.gather(u_locals), self.layout.gather(v_locals)
 
     # -- collectives -----------------------------------------------------
-    def _exchange_sum(self, z_locals: list[np.ndarray], tag: int = 0) -> None:
+    def _exchange_sum(
+        self,
+        z_locals: list[np.ndarray],
+        tag: int = 0,
+        plan: ExchangePlan | None = None,
+    ) -> None:
         """Sum shared-DOF entries across ranks, in place.
 
         Two BSP supersteps: all ranks send their partial boundary values,
         then all ranks receive and accumulate.  Receives accumulate in
         ascending peer order so the result is deterministic.
+
+        Packing and accumulation run through the ``plan``'s persistent
+        per-channel buffers (``Send`` copies, so the staging buffer is
+        immediately reusable); channels the plan dropped as structurally
+        zero are skipped symmetrically — neither side sends, so no
+        zero-length messages are ever queued and ``check_no_leaks()``
+        still holds.  ``plan=None`` uses the cached full-operator plan.
         """
-        lay = self.layout
-        for r in range(lay.n_ranks):
-            h = lay.halo[r]
-            for peer, idx in zip(h.peers, h.local_indices):
-                self.comms[r].Send(z_locals[r][idx], peer, tag)
-        for r in range(lay.n_ranks):
-            h = lay.halo[r]
-            for peer, idx in zip(h.peers, h.local_indices):
-                z_locals[r][idx] += self.comms[r].recv(peer, tag)
+        if plan is None:
+            plan = self._full_plan()
+        for r in range(plan.n_ranks):
+            z = z_locals[r]
+            send = self.comms[r].Send
+            for peer, idx, buf in zip(
+                plan.peers[r], plan.indices[r], plan.send_bufs[r]
+            ):
+                z.take(idx, out=buf, mode="clip")
+                send(buf, peer, tag)
+        for r in range(plan.n_ranks):
+            z = z_locals[r]
+            recv = self.comms[r].recv
+            for peer, idx, acc in zip(
+                plan.peers[r], plan.indices[r], plan.acc_bufs[r]
+            ):
+                z.take(idx, out=acc, mode="clip")
+                acc += recv(peer, tag)
+                z[idx] = acc
 
     def _apply_A(self, u_locals: list[np.ndarray]) -> list[np.ndarray]:
-        """Global ``A u = M^{-1} K u`` on consistent local vectors."""
+        """Global ``A u = M^{-1} K u`` on consistent local vectors.
+
+        Writes into the persistent per-rank outputs ``self._zl`` — the
+        returned list is reused by the next apply, so callers must
+        consume it before re-entering."""
         lay = self.layout
-        z = [lay.K_local[r] @ u_locals[r] for r in range(lay.n_ranks)]
+        z = self._zl
+        for r in range(lay.n_ranks):
+            self._apply_into_local[r](u_locals[r], z[r])
         self._exchange_sum(z)
         for r in range(lay.n_ranks):
             z[r] /= lay.M_local[r]
@@ -240,17 +294,53 @@ class DistributedLTSSolver(_DistributedBase):
                 )
             else:
                 self._K_level.append(None)
+        self._K_level_into = [
+            None if d is None else {k: make_apply_into(d[k]) for k in d}
+            for d in self._K_level
+        ]
+        # Per-level exchange plans: channel positions outside every
+        # sharer's structural row support carry only zeros, so each
+        # level's plan keeps just the reachable slice (and drops
+        # untouched channels outright).  Message volume then scales with
+        # the level footprint instead of the full interface.
+        self._plans: dict[int, ExchangePlan] = {
+            k: layout.exchange_plan(supports=self._level_supports(k))
+            for k in self.active_levels
+        }
+        self._uml = [np.empty(len(g)) for g in layout.gdofs]  # mask scratch
+        self._F1l = [np.empty(len(g)) for g in layout.gdofs]
+
+    def _level_supports(self, k: int) -> list[np.ndarray]:
+        """Per-rank boolean masks of rows level ``k``'s restricted
+        stiffness can write (elements of the level plus gray halo)."""
+        supports = []
+        for r in range(self.layout.n_ranks):
+            if self._K_level[r] is not None:
+                supports.append(self._K_level[r][k].row_support())
+            else:
+                K = self.layout.K_local[r]
+                cols = np.nonzero(self._masks[r][k])[0]
+                mask = np.zeros(K.shape[0], dtype=bool)
+                if len(cols):
+                    mask[np.unique(K.tocsc()[:, cols].indices)] = True
+                supports.append(mask)
+        return supports
 
     # -- level-restricted stiffness application ---------------------------
     def _apply_level(self, k: int, u_locals: list[np.ndarray]) -> list[np.ndarray]:
+        """Level-``k`` ``A`` application into the persistent per-rank
+        outputs ``self._zl`` (consumed by callers before the next
+        apply), exchanged through the level's coalesced plan."""
         lay = self.layout
-        z = []
+        z = self._zl
         for r in range(lay.n_ranks):
-            if self._K_level[r] is not None:
-                z.append(self._K_level[r][k] @ u_locals[r])
+            if self._K_level_into[r] is not None:
+                self._K_level_into[r][k](u_locals[r], z[r])
             else:
-                z.append(lay.K_local[r] @ (u_locals[r] * self._masks[r][k]))
-        self._exchange_sum(z)
+                um = self._uml[r]
+                np.multiply(u_locals[r], self._masks[r][k], out=um)
+                self._apply_into_local[r](um, z[r])
+        self._exchange_sum(z, plan=self._plans[k])
         for r in range(lay.n_ranks):
             z[r] /= lay.M_local[r]
         return z
@@ -309,10 +399,16 @@ class DistributedLTSSolver(_DistributedBase):
                 v_locals[r] += self.dt * accel
                 u_locals[r] += self.dt * v_locals[r]
         else:
-            F1 = self._apply_level(self.active_levels[0], u_locals)
+            z = self._apply_level(self.active_levels[0], u_locals)
+            # Copy out of the shared apply output: the recursion below
+            # re-enters _apply_level, which would overwrite it.
+            F1 = self._F1l
+            for r in range(lay.n_ranks):
+                F1[r][:] = z[r]
             if self.force is not None:
                 f_locals = lay.scatter(self.force(self.t))
-                F1 = [F1[r] - f_locals[r] for r in range(lay.n_ranks)]
+                for r in range(lay.n_ranks):
+                    F1[r] -= f_locals[r]
             n_sub = 2 ** (self.active_levels[1] - 1)
             u_t = self._advance(1, u_locals, F1, n_sub)
             for r in range(lay.n_ranks):

@@ -48,6 +48,56 @@ class HaloExchange:
 
 
 @dataclass
+class ExchangePlan:
+    """Precomputed, buffer-pooled halo exchange over all ranks.
+
+    For every (rank, peer) channel the plan stores the pack/unpack local
+    index array plus two persistent buffers (send payload staging and
+    receive accumulation), so one exchange performs zero allocations:
+    pack with ``np.take(z, idx, out=send_buf)``, unpack with
+    ``np.take(z, idx, out=acc); acc += msg; z[idx] = acc``.
+
+    Channels may be *filtered* by per-rank structural row supports (the
+    level-restricted operators' reachable rows): a shared-DOF position is
+    kept only if at least one side can contribute a nonzero there.  Both
+    channel directions order shared DOFs by global id, so the two sides
+    derive identical keep-masks and message lengths always agree.
+    Channels whose keep-mask is empty are dropped from *both* sides —
+    no message is sent at all, which is what lets per-level exchange
+    volume shrink with the level's footprint while
+    ``check_no_leaks()`` still holds.
+    """
+
+    peers: list[list[int]]  # per rank, peer ids with a non-empty channel
+    indices: list[list[np.ndarray]]  # per rank, aligned pack/unpack indices
+    send_bufs: list[list[np.ndarray]]
+    acc_bufs: list[list[np.ndarray]]
+
+    @property
+    def n_ranks(self) -> int:
+        return len(self.peers)
+
+    def messages_per_exchange(self) -> int:
+        """Point-to-point messages one exchange sends (skipped channels
+        excluded)."""
+        return int(sum(len(p) for p in self.peers))
+
+    def total_doubles(self) -> int:
+        """Total doubles moved per exchange, all channels, one direction."""
+        return int(sum(len(ix) for per_rank in self.indices for ix in per_rank))
+
+    def workspace_bytes(self) -> int:
+        """Bytes held in persistent pack/accumulate buffers."""
+        return int(
+            sum(
+                b.nbytes
+                for per_rank in (*self.send_bufs, *self.acc_bufs)
+                for b in per_rank
+            )
+        )
+
+
+@dataclass
 class RankLayout:
     """Everything the distributed solvers need, per rank.
 
@@ -91,6 +141,58 @@ class RankLayout:
             own = self.owner[r]
             out[self.gdofs[r][own]] = u_locals[r][own]
         return out
+
+    def exchange_plan(
+        self, supports: list[np.ndarray] | None = None
+    ) -> ExchangePlan:
+        """Build a pooled :class:`ExchangePlan` over the halo channels.
+
+        ``supports`` optionally gives, per rank, a boolean mask over
+        local DOFs of the rows the rank's (possibly level-restricted)
+        stiffness can structurally write.  Shared-DOF positions where
+        *neither* side's support reaches are dropped — their exchanged
+        values are structural zeros — and channels left empty disappear
+        entirely (no message in either direction).  With ``supports=None``
+        every channel is kept whole (the full-operator plan).
+        """
+        require(
+            supports is None or len(supports) == self.n_ranks,
+            "supports must give one mask per rank",
+            PartitionError,
+        )
+        peers: list[list[int]] = []
+        indices: list[list[np.ndarray]] = []
+        send_bufs: list[list[np.ndarray]] = []
+        acc_bufs: list[list[np.ndarray]] = []
+        for r in range(self.n_ranks):
+            h = self.halo[r]
+            pr: list[int] = []
+            ir: list[np.ndarray] = []
+            sr: list[np.ndarray] = []
+            ar: list[np.ndarray] = []
+            for peer, idx in zip(h.peers, h.local_indices):
+                if supports is not None:
+                    # Position j of the r->peer channel and of the
+                    # peer->r channel name the same global DOF (both are
+                    # sorted by global id), so this keep-mask is computed
+                    # identically on both sides.
+                    hp = self.halo[peer]
+                    idx_peer = hp.local_indices[hp.peers.index(r)]
+                    keep = supports[r][idx] | supports[peer][idx_peer]
+                    if not keep.any():
+                        continue
+                    idx = idx[keep]
+                pr.append(peer)
+                ir.append(np.ascontiguousarray(idx, dtype=np.int64))
+                sr.append(np.empty(len(idx)))
+                ar.append(np.empty(len(idx)))
+            peers.append(pr)
+            indices.append(ir)
+            send_bufs.append(sr)
+            acc_bufs.append(ar)
+        return ExchangePlan(
+            peers=peers, indices=indices, send_bufs=send_bufs, acc_bufs=acc_bufs
+        )
 
 
 def _rank_stiffness_assembled(assembler, owned, local_dofs, n_local) -> sp.csr_matrix:

@@ -882,8 +882,19 @@ class _FusedPlan:
     def _coef_args(self) -> tuple:
         raise NotImplementedError
 
-    def __call__(self, u: np.ndarray) -> np.ndarray:
-        z = np.empty(self.n_dof)
+    def __call__(self, u: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        # The C kernel writes z directly; a caller-supplied contiguous
+        # float64 buffer is used as-is (allocation-free hot path), and
+        # the persistent per-thread partials _zt are reused every call.
+        if (
+            out is not None
+            and out.flags.c_contiguous
+            and out.dtype == np.float64
+            and out.shape == (self.n_dof,)
+        ):
+            z = out
+        else:
+            z = np.empty(self.n_dof)
         u = np.ascontiguousarray(u, dtype=np.float64)
         self._fn(
             ctypes.c_long(self._ne),
@@ -894,6 +905,9 @@ class _FusedPlan:
             _pd(self._gmask), _pd(self._Minv), _pd(z),
             ctypes.c_int(self.threads), _pd(self._zt),
         )
+        if out is not None and z is not out:
+            out[:] = z
+            return out
         return z
 
 

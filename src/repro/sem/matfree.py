@@ -57,11 +57,13 @@ meaningful — see :mod:`repro.core.operator`.
 from __future__ import annotations
 
 import os
+import weakref
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
 from repro.core.operator import KernelSpec, Restriction
+from repro.core.workspace import Workspace, resolve_pooled
 from repro.sem import fused
 from repro.sem.gll import gll_points_weights, lagrange_derivative_matrix
 from repro.util.errors import SolverError
@@ -145,6 +147,117 @@ def _fused_plan(kernel, element_dofs, n_dof, gmask=None, Minv=None, enabled=None
 
 
 # ----------------------------------------------------------------------
+# Pooled contraction helpers
+# ----------------------------------------------------------------------
+def _kbuf(ws: Workspace, name: str, shape: tuple) -> np.ndarray:
+    """Workspace buffer keyed by name *and* shape, so a kernel called
+    with an unusual batch size (tests, one-off applies) gets its own
+    buffer instead of tripping the pool's fixed-shape guard.  The key
+    is a plain ``(name, shape)`` tuple — hashing it is the only
+    per-call cost, no string formatting on the hot path."""
+    return ws.buf((name, shape), shape)
+
+
+def _contract_axis(U: np.ndarray, A: np.ndarray, At: np.ndarray, axis: int,
+                   dim: int, out: np.ndarray) -> np.ndarray:
+    """``out[..., i, ...] = sum_t A[i, t] U[..., t, ...]`` along spatial
+    ``axis`` of the batched tensor ``U`` (leading axes are batch), as one
+    ``matmul`` with ``out=``.
+
+    Only *trailing* axes are ever merged by the reshapes, so strided
+    batch views (a component slice of a gradient stack) stay views —
+    nothing is copied and the write lands in the caller's buffer.
+    ``At`` is the contiguous transpose of ``A`` (used for the last
+    axis, where the contraction runs over columns).
+
+    For the last axis with fully C-contiguous operands, *all* leading
+    axes merge and the whole batch collapses into a single large GEMM —
+    one BLAS call instead of one small ``matmul`` per element, the
+    dominant cost of the batched contraction.  Strided views fall back
+    to the batched form (where the reshape would silently copy and the
+    write would be lost).
+    """
+    if axis == dim - 1:
+        n1 = A.shape[0]
+        if U.flags.c_contiguous and out.flags.c_contiguous:
+            np.matmul(U.reshape(-1, n1), At, out=out.reshape(-1, n1))
+        else:
+            np.matmul(U, At, out=out)
+    else:
+        nbatch = U.ndim - dim
+        shape = U.shape[: nbatch + axis + 1] + (-1,)
+        np.matmul(A, U.reshape(shape), out=out.reshape(shape))
+    return out
+
+
+try:  # scipy's private sparse kernels; guarded so the pooled path
+    from scipy.sparse import _sparsetools as _sptools  # degrades, not breaks
+except ImportError:  # pragma: no cover - scipy internals moved
+    _sptools = None
+
+
+class _ScatterPlan:
+    """Precomputed allocation-free scatter: an exact replacement for
+    per-apply ``np.bincount``.
+
+    Views the assembly scatter as the one-hot matrix whose column ``j``
+    holds a single unit entry at row ``element_dofs.ravel()[j]`` and
+    applies it with scipy's ``csc_matvec`` kernel: the kernel's
+    column-major accumulation loop is then *exactly* bincount's loop —
+    one pass over the flat element values in appearance order,
+    ``out[dof[j]] += 1.0 * v[j]`` — bitwise equal to the seed path with
+    no temporary and no per-row scan of the dof space (which is what
+    makes it beat a CSR formulation: a fine LTS level touches a sliver
+    of the dofs but a row scan would still walk all of them).
+
+    ``coeff`` (a per-dof vector, typically ``M^{-1}``) folds a
+    subsequent elementwise multiply into the accumulation
+    coefficients — one fewer full-vector pass per apply.  The multiply
+    distributes into the sum (``sum(c v_j)`` vs ``c sum(v_j)``), so
+    with ``coeff`` the result is within 1 ulp per accumulation of the
+    seed's separate multiply rather than bitwise identical.
+    """
+
+    def __init__(
+        self,
+        element_dofs: np.ndarray,
+        n_dof: int,
+        coeff: np.ndarray | None = None,
+    ):
+        flat = np.ascontiguousarray(
+            np.asarray(element_dofs, dtype=np.int64).ravel()
+        )
+        self.n_dof = int(n_dof)
+        self._flat = flat
+        self._colptr = np.arange(flat.size + 1, dtype=np.int64)
+        self.folds_coeff = coeff is not None and _sptools is not None
+        self._data = (
+            np.ascontiguousarray(coeff[flat])
+            if self.folds_coeff
+            else np.ones(flat.size)
+        )
+
+    def scatter(self, values_flat: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """``out[:] = bincount(dofs, weights=values_flat)`` (times the
+        folded ``coeff``, when given), pooled."""
+        if _sptools is None:  # pragma: no cover - scipy internals moved
+            out[:] = np.bincount(
+                self._flat, weights=values_flat, minlength=self.n_dof
+            )
+            return out
+        out[:] = 0.0
+        _sptools.csc_matvec(
+            self.n_dof, self._flat.size, self._colptr, self._flat,
+            self._data, values_flat, out,
+        )
+        return out
+
+    @property
+    def nbytes(self) -> int:
+        return int(self._flat.nbytes + self._colptr.nbytes + self._data.nbytes)
+
+
+# ----------------------------------------------------------------------
 # Physics kernels: batched element contraction
 # ----------------------------------------------------------------------
 class AcousticKernelND:
@@ -171,6 +284,8 @@ class AcousticKernelND:
         _, w = gll_points_weights(self.order)
         D = lagrange_derivative_matrix(self.order)
         self.KxX = (D.T * w) @ D
+        self._KxT = np.ascontiguousarray(self.KxX.T)
+        self._ws = Workspace()
         # Scale planes: plane ``a`` carries scale[e, a] times the tensor
         # weights of every axis but ``a`` (broadcast size 1 along ``a``).
         self._wplanes: list[np.ndarray] = []
@@ -182,6 +297,10 @@ class AcousticKernelND:
                 shape[b] = len(axis_w)
                 plane = plane * axis_w.reshape(shape)
             self._wplanes.append(scales[:, a].reshape((-1,) + (1,) * self.dim) * plane[None])
+        # Contiguous copies of the weight planes, materialized lazily by
+        # the pooled path (broadcast multiplies with a size-1 middle
+        # axis defeat SIMD and run 2-4x slower than dense ones).
+        self._wfull: list[np.ndarray] | None = None
 
     @property
     def flops_per_element(self) -> int:
@@ -197,8 +316,63 @@ class AcousticKernelND:
     def subset(self, ids: np.ndarray) -> "AcousticKernelND":
         return type(self)._from_scales(self.order, self.scales[ids])
 
-    def contract(self, Ue: np.ndarray) -> np.ndarray:
-        """Apply all element stiffnesses: ``(ne, n_loc) -> (ne, n_loc)``."""
+    @property
+    def workspace_nbytes(self) -> int:
+        """Bytes of pooled contraction scratch built so far."""
+        total = self._ws.nbytes
+        if self._wfull is not None and self._wfull[0] is not self._wplanes[0]:
+            total += sum(p.nbytes for p in self._wfull)
+        return total
+
+    def _pooled_planes(self) -> list[np.ndarray]:
+        """Weight planes for the pooled contraction: dense contiguous
+        copies when affordable (a broadcast multiply with a size-1
+        inner axis defeats SIMD and runs 2-4x slower; the values are
+        identical, so the result stays bitwise equal to the seed),
+        falling back to the broadcast originals beyond ~32 MB."""
+        if self._wfull is None:
+            ne = self.scales.shape[0]
+            if self.dim * ne * self.n1**self.dim <= 4_000_000:
+                full = (ne,) + (self.n1,) * self.dim
+                self._wfull = [
+                    np.ascontiguousarray(np.broadcast_to(p, full))
+                    for p in self._wplanes
+                ]
+            else:
+                self._wfull = self._wplanes
+        return self._wfull
+
+    def contract(self, Ue: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Apply all element stiffnesses: ``(ne, n_loc) -> (ne, n_loc)``.
+
+        Pooled path: one batched ``matmul`` per axis through a cached
+        scratch tensor, accumulated into ``out`` (allocated only when
+        not supplied).  :meth:`contract_ref` keeps the seed
+        ``tensordot`` path for A/B comparison.
+        """
+        if out is None:
+            out = np.empty_like(Ue)
+        n1, dim = self.n1, self.dim
+        ne = Ue.shape[0]
+        tshape = (ne,) + (n1,) * dim
+        U = Ue.reshape(tshape)
+        O = out.reshape(tshape)
+        t = _kbuf(self._ws, "ac.t", tshape)
+        w = self._pooled_planes()
+        # Axis 0 contracts straight into the output (then scales in
+        # place) — one full copy pass fewer than contract-to-scratch;
+        # identical arithmetic, so still bitwise equal to the seed.
+        _contract_axis(U, self.KxX, self._KxT, 0, dim, O)
+        O *= w[0]
+        for a in range(1, dim):
+            _contract_axis(U, self.KxX, self._KxT, a, dim, t)
+            t *= w[a]
+            O += t
+        return out
+
+    def contract_ref(self, Ue: np.ndarray) -> np.ndarray:
+        """Seed (allocating ``tensordot``) contraction — the reference
+        the pooled path is validated against."""
         n1, dim = self.n1, self.dim
         U = Ue.reshape((-1,) + (n1,) * dim)
         out = None
@@ -246,9 +420,8 @@ class AcousticKernel3D(AcousticKernelND):
         scales = np.atleast_2d(np.asarray(scales, dtype=np.float64))
         require(scales.shape[1] == 3, "AcousticKernel3D needs 3 axis scales", SolverError)
         super().__init__(order, scales)
-        self._KxT = np.ascontiguousarray(self.KxX.T)
 
-    def contract(self, Ue: np.ndarray) -> np.ndarray:
+    def contract_ref(self, Ue: np.ndarray) -> np.ndarray:
         n1 = self.n1
         ne = Ue.shape[0]
         U = Ue.reshape(ne, n1, n1, n1)
@@ -291,6 +464,9 @@ class ElasticKernelND:
         self.KxX = (D.T * w) @ D
         self.E = D.T * w  # E[i, a] = D[a, i] w[a]
         self.F = w[:, None] * D
+        self._Et = np.ascontiguousarray(self.E.T)
+        self._Ft = np.ascontiguousarray(self.F.T)
+        self._ws = Workspace()
 
         # Diagonal blocks: per-component acoustic contractions whose
         # per-axis scales fold material and geometry together.
@@ -364,13 +540,63 @@ class ElasticKernelND:
         t2 = self._axis_apply(self._axis_apply(U, self.E, d), self.F, c)
         return (lg * t1 + mg * t2) * wp
 
-    def contract(self, Ue: np.ndarray) -> np.ndarray:
+    def _pair_into(self, U, c: int, d: int, lg, mg, wp, ta, tb, tc, acc) -> None:
+        """Pooled :meth:`_pair`, accumulated onto ``acc`` through three
+        caller scratch tensors (same accumulation order as the seed)."""
+        dim = self.dim
+        _contract_axis(U, self.F, self._Ft, d, dim, ta)
+        _contract_axis(ta, self.E, self._Et, c, dim, tb)
+        _contract_axis(U, self.E, self._Et, d, dim, ta)
+        _contract_axis(ta, self.F, self._Ft, c, dim, tc)
+        tb *= lg
+        tc *= mg
+        tb += tc
+        tb *= wp
+        acc += tb
+
+    @property
+    def workspace_nbytes(self) -> int:
+        """Bytes of pooled contraction scratch built so far (own pool
+        plus the per-component diagonal kernels')."""
+        return self._ws.nbytes + sum(k.workspace_nbytes for k in self._diag)
+
+    def contract(self, Ue: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Pooled contraction: contiguous per-component gathers, batched
+        ``matmul`` blocks, everything through cached scratch tensors.
+        :meth:`contract_ref` keeps the seed allocating path."""
+        if out is None:
+            out = np.empty_like(Ue)
+        n1, dim, nc = self.n1, self.dim, self.n_comp
+        ne = Ue.shape[0]
+        tshape = (ne,) + (n1,) * dim
+        ws = self._ws
+        U = [_kbuf(ws, f"el.u{c}", tshape) for c in range(nc)]
+        O = [_kbuf(ws, f"el.o{c}", tshape) for c in range(nc)]
+        for c in range(nc):
+            U[c].reshape(ne, -1)[:] = Ue[:, c::nc]
+            self._diag[c].contract(
+                U[c].reshape(ne, -1), out=O[c].reshape(ne, -1)
+            )
+        ta = _kbuf(ws, "el.ta", tshape)
+        tb = _kbuf(ws, "el.tb", tshape)
+        tc = _kbuf(ws, "el.tc", tshape)
+        for p, (c, d) in enumerate(self.pairs):
+            lg, mg, wp = self._lam_b[p], self._mu_b[p], self._wpair[p]
+            self._pair_into(U[d], c, d, lg, mg, wp, ta, tb, tc, O[c])
+            self._pair_into(U[c], d, c, lg, mg, wp, ta, tb, tc, O[d])
+        for c in range(nc):
+            out[:, c::nc] = O[c].reshape(ne, -1)
+        return out
+
+    def contract_ref(self, Ue: np.ndarray) -> np.ndarray:
+        """Seed (allocating) contraction — the reference the pooled
+        path is validated against."""
         n1, dim, nc = self.n1, self.dim, self.n_comp
         ne = Ue.shape[0]
         tshape = (ne,) + (n1,) * dim
         comps = [Ue[:, c::nc] for c in range(nc)]
         U = [comp.reshape(tshape) for comp in comps]
-        out = [self._diag[c].contract(comps[c]).reshape(tshape) for c in range(nc)]
+        out = [self._diag[c].contract_ref(comps[c]).reshape(tshape) for c in range(nc)]
         for p, (c, d) in enumerate(self.pairs):
             lg, mg, wp = self._lam_b[p], self._mu_b[p], self._wpair[p]
             out[c] += self._pair(U[d], c, d, lg, mg, wp)
@@ -483,11 +709,20 @@ class AnisotropicKernelND:
         c4 = voigt_to_tensor(C, self.dim)
         g = elastic_pair_scales(self.h_axes)
         self.coef = c4 * g[:, None, :, None, :]
+        # Matrix view (ne, dim^2, dim^2) of the same coefficients, rows
+        # (c, a) / cols (d, b) — the pooled Hooke combine is one batched
+        # matmul with it (a view: no extra storage).
+        ne_c = self.coef.shape[0]
+        self._coefmat = np.ascontiguousarray(
+            self.coef.reshape(ne_c, self.dim**2, self.dim**2)
+        )
+        self._ws = Workspace()
         # Full tensor quadrature weights as a broadcast plane.
         wq = w
         for _ in range(self.dim - 1):
             wq = np.kron(wq, w)
         self._wfull = wq.reshape((1,) + (self.n1,) * self.dim)
+        self._wflat = self._wfull.reshape(1, 1, -1)
 
     @property
     def flops_per_element(self) -> int:
@@ -512,7 +747,58 @@ class AnisotropicKernelND:
         lead = U.shape[0] * n1**axis
         return (A @ U.reshape(lead, n1, -1)).reshape(U.shape)
 
-    def contract(self, Ue: np.ndarray) -> np.ndarray:
+    @property
+    def workspace_nbytes(self) -> int:
+        """Bytes of pooled contraction scratch built so far."""
+        return self._ws.nbytes
+
+    def contract(self, Ue: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Pooled stress-form contraction: gradient stack and stress
+        stack live in cached ``(ne, dim^2, n_loc)`` workspaces, the
+        Hooke combine is one batched ``matmul`` with the ``(dim^2,
+        dim^2)`` coefficient matrices (same multiply-add structure as
+        the seed einsum).  :meth:`contract_ref` keeps the seed path."""
+        if out is None:
+            out = np.empty_like(Ue)
+        n1, dim, nc = self.n1, self.dim, self.n_comp
+        ne = Ue.shape[0]
+        nl = n1**dim
+        tshape = (ne,) + (n1,) * dim
+        ws = self._ws
+        Uc = _kbuf(ws, "an.u", tshape)
+        t = _kbuf(ws, "an.t", tshape)
+        acc = _kbuf(ws, "an.acc", tshape)
+        DU = _kbuf(ws, "an.du", (ne, dim * dim, nl))
+        S = _kbuf(ws, "an.s", (ne, dim * dim, nl))
+        # 1. gradient of every component along every axis, written into
+        #    row (d, b) of the stack (trailing-axis reshapes only, so
+        #    the strided row views stay views).
+        for d in range(nc):
+            Uc.reshape(ne, nl)[:] = Ue[:, d::nc]
+            for b in range(dim):
+                _contract_axis(
+                    Uc, self.D, self.Dt, b, dim,
+                    DU[:, d * dim + b].reshape(tshape),
+                )
+        # 2. Hooke combine + quadrature weights.
+        np.matmul(self._coefmat, DU, out=S)
+        S *= self._wflat
+        # 3. weighted divergence back onto each component.
+        for c in range(nc):
+            _contract_axis(
+                S[:, c * dim].reshape(tshape), self.Dt, self.D, 0, dim, acc
+            )
+            for a in range(1, dim):
+                _contract_axis(
+                    S[:, c * dim + a].reshape(tshape), self.Dt, self.D, a, dim, t
+                )
+                acc += t
+            out[:, c::nc] = acc.reshape(ne, nl)
+        return out
+
+    def contract_ref(self, Ue: np.ndarray) -> np.ndarray:
+        """Seed (allocating einsum) contraction — the reference the
+        pooled path is validated against."""
         n1, dim, nc = self.n1, self.dim, self.n_comp
         ne = Ue.shape[0]
         tshape = (ne,) + (n1,) * dim
@@ -576,6 +862,7 @@ class MatrixFreeStiffness:
         gmask: np.ndarray | None = None,
         Minv: np.ndarray | None = None,
         threads: int | None = None,
+        pooled: bool | None = None,
     ):
         self.kernel = kernel
         self.element_dofs = np.ascontiguousarray(element_dofs, dtype=np.int64)
@@ -618,6 +905,29 @@ class MatrixFreeStiffness:
                 )
                 for lo, hi in zip(bounds[:-1], bounds[1:])
             ]
+        # Pooled hot path: gather/contract buffers and the sort-plan
+        # scatter, built eagerly so workspace accounting is stable and
+        # the first traced step is already steady-state.
+        self._requested_pooled = pooled
+        self.pooled = resolve_pooled(pooled)
+        self._ws = Workspace()
+        self._scatter = None
+        self._chunk_state = None
+        if self.pooled and self._plan is None and self._chunks is None and ne:
+            self._scatter = _ScatterPlan(
+                self.element_dofs, self.n_dof, coeff=self.Minv
+            )
+            self._ws.buf("Ue", self.element_dofs.shape)
+            self._ws.buf("ku", self.element_dofs.shape)
+        if self.pooled and self._chunks is not None:
+            self._chunk_state = [
+                {
+                    "scatter": _ScatterPlan(ed, self.n_dof, coeff=self.Minv),
+                    "ws": Workspace(),
+                    "z": np.empty(self.n_dof),
+                }
+                for ed, _, _ in self._chunks
+            ]
 
     @property
     def tier(self) -> str:
@@ -640,17 +950,41 @@ class MatrixFreeStiffness:
     def nnz(self) -> int:
         return self.element_dofs.shape[0] * self.kernel.flops_per_element
 
-    def apply(self, u: np.ndarray) -> np.ndarray:
+    def apply(self, u: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         if self.element_dofs.shape[0] == 0:
-            return np.zeros(self.n_dof)
+            if out is None:
+                return np.zeros(self.n_dof)
+            out[:] = 0.0
+            return out
         if self._plan is not None:
-            return self._plan(u)
+            return self._plan(u, out=out)
         if self._chunks is not None:
-            return self._apply_chunked(u)
+            return self._apply_chunked(u, out=out)
+        if not self.pooled:
+            z = self._apply_ref(u)
+            if out is None:
+                return z
+            out[:] = z
+            return out
+        Ue = self._ws.buf("Ue", self.element_dofs.shape)
+        u.take(self.element_dofs, out=Ue, mode="clip")
+        if self.gmask is not None:
+            Ue *= self.gmask
+        ku = self._ws.buf("ku", self.element_dofs.shape)
+        self.kernel.contract(Ue, out=ku)
+        z = out if out is not None else np.empty(self.n_dof)
+        self._scatter.scatter(ku.reshape(-1), z)
+        if self.Minv is not None and not self._scatter.folds_coeff:
+            z *= self.Minv
+        return z
+
+    def _apply_ref(self, u: np.ndarray) -> np.ndarray:
+        """Seed apply: fancy-index gather, allocating contraction,
+        ``bincount`` scatter — the reference for the pooled path."""
         Ue = u[self.element_dofs]
         if self.gmask is not None:
             Ue = Ue * self.gmask
-        ku = self.kernel.contract(Ue)
+        ku = self.kernel.contract_ref(Ue)
         z = np.bincount(
             self.element_dofs.ravel(), weights=ku.ravel(), minlength=self.n_dof
         )
@@ -658,22 +992,60 @@ class MatrixFreeStiffness:
             z *= self.Minv
         return z
 
-    def _apply_chunked(self, u: np.ndarray) -> np.ndarray:
-        def _partial(chunk):
-            ed, kern, gm = chunk
-            Ue = u[ed]
-            if gm is not None:
-                Ue = Ue * gm
-            ku = kern.contract(Ue)
-            return np.bincount(ed.ravel(), weights=ku.ravel(), minlength=self.n_dof)
+    def _apply_chunked(self, u: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        if self.pooled:
 
-        parts = list(_pool(self.threads).map(_partial, self._chunks))
-        z = parts[0]
+            def _partial(i):
+                ed, kern, gm = self._chunks[i]
+                st = self._chunk_state[i]
+                Ue = st["ws"].buf("Ue", ed.shape)
+                u.take(ed, out=Ue, mode="clip")
+                if gm is not None:
+                    Ue *= gm
+                ku = st["ws"].buf("ku", ed.shape)
+                kern.contract(Ue, out=ku)
+                return st["scatter"].scatter(ku.reshape(-1), st["z"])
+
+            parts = list(_pool(self.threads).map(_partial, range(len(self._chunks))))
+        else:
+
+            def _partial(chunk):
+                ed, kern, gm = chunk
+                Ue = u[ed]
+                if gm is not None:
+                    Ue = Ue * gm
+                ku = kern.contract_ref(Ue)
+                return np.bincount(
+                    ed.ravel(), weights=ku.ravel(), minlength=self.n_dof
+                )
+
+            parts = list(_pool(self.threads).map(_partial, self._chunks))
+        if out is None:
+            z = parts[0] if not self.pooled else parts[0].copy()
+        else:
+            z = out
+            z[:] = parts[0]
         for p in parts[1:]:
             z += p
-        if self.Minv is not None:
+        if self.Minv is not None and not (
+            self.pooled and self._chunk_state[0]["scatter"].folds_coeff
+        ):
             z *= self.Minv
         return z
+
+    def workspace_bytes(self) -> int:
+        """Bytes of pooled hot-path scratch currently held (gather and
+        contraction buffers, scatter plans, per-chunk partials)."""
+        total = self._ws.nbytes + getattr(self.kernel, "workspace_nbytes", 0)
+        if self._scatter is not None:
+            total += self._scatter.nbytes
+        if self._plan is not None and getattr(self._plan, "_zt", None) is not None:
+            total += self._plan._zt.nbytes
+        if self._chunk_state is not None:
+            for (_, kern, _), st in zip(self._chunks, self._chunk_state):
+                total += st["ws"].nbytes + st["z"].nbytes + st["scatter"].nbytes
+                total += getattr(kern, "workspace_nbytes", 0)
+        return total
 
     def __matmul__(self, u: np.ndarray) -> np.ndarray:
         return self.apply(u)
@@ -699,7 +1071,17 @@ class MatrixFreeStiffness:
             gmask=gm,
             Minv=self.Minv,
             threads=self._requested_threads,
+            pooled=self._requested_pooled,
         )
+
+    def row_support(self) -> np.ndarray:
+        """Boolean mask of rows this operator can structurally write
+        (the union of its element dofs).  The distributed LTS executor
+        uses it to skip halo channels a level never touches."""
+        mask = np.zeros(self.n_dof, dtype=bool)
+        if self.element_dofs.size:
+            mask[self.element_dofs.ravel()] = True
+        return mask
 
 
 class MatrixFreeOperator:
@@ -721,6 +1103,7 @@ class MatrixFreeOperator:
         dirichlet_mask: np.ndarray | None = None,
         use_fused: bool | None = None,
         threads: int | None = None,
+        pooled: bool | None = None,
     ):
         self.kernel = kernel
         self.element_dofs = np.ascontiguousarray(element_dofs, dtype=np.int64)
@@ -746,7 +1129,11 @@ class MatrixFreeOperator:
             ),
             Minv=self._Minv,
             threads=threads,
+            pooled=pooled,
         )
+        # Live restriction subsets, for workspace accounting only (weak:
+        # a discarded solver's restrictions drop out of the count).
+        self._restrictions = weakref.WeakSet()
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -763,11 +1150,19 @@ class MatrixFreeOperator:
         """Tensor-contraction flops of one full apply (see module docs)."""
         return self._stiffness.nnz
 
-    def apply(self, u: np.ndarray) -> np.ndarray:
-        z = self._stiffness.apply(u)  # input mask and M^{-1} folded in
+    def apply(self, u: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        z = self._stiffness.apply(u, out=out)  # input mask and M^{-1} folded in
         if self.dirichlet_mask is not None:
             z *= self.dirichlet_mask
         return z
+
+    def workspace_bytes(self) -> int:
+        """Bytes of pooled hot-path scratch currently held, including
+        the live level restrictions built from this operator."""
+        total = self._stiffness.workspace_bytes()
+        for sub in self._restrictions:
+            total += sub.workspace_bytes()
+        return total
 
     def __matmul__(self, u: np.ndarray) -> np.ndarray:
         return self.apply(u)
@@ -781,10 +1176,11 @@ class MatrixFreeOperator:
         col_mask = np.zeros(self.n_dof, dtype=bool)
         col_mask[cols] = True
         sub = self._stiffness.masked_subset(col_mask)
+        self._restrictions.add(sub)
         dmask = self.dirichlet_mask
 
-        def _apply(u: np.ndarray) -> np.ndarray:
-            z = sub.apply(u)
+        def _apply(u: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+            z = sub.apply(u, out=out)
             if dmask is not None:
                 z *= dmask
             return z
@@ -885,18 +1281,24 @@ def operator_for(
     backend: str = "assembled",
     use_fused: bool | None = None,
     threads: int | None = None,
+    pooled: bool | None = None,
 ):
     """Backend dispatch behind ``Sem2D.operator`` / ``ElasticSem2D.operator``.
 
     ``"assembled"`` wraps the precomputed CSR; ``"matfree"`` builds the
     tensor-product operator.  One implementation, every assembler.
+    ``pooled`` controls the NumPy tier's workspace pooling (default on;
+    ``REPRO_POOLED=0`` or ``pooled=False`` pins the seed allocating
+    path for A/B measurement).
     """
     if backend == "assembled":
         from repro.core.operator import AssembledOperator
 
         return AssembledOperator(assembler.A)
     if backend == "matfree":
-        return matrix_free_operator(assembler, use_fused=use_fused, threads=threads)
+        return matrix_free_operator(
+            assembler, use_fused=use_fused, threads=threads, pooled=pooled
+        )
     raise SolverError(f"unknown backend {backend!r}")
 
 
@@ -904,6 +1306,7 @@ def matrix_free_operator(
     assembler,
     use_fused: bool | None = None,
     threads: int | None = None,
+    pooled: bool | None = None,
 ) -> MatrixFreeOperator:
     """Matrix-free ``A = M^{-1} K`` for any :class:`~repro.sem.tensor.SemND`
     assembler (:class:`~repro.sem.assembly2d.Sem2D`,
@@ -917,6 +1320,7 @@ def matrix_free_operator(
         dirichlet_mask=getattr(assembler, "dirichlet_mask", None),
         use_fused=use_fused,
         threads=threads,
+        pooled=pooled,
     )
 
 
@@ -927,6 +1331,7 @@ def local_stiffness(
     n_local: int,
     use_fused: bool | None = None,
     threads: int | None = None,
+    pooled: bool | None = None,
 ) -> MatrixFreeStiffness:
     """Rank-local unassembled ``K`` for the distributed runtime.
 
@@ -941,6 +1346,7 @@ def local_stiffness(
         n_local,
         use_fused=use_fused,
         threads=threads,
+        pooled=pooled,
     )
 
 

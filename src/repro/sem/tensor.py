@@ -742,6 +742,7 @@ class SemND:
         backend: str = "assembled",
         use_fused: bool | None = None,
         threads: int | None = None,
+        pooled: bool | None = None,
     ):
         """Stiffness operator ``A = M^{-1} K`` in the requested backend.
 
@@ -750,11 +751,16 @@ class SemND:
         :mod:`repro.sem.matfree` for when each wins.  ``use_fused``
         selects the optional fused C kernels (``None`` = auto);
         ``threads`` the threaded element loop (``None`` serial, ``0``
-        auto-detect — see :func:`repro.sem.matfree.resolve_threads`).
+        auto-detect — see :func:`repro.sem.matfree.resolve_threads`);
+        ``pooled`` the allocation-free workspace path of the NumPy
+        kernels (``None`` = on unless ``REPRO_POOLED=0`` — see
+        :func:`repro.core.workspace.resolve_pooled`).
         """
         from repro.sem.matfree import operator_for
 
-        return operator_for(self, backend, use_fused=use_fused, threads=threads)
+        return operator_for(
+            self, backend, use_fused=use_fused, threads=threads, pooled=pooled
+        )
 
     # ------------------------------------------------------------------
     def _axis_kernels(self) -> list[np.ndarray]:

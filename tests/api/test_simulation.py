@@ -132,6 +132,26 @@ class TestPipelineStages:
         assert md["scheme"] == "lts" and md["n_ranks"] == 1
         assert md["n_dof"] == Simulation(config_2d()).assembler.n_dof
 
+    def test_perf_metadata_opt_in(self):
+        plain = Simulation(config_2d()).run()
+        assert "perf" not in plain.metadata
+        res = Simulation(config_2d()).run(perf=True)
+        perf = res.metadata["perf"]
+        assert perf["steps_per_second"] > 0
+        assert perf["steps_traced"] >= 1
+        assert perf["workspace_bytes"] > 0
+        assert perf["allocs_per_step"] <= 16
+        # Tracing must not perturb the results.
+        assert np.array_equal(res.u, plain.u)
+        assert np.array_equal(res.traces, plain.traces)
+
+    def test_perf_metadata_distributed(self):
+        cfg = config_2d(partition={"n_ranks": 3})
+        res = Simulation(cfg).run(perf=True)
+        perf = res.metadata["perf"]
+        assert perf["steps_per_second"] > 0
+        assert perf["steps_traced"] >= 1
+
 
 class TestSerialDistributedAgreement:
     @pytest.mark.parametrize("backend", ["assembled", "matfree"])

@@ -1,0 +1,103 @@
+"""Allocation budgets for the serial stepping hot paths.
+
+The pooled workspace layer (:mod:`repro.core.workspace` plus the kernel
+workspaces of :mod:`repro.sem.matfree`) makes a steady-state step
+allocation-free up to interpreter noise: every gather/contract/scatter
+buffer, level scratch vector, and axpy temporary is preallocated.  These
+tests pin that property with tracemalloc so a future change cannot
+silently reintroduce per-step temporaries: the *net surviving
+allocation count* per step must stay under a small fixed budget, and
+the *transient peak* must stay under one field vector (proof that no
+full-length temporary is created) on both operator backends.
+
+Measured today: ~2 net blocks/step (bookkeeping floats like ``self.t``
+and the step counter), transient peaks of a few hundred bytes.  The
+budgets leave headroom for interpreter version noise, not for real
+regressions — a single resurrected ``np.empty_like(u)`` per step blows
+the peak bound immediately.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import assign_levels
+from repro.core.lts_newmark import LTSNewmarkSolver, dof_levels_from_elements
+from repro.core.newmark import NewmarkSolver, staggered_initial_velocity
+from repro.core.workspace import measure_hot_path
+from repro.mesh import uniform_grid
+from repro.sem import Sem2D
+
+#: Net tracemalloc blocks allowed to survive a steady-state step.
+ALLOC_BUDGET = 8
+
+
+@pytest.fixture(scope="module")
+def sys2d():
+    mesh = uniform_grid((8, 8))
+    mesh.c = mesh.c.copy()
+    mesh.c[27] = 4.0
+    mesh.c[36] = 2.0
+    sem = Sem2D(mesh, order=4)
+    a = assign_levels(mesh, c_cfl=0.4, order=4)
+    dof_level = dof_levels_from_elements(sem.element_dofs, a.level, sem.n_dof)
+    u0 = np.exp(-((sem.xy - sem.xy.mean(axis=0)) ** 2).sum(axis=1))
+    v0 = staggered_initial_velocity(sem.A, a.dt, u0, np.zeros_like(u0))
+    return sem, a, dof_level, u0, v0
+
+
+def _measure(solver, u0, v0):
+    state = [u0.copy(), v0.copy()]
+
+    def step():
+        state[0], state[1] = solver.step(state[0], state[1])
+
+    return measure_hot_path(step, n_steps=5, warmup=3)
+
+
+@pytest.mark.parametrize("backend", ["assembled", "matfree"])
+def test_newmark_step_allocation_budget(sys2d, backend):
+    sem, a, _, u0, v0 = sys2d
+    A = (
+        sem.A
+        if backend == "assembled"
+        else sem.operator("matfree", use_fused=False, pooled=True)
+    )
+    stats = _measure(NewmarkSolver(A, a.dt), u0, v0)
+    assert stats.allocs_per_step <= ALLOC_BUDGET, (backend, stats)
+    assert stats.alloc_peak_bytes_per_step < u0.nbytes, (backend, stats)
+
+
+@pytest.mark.parametrize("backend", ["assembled", "matfree"])
+def test_lts_step_allocation_budget(sys2d, backend):
+    sem, a, dof_level, u0, v0 = sys2d
+    op = (
+        sem.operator("assembled")
+        if backend == "assembled"
+        else sem.operator("matfree", use_fused=False, pooled=True)
+    )
+    solver = LTSNewmarkSolver(op, dof_level, a.dt, pooled=True)
+    assert len(solver.active_levels) >= 2  # multi-level recursion exercised
+    stats = _measure(solver, u0, v0)
+    assert stats.allocs_per_step <= ALLOC_BUDGET, (backend, stats)
+    assert stats.alloc_peak_bytes_per_step < u0.nbytes, (backend, stats)
+    assert solver.workspace_bytes() > 0
+
+
+def test_pooling_preserves_results(sys2d):
+    """The pooled LTS trajectory stays within 1e-12 of the seed tier
+    (the scatter plan's folded M^{-1} commutes only to rounding)."""
+    sem, a, dof_level, u0, v0 = sys2d
+    pooled = LTSNewmarkSolver(
+        sem.operator("matfree", use_fused=False, pooled=True),
+        dof_level, a.dt, pooled=True,
+    )
+    seed = LTSNewmarkSolver(
+        sem.operator("matfree", use_fused=False, pooled=False),
+        dof_level, a.dt, pooled=False,
+    )
+    up, vp = u0.copy(), v0.copy()
+    us, vs = u0.copy(), v0.copy()
+    for _ in range(5):
+        up, vp = pooled.step(up, vp)
+        us, vs = seed.step(us, vs)
+    assert np.abs(up - us).max() / np.abs(us).max() < 1e-12

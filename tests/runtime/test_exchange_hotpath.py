@@ -1,0 +1,146 @@
+"""Hot-path discipline of the distributed executors: coalesced exchange
+plans, empty-channel skipping, and per-step allocation budgets.
+
+The coalesced halo exchange packs through persistent per-channel
+buffers and — with level-restricted supports — drops channel positions
+that can only carry structural zeros.  A channel left empty disappears
+*symmetrically* (neither side sends), so no zero-length messages are
+ever queued and ``check_no_leaks()`` still holds.  The allocation test
+mirrors the serial budgets of ``tests/core/test_hotpath_alloc.py`` for
+the distributed LTS executor: the mailbox transport copies each message
+payload (that is the transport's semantics, and the transient peak
+reflects it), but the *net surviving* allocations per cycle must stay
+small and fixed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import assign_levels
+from repro.core.lts_newmark import LTSNewmarkSolver, dof_levels_from_elements
+from repro.core.newmark import staggered_initial_velocity
+from repro.core.workspace import measure_hot_path
+from repro.mesh import refined_interval, uniform_grid
+from repro.runtime import DistributedLTSSolver, MailboxWorld, build_rank_layout
+from repro.sem import Sem1D, Sem2D
+
+#: Net tracemalloc blocks allowed to survive a steady-state LTS cycle.
+ALLOC_BUDGET = 16
+
+
+def block_partition(n_elem: int, k: int) -> np.ndarray:
+    return (np.arange(n_elem) * k // n_elem).astype(np.int64)
+
+
+@pytest.fixture(scope="module")
+def sys1d():
+    """Refinement in the middle of the interval: under a 3-way block
+    partition the middle rank holds only fine-level elements, so the
+    coarse level's support cannot reach the rank-0/rank-1 interface."""
+    mesh = refined_interval(12, 8, refinement=4, coarse_h=0.125)
+    sem = Sem1D(mesh, order=4)
+    a = assign_levels(mesh, c_cfl=0.4, order=4)
+    dof_level = dof_levels_from_elements(sem.element_dofs, a.level, sem.n_dof)
+    u0 = np.exp(-((sem.x - sem.x.mean()) ** 2) / 0.05)
+    v0 = staggered_initial_velocity(sem.A, a.dt, u0, np.zeros_like(u0))
+    return mesh, sem, a, dof_level, u0, v0
+
+
+@pytest.fixture(scope="module")
+def sys2d():
+    mesh = uniform_grid((8, 8))
+    mesh.c = mesh.c.copy()
+    mesh.c[27] = 4.0
+    mesh.c[36] = 2.0
+    sem = Sem2D(mesh, order=4)
+    a = assign_levels(mesh, c_cfl=0.4, order=4)
+    dof_level = dof_levels_from_elements(sem.element_dofs, a.level, sem.n_dof)
+    u0 = np.exp(-((sem.xy - sem.xy.mean(axis=0)) ** 2).sum(axis=1))
+    v0 = staggered_initial_velocity(sem.A, a.dt, u0, np.zeros_like(u0))
+    return mesh, sem, a, dof_level, u0, v0
+
+
+class TestEmptyChannelSkip:
+    """Regression: a level whose support reaches no DOF shared by a peer
+    pair must drop that channel outright instead of exchanging
+    zero-length (or all-zero) messages."""
+
+    def _solver(self, sys1d, k=3):
+        mesh, sem, a, dof_level, _, _ = sys1d
+        lay = build_rank_layout(
+            sem, block_partition(mesh.n_elements, k), k, dof_level=dof_level
+        )
+        world = MailboxWorld(k)
+        return DistributedLTSSolver(lay, a.dt, world=world), lay, world
+
+    def test_coarse_level_plan_drops_far_channels(self, sys1d):
+        solver, lay, _ = self._solver(sys1d)
+        full = lay.exchange_plan()
+        coarsest = min(solver.active_levels)
+        assert max(solver.active_levels) > coarsest
+        coarse_plan = solver._plans[coarsest]
+        # The middle rank holds only fine elements, so the coarse level
+        # shares no reachable DOF across the rank-0/rank-1 interface:
+        # the channel present in the full plan must be gone (both ways).
+        assert 1 in full.peers[0] and 0 in full.peers[1]
+        assert 1 not in coarse_plan.peers[0]
+        assert 0 not in coarse_plan.peers[1]
+        assert coarse_plan.messages_per_exchange() < full.messages_per_exchange()
+
+    def test_no_zero_length_channels_in_any_plan(self, sys1d):
+        solver, lay, _ = self._solver(sys1d)
+        plans = [lay.exchange_plan(), *solver._plans.values()]
+        for plan in plans:
+            for per_rank in plan.indices:
+                for idx in per_rank:
+                    assert len(idx) > 0
+
+    def test_run_matches_serial_and_leaks_nothing(self, sys1d):
+        mesh, sem, a, dof_level, u0, v0 = sys1d
+        solver, _, world = self._solver(sys1d)
+        u, v = solver.run(u0.copy(), v0.copy(), 4)  # run() checks leaks
+        assert world.pending() == 0
+        serial = LTSNewmarkSolver(sem.A, dof_level, a.dt)
+        us, vs = u0.copy(), v0.copy()
+        for _ in range(4):
+            us, vs = serial.step(us, vs)
+        assert np.abs(u - us).max() / np.abs(us).max() < 1e-12
+
+    def test_skipping_reduces_messages(self, sys1d):
+        """Per-level plans must send strictly fewer messages than the
+        full-interface plan would across an LTS cycle."""
+        mesh, sem, a, dof_level, u0, v0 = sys1d
+        solver, lay, world = self._solver(sys1d)
+        solver.run(u0.copy(), v0.copy(), 2)
+        with_skip = world.sent_messages
+        # Replay with every level forced onto the full-interface plan.
+        solver2, _, world2 = self._solver(sys1d)
+        solver2._plans = {k: solver2.layout.exchange_plan() for k in solver2._plans}
+        solver2.run(u0.copy(), v0.copy(), 2)
+        assert with_skip < world2.sent_messages
+
+
+@pytest.mark.parametrize("backend", ["assembled", "matfree"])
+def test_distributed_lts_allocation_budget(sys2d, backend):
+    mesh, sem, a, dof_level, u0, v0 = sys2d
+    k = 3
+    lay = build_rank_layout(
+        sem,
+        block_partition(mesh.n_elements, k),
+        k,
+        dof_level=dof_level,
+        backend=backend,
+        use_fused=False if backend == "matfree" else None,
+    )
+    solver = DistributedLTSSolver(lay, a.dt, world=MailboxWorld(k))
+    assert len(solver.active_levels) >= 2
+    u_locals = lay.scatter(u0)
+    v_locals = lay.scatter(v0)
+
+    def step():
+        solver.step(u_locals, v_locals)
+
+    stats = measure_hot_path(step, n_steps=5, warmup=3)
+    assert stats.allocs_per_step <= ALLOC_BUDGET, (backend, stats)
+    assert solver.workspace_bytes() > 0
+    solver.check_no_leaks()

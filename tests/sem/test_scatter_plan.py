@@ -1,0 +1,131 @@
+"""Determinism of the pooled scatter plan (hot-path PR regression suite).
+
+The pooled matrix-free kernels replace the seed's per-call
+``np.bincount`` scatter with a precomputed single-entry-column CSC plan
+(:class:`repro.sem.matfree._ScatterPlan`) that can also fold the
+``M^{-1}`` coefficient into the accumulation.  Three properties keep
+that substitution safe:
+
+* **bitwise vs bincount** — the CSC kernel runs exactly bincount's
+  accumulation loop, so an unfolded plan is bitwise-equal to the seed
+  scatter;
+* **run-to-run bitwise determinism** — repeated applies, and applies
+  through independently constructed pooled operators, produce identical
+  bits (no ordering or workspace-content dependence);
+* **<= 1e-12 agreement with the seed tier** — folding ``M^{-1}`` into
+  the plan data commutes through the sum only to rounding (~1 ulp), so
+  pooled results must stay within 1e-12 of ``pooled=False`` results,
+  for full and level-restricted applies, 2D/3D, all three physics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mesh import uniform_grid
+from repro.sem import (
+    AnisotropicElasticSemND,
+    ElasticSem2D,
+    ElasticSem3D,
+    Sem2D,
+    Sem3D,
+    isotropic_stiffness,
+)
+from repro.sem.matfree import _ScatterPlan
+
+
+def _rel_err(got, ref):
+    return np.abs(got - ref).max() / max(np.abs(ref).max(), 1e-30)
+
+
+def _make_sem(physics: str, dim: int):
+    grid = (4, 3) if dim == 2 else (3, 2, 2)
+    mesh = uniform_grid(grid, tuple(1.0 + 0.2 * a for a in range(dim)))
+    mesh.c = mesh.c.copy()
+    mesh.c[mesh.n_elements // 2] = 3.0
+    order = 4 if dim == 2 else 3
+    if physics == "acoustic":
+        return (Sem2D if dim == 2 else Sem3D)(mesh, order=order)
+    if physics == "elastic":
+        cls = ElasticSem2D if dim == 2 else ElasticSem3D
+        return cls(mesh, order=order, lam=2.0, mu=1.0, rho=1.3)
+    rng = np.random.default_rng(7)
+    lam = 2.0 + rng.random(mesh.n_elements)
+    mu = 1.0 + rng.random(mesh.n_elements)
+    return AnisotropicElasticSemND(
+        mesh, order=order, C=isotropic_stiffness(lam, mu, dim), rho=1.1
+    )
+
+
+class TestScatterPlanUnit:
+    def test_matches_bincount_bitwise(self):
+        rng = np.random.default_rng(0)
+        n_dof = 200
+        ed = rng.integers(0, n_dof, size=(30, 16))
+        vals = rng.standard_normal(ed.size)
+        plan = _ScatterPlan(ed, n_dof)
+        out = np.empty(n_dof)
+        plan.scatter(vals, out)
+        ref = np.bincount(ed.ravel(), weights=vals, minlength=n_dof)
+        assert np.array_equal(out, ref)
+
+    def test_folded_coeff_agrees_with_seed_order(self):
+        """Folding c into the accumulation (sum of c*v) differs from the
+        seed's c*(sum of v) only by rounding — well under 1e-12."""
+        rng = np.random.default_rng(1)
+        n_dof = 150
+        ed = rng.integers(0, n_dof, size=(25, 9))
+        vals = rng.standard_normal(ed.size)
+        coeff = 0.5 + rng.random(n_dof)
+        plan = _ScatterPlan(ed, n_dof, coeff=coeff)
+        out = np.empty(n_dof)
+        plan.scatter(vals, out)
+        ref = coeff * np.bincount(ed.ravel(), weights=vals, minlength=n_dof)
+        if not plan.folds_coeff:  # scipy internals unavailable: seed path
+            assert np.array_equal(out, ref)
+        else:
+            assert _rel_err(out, ref) < 1e-12
+
+    def test_scatter_is_repeatable_bitwise(self):
+        rng = np.random.default_rng(2)
+        n_dof = 100
+        ed = rng.integers(0, n_dof, size=(20, 4))
+        vals = rng.standard_normal(ed.size)
+        coeff = 0.5 + rng.random(n_dof)
+        plan = _ScatterPlan(ed, n_dof, coeff=coeff)
+        a, b = np.empty(n_dof), np.full(n_dof, np.nan)
+        plan.scatter(vals, a)
+        plan.scatter(vals, b)  # must fully overwrite, including zeros
+        assert np.array_equal(a, b)
+
+
+@pytest.mark.parametrize("physics", ["acoustic", "elastic", "anisotropic"])
+@pytest.mark.parametrize("dim", [2, 3])
+class TestPooledOperatorDeterminism:
+    def test_full_apply(self, physics, dim):
+        sem = _make_sem(physics, dim)
+        rng = np.random.default_rng(dim)
+        u = rng.standard_normal(sem.n_dof)
+        seed_op = sem.operator("matfree", use_fused=False, pooled=False)
+        pooled_op = sem.operator("matfree", use_fused=False, pooled=True)
+        ref = seed_op @ u
+        got1 = np.array(pooled_op @ u)
+        got2 = np.array(pooled_op @ u)  # same operator, warm workspace
+        fresh = np.array(
+            sem.operator("matfree", use_fused=False, pooled=True) @ u
+        )
+        assert np.array_equal(got1, got2), (physics, dim)
+        assert np.array_equal(got1, fresh), (physics, dim)
+        assert _rel_err(got1, ref) < 1e-12, (physics, dim)
+
+    def test_restricted_apply(self, physics, dim):
+        sem = _make_sem(physics, dim)
+        rng = np.random.default_rng(10 + dim)
+        u = rng.standard_normal(sem.n_dof)
+        cols = rng.choice(sem.n_dof, size=max(1, sem.n_dof // 3), replace=False)
+        seed_r = sem.operator("matfree", use_fused=False, pooled=False).restrict(cols)
+        pooled_r = sem.operator("matfree", use_fused=False, pooled=True).restrict(cols)
+        ref = np.array(seed_r.apply(u))
+        got1 = np.array(pooled_r.apply(u))
+        got2 = np.array(pooled_r.apply(u))
+        assert np.array_equal(got1, got2), (physics, dim)
+        assert _rel_err(got1, ref) < 1e-12, (physics, dim)
