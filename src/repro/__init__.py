@@ -21,13 +21,18 @@ Subpackages:
   the four strategies of Sec. III-B;
 * :mod:`repro.runtime` — mailbox-MPI distributed execution and the
   calibrated cluster performance simulator behind Figs. 9-13;
-* :mod:`repro.util` — errors, validation, table reporting.
+* :mod:`repro.service` — simulation-as-a-service: durable job queue,
+  shared-cache worker pool, HTTP JSON API
+  (``python -m repro serve`` / ``submit`` / ``status`` / ``fetch`` /
+  ``cancel``);
+* :mod:`repro.util` — errors, validation, table reporting, atomic IO,
+  runtime introspection.
 
 See README.md for a tour; everything listed in ``__all__`` below is the
 supported public surface.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from repro.api import (
     BackendSpec,
@@ -86,6 +91,15 @@ from repro.sem import (
     Sem1D,
     Sem2D,
     Sem3D,
+)
+from repro.service import (
+    JobQueue,
+    JobRecord,
+    JobStore,
+    ReproService,
+    ServiceClient,
+    ServiceError,
+    WorkerPool,
 )
 from repro.util.errors import ConfigError, ReproError
 
@@ -150,6 +164,14 @@ __all__ = [
     "save_checkpoint",
     "load_checkpoint",
     "latest_checkpoint",
+    # service (repro.service)
+    "JobRecord",
+    "JobStore",
+    "JobQueue",
+    "WorkerPool",
+    "ReproService",
+    "ServiceClient",
+    "ServiceError",
     # errors
     "ReproError",
     "ConfigError",

@@ -22,10 +22,29 @@ Subcommands
     (``--jobs``).  ``--cache-dir`` persists the expensive artifacts
     (assembled CSR, LTS levels, partitions) across invocations;
     ``--output-dir`` writes one ``member_<i>.npz`` per member plus a
-    ``summary.json`` with per-member timings and cache-hit provenance.
+    ``summary.json`` with per-member timings and cache-hit provenance
+    (the directory is created — and proven writable — up front).
+``info``
+    Print the runtime report: package/python versions, kernel-tier
+    availability (fused C kernels? OpenMP?), usable cores vs machine
+    cores, and any ``REPRO_*`` env overrides — the fleet-debugging
+    one-liner the service's ``/healthz`` also returns.
+``serve``
+    Run the simulation service (:mod:`repro.service`): a job queue +
+    worker pool + HTTP JSON API over ``--data-dir`` (durable job
+    records; a restarted server recovers its backlog), with one shared
+    stage cache (``--cache-dir`` extends it to disk).  Drains
+    gracefully on SIGTERM/SIGINT: running jobs finish, queued jobs
+    stay queued on disk.
+``submit | status | fetch | cancel``
+    The client quartet against a running server (``--url``): submit a
+    config or ensemble file, inspect/poll job state (``status --wait``
+    blocks until terminal), download the result ``.npz``, cancel a
+    queued job.
 
 Exit codes: 0 on success, 2 on a configuration/library error (the
-message, not a traceback, goes to stderr).
+message, not a traceback, goes to stderr); ``status --wait`` and
+``fetch`` exit 3 when the awaited job finished ``failed``/``cancelled``.
 """
 
 from __future__ import annotations
@@ -158,20 +177,25 @@ def _cmd_validate(args) -> int:
 
 
 def _cmd_ensemble(args) -> int:
-    from pathlib import Path
-
     from repro.api import EnsembleSpec, run_ensemble
-    from repro.util.io import atomic_write_text
+    from repro.util.io import atomic_write_text, ensure_writable_dir
 
     spec = EnsembleSpec.from_file(args.sweep)
+
+    # Fail on an unwritable output directory *now*, not after the first
+    # member has already burned minutes of stepping.
+    out_dir = (
+        None
+        if args.output_dir is None
+        else ensure_writable_dir(args.output_dir, "--output-dir")
+    )
+
     name = spec.name or spec.base.name or spec.base.mesh.family
     axes = ", ".join(f"{s.path}({len(s.values)})" for s in spec.sweeps)
     print(
         f"{name}: {spec.n_members} members "
         f"({spec.mode} of {axes}), jobs={args.jobs}"
     )
-
-    out_dir = None if args.output_dir is None else Path(args.output_dir)
 
     def save_member(result) -> None:
         md = result.metadata["member"]
@@ -224,10 +248,206 @@ def _cmd_ensemble(args) -> int:
     return 0
 
 
+def _cmd_info(args) -> int:
+    from repro.util.sysinfo import runtime_info
+
+    info = runtime_info()
+    if args.json:
+        print(json.dumps(info, indent=2))
+        return 0
+    print(f"repro {info['version']} (python {info['python']}, "
+          f"numpy {info['numpy']}, scipy {info['scipy']})")
+    fused = "yes" if info["fused_available"] else "no"
+    omp = "yes" if info["fused_omp"] else "no"
+    print(f"kernel tiers: numpy yes, fused C {fused}, openmp {omp}")
+    print(f"cores: {info['usable_cores']} usable / {info['cpu_count']} machine")
+    env = info["env"]
+    print(
+        "env overrides: "
+        + (", ".join(f"{k}={v}" for k, v in env.items()) if env else "none")
+    )
+    return 0
+
+
+def _load_job_file(path: str) -> tuple[str, dict]:
+    """Parse a submission file and classify it: an EnsembleSpec (has
+    ``base`` + ``sweeps``) or a plain SimulationConfig."""
+    from pathlib import Path
+
+    from repro.util.errors import ConfigError
+
+    p = Path(path)
+    if not p.exists():
+        raise ConfigError(f"job file not found: {p}")
+    suffix = p.suffix.lower()
+    if suffix == ".json":
+        try:
+            data = json.loads(p.read_text())
+        except json.JSONDecodeError as e:
+            raise ConfigError(f"{p} is not valid JSON: {e}") from e
+    elif suffix == ".toml":
+        try:
+            import tomllib
+        except ModuleNotFoundError:  # pragma: no cover - py < 3.11
+            raise ConfigError(
+                "TOML configs require Python 3.11+ (tomllib); "
+                "use a JSON file instead"
+            ) from None
+        try:
+            data = tomllib.loads(p.read_text())
+        except tomllib.TOMLDecodeError as e:
+            raise ConfigError(f"{p} is not valid TOML: {e}") from e
+    else:
+        raise ConfigError(
+            f"unsupported job format {suffix!r} for {p}; "
+            f"expected .json or .toml"
+        )
+    if not isinstance(data, dict):
+        raise ConfigError(f"{p} must hold a JSON/TOML object")
+    kind = "ensemble" if "base" in data and "sweeps" in data else "simulation"
+    return kind, data
+
+
+def _job_line(job: dict) -> str:
+    line = f"job {job['id']}: {job['state']} ({job['kind']}"
+    if job.get("name"):
+        line += f" {job['name']!r}"
+    if job.get("priority"):
+        line += f", priority {job['priority']}"
+    line += ")"
+    member = job.get("metadata", {}).get("member")
+    if member and member.get("seconds") is not None:
+        line += (
+            f" — {member['seconds']:.2f}s, {member.get('cache_hits', 0)} "
+            f"cache hits / {member.get('cache_misses', 0)} misses"
+        )
+    if job.get("error"):
+        line += f" — {job['error']}"
+    return line
+
+
+def _terminal_exit(job: dict) -> int:
+    """0 for done, 3 for failed/cancelled (scripts can branch)."""
+    return 0 if job["state"] == "done" else 3
+
+
+def _cmd_serve(args) -> int:
+    import signal
+    import threading
+
+    from repro.service import ReproService
+
+    service = ReproService(
+        data_dir=args.data_dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        verbose=args.verbose,
+    )
+    recovered = service.queue.counts()["queued"]
+    if recovered:
+        print(f"recovered {recovered} queued job(s) from {args.data_dir}",
+              flush=True)
+    cache = "memory-only" if args.cache_dir is None else f"disk at {args.cache_dir}"
+    stop = threading.Event()
+
+    def request_drain(signum, frame):
+        print(f"received {signal.Signals(signum).name}; draining "
+              f"(running jobs finish, backlog stays queued) ...", flush=True)
+        stop.set()
+
+    signal.signal(signal.SIGTERM, request_drain)
+    signal.signal(signal.SIGINT, request_drain)
+    service.start()
+    print(
+        f"listening on {service.url} ({args.workers} workers, "
+        f"stage cache {cache}, data dir {args.data_dir})",
+        flush=True,
+    )
+    stop.wait()
+    service.drain()
+    counts = service.queue.counts()
+    print(
+        f"drained: {counts['done']} done, {counts['failed']} failed, "
+        f"{counts['cancelled']} cancelled, {counts['queued']} left queued",
+        flush=True,
+    )
+    return 0
+
+
+def _client(args):
+    from repro.service import ServiceClient
+
+    return ServiceClient(args.url)
+
+
+def _cmd_submit(args) -> int:
+    kind, spec = _load_job_file(args.config)
+    client = _client(args)
+    job = client.submit(
+        config=spec if kind == "simulation" else None,
+        ensemble=spec if kind == "ensemble" else None,
+        priority=args.priority,
+        name=args.name or "",
+    )
+    print(f"submitted job {job['id']}")
+    print(_job_line(job))
+    print(f"poll with: python -m repro status {job['id']} --url {args.url}")
+    return 0
+
+
+def _cmd_status(args) -> int:
+    client = _client(args)
+    if args.job is None:
+        jobs = client.jobs(state=args.state)
+        if args.json:
+            print(json.dumps(jobs, indent=2))
+            return 0
+        if not jobs:
+            print("no jobs")
+            return 0
+        for job in jobs:
+            print(_job_line(job))
+        return 0
+    if args.wait:
+        job = client.wait(args.job, timeout=args.timeout)
+    else:
+        job = client.job(args.job)
+    if args.json:
+        print(json.dumps(job, indent=2))
+    else:
+        print(_job_line(job))
+    return _terminal_exit(job) if args.wait else 0
+
+
+def _cmd_fetch(args) -> int:
+    client = _client(args)
+    if args.wait:
+        job = client.wait(args.job, timeout=args.timeout)
+        if job["state"] != "done":
+            print(_job_line(job), file=sys.stderr)
+            return 3
+    path = client.fetch(args.job, args.output)
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_cancel(args) -> int:
+    job = _client(args).cancel(args.job)
+    print(_job_line(job))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Declarative LTS-Newmark simulations (repro.api).",
+    )
+    from repro.util.sysinfo import package_version
+
+    parser.add_argument(
+        "--version", action="version", version=f"repro {package_version()}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -309,6 +529,111 @@ def main(argv: list[str] | None = None) -> int:
              "processes otherwise)",
     )
     p_ens.set_defaults(func=_cmd_ensemble)
+
+    p_info = sub.add_parser(
+        "info", help="print the runtime/kernel-tier report for this box"
+    )
+    p_info.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    p_info.set_defaults(func=_cmd_info)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the simulation service (job queue + HTTP API)"
+    )
+    p_serve.add_argument(
+        "--data-dir", default="repro-service", metavar="DIR",
+        help="durable state root: job records + results (a restarted "
+             "server recovers its queue from here; default: ./repro-service)",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=8642,
+        help="bind port (default 8642; 0 picks a free port, printed "
+             "in the 'listening on' line)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2, metavar="K",
+        help="worker-pool width: concurrent jobs (default 2)",
+    )
+    p_serve.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="shared on-disk stage-cache layer: expensive artifacts "
+             "persist across jobs, worker processes, and restarts",
+    )
+    p_serve.add_argument(
+        "--verbose", action="store_true", help="log each HTTP request"
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    url_help = "service base URL (default http://127.0.0.1:8642)"
+    default_url = "http://127.0.0.1:8642"
+
+    p_sub = sub.add_parser(
+        "submit", help="submit a config or ensemble file to a running server"
+    )
+    p_sub.add_argument(
+        "config",
+        help="path to a .json/.toml SimulationConfig — or EnsembleSpec "
+             "(detected by its base + sweeps keys)",
+    )
+    p_sub.add_argument("--url", default=default_url, help=url_help)
+    p_sub.add_argument(
+        "--priority", type=int, default=0,
+        help="higher runs first (default 0; FIFO within a priority)",
+    )
+    p_sub.add_argument("--name", default=None, help="override the job name")
+    p_sub.set_defaults(func=_cmd_submit)
+
+    p_stat = sub.add_parser(
+        "status", help="show one job (or list all jobs) on a running server"
+    )
+    p_stat.add_argument(
+        "job", nargs="?", default=None, help="job id (omit to list all jobs)"
+    )
+    p_stat.add_argument("--url", default=default_url, help=url_help)
+    p_stat.add_argument(
+        "--state", default=None,
+        help="when listing: only jobs in this state",
+    )
+    p_stat.add_argument(
+        "--wait", action="store_true",
+        help="poll until the job is terminal (exit 0 done / 3 otherwise)",
+    )
+    p_stat.add_argument(
+        "--timeout", type=float, default=600.0, metavar="S",
+        help="--wait deadline in seconds (default 600)",
+    )
+    p_stat.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    p_stat.set_defaults(func=_cmd_status)
+
+    p_fetch = sub.add_parser(
+        "fetch", help="download a done job's result .npz"
+    )
+    p_fetch.add_argument("job", help="job id")
+    p_fetch.add_argument("--url", default=default_url, help=url_help)
+    p_fetch.add_argument(
+        "--output", required=True, metavar="OUT.npz",
+        help="where to write the result (written atomically)",
+    )
+    p_fetch.add_argument(
+        "--wait", action="store_true",
+        help="poll until the job is terminal before fetching",
+    )
+    p_fetch.add_argument(
+        "--timeout", type=float, default=600.0, metavar="S",
+        help="--wait deadline in seconds (default 600)",
+    )
+    p_fetch.set_defaults(func=_cmd_fetch)
+
+    p_cancel = sub.add_parser("cancel", help="cancel a queued job")
+    p_cancel.add_argument("job", help="job id")
+    p_cancel.add_argument("--url", default=default_url, help=url_help)
+    p_cancel.set_defaults(func=_cmd_cancel)
 
     args = parser.parse_args(argv)
     try:

@@ -1,0 +1,170 @@
+"""Stdlib HTTP client for the simulation service.
+
+:class:`ServiceClient` wraps the JSON API of
+:mod:`repro.service.http` so the CLI quartet (``python -m repro
+submit | status | fetch | cancel``) — and any Python caller — can
+drive a server without curl or third-party HTTP libraries.  Server
+error bodies surface as :class:`ServiceError` (a
+:class:`~repro.util.errors.ReproError`, so the CLI's clean exit-2 path
+applies) carrying the HTTP status code; connection failures get an
+actionable "is the server running?" message instead of a raw
+``URLError`` traceback.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Mapping
+
+from repro.util.errors import ReproError
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(ReproError):
+    """A failed service interaction (HTTP error, unreachable server,
+    timeout).  ``status`` holds the HTTP code when one was received."""
+
+    def __init__(self, message: str, status: int | None = None):
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """Talk to one ``repro`` service at ``url`` (e.g.
+    ``http://127.0.0.1:8642``)."""
+
+    def __init__(self, url: str, timeout: float = 60.0):
+        self.url = url.rstrip("/")
+        self.timeout = float(timeout)
+
+    # -- transport ------------------------------------------------------
+    def _request(self, method: str, path: str, body: Mapping | None = None):
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(
+            self.url + path, data=data, headers=headers, method=method
+        )
+        try:
+            return urllib.request.urlopen(req, timeout=self.timeout)
+        except urllib.error.HTTPError as e:
+            detail = e.read().decode(errors="replace")
+            try:
+                detail = json.loads(detail)["error"]
+            except Exception:
+                detail = detail.strip() or e.reason
+            raise ServiceError(
+                f"{method} {path} failed ({e.code}): {detail}", status=e.code
+            ) from None
+        except OSError as e:
+            raise ServiceError(
+                f"cannot reach the service at {self.url} ({e}); "
+                f"is `python -m repro serve` running?"
+            ) from e
+
+    def _json(self, method: str, path: str, body: Mapping | None = None) -> dict:
+        with self._request(method, path, body) as resp:
+            return json.loads(resp.read())
+
+    # -- the API --------------------------------------------------------
+    def submit(
+        self,
+        config: Mapping | None = None,
+        ensemble: Mapping | None = None,
+        priority: int = 0,
+        name: str = "",
+    ) -> dict:
+        """Submit one job; returns the job record (``record["id"]`` is
+        the handle everything else takes).  Pass exactly one of
+        ``config`` (a SimulationConfig dict) or ``ensemble`` (an
+        EnsembleSpec dict)."""
+        if (config is None) == (ensemble is None):
+            raise ServiceError(
+                "submit() needs exactly one of config= or ensemble="
+            )
+        body: dict = {"priority": priority}
+        if name:
+            body["name"] = name
+        if config is not None:
+            body["config"] = _as_plain(config)
+        else:
+            body["ensemble"] = _as_plain(ensemble)
+        return self._json("POST", "/jobs", body)
+
+    def jobs(self, state: str | None = None) -> list[dict]:
+        """Job summaries, oldest first (optionally one state only)."""
+        path = "/jobs" if state is None else f"/jobs?state={state}"
+        return self._json("GET", path)["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        """One full job record (404 -> ServiceError)."""
+        return self._json("GET", f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> dict:
+        """Cancel a queued job (running/terminal -> ServiceError 409)."""
+        return self._json("DELETE", f"/jobs/{job_id}")
+
+    def wait(
+        self, job_id: str, timeout: float = 600.0, poll: float = 0.25
+    ) -> dict:
+        """Poll until the job reaches a terminal state; returns the
+        final record.  Raises on timeout — never silently returns a
+        non-terminal record."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["state"] in ("done", "failed", "cancelled"):
+                return record
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {record['state']} after "
+                    f"{timeout:.0f}s"
+                )
+            time.sleep(poll)
+
+    def fetch(self, job_id: str, output: str | Path) -> Path:
+        """Download a done job's result ``.npz`` to ``output``
+        (written atomically: temp file + rename, so a killed fetch
+        never leaves a truncated archive)."""
+        output = Path(output)
+        if output.suffix != ".npz":
+            output = output.with_name(output.name + ".npz")
+        output.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=output.parent, prefix=f".{output.name}.", suffix=".tmp"
+        )
+        try:
+            with self._request("GET", f"/jobs/{job_id}/result") as resp:
+                with os.fdopen(fd, "wb") as f:
+                    shutil.copyfileobj(resp, f)
+            os.replace(tmp, output)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return output
+
+    def healthz(self) -> dict:
+        return self._json("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._json("GET", "/metrics")
+
+
+def _as_plain(spec) -> dict:
+    """Accept spec objects (SimulationConfig / EnsembleSpec) as well as
+    plain mappings."""
+    to_dict = getattr(spec, "to_dict", None)
+    return to_dict() if callable(to_dict) else dict(spec)

@@ -1,0 +1,411 @@
+"""Durable job records + the priority queue the worker fleet drains.
+
+The service's unit of work is a **job**: one
+:class:`~repro.api.config.SimulationConfig` (``kind="simulation"``) or
+one :class:`~repro.api.ensemble.EnsembleSpec` (``kind="ensemble"``),
+validated at submission and stored in its normalized dict form.  Jobs
+move through the lifecycle::
+
+    queued --> running --> done | failed
+       \\--> cancelled
+
+Cancellation applies to *queued* jobs only — a running simulation is
+not interruptible mid-cycle, and pretending otherwise would leave
+half-written state; callers get a clean conflict instead.
+
+Durability: every state transition is persisted as one JSON file per
+job (:func:`repro.util.io.atomic_write_json` — all-or-nothing, so a
+killed server never leaves a half-written record).  On restart,
+:meth:`JobStore.recover` reloads the directory and *requeues* jobs that
+were ``running`` when the process died (their work never finished;
+results are only published atomically after completion), preserving
+priority and submission order.  This is what makes the queue a queue
+rather than a dict of promises: ``kill -9`` the server, start it again
+on the same ``--data-dir``, and the backlog drains as if nothing
+happened.
+
+:class:`JobQueue` is the in-memory scheduling view over the store:
+``submit`` validates + persists + enqueues, ``claim`` blocks a worker
+until a job is available (highest ``priority`` first, FIFO within a
+priority), ``finish``/``fail`` record the terminal state plus the
+per-job timing/cache-hit provenance the metrics endpoint aggregates.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.util.errors import ConfigError
+from repro.util.io import atomic_write_json, ensure_writable_dir
+
+__all__ = ["JOB_STATES", "JobRecord", "JobStore", "JobQueue"]
+
+#: Every state a job can be in; the first is initial, the last three
+#: are terminal.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: States a job never leaves.
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+_KINDS = ("simulation", "ensemble")
+
+
+def _validated_spec(kind: str, spec: Mapping) -> dict:
+    """Parse ``spec`` as its declared kind and return the normalized
+    dict form — submission is the only place bad configs can enter the
+    system, so it is the place they are rejected."""
+    # Imported lazily: the store/queue layer must stay importable
+    # without dragging the whole simulation stack in.
+    from repro.api.config import SimulationConfig
+    from repro.api.ensemble import EnsembleSpec
+
+    if kind == "simulation":
+        return SimulationConfig.from_dict(spec).to_dict()
+    if kind == "ensemble":
+        return EnsembleSpec.from_dict(spec).to_dict()
+    raise ConfigError(
+        f"unknown job kind {kind!r}; kinds: {', '.join(_KINDS)}"
+    )
+
+
+@dataclass
+class JobRecord:
+    """One job's full durable state (the ``jobs/<id>.json`` payload).
+
+    ``metadata`` carries the post-run provenance — the same
+    ``{"member": {seconds, cache_hits, cache_misses, ...}}`` /
+    ``{"perf": ...}`` dicts the ensemble engine attaches to results —
+    plus ``{"recovered": n}`` when a server restart requeued the job.
+    """
+
+    id: str
+    kind: str
+    spec: dict
+    state: str = "queued"
+    priority: int = 0
+    name: str = ""
+    submitted_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    error: str | None = None
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "spec": self.spec,
+            "state": self.state,
+            "priority": self.priority,
+            "name": self.name,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+            "metadata": self.metadata,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "JobRecord":
+        unknown = set(data) - {
+            "id", "kind", "spec", "state", "priority", "name",
+            "submitted_at", "started_at", "finished_at", "error", "metadata",
+        }
+        if unknown:
+            raise ConfigError(
+                f"job record has unknown fields {sorted(unknown)}"
+            )
+        rec = cls(
+            id=str(data["id"]),
+            kind=str(data["kind"]),
+            spec=dict(data["spec"]),
+            state=str(data.get("state", "queued")),
+            priority=int(data.get("priority", 0)),
+            name=str(data.get("name", "")),
+            submitted_at=float(data.get("submitted_at", 0.0)),
+            started_at=data.get("started_at"),
+            finished_at=data.get("finished_at"),
+            error=data.get("error"),
+            metadata=dict(data.get("metadata", {})),
+        )
+        if rec.state not in JOB_STATES:
+            raise ConfigError(
+                f"job {rec.id} has unknown state {rec.state!r}; "
+                f"states: {', '.join(JOB_STATES)}"
+            )
+        if rec.kind not in _KINDS:
+            raise ConfigError(
+                f"job {rec.id} has unknown kind {rec.kind!r}; "
+                f"kinds: {', '.join(_KINDS)}"
+            )
+        return rec
+
+
+class JobStore:
+    """On-disk job records + result files under one data directory.
+
+    Layout::
+
+        <data_dir>/jobs/<id>.json      durable JobRecord (atomic JSON)
+        <data_dir>/results/<id>.npz    published result (atomic .npz)
+
+    The store is the durability layer only — no scheduling logic lives
+    here.  Records are written whole on every transition; results are
+    published by the workers via :func:`repro.util.io.atomic_savez`, so
+    a ``done`` state in a record implies a complete result file.
+    """
+
+    def __init__(self, data_dir: str | Path):
+        self.data_dir = ensure_writable_dir(data_dir, "service data dir")
+        self.jobs_dir = ensure_writable_dir(self.data_dir / "jobs", "job dir")
+        self.results_dir = ensure_writable_dir(
+            self.data_dir / "results", "result dir"
+        )
+
+    def save(self, record: JobRecord) -> None:
+        atomic_write_json(self.jobs_dir / f"{record.id}.json", record.to_dict())
+
+    def load(self, job_id: str) -> JobRecord | None:
+        """The stored record, or ``None`` for an unknown id (a corrupt
+        record raises — it means the atomic-write contract broke)."""
+        import json
+
+        path = self.jobs_dir / f"{job_id}.json"
+        if not path.is_file():
+            return None
+        return JobRecord.from_dict(json.loads(path.read_text()))
+
+    def list(self) -> list[JobRecord]:
+        """All stored records, oldest submission first."""
+        records = [
+            rec
+            for path in self.jobs_dir.glob("*.json")
+            if (rec := self.load(path.stem)) is not None
+        ]
+        records.sort(key=lambda r: (r.submitted_at, r.id))
+        return records
+
+    def result_path(self, job_id: str) -> Path:
+        return self.results_dir / f"{job_id}.npz"
+
+    def recover(self) -> list[JobRecord]:
+        """Reload the directory for a restarted server.
+
+        Jobs found ``running`` were interrupted mid-flight (the dead
+        server never published their result); they are reset to
+        ``queued`` with a ``metadata["recovered"]`` count so the
+        restart is visible in their provenance.  Returns every record,
+        oldest first — the queue re-enqueues the non-terminal ones.
+        """
+        records = self.list()
+        for rec in records:
+            if rec.state == "running":
+                rec.state = "queued"
+                rec.started_at = None
+                rec.metadata["recovered"] = rec.metadata.get("recovered", 0) + 1
+                self.save(rec)
+        return records
+
+
+class JobQueue:
+    """Thread-safe priority queue of jobs, persisted through a store.
+
+    Higher ``priority`` values run first; equal priorities run in
+    submission order (a monotone sequence number breaks ties, so the
+    heap never compares records).  All transitions happen under one
+    lock and are persisted before they are observable, so the on-disk
+    state can only ever lag the in-memory state by the currently-held
+    lock — never contradict it.
+    """
+
+    def __init__(self, store: JobStore):
+        self.store = store
+        self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
+        self._heap: list[tuple[int, int, str]] = []
+        self._seq = itertools.count()
+        self._records: dict[str, JobRecord] = {}
+        self._open = True
+        self.submitted_total = 0
+        for rec in store.recover():
+            self._records[rec.id] = rec
+            if rec.state == "queued":
+                heapq.heappush(
+                    self._heap, (-rec.priority, next(self._seq), rec.id)
+                )
+
+    # -- intake ---------------------------------------------------------
+    def submit(
+        self,
+        spec: Mapping,
+        kind: str = "simulation",
+        priority: int = 0,
+        name: str = "",
+    ) -> JobRecord:
+        """Validate, persist, and enqueue one job; returns its record.
+
+        Invalid specs raise :class:`~repro.util.errors.ConfigError`
+        before anything is stored — the queue only ever holds runnable
+        work.
+        """
+        if not isinstance(priority, int) or isinstance(priority, bool):
+            raise ConfigError(
+                f"job priority must be an integer, got {priority!r}"
+            )
+        normalized = _validated_spec(kind, spec)
+        record = JobRecord(
+            id=uuid.uuid4().hex[:12],
+            kind=kind,
+            spec=normalized,
+            priority=priority,
+            name=str(name or normalized.get("name", "")),
+            submitted_at=time.time(),
+        )
+        with self._lock:
+            if not self._open:
+                raise ConfigError("job queue is draining; not accepting jobs")
+            self.store.save(record)
+            self._records[record.id] = record
+            heapq.heappush(
+                self._heap, (-record.priority, next(self._seq), record.id)
+            )
+            self.submitted_total += 1
+            self._available.notify()
+        return record
+
+    # -- worker side ----------------------------------------------------
+    def claim(self, timeout: float | None = None) -> JobRecord | None:
+        """Block until a queued job is available, mark it ``running``,
+        and return it — or ``None`` on timeout / queue shutdown.
+
+        Claim-and-mark is atomic under the queue lock, so two workers
+        can never run the same job, and a cancel can never land on a
+        job a worker already owns.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while True:
+                while self._heap:
+                    _, _, job_id = heapq.heappop(self._heap)
+                    rec = self._records[job_id]
+                    if rec.state != "queued":
+                        continue  # cancelled while waiting in the heap
+                    rec.state = "running"
+                    rec.started_at = time.time()
+                    self.store.save(rec)
+                    return rec
+                if not self._open:
+                    return None
+                if deadline is None:
+                    self._available.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._available.wait(remaining):
+                        return None
+
+    def finish(self, job_id: str, metadata: dict | None = None) -> JobRecord:
+        """Mark a running job ``done`` and attach its provenance."""
+        return self._terminate(job_id, "done", metadata=metadata)
+
+    def fail(
+        self, job_id: str, error: str, metadata: dict | None = None
+    ) -> JobRecord:
+        """Mark a running job ``failed`` with the error message."""
+        return self._terminate(job_id, "failed", error=error, metadata=metadata)
+
+    def _terminate(
+        self,
+        job_id: str,
+        state: str,
+        error: str | None = None,
+        metadata: dict | None = None,
+    ) -> JobRecord:
+        with self._lock:
+            rec = self._records.get(job_id)
+            if rec is None:
+                raise ConfigError(f"unknown job {job_id!r}")
+            if rec.state != "running":
+                raise ConfigError(
+                    f"job {job_id} is {rec.state}, not running; "
+                    f"cannot mark it {state}"
+                )
+            rec.state = state
+            rec.finished_at = time.time()
+            rec.error = error
+            if metadata:
+                rec.metadata.update(metadata)
+            self.store.save(rec)
+            return rec
+
+    # -- client side ----------------------------------------------------
+    def cancel(self, job_id: str) -> JobRecord:
+        """Cancel a *queued* job.
+
+        Running jobs are not interruptible (raises ``ConfigError`` —
+        the HTTP layer maps it to 409); terminal jobs are left alone
+        (also a conflict).  The heap entry is invalidated lazily:
+        ``claim`` skips records that are no longer ``queued``.
+        """
+        with self._lock:
+            rec = self._records.get(job_id)
+            if rec is None:
+                raise ConfigError(f"unknown job {job_id!r}")
+            if rec.state != "queued":
+                raise ConfigError(
+                    f"job {job_id} is {rec.state}; only queued jobs "
+                    f"can be cancelled"
+                )
+            rec.state = "cancelled"
+            rec.finished_at = time.time()
+            self.store.save(rec)
+            return rec
+
+    def get(self, job_id: str) -> JobRecord | None:
+        with self._lock:
+            return self._records.get(job_id)
+
+    def jobs(self, state: str | None = None) -> list[JobRecord]:
+        """All known jobs, oldest first, optionally filtered by state."""
+        if state is not None and state not in JOB_STATES:
+            raise ConfigError(
+                f"unknown job state {state!r}; states: {', '.join(JOB_STATES)}"
+            )
+        with self._lock:
+            records = sorted(
+                self._records.values(), key=lambda r: (r.submitted_at, r.id)
+            )
+        if state is not None:
+            records = [r for r in records if r.state == state]
+        return records
+
+    def counts(self) -> dict[str, int]:
+        """``{state: count}`` over every known job (all states keyed)."""
+        out = {state: 0 for state in JOB_STATES}
+        with self._lock:
+            for rec in self._records.values():
+                out[rec.state] += 1
+        return out
+
+    @property
+    def depth(self) -> int:
+        """Number of jobs currently waiting to run."""
+        with self._lock:
+            return sum(1 for r in self._records.values() if r.state == "queued")
+
+    def close(self) -> None:
+        """Stop accepting submissions and wake every blocked ``claim``
+        (they drain the remaining queued jobs, then return ``None``)."""
+        with self._lock:
+            self._open = False
+            self._available.notify_all()

@@ -1,0 +1,299 @@
+"""The worker fleet: bounded concurrency, one shared stage cache.
+
+Each worker is a thread claiming jobs off the
+:class:`~repro.service.jobs.JobQueue` and publishing results through
+the :class:`~repro.service.jobs.JobStore`.  Execution reuses the PR-8
+ensemble executor economics:
+
+* **matrix-free jobs run inline** in the worker thread — the
+  NumPy/fused kernels release the GIL for the bulk of a step, so
+  worker threads genuinely overlap, and every worker resolves its
+  pipeline *through the one shared*
+  :class:`~repro.api.cache.StageCache`.  N queued variants of one warm
+  model resolve each distinct mesh/assembler/levels artifact exactly
+  once — the fleet-scaling story: the second request for a warm model
+  pays only the stepping.
+* **assembled-backend jobs run in a process pool** (the CSR matvec
+  holds the GIL too long for thread overlap), sharing stages through
+  the cache's content-addressed on-disk layer when the service has a
+  ``cache_dir`` — the same corruption-safe ``.npz`` layer ensemble
+  process workers use, so even cross-process requests warm-start.
+* **ensemble jobs** run :func:`repro.api.ensemble.run_ensemble` inline
+  with the shared cache (members serial within the job; job-level
+  parallelism comes from the pool).
+
+Results are published atomically (``results/<id>.npz`` via
+:func:`repro.util.io.atomic_savez`) *before* the job is marked
+``done``, so a ``done`` record always has a complete result behind it.
+Failures never kill a worker: the job is marked ``failed`` with the
+error message and the worker moves on.
+
+``drain()`` is the graceful-shutdown half of the durability story:
+workers stop claiming, finish the job they own, and exit — queued jobs
+stay queued *on disk* and are recovered by the next server on the same
+data directory.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro.api.cache import StageCache
+from repro.api.config import SimulationConfig
+from repro.api.ensemble import EnsembleSpec, _run_member_in_process, run_ensemble
+from repro.api.simulation import Simulation
+from repro.service.jobs import JobQueue, JobRecord
+from repro.util.errors import ConfigError, ReproError
+from repro.util.io import atomic_savez
+
+__all__ = ["WorkerPool"]
+
+
+def _result_payload(
+    config_dict: dict,
+    times,
+    u,
+    v,
+    traces,
+    receiver_dofs,
+    kernel_tier: str,
+) -> dict:
+    """The ``.npz`` payload of a simulation job — the same fields
+    ``python -m repro run --output`` writes, so fetched results drop
+    into every existing loading path."""
+    payload = {
+        "times": np.asarray(times),
+        "u": np.asarray(u),
+        "v": np.asarray(v),
+        "config_json": np.array(json.dumps(config_dict)),
+        "kernel_tier": np.array(kernel_tier),
+    }
+    if traces is not None:
+        payload["traces"] = np.asarray(traces)
+        payload["receiver_dofs"] = np.asarray(receiver_dofs)
+    return payload
+
+
+class WorkerPool:
+    """``n_workers`` threads draining a :class:`JobQueue` (module docs).
+
+    Parameters
+    ----------
+    queue:
+        The queue to claim from (owns the store the results go to).
+    cache:
+        The shared :class:`StageCache`; a fresh memory-only one is
+        created when omitted.  Give it a ``cache_dir`` to extend the
+        sharing to process workers and across server restarts.
+    n_workers:
+        Concurrent jobs bound.  Matrix-free jobs occupy only their
+        worker thread; assembled jobs additionally occupy one process
+        of the (lazily created, equally bounded) process pool.
+    """
+
+    _POLL_SECONDS = 0.2
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        cache: StageCache | None = None,
+        n_workers: int = 2,
+    ):
+        if int(n_workers) < 1:
+            raise ConfigError(
+                f"WorkerPool n_workers must be >= 1, got {n_workers}"
+            )
+        self.queue = queue
+        self.store = queue.store
+        self.cache = cache if cache is not None else StageCache()
+        self.n_workers = int(n_workers)
+        self._threads: list[threading.Thread] = []
+        self._stopping = threading.Event()
+        self._lock = threading.Lock()
+        self._process_pool: ProcessPoolExecutor | None = None
+        self.completed_total = 0
+        self.failed_total = 0
+        self.busy = 0
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> None:
+        if self._threads:
+            raise ConfigError("WorkerPool is already started")
+        for i in range(self.n_workers):
+            t = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-worker-{i}",
+                daemon=True,
+            )
+            t.start()
+            self._threads.append(t)
+
+    def drain(self) -> None:
+        """Graceful stop: finish owned jobs, leave the backlog queued.
+
+        Idempotent.  After ``drain()`` returns, no worker thread is
+        alive and every job is either terminal or ``queued`` on disk
+        (ready for the next server to recover).
+        """
+        self._stopping.set()
+        self.queue.close()
+        for t in self._threads:
+            t.join()
+        self._threads.clear()
+        with self._lock:
+            pool, self._process_pool = self._process_pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    @property
+    def alive(self) -> int:
+        """Number of live worker threads."""
+        return sum(1 for t in self._threads if t.is_alive())
+
+    # -- the loop -------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while not self._stopping.is_set():
+            job = self.queue.claim(timeout=self._POLL_SECONDS)
+            if job is None:
+                continue
+            with self._lock:
+                self.busy += 1
+            try:
+                self._run_job(job)
+            finally:
+                with self._lock:
+                    self.busy -= 1
+
+    def _run_job(self, job: JobRecord) -> None:
+        t0 = time.perf_counter()
+        try:
+            if job.kind == "simulation":
+                payload, meta = self._run_simulation(job)
+            else:
+                payload, meta = self._run_ensemble(job)
+            # Publish the result *before* the terminal transition: a
+            # "done" record must always have a complete file behind it.
+            atomic_savez(self.store.result_path(job.id), **payload)
+            meta.setdefault("member", {})["seconds"] = time.perf_counter() - t0
+            meta["worker"] = threading.current_thread().name
+            self.queue.finish(job.id, metadata=meta)
+            with self._lock:
+                self.completed_total += 1
+        except ReproError as e:
+            self._fail(job, f"{type(e).__name__}: {e}")
+        except Exception as e:  # a worker must survive anything
+            self._fail(job, f"{type(e).__name__}: {e}")
+
+    def _fail(self, job: JobRecord, message: str) -> None:
+        self.queue.fail(job.id, message)
+        with self._lock:
+            self.failed_total += 1
+
+    # -- execution paths ------------------------------------------------
+    def _pool(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._process_pool is None:
+                # Spawn, not fork: the pool is created lazily from a
+                # worker thread while sibling workers may be mid-step in
+                # numpy — a fork there inherits held allocator/BLAS
+                # locks and deadlocks the child.  Spawned workers start
+                # clean (and pay one interpreter start, amortized over
+                # the server's lifetime).
+                self._process_pool = ProcessPoolExecutor(
+                    max_workers=self.n_workers,
+                    mp_context=multiprocessing.get_context("spawn"),
+                )
+            return self._process_pool
+
+    def _run_simulation(self, job: JobRecord) -> tuple[dict, dict]:
+        cfg = SimulationConfig.from_dict(job.spec)
+        if cfg.backend.stiffness == "matfree":
+            # Inline: kernels release the GIL; stages resolve through
+            # the shared in-memory cache.
+            sim = Simulation(cfg, cache=self.cache)
+            result = sim.run()
+            events = sim.cache_events
+            md = result.metadata
+            payload = _result_payload(
+                cfg.to_dict(),
+                result.times,
+                result.u,
+                result.v,
+                result.traces,
+                result.receiver_dofs,
+                md["kernel_tier"],
+            )
+        else:
+            # Assembled CSR holds the GIL: hand the job to a process,
+            # sharing stages through the on-disk cache layer (if any).
+            d = self._pool().submit(
+                _run_member_in_process,
+                {
+                    "config": job.spec,
+                    "cache_dir": (
+                        None
+                        if self.cache.cache_dir is None
+                        else str(self.cache.cache_dir)
+                    ),
+                },
+            ).result()
+            events = d["events"]
+            md = d["metadata"]
+            payload = _result_payload(
+                job.spec,
+                d["times"],
+                d["u"],
+                d["v"],
+                d["traces"],
+                d["receiver_dofs"],
+                md["kernel_tier"],
+            )
+        meta = {
+            "member": {
+                "name": cfg.name,
+                "cache_hits": int(events.get("hits", 0)),
+                "cache_misses": int(events.get("misses", 0)),
+                "build_seconds": md.get("build_seconds"),
+                "run_seconds": md.get("run_seconds"),
+                "kernel_tier": md.get("kernel_tier"),
+            }
+        }
+        if "perf" in md:
+            meta["perf"] = md["perf"]
+        return payload, meta
+
+    def _run_ensemble(self, job: JobRecord) -> tuple[dict, dict]:
+        spec = EnsembleSpec.from_dict(job.spec)
+        res = run_ensemble(spec, jobs=1, cache=self.cache)
+        payload: dict = {
+            "summary_json": np.array(json.dumps(res.summary)),
+            "n_members": np.array(len(res.members)),
+        }
+        for i, member in enumerate(res.members):
+            prefix = f"member_{i:03d}_"
+            payload[prefix + "times"] = member.times
+            payload[prefix + "u"] = member.u
+            payload[prefix + "v"] = member.v
+            if member.traces is not None:
+                payload[prefix + "traces"] = member.traces
+                payload[prefix + "receiver_dofs"] = member.receiver_dofs
+        s = res.summary
+        # Per-job traffic is the sum over member events — the shared
+        # cache's global counters aggregate every job on the server.
+        members = [m for m in s["members"] if m]
+        meta = {
+            "member": {
+                "name": spec.name or spec.base.name,
+                "n_members": s["n_members"],
+                "cache_hits": sum(m.get("cache_hits", 0) for m in members),
+                "cache_misses": sum(m.get("cache_misses", 0) for m in members),
+                "stage_sharing": s["stage_sharing"],
+            }
+        }
+        return payload, meta

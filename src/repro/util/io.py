@@ -11,11 +11,14 @@ complete file or the new complete file, never a partial write.
 
 from __future__ import annotations
 
+import json
 import os
 import tempfile
 from pathlib import Path
 
 import numpy as np
+
+from repro.util.errors import ConfigError
 
 
 def atomic_savez(path, **arrays) -> Path:
@@ -67,4 +70,35 @@ def atomic_write_text(path, text: str) -> Path:
         except OSError:
             pass
         raise
+    return path
+
+
+def atomic_write_json(path, obj) -> Path:
+    """Serialize ``obj`` as indented JSON and write it atomically.
+
+    The durable-record primitive of the job store: a killed server
+    leaves either the previous complete record or the new one — a
+    reader (or the restarted server) never parses a half-written job
+    file."""
+    return atomic_write_text(path, json.dumps(obj, indent=2) + "\n")
+
+
+def ensure_writable_dir(path, what: str = "directory") -> Path:
+    """Create ``path`` (parents included) and prove it is writable.
+
+    The pre-flight check for every CLI/service output directory: a
+    missing directory is created, and an unwritable or impossible one
+    (read-only filesystem, a regular file in the way) raises a
+    :class:`~repro.util.errors.ConfigError` *up front* instead of
+    surfacing as an :class:`OSError` mid-run after minutes of stepping.
+    The probe actually creates and removes a temp file — permission
+    bits alone lie under root and on exotic mounts."""
+    path = Path(path)
+    try:
+        path.mkdir(parents=True, exist_ok=True)
+        fd, probe = tempfile.mkstemp(dir=path, prefix=".write_probe.")
+        os.close(fd)
+        os.unlink(probe)
+    except OSError as e:
+        raise ConfigError(f"{what} {path} is not writable: {e}") from e
     return path

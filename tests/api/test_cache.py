@@ -2,7 +2,9 @@
 threads, disk persistence, key-mismatch/corruption rejection — plus the
 content-key layer (stage_key / per-spec sub-hashes) it is addressed by."""
 
+import multiprocessing
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -277,3 +279,74 @@ class TestSimulationThroughCache:
         var = sim.variant(backend=BackendSpec(stiffness="matfree"))
         assert var.assembler is sim.assembler
         var.run()
+
+
+def _race_for_stage(cache_dir, barrier, out):
+    """Child-process body for the cross-process disk-layer race: one
+    private StageCache per process, same cache_dir, same key."""
+    builds = []
+
+    def build():
+        builds.append(1)
+        time.sleep(0.05)  # widen the race window past the build start
+        return {"data": np.arange(64.0)}
+
+    cache = StageCache(cache_dir=cache_dir)
+    barrier.wait()  # both processes hit get_or_create together
+    value = cache.get_or_create(
+        "stage:racetest",
+        build,
+        stage="race",
+        pack=lambda v: {"data": v["data"]},
+        unpack=lambda d: {"data": d["data"]},
+    )
+    out.put({
+        "correct": bool(np.array_equal(value["data"], np.arange(64.0))),
+        "builds": len(builds),
+        "stats": cache.stats.as_dict(),
+    })
+
+
+class TestCrossProcessDiskSharing:
+    def test_two_processes_racing_get_or_create(self, tmp_path):
+        """Two *processes* race the same key through the disk layer:
+        both must succeed (atomic_savez means no torn reads), each
+        builds at most once, and nothing is ever rejected as corrupt —
+        the contract the service's process workers and multi-server
+        cache_dir sharing rest on."""
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(2)
+        out = ctx.Queue()
+        procs = [
+            ctx.Process(target=_race_for_stage, args=(tmp_path, barrier, out))
+            for _ in range(2)
+        ]
+        for p in procs:
+            p.start()
+        results = [out.get(timeout=60) for _ in procs]
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+
+        assert all(r["correct"] for r in results)
+        # Per-process build locks can't span processes, so both MAY
+        # build — but never twice, and never read garbage.
+        assert all(r["builds"] <= 1 for r in results)
+        assert sum(r["builds"] for r in results) >= 1
+        assert all(r["stats"]["disk_rejects"] == 0 for r in results)
+
+        # The survivor on disk is a valid artifact: a third, fresh
+        # cache warm-starts from it without building at all.
+        events: dict = {}
+        fresh = StageCache(cache_dir=tmp_path)
+        value = fresh.get_or_create(
+            "stage:racetest",
+            lambda: (_ for _ in ()).throw(AssertionError("rebuilt!")),
+            stage="race",
+            pack=lambda v: {"data": v["data"]},
+            unpack=lambda d: {"data": d["data"]},
+            events=events,
+        )
+        assert np.array_equal(value["data"], np.arange(64.0))
+        assert fresh.stats.disk_hits == 1
+        assert events == {"misses": 1}

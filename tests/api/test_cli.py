@@ -105,3 +105,49 @@ class TestValidateAndErrors:
         proc = _repro("run", str(tmp_path / "nope.json"), check=False)
         assert proc.returncode == 2
         assert "not found" in proc.stderr
+
+
+class TestEnsembleOutputDir:
+    """``ensemble --output-dir`` must create missing directories and
+    reject unwritable ones up front with a clean exit 2."""
+
+    def _tiny_ensemble(self, tmp_path) -> Path:
+        spec = {
+            "name": "cli-ens",
+            "mode": "zip",
+            "base": {
+                "mesh": {"family": "uniform_grid", "params": {"shape": [5, 5]}},
+                "time": {"n_cycles": 2},
+                "source": {"position": [1.0, 2.0], "f0": 0.8},
+                "receivers": {"positions": [[3.0, 2.0]]},
+                "backend": {"stiffness": "matfree"},
+            },
+            "sweeps": [
+                {"path": "source.position",
+                 "values": [[1.0, 2.0], [2.0, 2.0]]}
+            ],
+        }
+        path = tmp_path / "ens.json"
+        path.write_text(json.dumps(spec))
+        return path
+
+    def test_missing_output_dir_is_created(self, tmp_path):
+        spec = self._tiny_ensemble(tmp_path)
+        out_dir = tmp_path / "deep" / "ly" / "nested"
+        _repro("ensemble", str(spec), "--output-dir", str(out_dir))
+        members = sorted(p.name for p in out_dir.glob("member_*.npz"))
+        assert len(members) == 2
+
+    def test_unwritable_output_dir_exits_2_before_running(self, tmp_path):
+        spec = self._tiny_ensemble(tmp_path)
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a regular file, not a directory")
+        proc = _repro(
+            "ensemble", str(spec),
+            "--output-dir", str(blocker / "sub"),
+            check=False,
+        )
+        assert proc.returncode == 2
+        assert "--output-dir" in proc.stderr
+        assert "not writable" in proc.stderr
+        assert proc.stdout == ""  # rejected before any member ran

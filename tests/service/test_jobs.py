@@ -1,0 +1,217 @@
+"""JobStore/JobQueue: lifecycle, priorities, durability, recovery."""
+
+import json
+
+import pytest
+
+from svc_configs import small_config, small_ensemble
+from repro.service import JOB_STATES, JobQueue, JobRecord, JobStore
+from repro.util.errors import ConfigError
+
+
+def _record(**overrides) -> JobRecord:
+    base = dict(id="abc123", kind="simulation", spec=small_config())
+    base.update(overrides)
+    return JobRecord(**base)
+
+
+class TestJobRecord:
+    def test_round_trip(self):
+        rec = _record(state="done", priority=3, name="n", error=None,
+                      metadata={"member": {"seconds": 1.0}})
+        again = JobRecord.from_dict(rec.to_dict())
+        assert again == rec
+
+    def test_unknown_field_rejected(self):
+        data = _record().to_dict()
+        data["surprise"] = 1
+        with pytest.raises(ConfigError, match="unknown fields"):
+            JobRecord.from_dict(data)
+
+    def test_bad_state_rejected(self):
+        data = _record().to_dict()
+        data["state"] = "exploded"
+        with pytest.raises(ConfigError, match="unknown state"):
+            JobRecord.from_dict(data)
+
+    def test_bad_kind_rejected(self):
+        data = _record().to_dict()
+        data["kind"] = "mystery"
+        with pytest.raises(ConfigError, match="unknown kind"):
+            JobRecord.from_dict(data)
+
+    def test_state_table(self):
+        assert JOB_STATES == (
+            "queued", "running", "done", "failed", "cancelled"
+        )
+        assert _record(state="queued").terminal is False
+        for state in ("done", "failed", "cancelled"):
+            assert _record(state=state).terminal is True
+
+
+class TestJobStore:
+    def test_save_load_round_trip(self, tmp_path):
+        store = JobStore(tmp_path)
+        rec = _record()
+        store.save(rec)
+        assert store.load(rec.id) == rec
+        # One durable JSON file per job, valid on its own.
+        on_disk = json.loads((store.jobs_dir / f"{rec.id}.json").read_text())
+        assert on_disk["id"] == rec.id
+
+    def test_load_unknown_is_none(self, tmp_path):
+        assert JobStore(tmp_path).load("nope") is None
+
+    def test_list_is_submission_ordered(self, tmp_path):
+        store = JobStore(tmp_path)
+        for i, t in enumerate([3.0, 1.0, 2.0]):
+            store.save(_record(id=f"job{i}", submitted_at=t))
+        assert [r.id for r in store.list()] == ["job1", "job2", "job0"]
+
+    def test_recover_requeues_running(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.save(_record(id="ran", state="running", started_at=5.0))
+        store.save(_record(id="fin", state="done"))
+        store.recover()
+        recovered = store.load("ran")
+        assert recovered.state == "queued"
+        assert recovered.started_at is None
+        assert recovered.metadata["recovered"] == 1
+        assert store.load("fin").state == "done"
+
+
+class TestJobQueue:
+    def test_submit_validates_and_persists(self, tmp_path):
+        q = JobQueue(JobStore(tmp_path))
+        rec = q.submit(small_config(), kind="simulation")
+        assert rec.state == "queued"
+        assert rec.name == "svc"  # picked up from the config
+        assert q.store.load(rec.id) == rec
+        assert q.depth == 1
+
+    def test_submit_rejects_bad_spec_before_storing(self, tmp_path):
+        store = JobStore(tmp_path)
+        q = JobQueue(store)
+        with pytest.raises(ConfigError):
+            q.submit({"mesh": {"family": "nope"}})
+        assert q.depth == 0
+        assert list(store.jobs_dir.iterdir()) == []
+
+    def test_submit_rejects_bad_kind_and_priority(self, tmp_path):
+        q = JobQueue(JobStore(tmp_path))
+        with pytest.raises(ConfigError, match="unknown job kind"):
+            q.submit(small_config(), kind="mystery")
+        with pytest.raises(ConfigError, match="priority"):
+            q.submit(small_config(), priority="high")
+        with pytest.raises(ConfigError, match="priority"):
+            q.submit(small_config(), priority=True)
+
+    def test_ensemble_kind_accepted(self, tmp_path):
+        q = JobQueue(JobStore(tmp_path))
+        rec = q.submit(small_ensemble(), kind="ensemble")
+        assert rec.kind == "ensemble"
+        assert "sweeps" in rec.spec
+
+    def test_claim_priority_then_fifo(self, tmp_path):
+        q = JobQueue(JobStore(tmp_path))
+        low = q.submit(small_config(), priority=0)
+        first_high = q.submit(small_config(), priority=5)
+        second_high = q.submit(small_config(), priority=5)
+        order = [q.claim(timeout=0.1).id for _ in range(3)]
+        assert order == [first_high.id, second_high.id, low.id]
+
+    def test_claim_marks_running_and_persists(self, tmp_path):
+        q = JobQueue(JobStore(tmp_path))
+        rec = q.submit(small_config())
+        claimed = q.claim(timeout=0.1)
+        assert claimed.id == rec.id
+        assert claimed.state == "running"
+        assert claimed.started_at is not None
+        assert q.store.load(rec.id).state == "running"
+
+    def test_claim_times_out_empty(self, tmp_path):
+        q = JobQueue(JobStore(tmp_path))
+        assert q.claim(timeout=0.05) is None
+
+    def test_finish_and_fail_lifecycle(self, tmp_path):
+        q = JobQueue(JobStore(tmp_path))
+        a = q.submit(small_config())
+        b = q.submit(small_config())
+        q.claim(timeout=0.1), q.claim(timeout=0.1)
+        done = q.finish(a.id, metadata={"member": {"seconds": 0.1}})
+        assert done.state == "done"
+        assert done.metadata["member"]["seconds"] == 0.1
+        failed = q.fail(b.id, "KernelError: boom")
+        assert failed.state == "failed"
+        assert failed.error == "KernelError: boom"
+        # Terminal transitions require a running job.
+        with pytest.raises(ConfigError, match="not running"):
+            q.finish(a.id)
+        with pytest.raises(ConfigError, match="unknown job"):
+            q.fail("missing", "x")
+
+    def test_cancel_queued_only(self, tmp_path):
+        q = JobQueue(JobStore(tmp_path))
+        first = q.submit(small_config())
+        second = q.submit(small_config())
+        q.claim(timeout=0.1)  # FIFO: `first` is running now
+        with pytest.raises(ConfigError, match="only queued"):
+            q.cancel(first.id)
+        cancelled = q.cancel(second.id)
+        assert cancelled.state == "cancelled"
+        assert q.store.load(second.id).state == "cancelled"
+        with pytest.raises(ConfigError, match="unknown job"):
+            q.cancel("missing")
+
+    def test_claim_skips_cancelled_heap_entries(self, tmp_path):
+        q = JobQueue(JobStore(tmp_path))
+        victim = q.submit(small_config())
+        survivor = q.submit(small_config())
+        q.cancel(victim.id)
+        assert q.claim(timeout=0.1).id == survivor.id
+        assert q.claim(timeout=0.05) is None
+
+    def test_counts_and_filtered_listing(self, tmp_path):
+        q = JobQueue(JobStore(tmp_path))
+        a = q.submit(small_config())
+        q.submit(small_config())
+        q.claim(timeout=0.1)
+        q.finish(a.id)
+        counts = q.counts()
+        assert counts == {"queued": 1, "running": 0, "done": 1,
+                          "failed": 0, "cancelled": 0}
+        assert [r.id for r in q.jobs(state="done")] == [a.id]
+        with pytest.raises(ConfigError, match="unknown job state"):
+            q.jobs(state="bogus")
+
+    def test_close_stops_intake_but_drains_backlog(self, tmp_path):
+        q = JobQueue(JobStore(tmp_path))
+        rec = q.submit(small_config())
+        q.close()
+        with pytest.raises(ConfigError, match="draining"):
+            q.submit(small_config())
+        # The backlog is still claimable; then claim returns None
+        # immediately instead of blocking.
+        assert q.claim(timeout=0.1).id == rec.id
+        assert q.claim(timeout=10.0) is None  # returns instantly
+
+    def test_restart_recovers_queue_from_disk(self, tmp_path):
+        """Kill-and-restart: a new queue on the same store re-enqueues
+        queued jobs AND requeues the job the dead server was running."""
+        store = JobStore(tmp_path)
+        q1 = JobQueue(store)
+        interrupted = q1.submit(small_config(), priority=1)
+        waiting = q1.submit(small_config())
+        finished = q1.submit(small_config())
+        q1.claim(timeout=0.1)  # `interrupted` (highest priority) runs
+        # Finish one normally to prove terminal records stay terminal.
+        q1.claim(timeout=0.1)
+        q1.finish(waiting.id)
+        del q1  # the "crash": nothing terminal was written for `interrupted`
+
+        q2 = JobQueue(store)
+        assert q2.depth == 2
+        got = {q2.claim(timeout=0.1).id, q2.claim(timeout=0.1).id}
+        assert got == {interrupted.id, finished.id}
+        assert q2.get(interrupted.id).metadata["recovered"] == 1
+        assert q2.get(waiting.id).state == "done"

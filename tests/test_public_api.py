@@ -24,3 +24,11 @@ def test_star_import_is_bounded():
     exec("from repro import *", ns)
     exported = {k for k in ns if not k.startswith("__")}
     assert exported == set(repro.__all__)
+
+
+def test_service_surface_is_exported():
+    """The serving layer is part of the supported public API."""
+    for name in ("JobRecord", "JobStore", "JobQueue", "WorkerPool",
+                 "ReproService", "ServiceClient", "ServiceError"):
+        assert name in repro.__all__
+        assert hasattr(repro, name)

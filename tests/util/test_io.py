@@ -1,5 +1,6 @@
 """Atomic .npz publication: complete file or nothing, never a partial."""
 
+import json
 import os
 
 import numpy as np
@@ -71,3 +72,46 @@ class TestAtomicSavez:
         monkeypatch.setattr(os, "replace", spy)
         atomic_savez(tmp_path / "out.npz", a=np.zeros(1))
         assert seen["src_dir"] == str(tmp_path)
+
+
+class TestAtomicWriteJson:
+    def test_round_trip(self, tmp_path):
+        from repro.util.io import atomic_write_json
+
+        obj = {"id": "a1", "nested": {"x": [1, 2, 3]}, "none": None}
+        path = atomic_write_json(tmp_path / "rec.json", obj)
+        assert json.loads(path.read_text()) == obj
+        assert path.read_text().endswith("\n")
+
+    def test_overwrite_replaces_whole_file(self, tmp_path):
+        from repro.util.io import atomic_write_json
+
+        target = tmp_path / "rec.json"
+        atomic_write_json(target, {"state": "queued", "big": "x" * 4096})
+        atomic_write_json(target, {"state": "done"})
+        assert json.loads(target.read_text()) == {"state": "done"}
+        assert [p.name for p in tmp_path.iterdir()] == ["rec.json"]
+
+
+class TestEnsureWritableDir:
+    def test_creates_nested_directories(self, tmp_path):
+        from repro.util.io import ensure_writable_dir
+
+        target = tmp_path / "a" / "b" / "c"
+        assert ensure_writable_dir(target) == target
+        assert target.is_dir()
+        assert list(target.iterdir()) == []  # the write probe is gone
+
+    def test_existing_dir_is_fine(self, tmp_path):
+        from repro.util.io import ensure_writable_dir
+
+        assert ensure_writable_dir(tmp_path) == tmp_path
+
+    def test_path_through_a_file_raises_config_error(self, tmp_path):
+        from repro.util.errors import ConfigError
+        from repro.util.io import ensure_writable_dir
+
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        with pytest.raises(ConfigError, match="--output-dir .* not writable"):
+            ensure_writable_dir(blocker / "sub", "--output-dir")
